@@ -1,0 +1,58 @@
+//! Metric-computation benchmarks backing Figures 5 and 6: average
+//! server-pair path length, network-wide and intra-Pod.
+//!
+//! These are the hot loops of the fig5/fig6 harness binaries; one full
+//! figure evaluates them ~100 times across k and (m, n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_core::{FlatTree, FlatTreeConfig, Mode};
+use ft_metrics::path_length::{
+    average_intra_pod_path_length, average_server_path_length, path_length_histogram,
+};
+use ft_topo::fat_tree;
+use std::hint::black_box;
+
+fn bench_apl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5-apl");
+    g.sample_size(10);
+    for k in [8usize, 16] {
+        let ftree = fat_tree(k).unwrap();
+        let flat = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap())
+            .unwrap()
+            .materialize(&Mode::GlobalRandom);
+        g.bench_with_input(BenchmarkId::new("fat-tree", k), &ftree, |b, n| {
+            b.iter(|| black_box(average_server_path_length(n)))
+        });
+        g.bench_with_input(BenchmarkId::new("flat-tree-global", k), &flat, |b, n| {
+            b.iter(|| black_box(average_server_path_length(n)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_intra_pod(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6-intra-pod-apl");
+    g.sample_size(10);
+    for k in [8usize, 16] {
+        let flat = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap())
+            .unwrap()
+            .materialize(&Mode::LocalRandom);
+        g.bench_with_input(BenchmarkId::new("flat-tree-local", k), &flat, |b, n| {
+            b.iter(|| black_box(average_intra_pod_path_length(n, k * k / 4)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("path-length-histogram");
+    g.sample_size(10);
+    let net = fat_tree(8).unwrap();
+    g.bench_function("fat-tree-k8", |b| {
+        b.iter(|| black_box(path_length_histogram(&net)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_apl, bench_intra_pod, bench_histogram);
+criterion_main!(benches);

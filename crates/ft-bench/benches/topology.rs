@@ -1,0 +1,55 @@
+//! Topology construction benchmarks: how fast the four topology families
+//! build, and how fast flat-tree converts between modes.
+//!
+//! Relevant to the paper's deployment story: conversions are infrequent
+//! (§2.7) but the controller materializes candidate topologies when
+//! planning, so construction must stay cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_core::{FlatTree, FlatTreeConfig, Mode};
+use ft_topo::{fat_tree, jellyfish_matching_fat_tree, two_stage_random_graph, TwoStageParams};
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    for k in [8usize, 16] {
+        g.bench_with_input(BenchmarkId::new("fat-tree", k), &k, |b, &k| {
+            b.iter(|| black_box(fat_tree(k).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("jellyfish", k), &k, |b, &k| {
+            b.iter(|| black_box(jellyfish_matching_fat_tree(k, 1).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("two-stage-rg", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(
+                    two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), 1)
+                        .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("flat-tree-build", k), &k, |b, &k| {
+            b.iter(|| black_box(FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_materialization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("materialize");
+    g.sample_size(10);
+    for k in [8usize, 16] {
+        let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap();
+        for mode in [Mode::Clos, Mode::GlobalRandom, Mode::LocalRandom] {
+            g.bench_with_input(
+                BenchmarkId::new(mode.label(), k),
+                &(&ft, &mode),
+                |b, (ft, mode)| b.iter(|| black_box(ft.materialize(mode))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_materialization);
+criterion_main!(benches);

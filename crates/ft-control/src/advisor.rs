@@ -1,0 +1,132 @@
+//! Measurement-driven mode recommendation (§2.6: the controller may change
+//! modes "in an adaptive manner through network measurement").
+//!
+//! The heuristic follows the paper's evaluation findings directly:
+//!
+//! * small clusters whose traffic stays inside Pods benefit from the
+//!   approximated *local* random graphs (Figure 8);
+//! * large clusters with heavy cross-Pod traffic benefit from the
+//!   approximated *global* random graph (Figure 7);
+//! * mixtures split into zones (hybrid mode, §3.4) — zone construction is
+//!   the operator's call, so the advisor reports the split rather than
+//!   inventing a layout.
+
+use ft_core::Mode;
+use ft_topo::Network;
+use ft_workload::TrafficMatrix;
+
+/// Aggregate measurements of a traffic matrix against a topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrafficSummary {
+    /// Fraction of demand whose endpoints share a Pod.
+    pub intra_pod_fraction: f64,
+    /// Fraction of demand touching the single busiest server (hot-spot
+    /// concentration; 2/flows ≈ uniform, → 1.0 for a pure hot spot).
+    pub hotspot_concentration: f64,
+    /// Total demand volume.
+    pub total_demand: f64,
+}
+
+/// Measures a traffic matrix.
+pub fn summarize(net: &Network, tm: &TrafficMatrix) -> TrafficSummary {
+    let mut total = 0.0;
+    let mut intra = 0.0;
+    let mut per_server: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for &(a, b, d) in &tm.demands {
+        total += d;
+        if let (Some(pa), Some(pb)) = (net.pod(a), net.pod(b)) {
+            if pa == pb {
+                intra += d;
+            }
+        }
+        *per_server.entry(a.0).or_insert(0.0) += d;
+        *per_server.entry(b.0).or_insert(0.0) += d;
+    }
+    let hottest = per_server.values().copied().fold(0.0f64, f64::max);
+    TrafficSummary {
+        intra_pod_fraction: if total > 0.0 { intra / total } else { 0.0 },
+        hotspot_concentration: if total > 0.0 { hottest / total } else { 0.0 },
+        total_demand: total,
+    }
+}
+
+/// Recommends an operation mode for the measured traffic.
+///
+/// Thresholds: ≥ 60% intra-Pod demand → local random graphs; ≤ 40% →
+/// global random graph; in between the traffic is mixed and the function
+/// recommends Clos (the safe all-rounder) — operators with workload
+/// placement control should split zones instead.
+pub fn recommend_mode(summary: &TrafficSummary) -> Mode {
+    if summary.total_demand == 0.0 {
+        return Mode::Clos;
+    }
+    if summary.intra_pod_fraction >= 0.6 {
+        Mode::LocalRandom
+    } else if summary.intra_pod_fraction <= 0.4 {
+        Mode::GlobalRandom
+    } else {
+        Mode::Clos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::{FlatTree, FlatTreeConfig};
+    use ft_workload::{generate, Locality, TrafficPattern, WorkloadSpec};
+
+    fn net() -> Network {
+        FlatTree::new(FlatTreeConfig::for_fat_tree_k(8).unwrap())
+            .unwrap()
+            .materialize(&Mode::Clos)
+    }
+
+    #[test]
+    fn local_clusters_recommend_local_mode() {
+        let n = net();
+        // 4-server clusters packed contiguously stay within edge switches
+        let spec = WorkloadSpec {
+            pattern: TrafficPattern::AllToAll,
+            cluster_size: 4,
+            locality: Locality::Strong,
+        };
+        let tm = generate(&n, &spec, 1);
+        let s = summarize(&n, &tm);
+        assert!(s.intra_pod_fraction > 0.9, "{s:?}");
+        assert_eq!(recommend_mode(&s), Mode::LocalRandom);
+    }
+
+    #[test]
+    fn global_clusters_recommend_global_mode() {
+        let n = net();
+        // one network-spanning hot-spot cluster
+        let tm = generate(&n, &WorkloadSpec::hotspot(Locality::None), 1);
+        let s = summarize(&n, &tm);
+        assert!(s.intra_pod_fraction < 0.4, "{s:?}");
+        assert!(s.hotspot_concentration > 0.4, "{s:?}");
+        assert_eq!(recommend_mode(&s), Mode::GlobalRandom);
+    }
+
+    #[test]
+    fn empty_traffic_recommends_clos() {
+        let s = TrafficSummary {
+            intra_pod_fraction: 0.0,
+            hotspot_concentration: 0.0,
+            total_demand: 0.0,
+        };
+        assert_eq!(recommend_mode(&s), Mode::Clos);
+    }
+
+    #[test]
+    fn summary_totals() {
+        let n = net();
+        let spec = WorkloadSpec {
+            pattern: TrafficPattern::AllToAll,
+            cluster_size: 4,
+            locality: Locality::Strong,
+        };
+        let tm = generate(&n, &spec, 1);
+        let s = summarize(&n, &tm);
+        assert_eq!(s.total_demand, tm.total_demand());
+    }
+}

@@ -1,0 +1,155 @@
+//! Reconfiguration planning: what changes when the controller converts the
+//! topology.
+//!
+//! A conversion flips a subset of converter switches; each flip logically
+//! removes and adds links "as if they were unplugged and replugged
+//! manually" (§1). [`plan_transition`] computes both views: the converter
+//! configuration deltas to push to hardware, and the logical link churn —
+//! which the controller uses to pre-compute routes for the target topology
+//! before cutting over.
+
+use ft_core::{ConverterStates, FlatTree, FlatTreeError, FourPortConfig, SixPortConfig};
+use std::collections::HashMap;
+
+/// A planned topology conversion.
+#[derive(Clone, Debug, Default)]
+pub struct ReconfigPlan {
+    /// 4-port converters to reprogram: `(index, from, to)`.
+    pub four_changes: Vec<(usize, FourPortConfig, FourPortConfig)>,
+    /// 6-port converters to reprogram: `(index, from, to)`.
+    pub six_changes: Vec<(usize, SixPortConfig, SixPortConfig)>,
+    /// Logical links that disappear, as normalized node-id pairs
+    /// (with multiplicity — parallel links appear once per instance).
+    pub links_removed: Vec<(u32, u32)>,
+    /// Logical links that appear.
+    pub links_added: Vec<(u32, u32)>,
+}
+
+impl ReconfigPlan {
+    /// Total converter reprogramming operations.
+    pub fn converter_ops(&self) -> usize {
+        self.four_changes.len() + self.six_changes.len()
+    }
+
+    /// Whether the plan is a no-op.
+    pub fn is_noop(&self) -> bool {
+        self.converter_ops() == 0
+    }
+}
+
+/// Plans the transition between two converter states of the same flat-tree.
+///
+/// # Errors
+/// Propagates materialization errors (incompatible side pairs in either
+/// state).
+pub fn plan_transition(
+    ft: &FlatTree,
+    from: &ConverterStates,
+    to: &ConverterStates,
+) -> Result<ReconfigPlan, FlatTreeError> {
+    let mut plan = ReconfigPlan::default();
+    for (idx, (&a, &b)) in from.four.iter().zip(&to.four).enumerate() {
+        if a != b {
+            plan.four_changes.push((idx, a, b));
+        }
+    }
+    for (idx, (&a, &b)) in from.six.iter().zip(&to.six).enumerate() {
+        if a != b {
+            plan.six_changes.push((idx, a, b));
+        }
+    }
+    // Link churn via multiset difference of the materialized edge lists.
+    let before = ft.materialize_states(from)?;
+    let after = ft.materialize_states(to)?;
+    let count = |edges: Vec<(u32, u32)>| -> HashMap<(u32, u32), i64> {
+        let mut m = HashMap::new();
+        for e in edges {
+            *m.entry(e).or_insert(0) += 1;
+        }
+        m
+    };
+    let b = count(before.graph().canonical_edges());
+    let a = count(after.graph().canonical_edges());
+    for (&e, &nb) in &b {
+        let na = a.get(&e).copied().unwrap_or(0);
+        for _ in na..nb {
+            plan.links_removed.push(e);
+        }
+    }
+    for (&e, &na) in &a {
+        let nb = b.get(&e).copied().unwrap_or(0);
+        for _ in nb..na {
+            plan.links_added.push(e);
+        }
+    }
+    plan.links_removed.sort_unstable();
+    plan.links_added.sort_unstable();
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::{FlatTreeConfig, Mode};
+
+    fn ft() -> FlatTree {
+        FlatTree::new(FlatTreeConfig::for_fat_tree_k(8).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn noop_plan() {
+        let f = ft();
+        let s = f.resolve(&Mode::Clos).unwrap();
+        let p = plan_transition(&f, &s, &s).unwrap();
+        assert!(p.is_noop());
+        assert!(p.links_added.is_empty() && p.links_removed.is_empty());
+    }
+
+    #[test]
+    fn clos_to_local_flips_four_ports_only() {
+        let f = ft();
+        let from = f.resolve(&Mode::Clos).unwrap();
+        let to = f.resolve(&Mode::LocalRandom).unwrap();
+        let p = plan_transition(&f, &from, &to).unwrap();
+        assert_eq!(p.four_changes.len(), f.geometry().four_count());
+        assert!(p.six_changes.is_empty());
+        // each 4-port flip removes S–E and A–C, adds S–A and E–C
+        assert_eq!(p.links_removed.len(), 2 * f.geometry().four_count());
+        assert_eq!(p.links_added.len(), 2 * f.geometry().four_count());
+    }
+
+    #[test]
+    fn link_churn_balances() {
+        // equipment is conserved, so added == removed in count
+        let f = ft();
+        let from = f.resolve(&Mode::Clos).unwrap();
+        let to = f.resolve(&Mode::GlobalRandom).unwrap();
+        let p = plan_transition(&f, &from, &to).unwrap();
+        assert_eq!(p.links_added.len(), p.links_removed.len());
+        assert!(p.converter_ops() > 0);
+    }
+
+    #[test]
+    fn plan_matches_diff_count() {
+        let f = ft();
+        let from = f.resolve(&Mode::LocalRandom).unwrap();
+        let to = f.resolve(&Mode::GlobalRandom).unwrap();
+        let p = plan_transition(&f, &from, &to).unwrap();
+        assert_eq!(p.converter_ops(), from.diff_count(&to));
+        // local → global keeps 4-ports (both local): only 6-ports flip
+        assert!(p.four_changes.is_empty());
+        assert_eq!(p.six_changes.len(), f.geometry().six_count());
+    }
+
+    #[test]
+    fn changes_record_from_to() {
+        let f = ft();
+        let from = f.resolve(&Mode::Clos).unwrap();
+        let to = f.resolve(&Mode::LocalRandom).unwrap();
+        let p = plan_transition(&f, &from, &to).unwrap();
+        for &(_, a, b) in &p.four_changes {
+            assert_eq!(a, FourPortConfig::Default);
+            assert_eq!(b, FourPortConfig::Local);
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Routing for the flat-tree operation modes (§2.6).
+//!
+//! * Clos mode routes with **ECMP** over the rich equal-cost shortest
+//!   paths of the tree.
+//! * Random-graph modes route with **k-shortest paths** (the paper follows
+//!   Jellyfish, which uses 8 paths), because random graphs have few
+//!   equal-cost paths but many near-shortest ones.
+//!
+//! Both routers work on the switch graph; server endpoints are resolved
+//! through their attachment switches. All state is precomputed or cached
+//! so the flow-level simulator can query paths in hot loops.
+
+use ft_graph::{bfs_distances, k_shortest_paths, EdgeId, Graph, NodeId, UNREACHABLE};
+use ft_topo::Network;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A server-to-server path: attachment hops plus the switch-level route.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerPath {
+    /// Switch sequence from the source's attachment to the destination's.
+    pub switches: Vec<NodeId>,
+    /// Switch-graph edges along `switches` (empty for same-switch pairs).
+    pub edges: Vec<EdgeId>,
+}
+
+impl ServerPath {
+    /// End-to-end hop count including the two server–switch links.
+    pub fn hops(&self) -> usize {
+        self.edges.len() + 2
+    }
+}
+
+/// ECMP next-hop tables: for every (switch, destination switch), the set of
+/// neighbors strictly closer to the destination.
+#[derive(Clone, Debug)]
+pub struct EcmpRoutes {
+    /// `next[dst][v]` = equal-cost next hops of `v` toward `dst`.
+    next: Vec<Vec<Vec<(NodeId, EdgeId)>>>,
+    /// `dist[dst][v]` = hop distance.
+    dist: Vec<Vec<u32>>,
+}
+
+impl EcmpRoutes {
+    /// Computes full next-hop tables on the network's switch graph.
+    ///
+    /// O(S · (S + L)); fine for the evaluation sizes (k ≤ 16 interactive,
+    /// k = 32 still < 1 s in release builds).
+    pub fn compute(net: &Network) -> Self {
+        let sg = net.switch_graph();
+        Self::compute_on(&sg)
+    }
+
+    /// Computes tables on an explicit switch graph.
+    pub fn compute_on(sg: &Graph) -> Self {
+        let s = sg.node_count();
+        let mut next = Vec::with_capacity(s);
+        let mut dist = Vec::with_capacity(s);
+        for dstv in sg.nodes() {
+            let d = bfs_distances(sg, dstv);
+            let mut per_v = vec![Vec::new(); s];
+            for v in sg.nodes() {
+                if d[v.index()] == UNREACHABLE || v == dstv {
+                    continue;
+                }
+                for (u, e) in sg.neighbors(v) {
+                    if d[u.index()] + 1 == d[v.index()] {
+                        per_v[v.index()].push((u, e));
+                    }
+                }
+            }
+            next.push(per_v);
+            dist.push(d);
+        }
+        EcmpRoutes { next, dist }
+    }
+
+    /// Equal-cost next hops of switch `v` toward destination switch `dst`.
+    pub fn next_hops(&self, v: NodeId, dst: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.next[dst.index()][v.index()]
+    }
+
+    /// Hop distance between switches.
+    pub fn distance(&self, v: NodeId, dst: NodeId) -> u32 {
+        self.dist[dst.index()][v.index()]
+    }
+
+    /// Walks one deterministic ECMP path selected by `flow_hash` (models
+    /// per-flow hashing: the same hash always picks the same path).
+    /// Returns `None` when `dst` is unreachable from `src`.
+    pub fn path(&self, src: NodeId, dst: NodeId, flow_hash: u64) -> Option<ServerPath> {
+        if src != dst && self.dist[dst.index()][src.index()] == UNREACHABLE {
+            return None;
+        }
+        let mut switches = vec![src];
+        let mut edges = Vec::new();
+        let mut v = src;
+        let mut h = flow_hash;
+        while v != dst {
+            let hops = self.next_hops(v, dst);
+            debug_assert!(!hops.is_empty(), "distance finite but no next hop");
+            // xorshift step for per-hop variation while staying
+            // deterministic per flow
+            h ^= h << 13;
+            h ^= h >> 7;
+            h ^= h << 17;
+            let (u, e) = hops[(h % hops.len() as u64) as usize];
+            switches.push(u);
+            edges.push(e);
+            v = u;
+        }
+        Some(ServerPath { switches, edges })
+    }
+
+    /// Destinations whose next-hop tables reference any of the given
+    /// (failed) edges — exactly the rows that can change when those edges
+    /// disappear.
+    ///
+    /// Correctness: `e` appears in some next-hop entry toward `dst` iff
+    /// some shortest path to `dst` traverses `e`. If no shortest path used
+    /// `e`, removing `e` deletes only non-shortest paths, so neither the
+    /// distances nor the equal-cost sets toward `dst` change.
+    pub fn affected_destinations(&self, removed: &[EdgeId]) -> Vec<NodeId> {
+        let set: std::collections::HashSet<EdgeId> = removed.iter().copied().collect();
+        let mut out = Vec::new();
+        for (dst, per_v) in self.next.iter().enumerate() {
+            let touched = per_v
+                .iter()
+                .any(|hops| hops.iter().any(|&(_, e)| set.contains(&e)));
+            if touched {
+                out.push(NodeId(dst as u32));
+            }
+        }
+        out
+    }
+
+    /// Incrementally repairs the tables after the given edges were removed
+    /// from `sg` (the *already-updated* switch graph): only the affected
+    /// destinations' rows are recomputed. Equivalent to a full
+    /// [`EcmpRoutes::compute_on`] at a fraction of the cost when failures
+    /// are localized.
+    pub fn repair(&mut self, sg: &Graph, removed: &[EdgeId]) {
+        for dst in self.affected_destinations(removed) {
+            let d = bfs_distances(sg, dst);
+            let mut per_v = vec![Vec::new(); sg.node_count()];
+            for v in sg.nodes() {
+                if d[v.index()] == UNREACHABLE || v == dst {
+                    continue;
+                }
+                for (u, e) in sg.neighbors(v) {
+                    if d[u.index()] != UNREACHABLE && d[u.index()] + 1 == d[v.index()] {
+                        per_v[v.index()].push((u, e));
+                    }
+                }
+            }
+            self.next[dst.index()] = per_v;
+            self.dist[dst.index()] = d;
+        }
+    }
+
+    /// All equal-cost shortest paths between two switches (enumerated; use
+    /// for tests and small fabrics — path counts explode on large Clos).
+    pub fn all_paths(&self, src: NodeId, dst: NodeId) -> Vec<ServerPath> {
+        let mut out = Vec::new();
+        if src != dst && self.dist[dst.index()][src.index()] == UNREACHABLE {
+            return out;
+        }
+        let mut stack = vec![(src, vec![src], Vec::new())];
+        while let Some((v, switches, edges)) = stack.pop() {
+            if v == dst {
+                out.push(ServerPath { switches, edges });
+                continue;
+            }
+            for &(u, e) in self.next_hops(v, dst) {
+                let mut sw = switches.clone();
+                sw.push(u);
+                let mut ed = edges.clone();
+                ed.push(e);
+                stack.push((u, sw, ed));
+            }
+        }
+        out
+    }
+}
+
+/// Lazily computed, cached k-shortest-path sets (Yen) per switch pair.
+pub struct KspRoutes {
+    sg: Graph,
+    k: usize,
+    lengths: Vec<f64>,
+    cache: RwLock<HashMap<(u32, u32), Vec<ServerPath>>>,
+}
+
+impl KspRoutes {
+    /// Creates a router over the network's switch graph keeping `k` paths
+    /// per pair (the paper/Jellyfish use 8).
+    pub fn new(net: &Network, k: usize) -> Self {
+        let sg = net.switch_graph();
+        let lengths = vec![1.0; sg.edge_id_bound()];
+        KspRoutes {
+            sg,
+            k,
+            lengths,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Number of paths kept per pair.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The k shortest loopless switch-level paths between two switches,
+    /// computed on first use and cached.
+    pub fn paths(&self, src: NodeId, dst: NodeId) -> Vec<ServerPath> {
+        if let Some(hit) = self.cache.read().get(&(src.0, dst.0)) {
+            return hit.clone();
+        }
+        let paths = k_shortest_paths(&self.sg, src, dst, self.k, &self.lengths);
+        let out: Vec<ServerPath> = paths
+            .into_iter()
+            .map(|p| ServerPath {
+                switches: p.nodes,
+                edges: p.edges,
+            })
+            .collect();
+        self.cache.write().insert((src.0, dst.0), out.clone());
+        out
+    }
+
+    /// Deterministic per-flow path selection among the k paths.
+    pub fn path(&self, src: NodeId, dst: NodeId, flow_hash: u64) -> Option<ServerPath> {
+        let paths = self.paths(src, dst);
+        if paths.is_empty() {
+            return None;
+        }
+        Some(paths[(flow_hash % paths.len() as u64) as usize].clone())
+    }
+
+    /// Cached pair count (for memory instrumentation).
+    pub fn cached_pairs(&self) -> usize {
+        self.cache.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::{FlatTree, FlatTreeConfig, Mode};
+    use ft_topo::fat_tree;
+
+    fn k4() -> Network {
+        fat_tree(4).unwrap()
+    }
+
+    #[test]
+    fn ecmp_distances_match_bfs() {
+        let net = k4();
+        let r = EcmpRoutes::compute(&net);
+        let sg = net.switch_graph();
+        for v in sg.nodes() {
+            let d = bfs_distances(&sg, v);
+            for u in sg.nodes() {
+                assert_eq!(r.distance(u, v), d[u.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_path_is_shortest_and_valid() {
+        let net = k4();
+        let r = EcmpRoutes::compute(&net);
+        let sg = net.switch_graph();
+        for hash in 0..10u64 {
+            // edge switch pod 0 (id 4) to edge switch pod 1 (id 8)
+            let p = r.path(NodeId(4), NodeId(8), hash).unwrap();
+            assert_eq!(p.edges.len() as u32, r.distance(NodeId(4), NodeId(8)));
+            for w in p.switches.windows(2) {
+                assert!(sg.has_edge(w[0], w[1]));
+            }
+            assert_eq!(p.hops(), p.edges.len() + 2);
+        }
+    }
+
+    #[test]
+    fn ecmp_same_hash_same_path() {
+        let net = k4();
+        let r = EcmpRoutes::compute(&net);
+        let a = r.path(NodeId(4), NodeId(12), 77).unwrap();
+        let b = r.path(NodeId(4), NodeId(12), 77).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ecmp_fat_tree_k4_has_4_paths_interpod() {
+        // between edge switches in different pods, fat-tree k=4 offers
+        // k²/4 = 4 equal-cost 4-hop paths
+        let net = k4();
+        let r = EcmpRoutes::compute(&net);
+        let paths = r.all_paths(NodeId(4), NodeId(8));
+        assert_eq!(paths.len(), 4);
+        for p in &paths {
+            assert_eq!(p.edges.len(), 4);
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_over_hashes() {
+        let net = k4();
+        let r = EcmpRoutes::compute(&net);
+        let mut distinct = std::collections::HashSet::new();
+        for hash in 0..64u64 {
+            distinct.insert(r.path(NodeId(4), NodeId(8), hash).unwrap().switches);
+        }
+        assert!(distinct.len() >= 2, "hashing never spreads load");
+    }
+
+    #[test]
+    fn repair_matches_full_recompute() {
+        let net = fat_tree(4).unwrap();
+        let mut sg = net.switch_graph();
+        let mut routes = EcmpRoutes::compute_on(&sg);
+        // fail three assorted links
+        let victims: Vec<_> = sg.edges().map(|(e, _, _)| e).step_by(7).take(3).collect();
+        for &e in &victims {
+            sg.remove_edge(e);
+        }
+        let affected = routes.affected_destinations(&victims);
+        assert!(!affected.is_empty());
+        routes.repair(&sg, &victims);
+        let fresh = EcmpRoutes::compute_on(&sg);
+        for dst in sg.nodes() {
+            for v in sg.nodes() {
+                assert_eq!(
+                    routes.distance(v, dst),
+                    fresh.distance(v, dst),
+                    "distance mismatch {v:?}→{dst:?}"
+                );
+                let mut a = routes.next_hops(v, dst).to_vec();
+                let mut b = fresh.next_hops(v, dst).to_vec();
+                a.sort_by_key(|&(n, e)| (n.0, e.0));
+                b.sort_by_key(|&(n, e)| (n.0, e.0));
+                assert_eq!(a, b, "next hops mismatch {v:?}→{dst:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unaffected_destinations_not_listed() {
+        // triangle 0-1-2 with a pendant 3 on node 2: the edge 0-1 lies on
+        // shortest paths only toward destinations 0 and 1 (everything
+        // toward 2 and 3 routes around the triangle's other sides)
+        use ft_graph::Graph;
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let routes = EcmpRoutes::compute_on(&g);
+        let mut affected = routes.affected_destinations(&[ft_graph::EdgeId(0)]);
+        affected.sort();
+        assert_eq!(affected, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn repair_handles_disconnection() {
+        use ft_graph::Graph;
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut routes = EcmpRoutes::compute_on(&g);
+        let (e, _, _) = g.edges().next().unwrap();
+        g.remove_edge(e);
+        routes.repair(&g, &[e]);
+        assert!(routes.path(NodeId(0), NodeId(2), 1).is_none());
+        assert!(routes.path(NodeId(1), NodeId(2), 1).is_some());
+    }
+
+    #[test]
+    fn ksp_paths_sorted_loopless() {
+        let cfg = FlatTreeConfig::for_fat_tree_k(4).unwrap();
+        let net = FlatTree::new(cfg).unwrap().materialize(&Mode::GlobalRandom);
+        let r = KspRoutes::new(&net, 8);
+        let paths = r.paths(NodeId(4), NodeId(12));
+        assert!(!paths.is_empty() && paths.len() <= 8);
+        for w in paths.windows(2) {
+            assert!(w[0].edges.len() <= w[1].edges.len());
+        }
+        for p in &paths {
+            let mut seen = std::collections::HashSet::new();
+            for s in &p.switches {
+                assert!(seen.insert(*s), "loop in KSP path");
+            }
+        }
+        // cache hit returns the same answer
+        assert_eq!(r.paths(NodeId(4), NodeId(12)), paths);
+        assert_eq!(r.cached_pairs(), 1);
+    }
+
+    #[test]
+    fn ksp_flow_hash_selects_within_k() {
+        let net = k4();
+        let r = KspRoutes::new(&net, 4);
+        for h in 0..16u64 {
+            let p = r.path(NodeId(0), NodeId(10), h).unwrap();
+            assert!(!p.switches.is_empty());
+        }
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        use ft_topo::{DeviceKind, NetworkBuilder};
+        let mut b = NetworkBuilder::new("x");
+        let s0 = b.add_switch(DeviceKind::Generic, 2, None).unwrap();
+        let s1 = b.add_switch(DeviceKind::Generic, 2, None).unwrap();
+        let h0 = b.add_server(None);
+        let h1 = b.add_server(None);
+        b.add_link(h0, s0).unwrap();
+        b.add_link(h1, s1).unwrap();
+        let net = b.build().unwrap();
+        let r = EcmpRoutes::compute(&net);
+        assert!(r.path(NodeId(0), NodeId(1), 0).is_none());
+        let kr = KspRoutes::new(&net, 4);
+        assert!(kr.path(NodeId(0), NodeId(1), 0).is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! Zone management for hybrid operation (§3.4).
+//!
+//! Hybrid flat-tree organizes the network into functionally separate zones
+//! — contiguous runs of Pods each running a different topology — so that
+//! heterogeneous workloads can each get the topology that suits them while
+//! sharing the network core.
+
+use ft_core::{Mode, PodMode};
+use ft_graph::NodeId;
+use ft_topo::Network;
+use std::fmt;
+use std::ops::Range;
+
+/// A named zone: a contiguous Pod range with an operating mode.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Zone {
+    /// Human-readable label (e.g. `"analytics"`).
+    pub name: String,
+    /// Pod indices covered (half-open).
+    pub pods: Range<usize>,
+    /// The topology this zone runs.
+    pub mode: PodMode,
+}
+
+impl Zone {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, pods: Range<usize>, mode: PodMode) -> Self {
+        Zone {
+            name: name.into(),
+            pods,
+            mode,
+        }
+    }
+}
+
+/// Errors from zone layout validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ZoneError {
+    /// Two zones claim the same Pod.
+    Overlap {
+        /// First zone name.
+        a: String,
+        /// Second zone name.
+        b: String,
+        /// The contested Pod.
+        pod: usize,
+    },
+    /// A zone references Pods beyond the network.
+    OutOfRange {
+        /// The zone name.
+        zone: String,
+        /// Pods in the network.
+        pods: usize,
+    },
+    /// A zone covers no Pods.
+    Empty {
+        /// The zone name.
+        zone: String,
+    },
+}
+
+impl fmt::Display for ZoneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZoneError::Overlap { a, b, pod } => {
+                write!(f, "zones {a:?} and {b:?} both claim Pod {pod}")
+            }
+            ZoneError::OutOfRange { zone, pods } => {
+                write!(f, "zone {zone:?} exceeds the network's {pods} Pods")
+            }
+            ZoneError::Empty { zone } => write!(f, "zone {zone:?} covers no Pods"),
+        }
+    }
+}
+
+impl std::error::Error for ZoneError {}
+
+/// Converts a zone layout into a hybrid [`Mode`]. Pods not claimed by any
+/// zone stay in Clos mode (the conservative default — full ECMP
+/// redundancy).
+pub fn zones_to_mode(zones: &[Zone], pods: usize) -> Result<Mode, ZoneError> {
+    let mut owner: Vec<Option<usize>> = vec![None; pods];
+    for (zi, z) in zones.iter().enumerate() {
+        if z.pods.is_empty() {
+            return Err(ZoneError::Empty {
+                zone: z.name.clone(),
+            });
+        }
+        if z.pods.end > pods {
+            return Err(ZoneError::OutOfRange {
+                zone: z.name.clone(),
+                pods,
+            });
+        }
+        for p in z.pods.clone() {
+            if let Some(prev) = owner[p] {
+                return Err(ZoneError::Overlap {
+                    a: zones[prev].name.clone(),
+                    b: z.name.clone(),
+                    pod: p,
+                });
+            }
+            owner[p] = Some(zi);
+        }
+    }
+    let modes: Vec<PodMode> = owner
+        .iter()
+        .map(|o| o.map(|zi| zones[zi].mode).unwrap_or(PodMode::Clos))
+        .collect();
+    Ok(Mode::Hybrid(modes))
+}
+
+/// The servers living in a zone of a materialized network (selected by Pod
+/// annotation).
+pub fn servers_in_zone(net: &Network, zone: &Zone) -> Vec<NodeId> {
+    net.servers()
+        .filter(|&s| {
+            net.pod(s)
+                .is_some_and(|p| zone.pods.contains(&(p as usize)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::{FlatTree, FlatTreeConfig};
+
+    #[test]
+    fn zones_compose_hybrid_mode() {
+        let zones = [
+            Zone::new("big-data", 0..2, PodMode::GlobalRandom),
+            Zone::new("web", 2..5, PodMode::LocalRandom),
+        ];
+        let mode = zones_to_mode(&zones, 6).unwrap();
+        let v = mode.pod_modes(6).unwrap();
+        assert_eq!(v[0], PodMode::GlobalRandom);
+        assert_eq!(v[1], PodMode::GlobalRandom);
+        assert_eq!(v[2], PodMode::LocalRandom);
+        assert_eq!(v[4], PodMode::LocalRandom);
+        assert_eq!(v[5], PodMode::Clos, "unclaimed pod defaults to Clos");
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let zones = [
+            Zone::new("a", 0..3, PodMode::Clos),
+            Zone::new("b", 2..4, PodMode::LocalRandom),
+        ];
+        assert_eq!(
+            zones_to_mode(&zones, 4),
+            Err(ZoneError::Overlap {
+                a: "a".into(),
+                b: "b".into(),
+                pod: 2
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let zones = [Zone::new("a", 0..5, PodMode::Clos)];
+        assert!(matches!(
+            zones_to_mode(&zones, 4),
+            Err(ZoneError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_zone_detected() {
+        let zones = [Zone::new("a", 2..2, PodMode::Clos)];
+        assert!(matches!(zones_to_mode(&zones, 4), Err(ZoneError::Empty { .. })));
+    }
+
+    #[test]
+    fn servers_in_zone_by_pod() {
+        let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(4).unwrap()).unwrap();
+        let net = ft.materialize(&Mode::Clos);
+        let z = Zone::new("z", 1..3, PodMode::GlobalRandom);
+        let servers = servers_in_zone(&net, &z);
+        // pods 1 and 2, k²/4 = 4 servers each
+        assert_eq!(servers.len(), 8);
+        for s in servers {
+            let p = net.pod(s).unwrap() as usize;
+            assert!((1..3).contains(&p));
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ZoneError::Overlap {
+            a: "x".into(),
+            b: "y".into(),
+            pod: 3,
+        };
+        assert!(e.to_string().contains("Pod 3"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Converter switch models (§2.1, Figure 1).
+//!
+//! A converter switch is a small circuit switch spliced into one
+//! edge–server link and one aggregation–core link of the Clos network. It
+//! is a *physical-layer* device: whatever it connects becomes a direct
+//! logical link with no extra hop (§3.1). The valid configurations are the
+//! six of Figure 1:
+//!
+//! ```text
+//! 4-port {S, E, A, C}:
+//!   default : S–E, A–C     (the original Clos links)
+//!   local   : S–A, E–C     (server to aggregation, edge to core)
+//!
+//! 6-port {S, E, A, C, side×2} paired with a peer ⟨S',E',A',C'⟩:
+//!   default : S–E, A–C               (sides dark)
+//!   local   : S–A, E–C               (sides dark)
+//!   side    : S–C, E–E', A–A'        (peer-wise side links)
+//!   cross   : S–C, E–A', A–E'        (crossed side links)
+//! ```
+//!
+//! The paper explains why 4-port converters must not relocate servers to
+//! core switches: connecting S–C on a 4-port forces E–A, which duplicates
+//! the Pod's existing edge–aggregation mesh and wastes a link. Only 6-port
+//! converters, whose side connectors reach the adjacent Pod, can park the
+//! server on the core usefully.
+
+/// Which converter hardware a site holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum ConverterKind {
+    /// 4-port: server, edge, aggregation, core.
+    FourPort,
+    /// 6-port: the above plus a double side connector to a peer.
+    SixPort,
+}
+
+/// Configuration of a 4-port converter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub enum FourPortConfig {
+    /// S–E and A–C: the original Clos connections.
+    #[default]
+    Default,
+    /// S–A and E–C: relocate the server to the aggregation switch and
+    /// connect core and edge directly.
+    Local,
+}
+
+/// Configuration of a 6-port converter.
+///
+/// `Side` and `Cross` are meaningful only when the converter is
+/// side-connected to a peer holding the *same* configuration; the flat-tree
+/// builder enforces this (§2.5 assigns side to even rows and cross to odd
+/// rows so that both peer-wise and edge–aggregation inter-Pod links exist).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub enum SixPortConfig {
+    /// S–E and A–C (sides unused).
+    #[default]
+    Default,
+    /// S–A and E–C (sides unused).
+    Local,
+    /// S–C locally; E–E' and A–A' through the side bundle.
+    Side,
+    /// S–C locally; E–A' and A–E' through the side bundle.
+    Cross,
+}
+
+impl SixPortConfig {
+    /// Whether this configuration drives the side connectors.
+    pub fn uses_side(self) -> bool {
+        matches!(self, SixPortConfig::Side | SixPortConfig::Cross)
+    }
+
+    /// Whether the server is relocated to the core switch.
+    pub fn server_on_core(self) -> bool {
+        self.uses_side()
+    }
+}
+
+impl FourPortConfig {
+    /// Whether the server is relocated to the aggregation switch.
+    pub fn server_on_agg(self) -> bool {
+        self == FourPortConfig::Local
+    }
+}
+
+/// The four logical endpoints a converter can see locally. Used by the
+/// materializer to express "which links does this configuration produce".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Port {
+    /// The spliced server.
+    Server,
+    /// The edge switch of the pair.
+    Edge,
+    /// The aggregation switch of the pair.
+    Aggregation,
+    /// The core switch assigned by the Pod-core wiring.
+    Core,
+}
+
+impl FourPortConfig {
+    /// The two local links this configuration creates.
+    pub fn links(self) -> [(Port, Port); 2] {
+        match self {
+            FourPortConfig::Default => [(Port::Server, Port::Edge), (Port::Aggregation, Port::Core)],
+            FourPortConfig::Local => [(Port::Server, Port::Aggregation), (Port::Edge, Port::Core)],
+        }
+    }
+}
+
+impl SixPortConfig {
+    /// The purely local links (side-bundle links are added at pair level by
+    /// the materializer). `Default`/`Local` yield two; `Side`/`Cross` yield
+    /// one (S–C) plus two pair links handled elsewhere.
+    pub fn local_links(self) -> &'static [(Port, Port)] {
+        match self {
+            SixPortConfig::Default => {
+                &[(Port::Server, Port::Edge), (Port::Aggregation, Port::Core)]
+            }
+            SixPortConfig::Local => {
+                &[(Port::Server, Port::Aggregation), (Port::Edge, Port::Core)]
+            }
+            SixPortConfig::Side | SixPortConfig::Cross => &[(Port::Server, Port::Core)],
+        }
+    }
+
+    /// For a side-connected pair where both ends hold `self`, the two
+    /// cross-Pod links in terms of (this end's port, peer's port).
+    ///
+    /// # Panics
+    /// Panics for `Default`/`Local`, which do not drive the sides.
+    pub fn pair_links(self) -> [(Port, Port); 2] {
+        match self {
+            SixPortConfig::Side => [(Port::Edge, Port::Edge), (Port::Aggregation, Port::Aggregation)],
+            SixPortConfig::Cross => [(Port::Edge, Port::Aggregation), (Port::Aggregation, Port::Edge)],
+            _ => panic!("{self:?} does not use side connectors"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_port_default_is_clos() {
+        let links = FourPortConfig::Default.links();
+        assert!(links.contains(&(Port::Server, Port::Edge)));
+        assert!(links.contains(&(Port::Aggregation, Port::Core)));
+    }
+
+    #[test]
+    fn four_port_local_relocates() {
+        let links = FourPortConfig::Local.links();
+        assert!(links.contains(&(Port::Server, Port::Aggregation)));
+        assert!(links.contains(&(Port::Edge, Port::Core)));
+        assert!(FourPortConfig::Local.server_on_agg());
+        assert!(!FourPortConfig::Default.server_on_agg());
+    }
+
+    #[test]
+    fn six_port_side_semantics() {
+        assert!(SixPortConfig::Side.uses_side());
+        assert!(SixPortConfig::Cross.uses_side());
+        assert!(!SixPortConfig::Default.uses_side());
+        assert!(!SixPortConfig::Local.uses_side());
+        assert_eq!(
+            SixPortConfig::Side.local_links(),
+            &[(Port::Server, Port::Core)]
+        );
+        assert_eq!(
+            SixPortConfig::Side.pair_links(),
+            [
+                (Port::Edge, Port::Edge),
+                (Port::Aggregation, Port::Aggregation)
+            ]
+        );
+        assert_eq!(
+            SixPortConfig::Cross.pair_links(),
+            [
+                (Port::Edge, Port::Aggregation),
+                (Port::Aggregation, Port::Edge)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not use side")]
+    fn pair_links_rejects_default() {
+        let _ = SixPortConfig::Default.pair_links();
+    }
+
+    #[test]
+    fn every_config_preserves_link_count() {
+        // Each converter replaces exactly 2 Clos links (one edge–server,
+        // one agg–core). Default/local produce 2 local links; side/cross
+        // produce 1 local + 2 shared pair links (the pair replaced 4 Clos
+        // links and produces 2 + 2 = 4: 2 S–C plus 2 side links).
+        assert_eq!(FourPortConfig::Default.links().len(), 2);
+        assert_eq!(FourPortConfig::Local.links().len(), 2);
+        assert_eq!(SixPortConfig::Default.local_links().len(), 2);
+        assert_eq!(SixPortConfig::Local.local_links().len(), 2);
+        assert_eq!(SixPortConfig::Side.local_links().len(), 1);
+        assert_eq!(SixPortConfig::Side.pair_links().len(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! The flat-tree Pod geometry (§2.2, Figure 3): converter blades, rows,
+//! columns and server-slot assignment.
+//!
+//! Each edge switch `E_j` is paired with aggregation switch `A_{j/r}` and
+//! the pair is spliced with `n` 4-port converters and `m` 6-port
+//! converters. Converters sit in matrices ("blades") on the two sides of
+//! the Pod: columns `0..⌊d/2⌋` on the left, the last `⌊d/2⌋` columns on the
+//! right; when `d` is odd the middle column's 6-port converters keep their
+//! side connectors unused (the paper's odd-`d` note).
+//!
+//! Converter sites are flattened to dense indices so the rest of the crate
+//! can keep per-converter state in plain vectors:
+//!
+//! * 4-port `⟨pod p, column j, row i⟩` → `(p·d + j)·n + i`
+//! * 6-port `⟨pod p, column j, row i⟩` → `(p·d + j)·m + i`
+//!
+//! Server slots on edge `j`: 4-port row `i` owns slot `i`, 6-port row `i`
+//! owns slot `n + i`, slots `n + m ..` stay directly cabled to the edge
+//! switch.
+
+use crate::config::FlatTreeConfig;
+
+/// Which side of the Pod a column's converters sit on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BladeSide {
+    /// Columns `0..⌊d/2⌋`: side connectors face the previous Pod.
+    Left,
+    /// The last `⌊d/2⌋` columns: side connectors face the next Pod.
+    Right,
+    /// The middle column of an odd-`d` Pod: side connectors unused.
+    Middle,
+}
+
+/// Index math for converter sites. Copy-cheap; derived entirely from the
+/// configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PodGeometry {
+    /// Pods in the network.
+    pub pods: usize,
+    /// Edge switches (columns) per Pod.
+    pub d: usize,
+    /// 6-port converters per column.
+    pub m: usize,
+    /// 4-port converters per column.
+    pub n: usize,
+    /// Servers per edge switch.
+    pub servers_per_edge: usize,
+}
+
+impl PodGeometry {
+    /// Derives the geometry from a validated configuration.
+    pub fn new(cfg: &FlatTreeConfig) -> Self {
+        PodGeometry {
+            pods: cfg.clos.pods,
+            d: cfg.clos.d,
+            m: cfg.m,
+            n: cfg.n,
+            servers_per_edge: cfg.clos.servers_per_edge,
+        }
+    }
+
+    /// Paired columns per side: `⌊d/2⌋`.
+    pub fn side_width(&self) -> usize {
+        self.d / 2
+    }
+
+    /// Blade side of column `j`.
+    pub fn side_of_column(&self, j: usize) -> BladeSide {
+        debug_assert!(j < self.d);
+        let w = self.side_width();
+        if j < w {
+            BladeSide::Left
+        } else if j >= self.d - w {
+            BladeSide::Right
+        } else {
+            BladeSide::Middle
+        }
+    }
+
+    /// For a right-blade column, its local index `0..w` (left to right).
+    pub fn right_local(&self, j: usize) -> usize {
+        debug_assert_eq!(self.side_of_column(j), BladeSide::Right);
+        j - (self.d - self.side_width())
+    }
+
+    /// Global column of the right-blade local index.
+    pub fn right_global(&self, local: usize) -> usize {
+        debug_assert!(local < self.side_width());
+        self.d - self.side_width() + local
+    }
+
+    /// Total 4-port converters.
+    pub fn four_count(&self) -> usize {
+        self.pods * self.d * self.n
+    }
+
+    /// Total 6-port converters.
+    pub fn six_count(&self) -> usize {
+        self.pods * self.d * self.m
+    }
+
+    /// Flattened index of 4-port converter ⟨p, j, i⟩.
+    pub fn four_index(&self, p: usize, j: usize, i: usize) -> usize {
+        debug_assert!(p < self.pods && j < self.d && i < self.n);
+        (p * self.d + j) * self.n + i
+    }
+
+    /// Flattened index of 6-port converter ⟨p, j, i⟩.
+    pub fn six_index(&self, p: usize, j: usize, i: usize) -> usize {
+        debug_assert!(p < self.pods && j < self.d && i < self.m);
+        (p * self.d + j) * self.m + i
+    }
+
+    /// Inverse of [`PodGeometry::four_index`]: `(pod, column, row)`.
+    pub fn four_site(&self, idx: usize) -> (usize, usize, usize) {
+        debug_assert!(idx < self.four_count());
+        let col = idx / self.n;
+        (col / self.d, col % self.d, idx % self.n)
+    }
+
+    /// Inverse of [`PodGeometry::six_index`]: `(pod, column, row)`.
+    pub fn six_site(&self, idx: usize) -> (usize, usize, usize) {
+        debug_assert!(idx < self.six_count());
+        let col = idx / self.m;
+        (col / self.d, col % self.d, idx % self.m)
+    }
+
+    /// Edge-switch server slot owned by 4-port row `i`.
+    pub fn four_slot(&self, i: usize) -> usize {
+        debug_assert!(i < self.n);
+        i
+    }
+
+    /// Edge-switch server slot owned by 6-port row `i`.
+    pub fn six_slot(&self, i: usize) -> usize {
+        debug_assert!(i < self.m);
+        self.n + i
+    }
+
+    /// Server slots that stay directly cabled to the edge switch.
+    pub fn direct_slots(&self) -> std::ops::Range<usize> {
+        (self.n + self.m)..self.servers_per_edge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlatTreeConfig;
+
+    fn geom(k: usize) -> PodGeometry {
+        PodGeometry::new(&FlatTreeConfig::for_fat_tree_k(k).unwrap())
+    }
+
+    #[test]
+    fn sides_even_d() {
+        let g = geom(8); // d = 4, w = 2
+        assert_eq!(g.side_width(), 2);
+        assert_eq!(g.side_of_column(0), BladeSide::Left);
+        assert_eq!(g.side_of_column(1), BladeSide::Left);
+        assert_eq!(g.side_of_column(2), BladeSide::Right);
+        assert_eq!(g.side_of_column(3), BladeSide::Right);
+        assert_eq!(g.right_local(2), 0);
+        assert_eq!(g.right_global(1), 3);
+    }
+
+    #[test]
+    fn sides_odd_d() {
+        let g = geom(6); // d = 3, w = 1
+        assert_eq!(g.side_width(), 1);
+        assert_eq!(g.side_of_column(0), BladeSide::Left);
+        assert_eq!(g.side_of_column(1), BladeSide::Middle);
+        assert_eq!(g.side_of_column(2), BladeSide::Right);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let g = geom(8);
+        for p in 0..g.pods {
+            for j in 0..g.d {
+                for i in 0..g.n {
+                    assert_eq!(g.four_site(g.four_index(p, j, i)), (p, j, i));
+                }
+                for i in 0..g.m {
+                    assert_eq!(g.six_site(g.six_index(p, j, i)), (p, j, i));
+                }
+            }
+        }
+        assert_eq!(g.four_count(), 8 * 4 * 2);
+        assert_eq!(g.six_count(), (8 * 4));
+    }
+
+    #[test]
+    fn slots_disjoint_and_cover() {
+        let g = geom(8); // spe = 4, n = 2, m = 1
+        let mut slots: Vec<usize> = (0..g.n).map(|i| g.four_slot(i)).collect();
+        slots.extend((0..g.m).map(|i| g.six_slot(i)));
+        slots.extend(g.direct_slots());
+        slots.sort();
+        assert_eq!(slots, (0..g.servers_per_edge).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn d_equals_one_all_middle() {
+        // pods=2, d=1, r=1, h=2, spe=2 with m=0 impossible (m≥... use
+        // explicit config): craft minimal config via ClosParams
+        use ft_topo::ClosParams;
+        let cfg = FlatTreeConfig {
+            clos: ClosParams {
+                pods: 2,
+                d: 1,
+                r: 1,
+                h: 2,
+                servers_per_edge: 2,
+            },
+            m: 1,
+            n: 1,
+            wiring: crate::config::WiringPattern::Pattern1,
+            inter_pod: crate::config::InterPodWiring::Ring,
+        };
+        cfg.validate().unwrap();
+        let g = PodGeometry::new(&cfg);
+        assert_eq!(g.side_width(), 0);
+        assert_eq!(g.side_of_column(0), BladeSide::Middle);
+    }
+}

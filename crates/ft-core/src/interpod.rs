@@ -1,0 +1,232 @@
+//! Inter-Pod side wiring (§2.5).
+//!
+//! The 6-port converters on the left blade B of Pod `p+1` are cabled to
+//! those on the right blade B of Pod `p` through their double side
+//! connectors, using the paper's shifting pattern: converter `⟨i, j⟩` on
+//! the left of Pod `p+1` pairs with converter
+//! `⟨i, (w − 1 − j + i) mod w⟩` on the right of Pod `p` (`w = ⌊d/2⌋`,
+//! row-local column indices) — the mirrored column shifted by the row
+//! index, so that a column's converters fan out to `m` *different* columns
+//! of the neighbor Pod.
+//!
+//! Row parity selects the pair's global-random-graph configuration: even
+//! rows take *side* (peer-wise links E–E′, A–A′), odd rows take *cross*
+//! (E–A′, A–E′), giving both peer-wise and edge–aggregation inter-Pod
+//! links (§2.5).
+//!
+//! The Pod chain closes into a ring by default (`InterPodWiring::Ring`);
+//! with `Path`, Pod 0's left blade and the last Pod's right blade stay
+//! unpaired and their converters cannot take side/cross configurations.
+
+use crate::config::InterPodWiring;
+use crate::geometry::PodGeometry;
+
+/// One side-connected converter pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SidePair {
+    /// Flattened 6-port index of the right-blade member (in Pod `p`).
+    pub right: usize,
+    /// Flattened 6-port index of the left-blade member (in Pod `p+1`,
+    /// modulo the ring).
+    pub left: usize,
+    /// The shared row; even → side, odd → cross in global-RG mode.
+    pub row: usize,
+}
+
+/// Enumerates all side pairs under the given chaining.
+pub fn side_pairs(geom: &PodGeometry, chaining: InterPodWiring) -> Vec<SidePair> {
+    let w = geom.side_width();
+    if w == 0 || geom.pods < 2 {
+        return Vec::new();
+    }
+    let last_right_pod = match chaining {
+        InterPodWiring::Ring => geom.pods,      // pod pods-1 pairs with pod 0
+        InterPodWiring::Path => geom.pods - 1,  // open chain
+    };
+    let mut pairs = Vec::with_capacity(last_right_pod * w * geom.m);
+    for p in 0..last_right_pod {
+        let left_pod = (p + 1) % geom.pods;
+        for i in 0..geom.m {
+            for jl in 0..w {
+                let jr_local = (w - 1 - jl + i) % w;
+                pairs.push(SidePair {
+                    right: geom.six_index(p, geom.right_global(jr_local), i),
+                    left: geom.six_index(left_pod, jl, i),
+                    row: i,
+                });
+            }
+        }
+    }
+    pairs
+}
+
+/// Per-converter peer map: `peer[six_index] = Some(peer_six_index)` for
+/// side-connected converters, `None` for middle columns and open-chain
+/// boundaries.
+pub fn peer_map(geom: &PodGeometry, chaining: InterPodWiring) -> Vec<Option<usize>> {
+    let mut peer = vec![None; geom.six_count()];
+    for pair in side_pairs(geom, chaining) {
+        debug_assert!(peer[pair.right].is_none(), "double-paired converter");
+        debug_assert!(peer[pair.left].is_none(), "double-paired converter");
+        peer[pair.right] = Some(pair.left);
+        peer[pair.left] = Some(pair.right);
+    }
+    peer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlatTreeConfig;
+    use crate::geometry::BladeSide;
+
+    fn geom(k: usize) -> PodGeometry {
+        PodGeometry::new(&FlatTreeConfig::for_fat_tree_k(k).unwrap())
+    }
+
+    #[test]
+    fn ring_pairs_every_side_converter() {
+        let g = geom(8); // d = 4, w = 2, m = 1
+        let peers = peer_map(&g, InterPodWiring::Ring);
+        #[allow(clippy::needless_range_loop)] // idx is the converter id
+        for idx in 0..g.six_count() {
+            let (_, j, _) = g.six_site(idx);
+            match g.side_of_column(j) {
+                BladeSide::Middle => assert!(peers[idx].is_none()),
+                _ => assert!(peers[idx].is_some(), "converter {idx} unpaired"),
+            }
+        }
+    }
+
+    #[test]
+    fn peer_map_involutive() {
+        let g = geom(8);
+        let peers = peer_map(&g, InterPodWiring::Ring);
+        for (idx, &p) in peers.iter().enumerate() {
+            if let Some(p) = p {
+                assert_eq!(peers[p], Some(idx), "peer map must be symmetric");
+                assert_ne!(p, idx);
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_connect_adjacent_pods_same_row() {
+        let g = geom(8);
+        for pair in side_pairs(&g, InterPodWiring::Ring) {
+            let (pr, jr, ir) = g.six_site(pair.right);
+            let (pl, jl, il) = g.six_site(pair.left);
+            assert_eq!((pr + 1) % g.pods, pl, "pods must be adjacent");
+            assert_eq!(ir, il, "rows must match");
+            assert_eq!(ir, pair.row);
+            assert_eq!(g.side_of_column(jr), BladeSide::Right);
+            assert_eq!(g.side_of_column(jl), BladeSide::Left);
+        }
+    }
+
+    #[test]
+    fn path_leaves_boundary_unpaired() {
+        let g = geom(8);
+        let peers = peer_map(&g, InterPodWiring::Path);
+        // pod 0 left blade unpaired
+        for jl in 0..g.side_width() {
+            for i in 0..g.m {
+                assert!(peers[g.six_index(0, jl, i)].is_none());
+            }
+        }
+        // last pod right blade unpaired
+        let last = g.pods - 1;
+        for jr in 0..g.side_width() {
+            for i in 0..g.m {
+                assert!(peers[g.six_index(last, g.right_global(jr), i)].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn shifting_pattern_fans_out_columns() {
+        // a single right column's converters (varying row) must connect to
+        // different left columns — the §2.5 goal. Use k = 16 (m = 2, w = 4).
+        let g = geom(16);
+        let pairs = side_pairs(&g, InterPodWiring::Ring);
+        // collect, for right column j of pod 0, the left columns it reaches
+        use std::collections::{HashMap, HashSet};
+        let mut reach: HashMap<usize, HashSet<usize>> = HashMap::new();
+        for pr in &pairs {
+            let (p, jr, _) = g.six_site(pr.right);
+            if p == 0 {
+                let (_, jl, _) = g.six_site(pr.left);
+                reach.entry(jr).or_default().insert(jl);
+            }
+        }
+        for (jr, lefts) in reach {
+            assert_eq!(
+                lefts.len(),
+                g.m,
+                "right column {jr} should reach {} distinct left columns",
+                g.m
+            );
+        }
+    }
+
+    #[test]
+    fn mirrored_formula_matches_paper() {
+        // spot-check the formula ⟨i, (w−1−j+i) mod w⟩ directly: k=16,
+        // w=4: left ⟨0, 0⟩ ↔ right local col 3; left ⟨1, 0⟩ ↔ right local 0
+        let g = geom(16);
+        let pairs = side_pairs(&g, InterPodWiring::Ring);
+        let find = |left_pod: usize, jl: usize, i: usize| -> usize {
+            let li = g.six_index(left_pod, jl, i);
+            let p = pairs.iter().find(|pr| pr.left == li).unwrap();
+            let (_, jr, _) = g.six_site(p.right);
+            g.right_local(jr)
+        };
+        assert_eq!(find(1, 0, 0), 3); // (4-1-0+0) % 4
+        assert_eq!(find(1, 0, 1), 0); // (4-1-0+1) % 4
+        assert_eq!(find(1, 2, 1), 2); // (4-1-2+1) % 4
+    }
+
+    #[test]
+    fn single_pod_or_zero_width_no_pairs() {
+        use ft_topo::ClosParams;
+        let cfg = FlatTreeConfig {
+            clos: ClosParams {
+                pods: 1,
+                d: 4,
+                r: 1,
+                h: 4,
+                servers_per_edge: 4,
+            },
+            m: 1,
+            n: 1,
+            wiring: crate::config::WiringPattern::Pattern1,
+            inter_pod: InterPodWiring::Ring,
+        };
+        let g = PodGeometry::new(&cfg);
+        assert!(side_pairs(&g, InterPodWiring::Ring).is_empty());
+    }
+
+    #[test]
+    fn two_pod_ring_has_both_directions() {
+        use ft_topo::ClosParams;
+        let cfg = FlatTreeConfig {
+            clos: ClosParams {
+                pods: 2,
+                d: 4,
+                r: 1,
+                h: 4,
+                servers_per_edge: 4,
+            },
+            m: 1,
+            n: 1,
+            wiring: crate::config::WiringPattern::Pattern1,
+            inter_pod: InterPodWiring::Ring,
+        };
+        let g = PodGeometry::new(&cfg);
+        let pairs = side_pairs(&g, InterPodWiring::Ring);
+        // pod0-right ↔ pod1-left and pod1-right ↔ pod0-left
+        assert_eq!(pairs.len(), 2 * g.side_width() * g.m);
+        let peers = peer_map(&g, InterPodWiring::Ring);
+        assert!(peers.iter().all(|p| p.is_some()));
+    }
+}

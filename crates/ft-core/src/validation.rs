@@ -1,0 +1,178 @@
+//! Wiring-property validation (§2.3, Properties 1 and 2).
+//!
+//! The paper claims its Pod-core wiring patterns give every core switch
+//! (Property 1) a near-uniform share of relocated servers and (Property 2)
+//! an equal number of links of each type. Because flat-tree keeps regular
+//! structure, exact uniformity only holds when the rotation step and group
+//! size are coprime-compatible; this module measures the *actual*
+//! distribution so tests and experiments can assert tight bounds and so
+//! [`crate::config::WiringPattern`] choices can be compared empirically.
+
+use ft_graph::NodeId;
+use ft_topo::{DeviceKind, Network};
+
+/// Per-core distribution of servers and link types in a materialized
+/// network.
+#[derive(Clone, Debug)]
+pub struct CoreDistribution {
+    /// Servers attached to each core switch.
+    pub servers: Vec<u32>,
+    /// Links from each core to edge switches.
+    pub edge_links: Vec<u32>,
+    /// Links from each core to aggregation switches.
+    pub agg_links: Vec<u32>,
+}
+
+impl CoreDistribution {
+    /// Max − min of a distribution (0 = perfectly uniform).
+    fn spread(v: &[u32]) -> u32 {
+        match (v.iter().max(), v.iter().min()) {
+            (Some(&max), Some(&min)) => max - min,
+            _ => 0,
+        }
+    }
+
+    /// Property 1 spread: how far server placement is from uniform.
+    pub fn server_spread(&self) -> u32 {
+        Self::spread(&self.servers)
+    }
+
+    /// Property 2 spread for core–edge links.
+    pub fn edge_link_spread(&self) -> u32 {
+        Self::spread(&self.edge_links)
+    }
+
+    /// Property 2 spread for core–aggregation links.
+    pub fn agg_link_spread(&self) -> u32 {
+        Self::spread(&self.agg_links)
+    }
+}
+
+/// Measures the per-core distribution of a materialized network.
+pub fn core_distribution(net: &Network) -> CoreDistribution {
+    let cores: Vec<NodeId> = net
+        .switches()
+        .filter(|&v| net.kind(v) == DeviceKind::Core)
+        .collect();
+    let index_of = |v: NodeId| -> Option<usize> {
+        // cores are the first switches in the flat-tree layout, so this is
+        // O(1) in practice; fall back to a scan for other layouts
+        if (v.index()) < cores.len() && cores[v.index()] == v {
+            Some(v.index())
+        } else {
+            cores.iter().position(|&c| c == v)
+        }
+    };
+    let mut servers = vec![0u32; cores.len()];
+    let mut edge_links = vec![0u32; cores.len()];
+    let mut agg_links = vec![0u32; cores.len()];
+    for (_, a, b) in net.graph().edges() {
+        for (x, y) in [(a, b), (b, a)] {
+            if net.kind(x) == DeviceKind::Core {
+                if let Some(ci) = index_of(x) {
+                    match net.kind(y) {
+                        DeviceKind::Server => servers[ci] += 1,
+                        DeviceKind::Edge => edge_links[ci] += 1,
+                        DeviceKind::Aggregation => agg_links[ci] += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    CoreDistribution {
+        servers,
+        edge_links,
+        agg_links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FlatTreeConfig, WiringPattern};
+    use crate::flattree::FlatTree;
+    use crate::mode::Mode;
+
+    fn dist(k: usize, pattern: WiringPattern, mode: &Mode) -> CoreDistribution {
+        let mut cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
+        cfg.wiring = pattern;
+        core_distribution(&FlatTree::new(cfg).unwrap().materialize(mode))
+    }
+
+    #[test]
+    fn clos_mode_all_agg_links() {
+        let d = dist(8, WiringPattern::Pattern1, &Mode::Clos);
+        assert!(d.servers.iter().all(|&s| s == 0));
+        assert!(d.edge_links.iter().all(|&e| e == 0));
+        // every core: one agg link per pod
+        assert!(d.agg_links.iter().all(|&a| a == 8));
+    }
+
+    #[test]
+    fn property1_pattern1_uniform_when_divisible() {
+        // k = 8: g = 4, m = 1, k pods → pattern 1 rotation covers every
+        // position equally → exactly uniform server placement
+        let d = dist(8, WiringPattern::Pattern1, &Mode::GlobalRandom);
+        assert_eq!(d.server_spread(), 0, "servers per core: {:?}", d.servers);
+        // total relocated servers = m · d · pods = 1·4·8 = 32 over 16 cores
+        let total: u32 = d.servers.iter().sum();
+        assert_eq!(total, 32);
+        assert_eq!(d.servers[0], 2);
+    }
+
+    #[test]
+    fn property2_pattern1_uniform_links() {
+        let d = dist(8, WiringPattern::Pattern1, &Mode::GlobalRandom);
+        assert_eq!(d.edge_link_spread(), 0, "edge links: {:?}", d.edge_links);
+        assert_eq!(d.agg_link_spread(), 0, "agg links: {:?}", d.agg_links);
+    }
+
+    #[test]
+    fn properties_bounded_for_auto_rule() {
+        // Auto pattern selection keeps distributions near-uniform across
+        // k; allow a small spread where exact uniformity is arithmetically
+        // impossible
+        for k in [4, 6, 8, 10, 12] {
+            let cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
+            let d = dist(k, cfg.wiring, &Mode::GlobalRandom);
+            let m = cfg.m as u32;
+            assert!(
+                d.server_spread() <= 2 * m,
+                "k = {k}: server spread {} too large ({:?})",
+                d.server_spread(),
+                d.servers
+            );
+            assert!(
+                d.edge_link_spread() <= 2 * cfg.n as u32,
+                "k = {k}: edge-link spread {} too large",
+                d.edge_link_spread()
+            );
+        }
+    }
+
+    #[test]
+    fn local_mode_keeps_cores_serverless() {
+        let d = dist(8, WiringPattern::Pattern2, &Mode::LocalRandom);
+        assert!(d.servers.iter().all(|&s| s == 0));
+        // cores see edge links through the local 4-port configuration
+        let total_edge: u32 = d.edge_links.iter().sum();
+        // n 4-port per edge pair × d × pods
+        assert_eq!(total_edge as usize, 2 * 4 * 8);
+    }
+
+    #[test]
+    fn total_core_links_conserved() {
+        // per-core totals must equal the pod count in every mode
+        for mode in [Mode::Clos, Mode::GlobalRandom, Mode::LocalRandom] {
+            let d = dist(8, WiringPattern::Pattern2, &mode);
+            for c in 0..d.servers.len() {
+                assert_eq!(
+                    d.servers[c] + d.edge_links[c] + d.agg_links[c],
+                    8,
+                    "core {c} in {mode:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Pod-core wiring (§2.3, Figure 4).
+//!
+//! In flat-tree, the `h/r` core connectors associated with edge index `j`
+//! of each Pod are ordered: `m` blade-B connectors (6-port converters,
+//! rows 0..m), then `n` blade-A connectors (4-port converters, rows 0..n),
+//! then `h/r − m − n` plain aggregation connectors. The sequence is mapped
+//! onto the group's core switches starting at a per-Pod rotation offset
+//! ([`crate::config::WiringPattern`]) and wrapping within the group.
+//!
+//! What a core switch "sees" through a connector depends on the converter's
+//! configuration at runtime: an aggregation switch (default), an edge
+//! switch (local), or a server (side/cross) — which is how the same
+//! physical wiring supports every operation mode.
+
+use crate::config::{FlatTreeConfig, WiringPattern};
+
+/// The core-switch assignment for one `(pod, edge-index)` connector group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupWiring {
+    /// `six_core[i]` = absolute core index wired to 6-port row `i`.
+    pub six_core: Vec<usize>,
+    /// `four_core[i]` = absolute core index wired to 4-port row `i`.
+    pub four_core: Vec<usize>,
+    /// Cores wired by plain aggregation connectors (never broken).
+    pub agg_cores: Vec<usize>,
+}
+
+/// Computes the core assignment for Pod `p`, edge index `j`, under the
+/// (already resolved) wiring pattern.
+pub fn group_wiring(cfg: &FlatTreeConfig, pattern: WiringPattern, p: usize, j: usize) -> GroupWiring {
+    let g = cfg.clos.group_size();
+    let base = j * g; // the group's first core (§2.3: consecutive groups)
+    let start = pattern.offset(p, cfg.m, g);
+    let mut six_core = Vec::with_capacity(cfg.m);
+    let mut four_core = Vec::with_capacity(cfg.n);
+    let mut agg_cores = Vec::with_capacity(g - cfg.m - cfg.n);
+    for t in 0..g {
+        let core = base + (start + t) % g;
+        if t < cfg.m {
+            six_core.push(core);
+        } else if t < cfg.m + cfg.n {
+            four_core.push(core);
+        } else {
+            agg_cores.push(core);
+        }
+    }
+    GroupWiring {
+        six_core,
+        four_core,
+        agg_cores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlatTreeConfig;
+    use std::collections::HashSet;
+
+    fn cfg(k: usize) -> FlatTreeConfig {
+        FlatTreeConfig::for_fat_tree_k(k).unwrap()
+    }
+
+    #[test]
+    fn bijective_within_group() {
+        // every pod's connectors hit each group core exactly once
+        let c = cfg(8);
+        for pattern in [WiringPattern::Pattern1, WiringPattern::Pattern2] {
+            for p in 0..c.clos.pods {
+                for j in 0..c.clos.d {
+                    let w = group_wiring(&c, pattern, p, j);
+                    let mut all: Vec<usize> = w
+                        .six_core
+                        .iter()
+                        .chain(&w.four_core)
+                        .chain(&w.agg_cores)
+                        .copied()
+                        .collect();
+                    all.sort();
+                    let expected: Vec<usize> = c.clos.core_group(j).collect();
+                    assert_eq!(all, expected, "pattern {pattern:?} p {p} j {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pattern1_packs_continuously() {
+        let c = cfg(16); // m = 2, g = 8
+        let w0 = group_wiring(&c, WiringPattern::Pattern1, 0, 0);
+        let w1 = group_wiring(&c, WiringPattern::Pattern1, 1, 0);
+        // pod 0's blade B occupies cores 0..2, pod 1's 2..4
+        assert_eq!(w0.six_core, vec![0, 1]);
+        assert_eq!(w1.six_core, vec![2, 3]);
+    }
+
+    #[test]
+    fn pattern2_advances_by_m_plus_one() {
+        let c = cfg(16); // m = 2, g = 8
+        let w1 = group_wiring(&c, WiringPattern::Pattern2, 1, 0);
+        assert_eq!(w1.six_core, vec![3, 4]);
+    }
+
+    #[test]
+    fn groups_offset_by_edge_index() {
+        let c = cfg(8); // g = 4
+        let w = group_wiring(&c, WiringPattern::Pattern1, 0, 2);
+        for &core in w.six_core.iter().chain(&w.four_core).chain(&w.agg_cores) {
+            assert!(c.clos.core_group(2).contains(&core));
+        }
+    }
+
+    #[test]
+    fn sequence_order_b_then_a_then_agg() {
+        let c = cfg(8); // m = 1, n = 2, g = 4
+        let w = group_wiring(&c, WiringPattern::Pattern1, 0, 0);
+        assert_eq!(w.six_core.len(), 1);
+        assert_eq!(w.four_core.len(), 2);
+        assert_eq!(w.agg_cores.len(), 1);
+        // pod 0 pattern 1 start 0: positions 0 | 1,2 | 3
+        assert_eq!(w.six_core, vec![0]);
+        assert_eq!(w.four_core, vec![1, 2]);
+        assert_eq!(w.agg_cores, vec![3]);
+    }
+
+    #[test]
+    fn wraparound_within_group() {
+        let c = cfg(8); // m = 1, g = 4; pattern 1 pod 5 start = 5 % 4 = 1
+        let w = group_wiring(&c, WiringPattern::Pattern1, 5, 1);
+        // group base = 4; positions 1 | 2,3 | 0 (wrapped)
+        assert_eq!(w.six_core, vec![5]);
+        assert_eq!(w.four_core, vec![6, 7]);
+        assert_eq!(w.agg_cores, vec![4]);
+    }
+
+    #[test]
+    fn all_pods_cover_each_core_once_per_group() {
+        // across pods, each core receives exactly `pods` connectors for its
+        // group (one per pod) — core port budget
+        let c = cfg(6);
+        let pattern = c.resolved_pattern();
+        let mut hits: Vec<usize> = vec![0; c.clos.cores()];
+        for p in 0..c.clos.pods {
+            for j in 0..c.clos.d {
+                let w = group_wiring(&c, pattern, p, j);
+                for &core in w.six_core.iter().chain(&w.four_core).chain(&w.agg_cores) {
+                    hits[core] += 1;
+                }
+            }
+        }
+        assert!(hits.iter().all(|&h| h == c.clos.pods));
+    }
+
+    #[test]
+    fn distinct_cores_within_connector_classes() {
+        let c = cfg(32); // m = 4, n = 8, g = 16
+        let w = group_wiring(&c, c.resolved_pattern(), 3, 7);
+        let set: HashSet<usize> = w
+            .six_core
+            .iter()
+            .chain(&w.four_core)
+            .chain(&w.agg_cores)
+            .copied()
+            .collect();
+        assert_eq!(set.len(), 16);
+    }
+}

@@ -1,0 +1,148 @@
+//! Ablation of flat-tree's design choices (DESIGN.md: "ablation benches
+//! for the design choices").
+//!
+//! Three axes, each evaluated on the approximated global random graph:
+//!
+//! 1. **Pod-core wiring pattern** (§2.3): Pattern 1 vs Pattern 2 vs this
+//!    library's Auto selection — measured by average path length and by
+//!    the Property-1/2 uniformity spreads (server and link distribution
+//!    over core switches).
+//! 2. **Inter-Pod chaining** (§2.5): Ring vs open Path — the Path boundary
+//!    Pods lose their side links (fall back to local), lengthening paths.
+//! 3. **Side/cross row-parity mixing** (§2.5): the paper alternates side
+//!    and cross by converter row; the ablation forces all-side and
+//!    all-cross to show the mixing's contribution.
+
+use ft_core::{
+    core_distribution, FlatTree, FlatTreeConfig, InterPodWiring, Mode, SixPortConfig,
+    WiringPattern,
+};
+use ft_experiments::{print_figure, ShapeChecks, SweepOpts};
+use ft_metrics::path_length::average_server_path_length;
+use ft_metrics::Table;
+
+fn main() {
+    let opts = SweepOpts::from_args(16);
+    let mut checks = ShapeChecks::new();
+
+    // ---- axis 1: wiring patterns ----
+    let mut t1 = Table::new(&[
+        "k",
+        "pattern",
+        "APL",
+        "server spread",
+        "edge-link spread",
+    ]);
+    for &k in &opts.k_values {
+        for (pattern, name) in [
+            (WiringPattern::Pattern1, "pattern-1"),
+            (WiringPattern::Pattern2, "pattern-2"),
+            (WiringPattern::Auto, "auto"),
+        ] {
+            let mut cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
+            cfg.wiring = pattern;
+            let ft = FlatTree::new(cfg).unwrap();
+            let net = ft.materialize(&Mode::GlobalRandom);
+            let apl = average_server_path_length(&net);
+            let dist = core_distribution(&net);
+            t1.push_row(vec![
+                k.to_string(),
+                name.into(),
+                format!("{apl:.4}"),
+                dist.server_spread().to_string(),
+                dist.edge_link_spread().to_string(),
+            ]);
+            if pattern == WiringPattern::Auto {
+                checks.check(
+                    &format!("k={k}: auto keeps Property 1 spread ≤ 2m"),
+                    dist.server_spread() <= 2 * cfg.m as u32,
+                    format!("spread {}", dist.server_spread()),
+                );
+                checks.check(
+                    &format!("k={k}: auto APL finite (connected)"),
+                    apl.is_finite(),
+                    format!("APL {apl}"),
+                );
+            }
+        }
+    }
+    print_figure(
+        "Ablation 1: Pod-core wiring pattern",
+        "the literal Pattern 2 degenerates when (m+1) | group size; Auto avoids it",
+        &t1,
+        None,
+    );
+
+    // ---- axis 2: ring vs path chaining ----
+    let mut t2 = Table::new(&["k", "chaining", "APL"]);
+    for &k in &opts.k_values {
+        let mut apls = Vec::new();
+        for (chain, name) in [(InterPodWiring::Ring, "ring"), (InterPodWiring::Path, "path")] {
+            let mut cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
+            cfg.inter_pod = chain;
+            let net = FlatTree::new(cfg).unwrap().materialize(&Mode::GlobalRandom);
+            let apl = average_server_path_length(&net);
+            apls.push(apl);
+            t2.push_row(vec![k.to_string(), name.into(), format!("{apl:.4}")]);
+        }
+        if k >= 8 {
+            checks.check(
+                &format!("k={k}: ring no worse than open path"),
+                apls[0] <= apls[1] + 1e-9,
+                format!("ring {:.4} vs path {:.4}", apls[0], apls[1]),
+            );
+        }
+    }
+    print_figure(
+        "Ablation 2: inter-Pod chaining",
+        "closing the Pod chain into a ring keeps boundary Pods' side links",
+        &t2,
+        None,
+    );
+
+    // ---- axis 3: side/cross mixing ----
+    let mut t3 = Table::new(&["k", "six-port policy", "APL"]);
+    for &k in &opts.k_values {
+        let cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
+        let ft = FlatTree::new(cfg).unwrap();
+        let mixed = ft.resolve(&Mode::GlobalRandom).unwrap();
+        let mut results = Vec::new();
+        for (policy, name) in [
+            (None, "row-parity mix (paper)"),
+            (Some(SixPortConfig::Side), "all side"),
+            (Some(SixPortConfig::Cross), "all cross"),
+        ] {
+            let mut states = mixed.clone();
+            if let Some(forced) = policy {
+                for s in states.six.iter_mut() {
+                    if s.uses_side() {
+                        *s = forced;
+                    }
+                }
+            }
+            let net = ft.materialize_states(&states).unwrap();
+            let apl = average_server_path_length(&net);
+            results.push(apl);
+            t3.push_row(vec![k.to_string(), name.into(), format!("{apl:.4}")]);
+        }
+        if k >= 8 {
+            let best_uniform = results[1].min(results[2]);
+            checks.check(
+                &format!("k={k}: row-parity mix within 3% of best uniform policy"),
+                results[0] <= best_uniform * 1.03,
+                format!(
+                    "mix {:.4} vs all-side {:.4} / all-cross {:.4}",
+                    results[0], results[1], results[2]
+                ),
+            );
+        }
+    }
+    print_figure(
+        "Ablation 3: side/cross mixing",
+        "alternating side and cross by row diversifies inter-Pod links (§2.5)",
+        &t3,
+        None,
+    );
+
+    checks.finish();
+}

@@ -1,0 +1,210 @@
+//! Failure resilience and conversion-based recovery (the paper's §5:
+//! "convertibility can play a broader role in network management, e.g.
+//! self-recovery of the topology from failures").
+//!
+//! Two experiments:
+//!
+//! 1. **Link-failure degradation** — fail a growing fraction of random
+//!    switch–switch links in Clos mode and in approximated-global-RG mode
+//!    and measure average path length and hot-spot throughput on the
+//!    damaged fabric. The flattened topology's link diversity degrades
+//!    more gracefully than the tree.
+//! 2. **Edge-switch failure + converter recovery** — kill one edge switch.
+//!    In Clos mode its servers are stranded behind the dead device. The
+//!    controller then flips that column's converter switches (4-port →
+//!    local, 6-port → side with its peer) so the affected servers
+//!    re-attach to aggregation/core switches *through the very same
+//!    cables* — no physical repair involved. The harness counts stranded
+//!    servers before and after the conversion.
+
+use ft_core::{FlatTree, FlatTreeConfig, FourPortConfig, Mode, SixPortConfig};
+use ft_experiments::{print_figure, ShapeChecks, SweepOpts};
+use ft_graph::{bfs_distances, UNREACHABLE};
+use ft_metrics::path_length::average_server_path_length;
+use ft_metrics::throughput::{throughput, ThroughputOptions};
+use ft_metrics::Table;
+use ft_topo::Network;
+use ft_workload::{generate, Locality, TrafficPattern, WorkloadSpec};
+use rand::prelude::*;
+
+/// Removes `fraction` of switch–switch links, deterministically.
+fn damage(net: &mut Network, fraction: f64, seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut links: Vec<_> = net
+        .graph()
+        .edges()
+        .filter(|&(_, a, b)| {
+            a.index() < net.num_switches() && b.index() < net.num_switches()
+        })
+        .map(|(e, _, _)| e)
+        .collect();
+    links.shuffle(&mut rng);
+    let kill = ((links.len() as f64) * fraction).round() as usize;
+    for &e in links.iter().take(kill) {
+        net.graph_mut().remove_edge(e);
+    }
+    kill
+}
+
+/// Servers that cannot reach the majority component.
+fn stranded_servers(net: &Network) -> usize {
+    // BFS from the attachment of server 0 on the switch graph
+    let sg = net.switch_graph();
+    let first = match net.servers().next() {
+        Some(s) => net.attachment(s),
+        None => return 0,
+    };
+    let dist = bfs_distances(&sg, first);
+    net.servers()
+        .filter(|&s| dist[net.attachment(s).index()] == UNREACHABLE)
+        .count()
+}
+
+fn main() {
+    let opts = SweepOpts::from_args(8);
+    let k = *opts.k_values.last().unwrap();
+    let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap();
+    let mut checks = ShapeChecks::new();
+
+    // ---- experiment 1: random link failures ----
+    // all-to-all load exercises the whole fabric, so λ tracks aggregate
+    // surviving capacity (a single hot spot would only probe its own
+    // attachment switch's links)
+    let spec = WorkloadSpec {
+        pattern: TrafficPattern::AllToAll,
+        cluster_size: 20,
+        locality: Locality::Strong,
+    };
+    let topts = ThroughputOptions {
+        epsilon: opts.epsilon,
+        exact_threshold: 0,
+        max_steps: opts.max_steps,
+    };
+    let mut t1 = Table::new(&["failed links %", "mode", "APL", "all-to-all λ", "stranded"]);
+    let mut degradation: Vec<(f64, String, f64)> = Vec::new();
+    for fraction in [0.0, 0.02, 0.05, 0.10] {
+        for mode in [Mode::Clos, Mode::GlobalRandom] {
+            let mut net = ft.materialize(&mode);
+            damage(&mut net, fraction, opts.seed);
+            let stranded = stranded_servers(&net);
+            let apl = average_server_path_length(&net);
+            let tm = generate(&net, &spec, opts.seed);
+            let lambda = throughput(&net, &tm, topts).lambda;
+            t1.push_row(vec![
+                format!("{:.0}", fraction * 100.0),
+                mode.label(),
+                if apl.is_finite() {
+                    format!("{apl:.4}")
+                } else {
+                    "∞".into()
+                },
+                format!("{lambda:.4}"),
+                stranded.to_string(),
+            ]);
+            degradation.push((fraction, mode.label(), lambda));
+        }
+    }
+    print_figure(
+        "Failure 1: random link failures (all-to-all load)",
+        "flattened topologies degrade gracefully; the tree loses structured capacity",
+        &t1,
+        opts.csv_path.as_deref(),
+    );
+    // shape: both modes survive 10% link loss without stranding servers,
+    // and λ decreases monotonically with damage
+    for mode in ["clos", "global-rg"] {
+        let lambdas: Vec<f64> = degradation
+            .iter()
+            .filter(|(_, m, _)| m == mode)
+            .map(|&(_, _, l)| l)
+            .collect();
+        checks.check(
+            &format!("{mode}: throughput weakly decreases with damage"),
+            lambdas.windows(2).all(|w| w[1] <= w[0] * 1.05),
+            format!("{lambdas:?}"),
+        );
+    }
+
+    // ---- experiment 2: edge-switch failure + conversion recovery ----
+    let (p0, j0) = (0usize, 0usize);
+    let victim = ft.layout().edge(p0, j0);
+    let clos_states = ft.resolve(&Mode::Clos).unwrap();
+
+    // recovery: flip the victim column's converters so its servers
+    // re-attach elsewhere
+    let mut recovery = clos_states.clone();
+    let g = ft.geometry();
+    for i in 0..g.n {
+        recovery.four[g.four_index(p0, j0, i)] = FourPortConfig::Local;
+    }
+    for i in 0..g.m {
+        let idx = g.six_index(p0, j0, i);
+        if let Some(peer) = ft.peer(idx) {
+            recovery.six[idx] = SixPortConfig::Side;
+            recovery.six[peer] = SixPortConfig::Side;
+        } else {
+            recovery.six[idx] = SixPortConfig::Local;
+        }
+    }
+
+    let mut t2 = Table::new(&["phase", "stranded servers", "APL"]);
+    let mut stranded_counts = Vec::new();
+    for (phase, states) in [("before failure", &clos_states), ("after failure (Clos)", &clos_states), ("after conversion", &recovery)] {
+        let mut net = ft.materialize_states(states).unwrap();
+        if phase != "before failure" {
+            // kill every link of the victim edge switch
+            let dead: Vec<_> = net
+                .graph()
+                .edges()
+                .filter(|&(_, a, b)| a == victim || b == victim)
+                .map(|(e, _, _)| e)
+                .collect();
+            for e in dead {
+                net.graph_mut().remove_edge(e);
+            }
+        }
+        let stranded = net
+            .servers()
+            .filter(|&s| match net.try_attachment(s) {
+                None => true,
+                Some(sw) => sw == victim,
+            })
+            .count();
+        stranded_counts.push(stranded);
+        let apl = average_server_path_length(&net);
+        t2.push_row(vec![
+            phase.to_string(),
+            stranded.to_string(),
+            if apl.is_finite() {
+                format!("{apl:.4}")
+            } else {
+                "∞ (stranded pairs)".into()
+            },
+        ]);
+    }
+    print_figure(
+        &format!(
+            "Failure 2: edge switch E(0,0) dies; converters re-home its servers (k = {k})"
+        ),
+        "4-port → local (server to aggregation), 6-port → side (server to core): same cables, new topology",
+        &t2,
+        None,
+    );
+    let spe = ft.config().clos.servers_per_edge;
+    let recoverable = ft.config().m + ft.config().n;
+    checks.check(
+        "edge failure strands its servers in Clos mode",
+        stranded_counts[1] == spe,
+        format!("{} of {} stranded", stranded_counts[1], spe),
+    );
+    checks.check(
+        "conversion recovers every converter-attached server",
+        stranded_counts[2] == spe - recoverable,
+        format!(
+            "{} stranded after conversion (only the {} direct-cabled slots remain)",
+            stranded_counts[2],
+            spe - recoverable
+        ),
+    );
+    checks.finish();
+}

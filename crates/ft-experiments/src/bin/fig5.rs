@@ -1,0 +1,138 @@
+//! Figure 5: average path length of server pairs in the entire network.
+//!
+//! Sweeps the fat-tree parameter k and compares fat-tree, the
+//! equipment-equivalent random graph, and flat-tree in approximated
+//! global-random-graph mode under the §3.2 profiling grid of (m, n) — the
+//! combinations of multiples of k/8 with m + n ≤ k/2 that the paper plots.
+//!
+//! Paper shape: the profiled flat-tree (m = k/8, n = 2k/8) is notably
+//! shorter than fat-tree and within ~5% of the random graph.
+
+use ft_core::{FlatTree, FlatTreeConfig, Mode};
+use ft_experiments::{parallel_points, print_figure, rel_diff, ShapeChecks, SweepOpts};
+use ft_metrics::path_length::average_server_path_length;
+use ft_metrics::{Series, Table};
+use ft_topo::{fat_tree, jellyfish_matching_fat_tree};
+
+fn unit(k: usize) -> usize {
+    ((k as f64) / 8.0).round().max(1.0) as usize
+}
+
+/// The (m, n) grid of the paper's Figure 5 legend, filtered by m + n ≤ k/2.
+fn mn_grid(k: usize) -> Vec<(usize, usize)> {
+    let u = unit(k);
+    let mut out = Vec::new();
+    for (mm, nm) in [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2)] {
+        let (m, n) = (mm * u, nm * u);
+        if m + n <= k / 2 {
+            out.push((m, n));
+        }
+    }
+    out
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Curve {
+    FatTree,
+    RandomGraph,
+    FlatTree(usize, usize), // (m multiple, n multiple)
+}
+
+fn main() {
+    let opts = SweepOpts::from_args(32); // path length is cheap: full sweep
+    let mut points = Vec::new();
+    for &k in &opts.k_values {
+        points.push((k, Curve::FatTree));
+        points.push((k, Curve::RandomGraph));
+        let u = unit(k);
+        for (m, n) in mn_grid(k) {
+            points.push((k, Curve::FlatTree(m / u, n / u)));
+        }
+    }
+    let results = parallel_points(points.clone(), |&(k, curve)| match curve {
+        Curve::FatTree => average_server_path_length(&fat_tree(k).unwrap()),
+        Curve::RandomGraph => {
+            average_server_path_length(&jellyfish_matching_fat_tree(k, opts.seed).unwrap())
+        }
+        Curve::FlatTree(mm, nm) => {
+            let u = unit(k);
+            let cfg = FlatTreeConfig::for_fat_tree_k_mn(k, mm * u, nm * u).unwrap();
+            let net = FlatTree::new(cfg).unwrap().materialize(&Mode::GlobalRandom);
+            average_server_path_length(&net)
+        }
+    });
+
+    let mut fat = Series::new("Fat-tree");
+    let mut rg = Series::new("Random graph");
+    let mut flats: Vec<((usize, usize), Series)> = [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2)]
+        .iter()
+        .map(|&(a, b)| {
+            (
+                (a, b),
+                Series::new(format!("Flat-tree(m={a}k/8,n={b}k/8)")),
+            )
+        })
+        .collect();
+    for ((k, curve), v) in points.iter().zip(&results) {
+        let x = *k as f64;
+        match curve {
+            Curve::FatTree => fat.push(x, *v),
+            Curve::RandomGraph => rg.push(x, *v),
+            Curve::FlatTree(mm, nm) => {
+                for ((a, b), s) in flats.iter_mut() {
+                    if a == mm && b == nm {
+                        s.push(x, *v);
+                    }
+                }
+            }
+        }
+    }
+    let mut series = vec![fat.clone(), rg.clone()];
+    series.extend(flats.iter().map(|(_, s)| s.clone()));
+    let table = Table::from_series("k", &series);
+    print_figure(
+        "Figure 5: average path length of server pairs, entire network",
+        "paper shape: flat-tree(m=k/8, n=2k/8) ≪ fat-tree, within ~5% of random graph",
+        &table,
+        opts.csv_path.as_deref(),
+    );
+
+    let mut checks = ShapeChecks::new();
+    for &k in &opts.k_values {
+        let x = k as f64;
+        let ft_apl = fat.at(x).unwrap();
+        let rg_apl = rg.at(x).unwrap();
+        let best_flat = flats
+            .iter()
+            .filter_map(|(_, s)| s.at(x))
+            .fold(f64::INFINITY, f64::min);
+        if k >= 8 {
+            checks.check(
+                &format!("k={k}: flat-tree beats fat-tree"),
+                best_flat < ft_apl,
+                format!("flat {best_flat:.3} vs fat {ft_apl:.3}"),
+            );
+            checks.check(
+                &format!("k={k}: flat-tree within 10% of random graph"),
+                rel_diff(best_flat, rg_apl) <= 0.10,
+                format!(
+                    "flat {best_flat:.3} vs rg {rg_apl:.3} ({:.1}%)",
+                    100.0 * rel_diff(best_flat, rg_apl)
+                ),
+            );
+            // the paper's profiled choice stays near the sweep's best
+            if let Some(paper_pt) = flats
+                .iter()
+                .find(|((a, b), _)| *a == 1 && *b == 2)
+                .and_then(|(_, s)| s.at(x))
+            {
+                checks.check(
+                    &format!("k={k}: (m=k/8, n=2k/8) near-optimal"),
+                    paper_pt <= best_flat * 1.05,
+                    format!("paper point {paper_pt:.3} vs best {best_flat:.3}"),
+                );
+            }
+        }
+    }
+    checks.finish();
+}

@@ -1,0 +1,62 @@
+//! §3.2 / §2.4: the (m, n) profiling table.
+//!
+//! For each k, sweeps every (m, n) at the paper's k/8 granularity (with
+//! m + n ≤ k/2) and prints the average-path-length matrix of the
+//! approximated global random graph, marking the argmin. This is the
+//! standalone form of the profiling embedded in Figure 5.
+//!
+//! Paper result: m = k/8, n = 2k/8 minimizes APL across the sweep.
+
+use ft_core::{profile_mn, FlatTreeConfig};
+use ft_experiments::{print_figure, ShapeChecks, SweepOpts};
+use ft_metrics::Table;
+
+fn main() {
+    let opts = SweepOpts::from_args(16);
+    let mut checks = ShapeChecks::new();
+    for &k in &opts.k_values {
+        if k < 6 {
+            continue; // k = 4 admits a single (m, n); nothing to profile
+        }
+        let result = profile_mn(k, 1).expect("valid sweep");
+        let mut table = Table::new(&["m", "n", "APL", "best"]);
+        for p in &result.points {
+            table.push_row(vec![
+                p.m.to_string(),
+                p.n.to_string(),
+                format!("{:.4}", p.apl),
+                if (p.m, p.n) == (result.best.m, result.best.n) {
+                    "←".into()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+        print_figure(
+            &format!("§3.2 profiling sweep, k = {k}"),
+            "paper: (m = k/8, n = 2k/8) minimizes the global-RG average path length",
+            &table,
+            None,
+        );
+        // the paper's configuration is at or within 5% of the optimum
+        let cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
+        let paper = result
+            .points
+            .iter()
+            .find(|p| p.m == cfg.m && p.n == cfg.n);
+        // below k = 8 the k/8 interval collapses to 1 and rounding distorts
+        // the ratios the paper's choice is based on; check k ≥ 8 only
+        if let Some(p) = paper.filter(|_| k >= 8) {
+            checks.check(
+                &format!("k={k}: paper (m={}, n={}) near-optimal", cfg.m, cfg.n),
+                p.apl <= result.best.apl * 1.05,
+                format!(
+                    "paper {:.4} vs best ({}, {}) {:.4}",
+                    p.apl, result.best.m, result.best.n, result.best.apl
+                ),
+            );
+        }
+        println!();
+    }
+    checks.finish();
+}

@@ -1,0 +1,212 @@
+//! Shared infrastructure for the experiment binaries (one per paper
+//! figure/table; see DESIGN.md's experiment index).
+//!
+//! Every binary follows the same protocol:
+//!
+//! 1. parse the common CLI flags ([`SweepOpts::from_args`]),
+//! 2. compute each curve of the figure, parallelized over sweep points
+//!    ([`parallel_points`]),
+//! 3. print the table (aligned + CSV) exactly as the paper's figure would
+//!    tabulate it,
+//! 4. run *shape checks* — assertions about orderings and ratios the paper
+//!    reports (who wins, by roughly what factor, where crossovers fall) —
+//!    and exit non-zero if any fail. Absolute numbers are not expected to
+//!    match the paper (different LP solver, unknown random seeds); shapes
+//!    are.
+
+use ft_metrics::Table;
+use std::sync::Mutex;
+
+/// Common sweep options shared by all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct SweepOpts {
+    /// Fat-tree parameters to sweep (even, ascending).
+    pub k_values: Vec<usize>,
+    /// FPTAS ε for throughput experiments.
+    pub epsilon: f64,
+    /// RNG seed for random topologies and workloads.
+    pub seed: u64,
+    /// Safety cap on FPTAS routing steps per solve (None = unlimited).
+    pub max_steps: Option<usize>,
+    /// Write the CSV to this path as well (from `--csv PATH`).
+    pub csv_path: Option<String>,
+    /// Repetitions (distinct seeds) averaged per throughput point. Small
+    /// fabrics host a single cluster whose random hot-spot placement adds
+    /// noise; the paper's smooth curves imply averaging.
+    pub reps: usize,
+}
+
+impl SweepOpts {
+    /// Parses command-line arguments.
+    ///
+    /// * `--full` — sweep to the paper's k = 32 (default caps at
+    ///   `default_kmax` so the harness finishes in minutes),
+    /// * `--kmax N` — explicit sweep cap,
+    /// * `--eps X` — FPTAS ε (default 0.15; the certified λ is ≥
+    ///   (1 − 3ε)·OPT),
+    /// * `--seed S` — RNG seed (default 1),
+    /// * `--reps N` — seeds averaged per throughput point (default 3),
+    /// * `--csv PATH` — also write the CSV there.
+    pub fn from_args(default_kmax: usize) -> SweepOpts {
+        let args: Vec<String> = std::env::args().collect();
+        let mut kmax = default_kmax;
+        let mut epsilon = 0.15;
+        let mut seed = 1u64;
+        let mut csv_path = None;
+        let mut reps = 3usize;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => kmax = 32,
+                "--kmax" => {
+                    i += 1;
+                    kmax = args[i].parse().expect("--kmax needs an integer");
+                }
+                "--eps" => {
+                    i += 1;
+                    epsilon = args[i].parse().expect("--eps needs a float");
+                }
+                "--seed" => {
+                    i += 1;
+                    seed = args[i].parse().expect("--seed needs an integer");
+                }
+                "--csv" => {
+                    i += 1;
+                    csv_path = Some(args[i].clone());
+                }
+                "--reps" => {
+                    i += 1;
+                    reps = args[i].parse().expect("--reps needs an integer");
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --full | --kmax N | --eps X | --seed S | --reps N | --csv PATH"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+            i += 1;
+        }
+        let k_values: Vec<usize> = (4..=kmax).step_by(2).collect();
+        SweepOpts {
+            k_values,
+            epsilon,
+            seed,
+            max_steps: Some(2_000_000),
+            csv_path,
+            reps: reps.max(1),
+        }
+    }
+}
+
+/// Computes `f` over `points` in parallel (bounded by the CPU count) and
+/// returns results in input order. Panics in workers propagate.
+pub fn parallel_points<P, R, F>(points: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let n = points.len();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let work = Mutex::new(points.into_iter().enumerate().collect::<Vec<_>>());
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let item = work.lock().unwrap().pop();
+                let Some((i, p)) = item else { break };
+                let r = f(&p);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("point not computed"))
+        .collect()
+}
+
+/// Collected shape-check results; the binary exits non-zero if any failed.
+#[derive(Default)]
+pub struct ShapeChecks {
+    failures: usize,
+    total: usize,
+}
+
+impl ShapeChecks {
+    /// Creates an empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one check and prints its verdict.
+    pub fn check(&mut self, label: &str, ok: bool, detail: String) {
+        self.total += 1;
+        if ok {
+            println!("  [shape PASS] {label}: {detail}");
+        } else {
+            self.failures += 1;
+            println!("  [shape FAIL] {label}: {detail}");
+        }
+    }
+
+    /// Prints the summary and terminates with the appropriate exit code.
+    pub fn finish(self) -> ! {
+        println!(
+            "\nshape checks: {}/{} passed",
+            self.total - self.failures,
+            self.total
+        );
+        std::process::exit(if self.failures == 0 { 0 } else { 1 });
+    }
+}
+
+/// Prints a figure header, the aligned table, and its CSV form (also
+/// writing the CSV to `csv_path` when given).
+pub fn print_figure(title: &str, paper_note: &str, table: &Table, csv_path: Option<&str>) {
+    println!("=== {title} ===");
+    println!("{paper_note}\n");
+    print!("{}", table.to_aligned_string());
+    println!("\nCSV:\n{}", table.to_csv());
+    if let Some(path) = csv_path {
+        std::fs::write(path, table.to_csv()).expect("failed to write CSV");
+        println!("(csv written to {path})");
+    }
+}
+
+/// Relative difference `|a − b| / max(|b|, tiny)`.
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_points_order_preserved() {
+        let r = parallel_points((0..100).collect(), |&x: &i32| x * x);
+        assert_eq!(r.len(), 100);
+        for (i, v) in r.iter().enumerate() {
+            assert_eq!(*v, (i * i) as i32);
+        }
+    }
+
+    #[test]
+    fn parallel_points_empty() {
+        let r: Vec<i32> = parallel_points(Vec::<i32>::new(), |&x| x);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn rel_diff_basics() {
+        assert!((rel_diff(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert_eq!(rel_diff(5.0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Unweighted shortest paths: single-source BFS and all-pairs tables.
+//!
+//! The paper's first metric (Figures 5 and 6) is average path length in hops
+//! between server pairs. Converter switches are physical-layer devices that
+//! contribute no hops (§3.1), so path length is exact BFS distance on the
+//! logical switch graph plus the two server–switch links, computed by
+//! `ft-metrics` on top of the [`AllPairs`] table built here.
+
+use crate::graph::{Graph, NodeId};
+use crate::UNREACHABLE;
+use std::collections::VecDeque;
+
+/// Single-source BFS distances in hops.
+///
+/// Returns one entry per node; unreachable nodes hold [`UNREACHABLE`].
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for (u, _) in g.neighbors(v) {
+            if dist[u.index()] == UNREACHABLE {
+                dist[u.index()] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// A BFS shortest-path tree: distances plus one parent edge per node.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// Distance in hops from the source; [`UNREACHABLE`] if disconnected.
+    pub dist: Vec<u32>,
+    /// For each node, the edge leading back toward the source
+    /// (`None` for the source itself and unreachable nodes).
+    pub parent: Vec<Option<(NodeId, crate::EdgeId)>>,
+    /// The source node.
+    pub source: NodeId,
+}
+
+impl BfsTree {
+    /// Reconstructs one shortest path from the source to `t` as a node list,
+    /// or `None` if `t` is unreachable.
+    pub fn path_to(&self, t: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[t.index()] == UNREACHABLE {
+            return None;
+        }
+        let mut path = vec![t];
+        let mut cur = t;
+        while let Some((p, _)) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// BFS that also records parent pointers for path reconstruction.
+pub fn bfs_tree(g: &Graph, src: NodeId) -> BfsTree {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut parent = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for (u, e) in g.neighbors(v) {
+            if dist[u.index()] == UNREACHABLE {
+                dist[u.index()] = dv + 1;
+                parent[u.index()] = Some((v, e));
+                queue.push_back(u);
+            }
+        }
+    }
+    BfsTree {
+        dist,
+        parent,
+        source: src,
+    }
+}
+
+/// All-pairs unweighted distances, stored as a dense row-major matrix.
+///
+/// For the topologies in this workspace (≤ a few thousand switches) repeated
+/// BFS is both simpler and faster than Johnson-style approaches. The k = 32
+/// fat-tree has 1280 switches → a 1280² `u32` table ≈ 6.5 MB.
+#[derive(Clone)]
+pub struct AllPairs {
+    n: usize,
+    dist: Vec<u32>,
+}
+
+impl AllPairs {
+    /// Computes all-pairs shortest path distances by one BFS per node.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut dist = Vec::with_capacity(n * n);
+        for v in g.nodes() {
+            dist.extend_from_slice(&bfs_distances(g, v));
+        }
+        AllPairs { n, dist }
+    }
+
+    /// Computes distances only from the given source nodes (a partial table).
+    ///
+    /// Rows are stored in the order sources are given; use [`AllPairs::row`]
+    /// with the *source's position in `sources`*, not its node id.
+    pub fn compute_from(g: &Graph, sources: &[NodeId]) -> Self {
+        let n = g.node_count();
+        let mut dist = Vec::with_capacity(sources.len() * n);
+        for &v in sources {
+            dist.extend_from_slice(&bfs_distances(g, v));
+        }
+        AllPairs {
+            n,
+            dist,
+        }
+    }
+
+    /// Distance between row `i` and node `j` (row-major indexing).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u32 {
+        self.dist[i * self.n + j]
+    }
+
+    /// The full distance row for row index `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.dist[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Number of columns (nodes of the underlying graph).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.n
+    }
+
+    /// Number of rows (sources).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.dist.len().checked_div(self.n).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// 0 - 1 - 2 - 3 path plus a chord 0-3.
+    fn diamond() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)])
+    }
+
+    #[test]
+    fn bfs_distances_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs_distances(&g, NodeId(0)), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, NodeId(2)), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_takes_chord() {
+        let g = diamond();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[3], 1, "chord 0-3 shortens the path");
+        assert_eq!(d[2], 2);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn bfs_respects_removed_edges() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let (e, _, _) = g.edges().next().unwrap();
+        g.remove_edge(e);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[1], UNREACHABLE);
+    }
+
+    #[test]
+    fn bfs_tree_path_reconstruction() {
+        let g = diamond();
+        let t = bfs_tree(&g, NodeId(1));
+        let p = t.path_to(NodeId(3)).unwrap();
+        assert_eq!(p.len() as u32 - 1, t.dist[3]);
+        assert_eq!(p.first(), Some(&NodeId(1)));
+        assert_eq!(p.last(), Some(&NodeId(3)));
+        // consecutive path nodes must be adjacent
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn bfs_tree_unreachable_path_is_none() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let t = bfs_tree(&g, NodeId(0));
+        assert!(t.path_to(NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = diamond();
+        let ap = AllPairs::compute(&g);
+        for i in 0..4 {
+            assert_eq!(ap.get(i, i), 0);
+            for j in 0..4 {
+                assert_eq!(ap.get(i, j), ap.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_partial_rows() {
+        let g = diamond();
+        let ap = AllPairs::compute_from(&g, &[NodeId(2), NodeId(0)]);
+        assert_eq!(ap.rows(), 2);
+        assert_eq!(ap.row(0), bfs_distances(&g, NodeId(2)).as_slice());
+        assert_eq!(ap.row(1), bfs_distances(&g, NodeId(0)).as_slice());
+    }
+}

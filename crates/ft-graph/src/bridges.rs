@@ -1,0 +1,171 @@
+//! Bridge (cut-edge) detection via Tarjan's low-link DFS.
+//!
+//! A bridge is a link whose failure disconnects the graph — the worst kind
+//! of single point of failure a topology can have. Well-designed data
+//! center fabrics have none (every fat-tree/flat-tree/Jellyfish switch
+//! link is redundant); the count is a cheap resilience indicator for the
+//! topology-comparison tooling and the failure experiments.
+//!
+//! Parallel edges are handled correctly: two parallel links between the
+//! same switches protect each other, so neither is a bridge.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Returns all bridges of the graph (live edges whose removal increases
+/// the number of connected components).
+pub fn bridges(g: &Graph) -> Vec<EdgeId> {
+    let n = g.node_count();
+    let mut disc = vec![0u32; n]; // discovery time, 0 = unvisited
+    let mut low = vec![0u32; n];
+    let mut out = Vec::new();
+    let mut timer = 1u32;
+
+    // Iterative DFS to survive deep graphs (no recursion limits).
+    // Stack frames: (node, parent edge, neighbor cursor).
+    let mut stack: Vec<(NodeId, Option<EdgeId>, usize)> = Vec::new();
+    // Materialized adjacency so the cursor survives re-entry.
+    let adj: Vec<Vec<(NodeId, EdgeId)>> = g
+        .nodes()
+        .map(|v| g.neighbors(v).collect())
+        .collect();
+
+    for start in g.nodes() {
+        if disc[start.index()] != 0 {
+            continue;
+        }
+        disc[start.index()] = timer;
+        low[start.index()] = timer;
+        timer += 1;
+        stack.push((start, None, 0));
+        while let Some(&mut (v, parent_edge, ref mut cursor)) = stack.last_mut() {
+            if *cursor < adj[v.index()].len() {
+                let (u, e) = adj[v.index()][*cursor];
+                *cursor += 1;
+                if Some(e) == parent_edge {
+                    continue; // don't traverse the tree edge backwards
+                }
+                if disc[u.index()] != 0 {
+                    // back edge
+                    low[v.index()] = low[v.index()].min(disc[u.index()]);
+                } else {
+                    disc[u.index()] = timer;
+                    low[u.index()] = timer;
+                    timer += 1;
+                    stack.push((u, Some(e), 0));
+                }
+            } else {
+                // retreat
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p.index()] = low[p.index()].min(low[v.index()]);
+                    if low[v.index()] > disc[p.index()] {
+                        // the tree edge p—v is a bridge
+                        let e = parent_edge.expect("non-root has a parent edge");
+                        out.push(e);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn path_all_bridges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bridges(&g).len(), 3);
+    }
+
+    #[test]
+    fn cycle_no_bridges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn barbell_single_bridge() {
+        // two triangles joined by one edge
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        );
+        let b = bridges(&g);
+        assert_eq!(b.len(), 1);
+        let (x, y) = g.endpoints(b[0]);
+        assert_eq!((x.0.min(y.0), x.0.max(y.0)), (2, 3));
+    }
+
+    #[test]
+    fn parallel_edges_protect_each_other() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        assert!(bridges(&g).is_empty(), "parallel links are not bridges");
+        // a single link IS a bridge
+        let g2 = Graph::from_edges(2, &[(0, 1)]);
+        assert_eq!(bridges(&g2).len(), 1);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3), (3, 4)]);
+        assert_eq!(bridges(&g).len(), 3);
+    }
+
+    #[test]
+    fn removed_edges_ignored() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(bridges(&g).is_empty());
+        // removing one cycle edge makes the remaining two bridges
+        let (e, _, _) = g.edges().next().unwrap();
+        g.remove_edge(e);
+        assert_eq!(bridges(&g).len(), 2);
+    }
+
+    #[test]
+    fn matches_naive_oracle_on_random_graphs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let n = rng.random_range(2..12usize);
+            let mut g = Graph::new(n);
+            for v in 1..n as u32 {
+                g.add_edge(NodeId(rng.random_range(0..v)), NodeId(v));
+            }
+            for _ in 0..rng.random_range(0..6) {
+                let a = rng.random_range(0..n as u32);
+                let b = rng.random_range(0..n as u32);
+                if a != b {
+                    g.add_edge(NodeId(a), NodeId(b));
+                }
+            }
+            let fast: Vec<EdgeId> = bridges(&g);
+            // oracle: remove each edge, count components
+            let base = crate::stats::connected_components(&g);
+            let mut slow = Vec::new();
+            let ids: Vec<EdgeId> = g.edges().map(|(e, _, _)| e).collect();
+            for e in ids {
+                g.remove_edge(e);
+                if crate::stats::connected_components(&g) > base {
+                    slow.push(e);
+                }
+                g.restore_edge(e);
+            }
+            slow.sort_unstable();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn fat_tree_like_redundancy() {
+        // complete bipartite K2,3 has no bridges
+        let g = Graph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]);
+        assert!(bridges(&g).is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Dijkstra shortest paths under arbitrary non-negative edge lengths.
+//!
+//! Lengths are supplied as an external slice indexed by [`EdgeId`], because
+//! the main consumer — the concurrent-flow FPTAS in `ft-mcf` — re-runs
+//! Dijkstra thousands of times over the *same* graph with *different* length
+//! functions (the exponential dual weights). Keeping lengths out of the graph
+//! avoids rebuilding or mutating it in the hot loop.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source Dijkstra run.
+#[derive(Clone, Debug)]
+pub struct DijkstraResult {
+    /// Distance from the source; `f64::INFINITY` if unreachable.
+    pub dist: Vec<f64>,
+    /// Parent (node, edge) on a shortest path back to the source.
+    pub parent: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl DijkstraResult {
+    /// Reconstructs a shortest path to `t` as the list of edges from the
+    /// source to `t`, or `None` if unreachable.
+    pub fn edge_path_to(&self, t: NodeId) -> Option<Vec<EdgeId>> {
+        if !self.dist[t.index()].is_finite() {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = t;
+        while let Some((p, e)) = self.parent[cur.index()] {
+            edges.push(e);
+            cur = p;
+        }
+        edges.reverse();
+        Some(edges)
+    }
+
+    /// Reconstructs a shortest path to `t` as a node list, or `None`.
+    pub fn node_path_to(&self, t: NodeId) -> Option<Vec<NodeId>> {
+        if !self.dist[t.index()].is_finite() {
+            return None;
+        }
+        let mut path = vec![t];
+        let mut cur = t;
+        while let Some((p, _)) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Min-heap entry ordered by distance. `f64` distances are never NaN here
+/// (lengths are validated), so the total order is safe.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we want the minimum distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source Dijkstra.
+///
+/// `length[e]` is the length of edge `e`; entries for dead edges are ignored.
+/// Lengths must be non-negative and not NaN.
+///
+/// # Panics
+/// Panics (debug assertions) on negative or NaN lengths encountered during
+/// relaxation.
+pub fn dijkstra(g: &Graph, src: NodeId, length: &[f64]) -> DijkstraResult {
+    dijkstra_filtered(g, src, length, |_, _| true)
+}
+
+/// Dijkstra restricted to edges/nodes accepted by `allow(node, edge)`:
+/// relaxation from `v` over edge `e` to `u` happens only when
+/// `allow(u, e)` is true. Used by Yen's algorithm to ban spur-path prefixes.
+pub fn dijkstra_filtered<F>(g: &Graph, src: NodeId, length: &[f64], allow: F) -> DijkstraResult
+where
+    F: Fn(NodeId, EdgeId) -> bool,
+{
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src,
+    });
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        if d > dist[v.index()] {
+            continue; // stale entry
+        }
+        for (u, e) in g.neighbors(v) {
+            if !allow(u, e) {
+                continue;
+            }
+            let w = length[e.index()];
+            debug_assert!(w >= 0.0 && !w.is_nan(), "invalid edge length {w}");
+            let nd = d + w;
+            if nd < dist[u.index()] {
+                dist[u.index()] = nd;
+                parent[u.index()] = Some((v, e));
+                heap.push(HeapEntry { dist: nd, node: u });
+            }
+        }
+    }
+    DijkstraResult { dist, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_distances;
+    use crate::graph::Graph;
+    use crate::UNREACHABLE;
+
+    #[test]
+    fn unit_lengths_match_bfs() {
+        // 5-node graph with a few chords.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let len = vec![1.0; g.edge_id_bound()];
+        let d = dijkstra(&g, NodeId(0), &len);
+        let b = bfs_distances(&g, NodeId(0));
+        for (di, bi) in d.dist.iter().zip(&b) {
+            assert_eq!(*di as u32, *bi);
+        }
+    }
+
+    #[test]
+    fn weighted_prefers_cheap_detour() {
+        // 0-1 direct cost 10; 0-2-1 cost 2.
+        let mut g = Graph::new(3);
+        let direct = g.add_edge(NodeId(0), NodeId(1));
+        let a = g.add_edge(NodeId(0), NodeId(2));
+        let b = g.add_edge(NodeId(2), NodeId(1));
+        let mut len = vec![0.0; g.edge_id_bound()];
+        len[direct.index()] = 10.0;
+        len[a.index()] = 1.0;
+        len[b.index()] = 1.0;
+        let d = dijkstra(&g, NodeId(0), &len);
+        assert_eq!(d.dist[1], 2.0);
+        assert_eq!(d.edge_path_to(NodeId(1)).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn parallel_edges_pick_shorter() {
+        let mut g = Graph::new(2);
+        let e0 = g.add_edge(NodeId(0), NodeId(1));
+        let e1 = g.add_edge(NodeId(0), NodeId(1));
+        let mut len = vec![0.0; 2];
+        len[e0.index()] = 5.0;
+        len[e1.index()] = 3.0;
+        let d = dijkstra(&g, NodeId(0), &len);
+        assert_eq!(d.dist[1], 3.0);
+        assert_eq!(d.edge_path_to(NodeId(1)).unwrap(), vec![e1]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let d = dijkstra(&g, NodeId(0), &[1.0]);
+        assert!(d.dist[2].is_infinite());
+        assert!(d.edge_path_to(NodeId(2)).is_none());
+        assert!(d.node_path_to(NodeId(2)).is_none());
+        let b = bfs_distances(&g, NodeId(0));
+        assert_eq!(b[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn filtered_bans_edge() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        // ban the direct 0-2 edge (id 2)
+        let len = vec![1.0; 3];
+        let d = dijkstra_filtered(&g, NodeId(0), &len, |_, e| e.index() != 2);
+        assert_eq!(d.dist[2], 2.0);
+    }
+
+    #[test]
+    fn node_path_matches_edge_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let len = vec![1.0; 3];
+        let d = dijkstra(&g, NodeId(0), &len);
+        let nodes = d.node_path_to(NodeId(3)).unwrap();
+        let edges = d.edge_path_to(NodeId(3)).unwrap();
+        assert_eq!(nodes.len(), edges.len() + 1);
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn zero_length_edges_ok() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let d = dijkstra(&g, NodeId(0), &[0.0, 0.0]);
+        assert_eq!(d.dist[2], 0.0);
+    }
+}

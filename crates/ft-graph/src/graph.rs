@@ -1,0 +1,377 @@
+//! The undirected multigraph used throughout the workspace.
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Node ids are dense indices assigned in insertion order, which lets callers
+/// keep per-node side tables in plain `Vec`s.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge in a [`Graph`].
+///
+/// Edge ids are dense indices assigned in insertion order and remain stable
+/// after [`Graph::remove_edge`]: removed ids are never reused.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a usize, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An undirected multigraph with stable, dense node and edge ids.
+///
+/// Parallel edges and self-loops are permitted (data center topologies use
+/// parallel links; self-loops are rejected by the topology layer, not here).
+/// Removal is tombstone-based: a removed edge keeps its id but disappears
+/// from adjacency iteration, `edge_count`, and algorithms.
+///
+/// # Example
+///
+/// ```
+/// use ft_graph::Graph;
+///
+/// let mut g = Graph::new(3);
+/// let e01 = g.add_edge(g.node(0), g.node(1));
+/// let e12 = g.add_edge(g.node(1), g.node(2));
+/// assert_eq!(g.degree(g.node(1)), 2);
+/// g.remove_edge(e12);
+/// assert_eq!(g.degree(g.node(1)), 1);
+/// assert!(g.edge_alive(e01));
+/// ```
+#[derive(Clone, Default)]
+pub struct Graph {
+    /// adjacency: for each node, (neighbor, edge id) pairs including dead
+    /// edges; dead ones are filtered during iteration.
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// endpoints of every edge ever added.
+    edges: Vec<(NodeId, NodeId)>,
+    /// tombstone flags, indexed by edge id.
+    alive: Vec<bool>,
+    /// count of live edges.
+    live_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            alive: Vec::new(),
+            live_edges: 0,
+        }
+    }
+
+    /// Creates a graph with `n` nodes and the given undirected edges.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        g
+    }
+
+    /// Convenience constructor of a [`NodeId`] with bounds checking.
+    ///
+    /// # Panics
+    /// Panics if `i >= node_count()`.
+    #[inline]
+    pub fn node(&self, i: usize) -> NodeId {
+        assert!(i < self.adj.len(), "node index {i} out of bounds");
+        NodeId(i as u32)
+    }
+
+    /// Appends a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.adj.len() as u32);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge between `a` and `b` and returns its id.
+    ///
+    /// Parallel edges are allowed: calling this twice with the same endpoints
+    /// yields two distinct edge ids.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of bounds.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> EdgeId {
+        assert!(a.index() < self.adj.len(), "endpoint {a:?} out of bounds");
+        assert!(b.index() < self.adj.len(), "endpoint {b:?} out of bounds");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push((a, b));
+        self.alive.push(true);
+        self.adj[a.index()].push((b, id));
+        if a != b {
+            self.adj[b.index()].push((a, id));
+        }
+        self.live_edges += 1;
+        id
+    }
+
+    /// Removes an edge (tombstone). Returns `true` if the edge was live.
+    ///
+    /// The id is never reused; adjacency lists are compacted lazily during
+    /// iteration, so removal is O(1).
+    pub fn remove_edge(&mut self, e: EdgeId) -> bool {
+        if self.edge_alive(e) {
+            self.alive[e.index()] = false;
+            self.live_edges -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Restores a previously removed edge. Returns `true` if it was dead.
+    ///
+    /// Used by failure-injection scenarios that repair links.
+    pub fn restore_edge(&mut self, e: EdgeId) -> bool {
+        if e.index() < self.alive.len() && !self.alive[e.index()] {
+            self.alive[e.index()] = true;
+            self.live_edges += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the edge id refers to a live (non-removed) edge.
+    #[inline]
+    pub fn edge_alive(&self, e: EdgeId) -> bool {
+        e.index() < self.alive.len() && self.alive[e.index()]
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of live edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Total number of edge ids ever allocated (live + dead). Side tables
+    /// indexed by `EdgeId` should be sized by this.
+    #[inline]
+    pub fn edge_id_bound(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Endpoints of an edge (regardless of liveness).
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// Given an edge and one endpoint, returns the other endpoint.
+    ///
+    /// For self-loops returns the same node.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.endpoints(e);
+        if v == a {
+            b
+        } else {
+            debug_assert_eq!(v, b, "{v:?} is not an endpoint of {e:?}");
+            a
+        }
+    }
+
+    /// Iterates over the live (neighbor, edge) pairs of `v`.
+    ///
+    /// A neighbor appears once per parallel edge.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adj[v.index()]
+            .iter()
+            .copied()
+            .filter(move |&(_, e)| self.alive[e.index()])
+    }
+
+    /// Live degree of `v` (parallel edges counted individually, self-loops
+    /// counted once).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).count()
+    }
+
+    /// Whether at least one live edge connects `a` and `b`.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors(a).any(|(n, _)| n == b)
+    }
+
+    /// Number of live parallel edges between `a` and `b`.
+    pub fn edge_multiplicity(&self, a: NodeId, b: NodeId) -> usize {
+        self.neighbors(a).filter(|&(n, _)| n == b).count()
+    }
+
+    /// Iterates over all live edges as `(EdgeId, NodeId, NodeId)`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |&(i, _)| self.alive[i])
+            .map(|(i, &(a, b))| (EdgeId(i as u32), a, b))
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Returns the live edge set as a sorted list of normalized endpoint
+    /// pairs `(min, max)`. Two graphs with equal `canonical_edges` are equal
+    /// as labeled multigraphs — used by tests that check e.g. that flat-tree
+    /// in Clos mode reproduces the fat-tree exactly.
+    pub fn canonical_edges(&self) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = self
+            .edges()
+            .map(|(_, a, b)| (a.0.min(b.0), a.0.max(b.0)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph {{ nodes: {}, edges: {} }}",
+            self.node_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = Graph::new(2);
+        let c = g.add_node();
+        assert_eq!(c, NodeId(2));
+        let e = g.add_edge(NodeId(0), NodeId(2));
+        assert_eq!(g.endpoints(e), (NodeId(0), NodeId(2)));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(g.has_edge(NodeId(2), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn parallel_edges_counted() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.edge_multiplicity(NodeId(0), NodeId(1)), 2);
+    }
+
+    #[test]
+    fn self_loop_degree_once() {
+        let mut g = Graph::new(1);
+        let e = g.add_edge(NodeId(0), NodeId(0));
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.other_endpoint(e, NodeId(0)), NodeId(0));
+    }
+
+    #[test]
+    fn remove_and_restore() {
+        let mut g = Graph::new(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1));
+        let e1 = g.add_edge(NodeId(1), NodeId(2));
+        assert!(g.remove_edge(e0));
+        assert!(!g.remove_edge(e0), "double remove is a no-op");
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(1)), 1);
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.edge_alive(e1));
+        assert!(g.restore_edge(e0));
+        assert!(!g.restore_edge(e0), "double restore is a no-op");
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn edge_ids_stable_after_removal() {
+        let mut g = Graph::new(4);
+        let e0 = g.add_edge(NodeId(0), NodeId(1));
+        let _e1 = g.add_edge(NodeId(1), NodeId(2));
+        g.remove_edge(e0);
+        let e2 = g.add_edge(NodeId(2), NodeId(3));
+        assert_eq!(e2, EdgeId(2), "removed ids are not reused");
+        assert_eq!(g.edge_id_bound(), 3);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let mut g = Graph::new(2);
+        let e = g.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(g.other_endpoint(e, NodeId(0)), NodeId(1));
+        assert_eq!(g.other_endpoint(e, NodeId(1)), NodeId(0));
+    }
+
+    #[test]
+    fn canonical_edges_sorted_normalized() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(2), NodeId(0));
+        g.add_edge(NodeId(1), NodeId(0));
+        assert_eq!(g.canonical_edges(), vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn from_edges_roundtrip() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.canonical_edges(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_edge_out_of_bounds_panics() {
+        let mut g = Graph::new(1);
+        g.add_edge(NodeId(0), NodeId(5));
+    }
+}

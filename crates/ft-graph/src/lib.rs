@@ -1,0 +1,53 @@
+//! Graph substrate for the flat-tree reproduction.
+//!
+//! This crate provides the graph data structures and algorithms that every
+//! other crate in the workspace builds on:
+//!
+//! * [`Graph`] — an undirected multigraph with stable node and edge
+//!   identifiers. Data center topologies routinely contain parallel links
+//!   (e.g. the double side connectors between flat-tree Pods), so parallel
+//!   edges are first-class citizens rather than an error.
+//! * [`bfs`] — single-source and all-pairs unweighted shortest paths. Path
+//!   length in hops is the paper's first evaluation metric (Figures 5 and 6).
+//! * [`dijkstra`](mod@dijkstra) — single-source shortest paths under arbitrary non-negative
+//!   per-edge lengths. The Fleischer–Garg–Könemann FPTAS in `ft-mcf` re-runs
+//!   Dijkstra with exponentially-reweighted edge lengths on every iteration.
+//! * [`yen`] — Yen's k-shortest loopless paths. The paper routes approximated
+//!   random graphs with k-shortest-paths routing (§2.6, following Jellyfish).
+//! * [`maxflow`] — Dinic's maximum flow, used for cut-based throughput upper
+//!   bounds and as a test oracle for the LP/FPTAS solvers.
+//! * [`bridges`](mod@bridges) — cut-edge detection (single points of failure).
+//! * [`stats`] — degree histograms, connectivity, diameter.
+//!
+//! # Design notes
+//!
+//! The types here are deliberately simple: index-based adjacency lists with
+//! `u32` identifiers, no generics over node/edge payloads, no interior
+//! mutability. Payloads (device kinds, link capacities) live in the layers
+//! that own them (`ft-topo`, `ft-mcf`), keyed by the stable ids. This keeps
+//! the algorithms monomorphic, cache-friendly and trivially testable.
+//!
+//! Edge removal uses tombstones so that edge ids stay stable across failure
+//! injection (`ft-sim` knocks out links and re-runs routing).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod bridges;
+pub mod dijkstra;
+pub mod graph;
+pub mod maxflow;
+pub mod stats;
+pub mod yen;
+
+pub use bfs::{bfs_distances, bfs_tree, AllPairs};
+pub use bridges::bridges;
+pub use dijkstra::{dijkstra, DijkstraResult};
+pub use graph::{EdgeId, Graph, NodeId};
+pub use maxflow::FlowNetwork;
+pub use stats::{degree_histogram, diameter, is_connected};
+pub use yen::{k_shortest_paths, Path};
+
+/// Distance value used by unweighted searches for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;

@@ -1,0 +1,145 @@
+//! Structural statistics: connectivity, diameter, degree histograms.
+//!
+//! These feed the validation layer (`ft-core` asserts its wiring properties)
+//! and the example binaries that print topology summaries.
+
+use crate::bfs::bfs_distances;
+use crate::graph::{Graph, NodeId};
+use crate::UNREACHABLE;
+
+/// Whether the graph is connected. The empty graph is considered connected.
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    let d = bfs_distances(g, NodeId(0));
+    d.iter().all(|&x| x != UNREACHABLE)
+}
+
+/// Number of connected components.
+pub fn connected_components(g: &Graph) -> usize {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        count += 1;
+        let mut stack = vec![NodeId(start as u32)];
+        comp[start] = count;
+        while let Some(v) = stack.pop() {
+            for (u, _) in g.neighbors(v) {
+                if comp[u.index()] == usize::MAX {
+                    comp[u.index()] = count;
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Graph diameter in hops, or `None` if disconnected or empty.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let mut max = 0;
+    for v in g.nodes() {
+        let d = bfs_distances(g, v);
+        for &x in &d {
+            if x == UNREACHABLE {
+                return None;
+            }
+            max = max.max(x);
+        }
+    }
+    Some(max)
+}
+
+/// Histogram of node degrees: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.nodes() {
+        let d = g.degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Mean node degree (0.0 for the empty graph).
+pub fn mean_degree(g: &Graph) -> f64 {
+    if g.node_count() == 0 {
+        return 0.0;
+    }
+    let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+    total as f64 / g.node_count() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_connected() {
+        assert!(is_connected(&Graph::new(0)));
+        assert_eq!(diameter(&Graph::new(0)), None);
+    }
+
+    #[test]
+    fn singleton_connected_diameter_zero() {
+        let g = Graph::new(1);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(0));
+    }
+
+    #[test]
+    fn path_diameter() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!is_connected(&g));
+        assert_eq!(diameter(&g), None);
+        assert_eq!(connected_components(&g), 2);
+    }
+
+    #[test]
+    fn components_isolated_nodes() {
+        let g = Graph::new(3);
+        assert_eq!(connected_components(&g), 3);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        // star: center degree 3, leaves degree 1
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 3, 0, 1]);
+        assert!((mean_degree(&g) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_respect_removed_edges() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(diameter(&g), Some(1));
+        let (e, _, _) = g.edges().next().unwrap();
+        g.remove_edge(e);
+        assert_eq!(diameter(&g), Some(2));
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,236 @@
+//! Directed capacitated graph used by the flow solvers.
+//!
+//! Undirected data center links are full-duplex: each direction carries the
+//! full link bandwidth independently. [`CapGraph::from_graph`] therefore
+//! expands every undirected edge into two opposing arcs with the given
+//! per-direction capacity — exactly the "all links have one unit bandwidth"
+//! setting of the paper (§3.1).
+//!
+//! The FPTAS re-runs Dijkstra under per-*arc* lengths thousands of times,
+//! so this type keeps its own compact arc-indexed adjacency and a Dijkstra
+//! with early exit at the destination, instead of reusing the undirected
+//! `ft-graph` one (whose lengths are per undirected edge).
+
+use ft_graph::Graph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A directed arc with capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct Arc {
+    /// Tail node.
+    pub from: usize,
+    /// Head node.
+    pub to: usize,
+    /// Capacity (per paper: 1.0 for switch–switch links).
+    pub cap: f64,
+}
+
+/// Directed capacitated multigraph.
+#[derive(Clone, Debug)]
+pub struct CapGraph {
+    arcs: Vec<Arc>,
+    out: Vec<Vec<u32>>,
+}
+
+impl CapGraph {
+    /// Creates an empty graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        CapGraph {
+            arcs: Vec::new(),
+            out: vec![Vec::new(); n],
+        }
+    }
+
+    /// Expands an undirected graph into opposing arc pairs of capacity
+    /// `cap_per_direction` each.
+    pub fn from_graph(g: &Graph, cap_per_direction: f64) -> Self {
+        let mut cg = CapGraph::new(g.node_count());
+        for (_, a, b) in g.edges() {
+            cg.add_arc(a.index(), b.index(), cap_per_direction);
+            cg.add_arc(b.index(), a.index(), cap_per_direction);
+        }
+        cg
+    }
+
+    /// Adds a directed arc; returns its index.
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: f64) -> usize {
+        assert!(from < self.out.len() && to < self.out.len());
+        assert!(cap > 0.0 && cap.is_finite(), "capacity must be positive");
+        let id = self.arcs.len();
+        self.arcs.push(Arc { from, to, cap });
+        self.out[from].push(id as u32);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// The arc with the given index.
+    pub fn arc(&self, i: usize) -> Arc {
+        self.arcs[i]
+    }
+
+    /// All arcs.
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Arc indices leaving `v`.
+    pub fn out_arcs(&self, v: usize) -> &[u32] {
+        &self.out[v]
+    }
+
+    /// Sum of capacities leaving `v`.
+    pub fn out_capacity(&self, v: usize) -> f64 {
+        self.out[v].iter().map(|&a| self.arcs[a as usize].cap).sum()
+    }
+
+    /// Sum of capacities entering `v`. O(arcs); cached by callers that need
+    /// it repeatedly.
+    pub fn in_capacity(&self, v: usize) -> f64 {
+        self.arcs
+            .iter()
+            .filter(|a| a.to == v)
+            .map(|a| a.cap)
+            .sum()
+    }
+
+    /// Dijkstra from `src` under per-arc `lengths`, stopping as soon as
+    /// `dst` is settled. Returns the arc path `src → dst` and its length,
+    /// or `None` if unreachable.
+    ///
+    /// `lengths[i]` must be ≥ 0 for every arc `i`.
+    pub fn shortest_path(&self, src: usize, dst: usize, lengths: &[f64]) -> Option<(Vec<usize>, f64)> {
+        #[derive(PartialEq)]
+        struct E {
+            d: f64,
+            v: usize,
+        }
+        impl Eq for E {}
+        impl Ord for E {
+            fn cmp(&self, o: &Self) -> Ordering {
+                o.d.partial_cmp(&self.d)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| o.v.cmp(&self.v))
+            }
+        }
+        impl PartialOrd for E {
+            fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+
+        let n = self.out.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent: Vec<u32> = vec![u32::MAX; n];
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(E { d: 0.0, v: src });
+        while let Some(E { d, v }) = heap.pop() {
+            if v == dst {
+                break;
+            }
+            if d > dist[v] {
+                continue;
+            }
+            for &ai in &self.out[v] {
+                let a = self.arcs[ai as usize];
+                let nd = d + lengths[ai as usize];
+                if nd < dist[a.to] {
+                    dist[a.to] = nd;
+                    parent[a.to] = ai;
+                    heap.push(E { d: nd, v: a.to });
+                }
+            }
+        }
+        if !dist[dst].is_finite() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let ai = parent[cur];
+            path.push(ai as usize);
+            cur = self.arcs[ai as usize].from;
+        }
+        path.reverse();
+        Some((path, dist[dst]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::Graph;
+
+    #[test]
+    fn from_graph_doubles_edges() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let cg = CapGraph::from_graph(&g, 1.0);
+        assert_eq!(cg.arc_count(), 4);
+        assert_eq!(cg.node_count(), 3);
+        assert_eq!(cg.out_capacity(1), 2.0);
+        assert_eq!(cg.in_capacity(1), 2.0);
+    }
+
+    #[test]
+    fn shortest_path_unit_lengths() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let cg = CapGraph::from_graph(&g, 1.0);
+        let len = vec![1.0; cg.arc_count()];
+        let (path, d) = cg.shortest_path(0, 2, &len).unwrap();
+        assert_eq!(d, 2.0);
+        assert_eq!(path.len(), 2);
+        // arcs chain correctly
+        assert_eq!(cg.arc(path[0]).from, 0);
+        assert_eq!(cg.arc(path[0]).to, cg.arc(path[1]).from);
+        assert_eq!(cg.arc(path[1]).to, 2);
+    }
+
+    #[test]
+    fn shortest_path_weighted_directional() {
+        let mut cg = CapGraph::new(3);
+        let a01 = cg.add_arc(0, 1, 1.0);
+        let a12 = cg.add_arc(1, 2, 1.0);
+        let a02 = cg.add_arc(0, 2, 1.0);
+        let mut len = vec![0.0; 3];
+        len[a01] = 1.0;
+        len[a12] = 1.0;
+        len[a02] = 5.0;
+        let (path, d) = cg.shortest_path(0, 2, &len).unwrap();
+        assert_eq!(d, 2.0);
+        assert_eq!(path, vec![a01, a12]);
+    }
+
+    #[test]
+    fn shortest_path_respects_direction() {
+        let mut cg = CapGraph::new(2);
+        cg.add_arc(0, 1, 1.0);
+        let len = vec![1.0];
+        assert!(cg.shortest_path(1, 0, &len).is_none());
+        assert!(cg.shortest_path(0, 1, &len).is_some());
+    }
+
+    #[test]
+    fn shortest_path_src_is_dst() {
+        let cg = CapGraph::new(1);
+        let (path, d) = cg.shortest_path(0, 0, &[]).unwrap();
+        assert!(path.is_empty());
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let mut cg = CapGraph::new(2);
+        cg.add_arc(0, 1, 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Maximum concurrent multi-commodity flow — the paper's throughput
+//! methodology (§3.1).
+//!
+//! The paper measures topology throughput by assuming optimal routing and
+//! solving the *maximum concurrent multi-commodity flow* problem
+//! \[Leighton & Rao, J.ACM'99\]: maximize λ such that every commodity `j`
+//! can simultaneously route `λ·demand_j` through the network without
+//! exceeding any link capacity. All switch–switch links have unit capacity
+//! per direction; server links are uncapacitated (the paper relaxes server
+//! bandwidth to expose switch-level capacity), which this crate models by
+//! aggregating server-pair demands to their attachment switches before
+//! solving.
+//!
+//! Two solvers are provided:
+//!
+//! * [`exact::max_concurrent_flow_exact`] — the edge-based LP solved with
+//!   `ft-lp`'s simplex. Exact, used for small instances and as the oracle
+//!   that validates the FPTAS.
+//! * [`fptas::max_concurrent_flow`] — the Garg–Könemann fully polynomial
+//!   approximation scheme with Fleischer-style phase routing. Scales to the
+//!   paper's k = 32 networks. The returned λ is *certified primal feasible*
+//!   (we rescale the accumulated flow by its worst link overload), so it is
+//!   a true lower bound regardless of floating-point drift, and the theory
+//!   guarantees it is within `(1 − 3ε)` of optimal.
+//! * [`paths::max_concurrent_flow_on_paths`] — the concurrent-flow LP
+//!   restricted to explicit path sets, quantifying what k-shortest-paths
+//!   routing (§2.6) loses relative to the paper's optimal-routing
+//!   assumption.
+//! * [`bounds`] — cheap cut-based upper bounds used for demand pre-scaling
+//!   and sanity checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod digraph;
+pub mod exact;
+pub mod fptas;
+pub mod paths;
+
+pub use bounds::node_cut_upper_bound;
+pub use digraph::CapGraph;
+pub use exact::max_concurrent_flow_exact;
+pub use fptas::{max_concurrent_flow, FptasOptions, McfSolution};
+pub use paths::{k_shortest_arc_paths, max_concurrent_flow_on_paths, ArcPath};
+
+/// A commodity: `demand` units of flow from switch `src` to switch `dst`
+/// (indices into the switch graph the [`CapGraph`] was built from).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Commodity {
+    /// Source switch index.
+    pub src: usize,
+    /// Destination switch index.
+    pub dst: usize,
+    /// Demand (λ multiplies this).
+    pub demand: f64,
+}
+
+/// Aggregates raw `(src, dst, demand)` triples into one commodity per
+/// ordered switch pair, dropping `src == dst` pairs (they use no network
+/// capacity once server links are uncapacitated — the paper's relaxation).
+pub fn aggregate_commodities(
+    triples: impl IntoIterator<Item = (usize, usize, f64)>,
+) -> Vec<Commodity> {
+    use std::collections::HashMap;
+    let mut acc: HashMap<(usize, usize), f64> = HashMap::new();
+    for (s, t, d) in triples {
+        if s != t && d > 0.0 {
+            *acc.entry((s, t)).or_insert(0.0) += d;
+        }
+    }
+    let mut out: Vec<Commodity> = acc
+        .into_iter()
+        .map(|((src, dst), demand)| Commodity { src, dst, demand })
+        .collect();
+    // deterministic order for reproducible solver behaviour
+    out.sort_by_key(|c| (c.src, c.dst));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_merges_and_drops_self() {
+        let cs = aggregate_commodities(vec![
+            (0, 1, 1.0),
+            (0, 1, 2.0),
+            (1, 0, 1.0),
+            (2, 2, 5.0),
+            (0, 2, 0.0),
+        ]);
+        assert_eq!(
+            cs,
+            vec![
+                Commodity { src: 0, dst: 1, demand: 3.0 },
+                Commodity { src: 1, dst: 0, demand: 1.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregate_empty() {
+        assert!(aggregate_commodities(Vec::<(usize, usize, f64)>::new()).is_empty());
+    }
+}

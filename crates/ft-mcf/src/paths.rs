@@ -1,0 +1,260 @@
+//! Path-restricted maximum concurrent flow.
+//!
+//! The paper's throughput methodology assumes *optimal routing* (§3.1) —
+//! flow may split arbitrarily over every path. A real deployment routes
+//! over a small path set (ECMP or k-shortest paths, §2.6). This module
+//! solves the concurrent-flow LP restricted to explicit per-commodity path
+//! sets, so the *routing gap* — optimal λ vs achievable-under-KSP λ — can
+//! be quantified (see the `routing_gap` integration tests and the
+//! `mode_selection` example).
+//!
+//! Formulation (path-based, exact, via `ft-lp`):
+//!
+//! ```text
+//! maximize   λ
+//! subject to Σ_{p ∋ a} x_p ≤ cap(a)          for every arc a
+//!            Σ_{p ∈ P_j} x_p = λ·d_j          for every commodity j
+//!            x ≥ 0
+//! ```
+//!
+//! Variables are per-path flows, so the LP stays small for the k ≤ 8 path
+//! sets routing actually uses.
+
+use crate::digraph::CapGraph;
+use crate::Commodity;
+use ft_lp::{LpOutcome, LpProblem, Var};
+
+/// A directed path for one commodity: the arc indices it traverses.
+pub type ArcPath = Vec<usize>;
+
+/// Solves max concurrent flow restricted to the given path sets.
+///
+/// `paths[j]` are the admissible paths of `commodities[j]` (arc-index
+/// lists from `CapGraph::shortest_path` or expanded from routing tables).
+/// Returns 0.0 if any commodity has an empty path set (it cannot route at
+/// all), `f64::INFINITY` for an empty commodity list.
+///
+/// # Panics
+/// Panics if `paths.len() != commodities.len()` or a path is inconsistent
+/// with its commodity endpoints (debug builds).
+pub fn max_concurrent_flow_on_paths(
+    g: &CapGraph,
+    commodities: &[Commodity],
+    paths: &[Vec<ArcPath>],
+) -> f64 {
+    assert_eq!(
+        commodities.len(),
+        paths.len(),
+        "one path set per commodity"
+    );
+    if commodities.is_empty() {
+        return f64::INFINITY;
+    }
+    if paths.iter().any(|p| p.is_empty()) {
+        return 0.0;
+    }
+    #[cfg(debug_assertions)]
+    for (c, ps) in commodities.iter().zip(paths) {
+        for p in ps {
+            if let (Some(&first), Some(&last)) = (p.first(), p.last()) {
+                debug_assert_eq!(g.arc(first).from, c.src, "path must start at src");
+                debug_assert_eq!(g.arc(last).to, c.dst, "path must end at dst");
+            }
+        }
+    }
+
+    let mut lp = LpProblem::new();
+    let lambda = lp.add_var(1.0);
+    // per-path flow variables
+    let xs: Vec<Vec<Var>> = paths
+        .iter()
+        .map(|ps| ps.iter().map(|_| lp.add_var(0.0)).collect())
+        .collect();
+    // arc capacities
+    let mut on_arc: Vec<Vec<Var>> = vec![Vec::new(); g.arc_count()];
+    for (j, ps) in paths.iter().enumerate() {
+        for (pi, p) in ps.iter().enumerate() {
+            for &a in p {
+                on_arc[a].push(xs[j][pi]);
+            }
+        }
+    }
+    for (a, vars) in on_arc.iter().enumerate() {
+        if !vars.is_empty() {
+            let terms: Vec<(Var, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+            lp.add_le(&terms, g.arc(a).cap);
+        }
+    }
+    // demand satisfaction
+    for (j, c) in commodities.iter().enumerate() {
+        let mut terms: Vec<(Var, f64)> = xs[j].iter().map(|&v| (v, 1.0)).collect();
+        terms.push((lambda, -c.demand));
+        lp.add_eq(&terms, 0.0);
+    }
+    match lp.solve() {
+        LpOutcome::Optimal(s) => s.value(lambda),
+        LpOutcome::Infeasible => unreachable!("zero flow is always feasible"),
+        LpOutcome::Unbounded => f64::INFINITY,
+    }
+}
+
+/// Enumerates up to `k` shortest arc-paths per commodity under hop-count
+/// lengths, as a routing-realistic path set. This is a light-weight
+/// per-commodity Yen on the directed graph (sufficient for the small k
+/// used by routing; `ft-control` owns the production KSP machinery on the
+/// undirected switch graph).
+pub fn k_shortest_arc_paths(g: &CapGraph, c: &Commodity, k: usize) -> Vec<ArcPath> {
+    let ones = vec![1.0; g.arc_count()];
+    let mut accepted: Vec<(ArcPath, f64)> = Vec::new();
+    let Some((first, len)) = g.shortest_path(c.src, c.dst, &ones) else {
+        return Vec::new();
+    };
+    accepted.push((first, len));
+    let mut candidates: Vec<(ArcPath, f64)> = Vec::new();
+    while accepted.len() < k {
+        let (prev, _) = accepted.last().unwrap().clone();
+        // spur at every prefix: ban the next arc of same-prefix accepted
+        // paths by inflating its length
+        for spur in 0..prev.len() {
+            let root = &prev[..spur];
+            let mut lengths = ones.clone();
+            for (p, _) in &accepted {
+                if p.len() > spur && &p[..spur] == root {
+                    lengths[p[spur]] = f64::INFINITY;
+                }
+            }
+            // also ban revisiting root nodes by inflating their out-arcs
+            let spur_node = if spur == 0 { c.src } else { g.arc(prev[spur - 1]).to };
+            let mut banned_nodes: Vec<usize> = root.iter().map(|&a| g.arc(a).from).collect();
+            banned_nodes.retain(|&v| v != spur_node);
+            for &v in &banned_nodes {
+                for &ai in g.out_arcs(v) {
+                    lengths[ai as usize] = f64::INFINITY;
+                }
+            }
+            if let Some((tail, tail_len)) = g.shortest_path(spur_node, c.dst, &lengths) {
+                if tail_len.is_finite() {
+                    let mut path = root.to_vec();
+                    path.extend_from_slice(&tail);
+                    let total = path.len() as f64;
+                    if !accepted.iter().any(|(p, _)| *p == path)
+                        && !candidates.iter().any(|(p, _)| *p == path)
+                    {
+                        candidates.push((path, total));
+                    }
+                }
+            }
+        }
+        let Some(best) = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        accepted.push(candidates.swap_remove(best));
+    }
+    accepted.into_iter().map(|(p, _)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::max_concurrent_flow_exact;
+    use ft_graph::Graph;
+
+    fn unit(n: usize, edges: &[(u32, u32)]) -> CapGraph {
+        CapGraph::from_graph(&Graph::from_edges(n, edges), 1.0)
+    }
+
+    #[test]
+    fn single_path_restriction() {
+        // diamond: optimal routing λ = 2 (two disjoint paths); restricted
+        // to one path λ = 1
+        let g = unit(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let c = Commodity { src: 0, dst: 3, demand: 1.0 };
+        let one = k_shortest_arc_paths(&g, &c, 1);
+        assert_eq!(one.len(), 1);
+        let l1 = max_concurrent_flow_on_paths(&g, &[c], &[one]);
+        assert!((l1 - 1.0).abs() < 1e-6, "λ = {l1}");
+        let two = k_shortest_arc_paths(&g, &c, 2);
+        assert_eq!(two.len(), 2);
+        let l2 = max_concurrent_flow_on_paths(&g, &[c], &[two]);
+        assert!((l2 - 2.0).abs() < 1e-6, "λ = {l2}");
+    }
+
+    #[test]
+    fn enough_paths_recover_optimum() {
+        // K4: with generous path sets, the path-restricted LP matches the
+        // edge-based optimum
+        let g = unit(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let cs = [
+            Commodity { src: 0, dst: 3, demand: 1.0 },
+            Commodity { src: 1, dst: 2, demand: 1.0 },
+        ];
+        let exact = max_concurrent_flow_exact(&g, &cs);
+        let paths: Vec<Vec<ArcPath>> = cs
+            .iter()
+            .map(|c| k_shortest_arc_paths(&g, c, 8))
+            .collect();
+        let restricted = max_concurrent_flow_on_paths(&g, &cs, &paths);
+        assert!(restricted <= exact + 1e-6);
+        assert!(
+            restricted >= exact - 1e-6,
+            "restricted {restricted} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn restriction_never_helps() {
+        let g = unit(5, &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4), (1, 2)]);
+        let cs = [Commodity { src: 0, dst: 4, demand: 2.0 }];
+        let exact = max_concurrent_flow_exact(&g, &cs);
+        for k in 1..=4 {
+            let paths = vec![k_shortest_arc_paths(&g, &cs[0], k)];
+            let restricted = max_concurrent_flow_on_paths(&g, &cs, &paths);
+            assert!(
+                restricted <= exact + 1e-6,
+                "k = {k}: restricted {restricted} beats exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_path_set_zero() {
+        let g = unit(3, &[(0, 1)]);
+        let c = Commodity { src: 0, dst: 2, demand: 1.0 };
+        assert!(k_shortest_arc_paths(&g, &c, 3).is_empty());
+        let l = max_concurrent_flow_on_paths(&g, &[c], &[vec![]]);
+        assert_eq!(l, 0.0);
+    }
+
+    #[test]
+    fn no_commodities_infinite() {
+        let g = unit(2, &[(0, 1)]);
+        assert!(max_concurrent_flow_on_paths(&g, &[], &[]).is_infinite());
+    }
+
+    #[test]
+    fn ksp_paths_are_simple_and_sorted() {
+        let g = unit(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let c = Commodity { src: 0, dst: 4, demand: 1.0 };
+        let ps = k_shortest_arc_paths(&g, &c, 5);
+        assert!(!ps.is_empty());
+        for w in ps.windows(2) {
+            assert!(w[0].len() <= w[1].len(), "paths must be sorted by hops");
+        }
+        for p in &ps {
+            // no repeated nodes
+            let mut nodes = vec![g.arc(p[0]).from];
+            for &a in p {
+                nodes.push(g.arc(a).to);
+            }
+            let mut dedup = nodes.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), nodes.len(), "loop in {p:?}");
+        }
+    }
+}

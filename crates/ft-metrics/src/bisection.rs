@@ -1,0 +1,166 @@
+//! Bisection bandwidth estimation.
+//!
+//! A topology's bisection bandwidth — the minimum link capacity crossing
+//! any equal split of the *servers* — is the classic summary of worst-case
+//! all-to-all capacity, and the random-graph literature the paper builds on
+//! (Jellyfish, Singla's thesis) uses it heavily. Finding the true minimum
+//! bisection is NP-hard; this module reports two useful estimates:
+//!
+//! * [`random_bisection_bandwidth`] — the minimum over sampled random
+//!   server bisections (an *upper bound* on the true bisection bandwidth;
+//!   tight in practice for well-mixed graphs);
+//! * [`pod_bisection_bandwidth`] — the capacity crossing the natural
+//!   Pod-aligned bisection (first half of the Pods vs the rest), the cut an
+//!   operator would reason about on a Clos network.
+
+use ft_graph::NodeId;
+use ft_topo::Network;
+use rand::prelude::*;
+
+/// Capacity (link count × unit capacity) crossing a server bipartition.
+/// `side[s]` tells which side each *switch* is on; switches are assigned by
+/// majority of their servers, serverless switches by `tiebreak`.
+fn cut_across(net: &Network, server_side: &[bool], tiebreak: bool) -> u32 {
+    // Assign each switch to the side holding most of its servers.
+    let mut votes = vec![(0u32, 0u32); net.num_switches()];
+    for (i, s) in net.servers().enumerate() {
+        let sw = net.attachment(s).index();
+        if server_side[i] {
+            votes[sw].0 += 1;
+        } else {
+            votes[sw].1 += 1;
+        }
+    }
+    let side: Vec<bool> = votes
+        .iter()
+        .map(|&(a, b)| {
+            if a == b {
+                tiebreak
+            } else {
+                a > b
+            }
+        })
+        .collect();
+    let mut cut = 0;
+    for (_, a, b) in net.graph().edges() {
+        if a.index() < net.num_switches() && b.index() < net.num_switches()
+            && side[a.index()] != side[b.index()] {
+                cut += 1;
+            }
+    }
+    cut
+}
+
+/// Minimum cut capacity over `trials` random equal server bisections.
+/// Deterministic for a given seed. Returns 0 for networks with < 2 servers.
+pub fn random_bisection_bandwidth(net: &Network, trials: usize, seed: u64) -> u32 {
+    let n = net.num_servers();
+    if n < 2 {
+        return 0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best = u32::MAX;
+    let mut order: Vec<usize> = (0..n).collect();
+    for t in 0..trials.max(1) {
+        order.shuffle(&mut rng);
+        let mut side = vec![false; n];
+        for &i in order.iter().take(n / 2) {
+            side[i] = true;
+        }
+        best = best.min(cut_across(net, &side, t % 2 == 0));
+    }
+    best
+}
+
+/// Capacity crossing the Pod-aligned bisection: servers of the first
+/// ⌈pods/2⌉ Pods vs the rest. Networks without Pod annotations fall back
+/// to a server-id split.
+pub fn pod_bisection_bandwidth(net: &Network) -> u32 {
+    let n = net.num_servers();
+    if n < 2 {
+        return 0;
+    }
+    let pods: Vec<Option<u32>> = net.servers().map(|s| net.pod(s)).collect();
+    let max_pod = pods.iter().flatten().copied().max();
+    let side: Vec<bool> = match max_pod {
+        Some(mp) => pods
+            .iter()
+            .map(|p| p.unwrap_or(0) <= mp / 2)
+            .collect(),
+        None => (0..n).map(|i| i < n / 2).collect(),
+    };
+    cut_across(net, &side, false)
+}
+
+/// Convenience: servers on one NodeId list vs the rest (used by zone
+/// capacity analysis).
+pub fn cut_between(net: &Network, group: &[NodeId]) -> u32 {
+    let set: std::collections::HashSet<NodeId> = group.iter().copied().collect();
+    let side: Vec<bool> = net.servers().map(|s| set.contains(&s)).collect();
+    cut_across(net, &side, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_topo::{fat_tree, jellyfish_matching_fat_tree};
+
+    #[test]
+    fn fat_tree_pod_bisection() {
+        // splitting k = 4 between pods {0,1} and {2,3}: serverless cores
+        // receive no votes and land on the second side, so exactly the
+        // first side's 2 pods × 4 uplinks cross the cut
+        let net = fat_tree(4).unwrap();
+        assert_eq!(pod_bisection_bandwidth(&net), 8);
+    }
+
+    #[test]
+    fn random_bisection_upper_bounds_are_stable() {
+        let net = fat_tree(4).unwrap();
+        let a = random_bisection_bandwidth(&net, 16, 9);
+        let b = random_bisection_bandwidth(&net, 16, 9);
+        assert_eq!(a, b, "deterministic per seed");
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn more_trials_never_increase_the_minimum() {
+        let net = jellyfish_matching_fat_tree(6, 1).unwrap();
+        let few = random_bisection_bandwidth(&net, 4, 5);
+        let many = random_bisection_bandwidth(&net, 32, 5);
+        assert!(many <= few);
+    }
+
+    #[test]
+    fn random_graph_richer_bisection_than_fat_tree() {
+        // the paper's premise: random graphs have more usable bandwidth
+        let k = 8;
+        let ft = fat_tree(k).unwrap();
+        let rg = jellyfish_matching_fat_tree(k, 2).unwrap();
+        let ft_cut = random_bisection_bandwidth(&ft, 24, 3);
+        let rg_cut = random_bisection_bandwidth(&rg, 24, 3);
+        assert!(
+            rg_cut > ft_cut,
+            "random graph bisection {rg_cut} should exceed fat-tree {ft_cut}"
+        );
+    }
+
+    #[test]
+    fn tiny_networks() {
+        use ft_topo::{DeviceKind, NetworkBuilder};
+        let mut b = NetworkBuilder::new("x");
+        let sw = b.add_switch(DeviceKind::Generic, 2, None).unwrap();
+        let s = b.add_server(None);
+        b.add_link(s, sw).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(random_bisection_bandwidth(&net, 4, 0), 0);
+        assert_eq!(pod_bisection_bandwidth(&net), 0);
+    }
+
+    #[test]
+    fn cut_between_zones() {
+        let net = fat_tree(4).unwrap();
+        let group: Vec<_> = net.servers().take(8).collect(); // pods 0–1
+        assert_eq!(cut_between(&net, &group), 8);
+    }
+}

@@ -1,0 +1,259 @@
+//! Average server-pair path length (Figures 5 and 6).
+//!
+//! Rather than running BFS per server (`k³/4` sources at k = 32), the
+//! implementation runs one BFS per *switch that hosts servers* and weights
+//! each switch pair by the number of server pairs attached to it:
+//!
+//! ```text
+//! APL = [ Σ_{a,b} n_a·n_b·(d(a,b) + 2)  −  Σ_a n_a·2 ] / [N·(N−1)]
+//! ```
+//!
+//! where `n_a` is the server count on switch `a`, `d` the switch-graph BFS
+//! distance, `+2` the two server–switch hops, and the subtracted term
+//! removes self-pairs (a server to itself). Distinct servers on the same
+//! switch are correctly counted at distance 2.
+
+use ft_graph::{bfs_distances, Graph, NodeId, UNREACHABLE};
+use ft_topo::Network;
+use std::collections::BTreeMap;
+
+/// Average path length in hops over all ordered pairs of distinct servers.
+///
+/// Returns `NaN` for networks with fewer than two servers, and `∞` if any
+/// server pair is disconnected.
+pub fn average_server_path_length(net: &Network) -> f64 {
+    let counts = net.server_counts();
+    let sg = net.switch_graph();
+    let (sum, pairs) = weighted_sum(&sg, &counts, None);
+    if pairs == 0.0 {
+        return f64::NAN;
+    }
+    sum / pairs
+}
+
+/// Average path length over ordered pairs of distinct servers *in the same
+/// Pod* (Figure 6). Paths may leave the Pod; only the endpoints are
+/// restricted.
+///
+/// Networks without Pod annotations (e.g. Jellyfish, whose servers have no
+/// meaningful Pod) are grouped into pseudo-Pods of `fallback_pod_size`
+/// consecutive servers — the paper's implicit treatment when it reports
+/// intra-Pod numbers for the random graph.
+pub fn average_intra_pod_path_length(net: &Network, fallback_pod_size: usize) -> f64 {
+    // Group servers by pod (or pseudo-pod).
+    let mut groups: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    let annotated = net.servers().any(|s| net.pod(s).is_some());
+    for (i, s) in net.servers().enumerate() {
+        let pod = if annotated {
+            net.pod(s).unwrap_or(u32::MAX)
+        } else {
+            (i / fallback_pod_size.max(1)) as u32
+        };
+        groups.entry(pod).or_default().push(s);
+    }
+    let sg = net.switch_graph();
+    let mut total = 0.0;
+    let mut pairs = 0.0;
+    for servers in groups.values() {
+        let mut counts = vec![0u32; net.num_switches()];
+        for &s in servers {
+            counts[net.attachment(s).index()] += 1;
+        }
+        let (sum, p) = weighted_sum(&sg, &counts, None);
+        total += sum;
+        pairs += p;
+    }
+    if pairs == 0.0 {
+        return f64::NAN;
+    }
+    total / pairs
+}
+
+/// Histogram of server-pair path lengths: `hist[h]` = number of ordered
+/// pairs of distinct servers at `h` hops. Useful for tail analysis beyond
+/// the paper's averages.
+pub fn path_length_histogram(net: &Network) -> Vec<u64> {
+    let counts = net.server_counts();
+    let sg = net.switch_graph();
+    let sources: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] > 0).collect();
+    let mut hist: Vec<u64> = Vec::new();
+    let mut bump = |h: usize, n: u64| {
+        if h >= hist.len() {
+            hist.resize(h + 1, 0);
+        }
+        hist[h] += n;
+    };
+    for &a in &sources {
+        let dist = bfs_distances(&sg, NodeId(a as u32));
+        for &b in &sources {
+            if dist[b] == UNREACHABLE {
+                continue;
+            }
+            let d = dist[b] as usize + 2;
+            let n = if a == b {
+                (counts[a] as u64) * (counts[a] as u64 - 1)
+            } else {
+                counts[a] as u64 * counts[b] as u64
+            };
+            if n > 0 {
+                bump(d, n);
+            }
+        }
+    }
+    hist
+}
+
+/// Shared weighted-APSP accumulation. Returns `(Σ weight·hops, Σ weight)`
+/// over ordered pairs of distinct servers; disconnected pairs contribute
+/// `∞`.
+fn weighted_sum(sg: &Graph, counts: &[u32], _reserved: Option<()>) -> (f64, f64) {
+    let total_servers: u64 = counts.iter().map(|&c| c as u64).sum();
+    if total_servers < 2 {
+        return (0.0, 0.0);
+    }
+    let sources: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] > 0).collect();
+    let mut sum = 0.0f64;
+    for &a in &sources {
+        let dist = bfs_distances(sg, NodeId(a as u32));
+        let na = counts[a] as f64;
+        for &b in &sources {
+            let w = na * counts[b] as f64;
+            if dist[b] == UNREACHABLE {
+                return (f64::INFINITY, 1.0);
+            }
+            sum += w * (dist[b] as f64 + 2.0);
+        }
+        // remove self-pairs on switch a (they were counted at d+2 = 2 with
+        // weight n_a·n_a; the true same-switch distinct pairs are
+        // n_a·(n_a−1), also at 2 hops)
+        sum -= 2.0 * na;
+    }
+    let n = total_servers as f64;
+    (sum, n * (n - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_topo::{fat_tree, jellyfish_matching_fat_tree};
+
+    #[test]
+    fn two_servers_one_switch() {
+        use ft_topo::{DeviceKind, NetworkBuilder};
+        let mut b = NetworkBuilder::new("x");
+        let sw = b.add_switch(DeviceKind::Generic, 4, None).unwrap();
+        let s0 = b.add_server(None);
+        let s1 = b.add_server(None);
+        b.add_link(s0, sw).unwrap();
+        b.add_link(s1, sw).unwrap();
+        let n = b.build().unwrap();
+        assert_eq!(average_server_path_length(&n), 2.0);
+    }
+
+    #[test]
+    fn single_server_nan() {
+        use ft_topo::{DeviceKind, NetworkBuilder};
+        let mut b = NetworkBuilder::new("x");
+        let sw = b.add_switch(DeviceKind::Generic, 4, None).unwrap();
+        let s0 = b.add_server(None);
+        b.add_link(s0, sw).unwrap();
+        let n = b.build().unwrap();
+        assert!(average_server_path_length(&n).is_nan());
+    }
+
+    /// Closed-form fat-tree APL: pairs on the same edge switch are 2 hops,
+    /// same pod different edge 4 hops, inter-pod 6 hops.
+    fn fat_tree_apl_closed_form(k: usize) -> f64 {
+        let n = (k * k * k / 4) as f64; // servers
+        let spe = (k / 2) as f64; // servers per edge
+        let spp = (k * k / 4) as f64; // servers per pod
+        let same_edge = n * (spe - 1.0);
+        let same_pod = n * (spp - spe);
+        let inter_pod = n * (n - spp);
+        (2.0 * same_edge + 4.0 * same_pod + 6.0 * inter_pod) / (n * (n - 1.0))
+    }
+
+    #[test]
+    fn fat_tree_matches_closed_form() {
+        for k in [4, 6, 8] {
+            let net = fat_tree(k).unwrap();
+            let apl = average_server_path_length(&net);
+            let expected = fat_tree_apl_closed_form(k);
+            assert!(
+                (apl - expected).abs() < 1e-9,
+                "k = {k}: {apl} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fat_tree_intra_pod_is_shorter() {
+        let net = fat_tree(8).unwrap();
+        let intra = average_intra_pod_path_length(&net, 16);
+        let global = average_server_path_length(&net);
+        assert!(intra < global);
+        // intra-pod closed form: same edge 2 hops, else 4
+        let spe = 4.0;
+        let spp = 16.0;
+        let expected = (2.0 * (spe - 1.0) + 4.0 * (spp - spe)) / (spp - 1.0);
+        assert!((intra - expected).abs() < 1e-9, "{intra} vs {expected}");
+    }
+
+    #[test]
+    fn random_graph_shorter_than_fat_tree() {
+        // the paper's core premise: random graphs have shorter paths
+        let k = 8;
+        let ft = average_server_path_length(&fat_tree(k).unwrap());
+        let rg =
+            average_server_path_length(&jellyfish_matching_fat_tree(k, 1).unwrap());
+        assert!(
+            rg < ft,
+            "random graph APL {rg} should beat fat-tree {ft}"
+        );
+    }
+
+    #[test]
+    fn jellyfish_intra_pod_uses_pseudo_pods() {
+        let k = 6;
+        let net = jellyfish_matching_fat_tree(k, 2).unwrap();
+        let v = average_intra_pod_path_length(&net, k * k / 4);
+        assert!(v.is_finite() && v >= 2.0);
+    }
+
+    #[test]
+    fn histogram_consistent_with_average() {
+        let net = fat_tree(4).unwrap();
+        let hist = path_length_histogram(&net);
+        let total: u64 = hist.iter().sum();
+        let n = net.num_servers() as u64;
+        assert_eq!(total, n * (n - 1));
+        let mean: f64 = hist
+            .iter()
+            .enumerate()
+            .map(|(h, &c)| h as f64 * c as f64)
+            .sum::<f64>()
+            / total as f64;
+        let apl = average_server_path_length(&net);
+        assert!((mean - apl).abs() < 1e-9);
+        // fat-tree histogram has mass only at 2, 4, 6
+        for (h, &c) in hist.iter().enumerate() {
+            if c > 0 {
+                assert!(matches!(h, 2 | 4 | 6), "unexpected hop count {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pair_infinite() {
+        use ft_topo::{DeviceKind, NetworkBuilder};
+        let mut b = NetworkBuilder::new("x");
+        let sw0 = b.add_switch(DeviceKind::Generic, 4, None).unwrap();
+        let sw1 = b.add_switch(DeviceKind::Generic, 4, None).unwrap();
+        let s0 = b.add_server(None);
+        let s1 = b.add_server(None);
+        b.add_link(s0, sw0).unwrap();
+        b.add_link(s1, sw1).unwrap();
+        let n = b.build().unwrap();
+        assert!(average_server_path_length(&n).is_infinite());
+    }
+}

@@ -1,0 +1,214 @@
+//! Plain-text reporting: fixed-width tables and named series.
+//!
+//! The experiment binaries print one table per paper figure — a row per
+//! sweep point (the fat-tree parameter k) and a column per curve — plus a
+//! CSV form for downstream plotting.
+
+use std::fmt::Write;
+
+/// A named data series: `(x, y)` points, as one curve of a paper figure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Curve label (e.g. `"Fat-tree locality"`).
+    pub name: String,
+    /// Sample points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Looks up y at the given x, if sampled.
+    pub fn at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+}
+
+/// A rectangular table for terminal output.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Builds a table from series sharing a common x axis: first column is
+    /// x (labelled `x_name`), then one column per series. Missing samples
+    /// render as `-`.
+    pub fn from_series(x_name: &str, series: &[Series]) -> Self {
+        let mut xs: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let mut headers = vec![x_name.to_string()];
+        headers.extend(series.iter().map(|s| s.name.clone()));
+        let mut t = Table {
+            headers,
+            rows: Vec::new(),
+        };
+        for x in xs {
+            let mut row = vec![format_num(x)];
+            for s in series {
+                row.push(match s.at(x) {
+                    Some(y) => format_num(y),
+                    None => "-".to_string(),
+                });
+            }
+            t.rows.push(row);
+        }
+        t
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned, space-padded columns.
+    pub fn to_aligned_string(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (comma-separated, no quoting — labels here never
+    /// contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a number compactly: integers without decimals, else 4 significant
+/// decimals.
+pub fn format_num(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 { "inf".into() } else { "-inf".into() };
+    }
+    if v.is_nan() {
+        return "nan".into();
+    }
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e12 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_push_and_at() {
+        let mut s = Series::new("a");
+        s.push(4.0, 1.5);
+        s.push(6.0, 2.5);
+        assert_eq!(s.at(4.0), Some(1.5));
+        assert_eq!(s.at(5.0), None);
+    }
+
+    #[test]
+    fn table_from_series_aligns_x() {
+        let mut a = Series::new("A");
+        a.push(4.0, 1.0);
+        a.push(6.0, 2.0);
+        let mut b = Series::new("B");
+        b.push(6.0, 3.0);
+        b.push(8.0, 4.0);
+        let t = Table::from_series("k", &[a, b]);
+        assert_eq!(t.len(), 3);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("k,A,B\n"));
+        assert!(csv.contains("4,1,-"));
+        assert!(csv.contains("6,2,3"));
+        assert!(csv.contains("8,-,4"));
+    }
+
+    #[test]
+    fn aligned_output_has_ruler() {
+        let mut t = Table::new(&["k", "value"]);
+        t.push_row(vec!["4".into(), "1.2345".into()]);
+        let s = t.to_aligned_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn format_num_variants() {
+        assert_eq!(format_num(4.0), "4");
+        assert_eq!(format_num(0.12345), "0.1235");
+        assert_eq!(format_num(f64::INFINITY), "inf");
+        assert_eq!(format_num(f64::NAN), "nan");
+    }
+}

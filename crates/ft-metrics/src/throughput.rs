@@ -1,0 +1,198 @@
+//! Throughput of a topology under a traffic matrix — the paper's §3.1
+//! methodology end to end.
+//!
+//! 1. Aggregate the server-level matrix to attachment switches (server
+//!    links are uncapacitated per the paper's relaxation; same-switch pairs
+//!    drop out).
+//! 2. Give every switch–switch link unit capacity per direction.
+//! 3. Solve maximum concurrent flow: exactly (simplex LP) when the instance
+//!    is small enough, otherwise with the certified FPTAS.
+//!
+//! The reported λ is the per-flow throughput the paper plots on the y-axes
+//! of Figures 7 and 8.
+
+use ft_mcf::{
+    aggregate_commodities, max_concurrent_flow, max_concurrent_flow_exact, CapGraph, Commodity,
+    FptasOptions,
+};
+use ft_topo::Network;
+use ft_workload::TrafficMatrix;
+
+/// Solver configuration for [`throughput`].
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputOptions {
+    /// FPTAS approximation parameter (certified λ ≥ (1 − 3ε)·OPT).
+    pub epsilon: f64,
+    /// Use the exact LP when `commodities × arcs` is at most this
+    /// (LP variable count); beyond it, the FPTAS runs. 0 forces the FPTAS.
+    pub exact_threshold: usize,
+    /// Optional hard cap on FPTAS shortest-path computations.
+    pub max_steps: Option<usize>,
+}
+
+impl Default for ThroughputOptions {
+    fn default() -> Self {
+        ThroughputOptions {
+            epsilon: 0.1,
+            exact_threshold: 2_000,
+            max_steps: None,
+        }
+    }
+}
+
+impl ThroughputOptions {
+    /// FPTAS-only options with the given ε.
+    pub fn fptas(epsilon: f64) -> Self {
+        ThroughputOptions {
+            epsilon,
+            exact_threshold: 0,
+            max_steps: None,
+        }
+    }
+}
+
+/// Result of a throughput evaluation.
+#[derive(Clone, Debug)]
+pub struct ThroughputResult {
+    /// Concurrent per-flow throughput λ.
+    pub lambda: f64,
+    /// Whether the exact LP (true) or the FPTAS (false) produced it.
+    pub exact: bool,
+    /// Commodities after switch-level aggregation.
+    pub commodities: usize,
+    /// Node-cut upper bound on λ (∞ when unconstrained / exact path).
+    pub upper_bound: f64,
+}
+
+/// Evaluates λ for the network under the given server-level matrix.
+pub fn throughput(net: &Network, tm: &TrafficMatrix, opts: ThroughputOptions) -> ThroughputResult {
+    let commodities: Vec<Commodity> = aggregate_commodities(tm.switch_triples(net));
+    throughput_on_commodities(net, &commodities, opts)
+}
+
+/// Evaluates λ for pre-aggregated switch-level commodities. Exposed for
+/// callers (hybrid-mode experiments) that combine matrices before solving.
+pub fn throughput_on_commodities(
+    net: &Network,
+    commodities: &[Commodity],
+    opts: ThroughputOptions,
+) -> ThroughputResult {
+    let sg = net.switch_graph();
+    let cg = CapGraph::from_graph(&sg, 1.0);
+    if commodities.is_empty() {
+        return ThroughputResult {
+            lambda: f64::INFINITY,
+            exact: true,
+            commodities: 0,
+            upper_bound: f64::INFINITY,
+        };
+    }
+    let lp_vars = commodities.len() * cg.arc_count();
+    if lp_vars <= opts.exact_threshold {
+        ThroughputResult {
+            lambda: max_concurrent_flow_exact(&cg, commodities),
+            exact: true,
+            commodities: commodities.len(),
+            upper_bound: f64::INFINITY,
+        }
+    } else {
+        let sol = max_concurrent_flow(
+            &cg,
+            commodities,
+            FptasOptions {
+                epsilon: opts.epsilon,
+                max_steps: opts.max_steps,
+            },
+        );
+        ThroughputResult {
+            lambda: sol.lambda,
+            exact: false,
+            commodities: commodities.len(),
+            upper_bound: sol.upper_bound,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_topo::{fat_tree, jellyfish_matching_fat_tree};
+    use ft_workload::{generate, Locality, TrafficPattern, WorkloadSpec};
+
+    #[test]
+    fn same_switch_traffic_is_free() {
+        let net = fat_tree(4).unwrap();
+        // all-to-all among the 2 servers of one edge switch: same-switch
+        // pairs only → unconstrained
+        let spec = WorkloadSpec {
+            pattern: TrafficPattern::AllToAll,
+            cluster_size: 2,
+            locality: Locality::Strong,
+        };
+        let tm = generate(&net, &spec, 1);
+        // clusters of 2 over contiguous ids = exactly the co-located pairs
+        let r = throughput(&net, &tm, ThroughputOptions::default());
+        assert!(r.lambda.is_infinite());
+        assert_eq!(r.commodities, 0);
+    }
+
+    #[test]
+    fn fat_tree_all_to_all_exact_vs_fptas() {
+        let net = fat_tree(4).unwrap();
+        let spec = WorkloadSpec {
+            pattern: TrafficPattern::AllToAll,
+            cluster_size: 8,
+            locality: Locality::Strong,
+        };
+        let tm = generate(&net, &spec, 1);
+        let exact = throughput(
+            &net,
+            &tm,
+            ThroughputOptions {
+                exact_threshold: usize::MAX,
+                ..Default::default()
+            },
+        );
+        assert!(exact.exact);
+        let approx = throughput(&net, &tm, ThroughputOptions::fptas(0.05));
+        assert!(!approx.exact);
+        assert!(approx.lambda <= exact.lambda + 1e-6);
+        assert!(
+            approx.lambda >= 0.8 * exact.lambda,
+            "approx {} vs exact {}",
+            approx.lambda,
+            exact.lambda
+        );
+    }
+
+    #[test]
+    fn random_graph_beats_fat_tree_on_hotspot() {
+        // the paper's headline: ~1.5× throughput for broadcast/incast
+        let k = 6;
+        let spec = WorkloadSpec {
+            pattern: TrafficPattern::HotSpot,
+            cluster_size: 27, // one pod's worth, spans pods
+            locality: Locality::None,
+        };
+        let ft = fat_tree(k).unwrap();
+        let rg = jellyfish_matching_fat_tree(k, 3).unwrap();
+        let tm_ft = generate(&ft, &spec, 9);
+        let tm_rg = generate(&rg, &spec, 9);
+        let o = ThroughputOptions::fptas(0.08);
+        let lf = throughput(&ft, &tm_ft, o).lambda;
+        let lr = throughput(&rg, &tm_rg, o).lambda;
+        assert!(
+            lr > lf,
+            "random graph λ {lr} should beat fat-tree λ {lf}"
+        );
+    }
+
+    #[test]
+    fn lambda_within_upper_bound() {
+        let net = fat_tree(4).unwrap();
+        let tm = generate(&net, &WorkloadSpec::hotspot(Locality::Strong), 2);
+        let r = throughput(&net, &tm, ThroughputOptions::fptas(0.1));
+        assert!(r.lambda <= r.upper_bound + 1e-9);
+        assert!(r.lambda > 0.0);
+    }
+}

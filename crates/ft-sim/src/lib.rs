@@ -1,0 +1,35 @@
+//! Flow-level network simulator — an extension beyond the paper's
+//! LP-based evaluation.
+//!
+//! The paper measures *optimal-routing* throughput (maximum concurrent
+//! flow). A downstream adopter also wants to know what a real dataplane
+//! with hashed path selection and TCP-like fair sharing would deliver, and
+//! how the network behaves under link failures. This crate simulates
+//! exactly that:
+//!
+//! * flows are routed once (ECMP or k-shortest-paths, per the active mode's
+//!   routing from `ft-control`) with deterministic per-flow hashing;
+//! * link bandwidth is shared **max-min fairly** among the flows crossing
+//!   each directed link (the classic fluid approximation of per-flow
+//!   fairness, computed by progressive filling);
+//! * the event loop advances from flow completion to flow completion,
+//!   recording flow completion times;
+//! * scheduled link failures/repairs re-route affected flows mid-run —
+//!   modeling the paper's §5 "self-recovery of the topology from failures"
+//!   direction.
+//!
+//! Determinism: identical inputs (network, flows, events) produce identical
+//! schedules; there is no hidden RNG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flows;
+pub mod ratealloc;
+pub mod simulator;
+
+pub use flows::{flows_from_matrix, flows_with_arrivals};
+pub use ratealloc::{max_min_rates, DirectedLink};
+pub use simulator::{
+    FlowRecord, FlowSpec, NetworkEvent, RouterPolicy, SimReport, Simulator,
+};

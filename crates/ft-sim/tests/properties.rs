@@ -1,0 +1,98 @@
+//! Property-based tests for the max-min rate allocator: the two defining
+//! properties of a max-min fair allocation must hold for arbitrary path
+//! sets.
+
+use ft_graph::EdgeId;
+use ft_sim::{max_min_rates, DirectedLink};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_paths() -> impl Strategy<Value = Vec<Vec<DirectedLink>>> {
+    // up to 12 flows, each crossing up to 5 of 8 directed links
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..8, any::<bool>()), 1..5),
+        1..12,
+    )
+    .prop_map(|flows| {
+        flows
+            .into_iter()
+            .map(|links| {
+                let mut seen = std::collections::HashSet::new();
+                links
+                    .into_iter()
+                    .map(|(e, forward)| DirectedLink {
+                        edge: EdgeId(e),
+                        forward,
+                    })
+                    .filter(|dl| seen.insert(*dl)) // a path crosses a link once
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Feasibility: no directed link carries more than its capacity.
+    #[test]
+    fn allocation_is_feasible(paths in arb_paths(), cap in 0.5..4.0f64) {
+        let rates = max_min_rates(&paths, cap);
+        let mut load: HashMap<DirectedLink, f64> = HashMap::new();
+        for (f, p) in paths.iter().enumerate() {
+            for &l in p {
+                *load.entry(l).or_insert(0.0) += rates[f];
+            }
+        }
+        for (&l, &total) in &load {
+            prop_assert!(total <= cap + 1e-9, "{l:?} overloaded: {total} > {cap}");
+        }
+    }
+
+    /// Max-min optimality certificate: every flow is bottlenecked — some
+    /// link on its path is saturated AND the flow's rate is maximal among
+    /// the flows crossing that link (otherwise its rate could be raised by
+    /// lowering a faster flow's, contradicting max-min fairness).
+    #[test]
+    fn every_flow_is_bottlenecked(paths in arb_paths()) {
+        let cap = 1.0;
+        let rates = max_min_rates(&paths, cap);
+        let mut load: HashMap<DirectedLink, f64> = HashMap::new();
+        let mut max_rate_on: HashMap<DirectedLink, f64> = HashMap::new();
+        for (f, p) in paths.iter().enumerate() {
+            for &l in p {
+                *load.entry(l).or_insert(0.0) += rates[f];
+                let m = max_rate_on.entry(l).or_insert(0.0);
+                *m = m.max(rates[f]);
+            }
+        }
+        for (f, p) in paths.iter().enumerate() {
+            if p.is_empty() {
+                prop_assert!(rates[f].is_infinite());
+                continue;
+            }
+            let bottlenecked = p.iter().any(|l| {
+                load[l] >= cap - 1e-9 && rates[f] >= max_rate_on[l] - 1e-9
+            });
+            prop_assert!(
+                bottlenecked,
+                "flow {f} (rate {}) has no bottleneck on {p:?}",
+                rates[f]
+            );
+        }
+    }
+
+    /// Scaling capacity scales every rate linearly.
+    #[test]
+    fn rates_scale_with_capacity(paths in arb_paths(), scale in 1.5..5.0f64) {
+        let base = max_min_rates(&paths, 1.0);
+        let scaled = max_min_rates(&paths, scale);
+        for (a, b) in base.iter().zip(&scaled) {
+            if a.is_finite() {
+                prop_assert!((b - a * scale).abs() < 1e-9);
+            } else {
+                prop_assert!(b.is_infinite());
+            }
+        }
+    }
+}

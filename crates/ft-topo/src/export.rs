@@ -1,0 +1,130 @@
+//! Export a [`Network`] as Graphviz DOT or JSON.
+//!
+//! Both emitters are hand-rolled (no serde_json dependency) and produce
+//! stable, diff-friendly output: nodes and links in id order.
+
+use crate::network::{DeviceKind, Network};
+use std::fmt::Write;
+
+fn kind_str(k: DeviceKind) -> &'static str {
+    match k {
+        DeviceKind::Server => "server",
+        DeviceKind::Edge => "edge",
+        DeviceKind::Aggregation => "aggregation",
+        DeviceKind::Core => "core",
+        DeviceKind::Generic => "switch",
+    }
+}
+
+/// Renders the network as a Graphviz DOT document.
+///
+/// Device layers get distinct shapes/colors so `dot -Tsvg` output is
+/// readable: cores are striped boxes, aggregation switches grid boxes, edge
+/// switches shaded boxes and servers circles — mirroring the paper's
+/// Figure 2 legend.
+pub fn to_dot(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", net.name());
+    let _ = writeln!(out, "  graph [overlap=false];");
+    for v in net.graph().nodes() {
+        let (shape, color) = match net.kind(v) {
+            DeviceKind::Core => ("box", "lightcoral"),
+            DeviceKind::Aggregation => ("box", "lightblue"),
+            DeviceKind::Edge => ("box", "lightgray"),
+            DeviceKind::Generic => ("box", "wheat"),
+            DeviceKind::Server => ("circle", "white"),
+        };
+        let pod = net
+            .pod(v)
+            .map(|p| format!(" p{p}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}{}{}\", shape={shape}, style=filled, fillcolor={color}];",
+            v.0,
+            kind_str(net.kind(v)),
+            v.0,
+            pod
+        );
+    }
+    for (_, a, b) in net.graph().edges() {
+        let _ = writeln!(out, "  n{} -- n{};", a.0, b.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the network as a JSON document with `name`, `nodes` and `links`
+/// arrays. Suitable for downstream visualization tooling.
+pub fn to_json(net: &Network) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"name\": \"{}\",", escape(net.name()));
+    let _ = writeln!(out, "  \"num_switches\": {},", net.num_switches());
+    let _ = writeln!(out, "  \"num_servers\": {},", net.num_servers());
+    out.push_str("  \"nodes\": [\n");
+    let n = net.graph().node_count();
+    for v in net.graph().nodes() {
+        let pod = match net.pod(v) {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        let comma = if v.index() + 1 < n { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": {}, \"kind\": \"{}\", \"pod\": {}, \"ports\": {}}}{comma}",
+            v.0,
+            kind_str(net.kind(v)),
+            pod,
+            net.ports(v)
+        );
+    }
+    out.push_str("  ],\n  \"links\": [\n");
+    let edges: Vec<_> = net.graph().edges().collect();
+    for (i, (_, a, b)) in edges.iter().enumerate() {
+        let comma = if i + 1 < edges.len() { "," } else { "" };
+        let _ = writeln!(out, "    [{}, {}]{comma}", a.0, b.0);
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::fat_tree;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let n = fat_tree(4).unwrap();
+        let dot = to_dot(&n);
+        assert!(dot.starts_with("graph"));
+        assert_eq!(dot.matches(" -- ").count(), n.graph().edge_count());
+        assert_eq!(
+            dot.matches("shape=circle").count(),
+            n.num_servers(),
+            "one circle per server"
+        );
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_counts() {
+        let n = fat_tree(4).unwrap();
+        let js = to_json(&n);
+        assert!(js.contains("\"num_switches\": 20"));
+        assert!(js.contains("\"num_servers\": 16"));
+        assert_eq!(js.matches("\"kind\"").count(), 36);
+        // 48 links, rendered as [a, b] pairs
+        assert_eq!(js.matches("    [").count(), 48);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,445 @@
+//! The k-ary fat-tree (Al-Fares et al., SIGCOMM'08) and the generic 3-layer
+//! Clos parameterization used by the paper's Pod notation (§2.2).
+//!
+//! The paper describes flat-tree over a *generic* Clos Pod with `d` edge
+//! switches, `d/r` aggregation switches and `h` uplinks per aggregation
+//! switch, but evaluates on fat-tree (`d = k/2`, `r = 1`, `h = k/2`,
+//! `k/2` servers per edge switch, `k` Pods) because fat-tree is the
+//! upper-bound "stress test" for Clos performance. [`FatTreeLayout`] owns
+//! the node-id assignment for this family so that `ft-core` can build
+//! flat-tree networks whose Clos mode is *bit-identical* to [`fat_tree`].
+
+use crate::network::{DeviceKind, Network, NetworkBuilder, TopologyError};
+use ft_graph::NodeId;
+use std::ops::Range;
+
+/// Parameters of a 3-layer Clos network in the paper's Pod notation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ClosParams {
+    /// Number of Pods.
+    pub pods: usize,
+    /// Edge switches per Pod (`d`).
+    pub d: usize,
+    /// Edge switches per aggregation switch (`r`); `d % r == 0`.
+    pub r: usize,
+    /// Core-facing uplinks per aggregation switch (`h`); `h % r == 0`.
+    pub h: usize,
+    /// Servers attached to each edge switch.
+    pub servers_per_edge: usize,
+}
+
+impl ClosParams {
+    /// The fat-tree special case for switch port count `k` (must be even,
+    /// ≥ 2): `k` Pods of `k/2` edge + `k/2` aggregation switches, `k/2`
+    /// servers per edge switch, `k²/4` core switches.
+    pub fn fat_tree(k: usize) -> Result<Self, TopologyError> {
+        if k < 2 || !k.is_multiple_of(2) {
+            return Err(TopologyError::BadParameters(format!(
+                "fat-tree parameter k must be even and ≥ 2, got {k}"
+            )));
+        }
+        Ok(ClosParams {
+            pods: k,
+            d: k / 2,
+            r: 1,
+            h: k / 2,
+            servers_per_edge: k / 2,
+        })
+    }
+
+    /// Validates divisibility and positivity requirements.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        let bad = |msg: String| Err(TopologyError::BadParameters(msg));
+        if self.pods == 0 || self.d == 0 || self.r == 0 || self.h == 0 || self.servers_per_edge == 0
+        {
+            return bad("all Clos parameters must be positive".into());
+        }
+        if !self.d.is_multiple_of(self.r) {
+            return bad(format!("d = {} must be divisible by r = {}", self.d, self.r));
+        }
+        if !self.h.is_multiple_of(self.r) {
+            return bad(format!("h = {} must be divisible by r = {}", self.h, self.r));
+        }
+        Ok(())
+    }
+
+    /// Aggregation switches per Pod (`d/r`).
+    pub fn aggs_per_pod(&self) -> usize {
+        self.d / self.r
+    }
+
+    /// Core switches (`d · h / r`, one group of `h/r` per edge index).
+    pub fn cores(&self) -> usize {
+        self.d * self.h / self.r
+    }
+
+    /// Cores in the group serving edge index `j` (the flat-tree grouping of
+    /// §2.3: consecutive `h/r` cores per edge index).
+    pub fn core_group(&self, j: usize) -> Range<usize> {
+        let g = self.h / self.r;
+        j * g..(j + 1) * g
+    }
+
+    /// Size of each edge-index core group (`h/r`).
+    pub fn group_size(&self) -> usize {
+        self.h / self.r
+    }
+
+    /// Port budget of an edge switch (servers + uplinks to every agg).
+    pub fn edge_ports(&self) -> u32 {
+        (self.servers_per_edge + self.aggs_per_pod()) as u32
+    }
+
+    /// Port budget of an aggregation switch (`d` downlinks + `h` uplinks).
+    pub fn agg_ports(&self) -> u32 {
+        (self.d + self.h) as u32
+    }
+
+    /// Port budget of a core switch (one link per Pod).
+    pub fn core_ports(&self) -> u32 {
+        self.pods as u32
+    }
+
+    /// Total switches.
+    pub fn switches(&self) -> usize {
+        self.cores() + self.pods * (self.d + self.aggs_per_pod())
+    }
+
+    /// Total servers.
+    pub fn servers(&self) -> usize {
+        self.pods * self.d * self.servers_per_edge
+    }
+}
+
+/// Node-id layout of the Clos/fat-tree family, shared between [`fat_tree`]
+/// and `ft-core`'s flat-tree so that both use identical ids:
+///
+/// * cores: `0 .. cores`
+/// * Pod `p` edge `j`: `cores + p·(d + d/r) + j`
+/// * Pod `p` agg `a`: `cores + p·(d + d/r) + d + a`
+/// * server `(p, j, slot)`: `switches + p·d·spe + j·spe + slot`
+#[derive(Clone, Copy, Debug)]
+pub struct FatTreeLayout {
+    /// The Clos parameters this layout is derived from.
+    pub params: ClosParams,
+}
+
+impl FatTreeLayout {
+    /// Creates a layout after validating the parameters.
+    pub fn new(params: ClosParams) -> Result<Self, TopologyError> {
+        params.validate()?;
+        Ok(FatTreeLayout { params })
+    }
+
+    /// Node id of core switch `c`.
+    pub fn core(&self, c: usize) -> NodeId {
+        debug_assert!(c < self.params.cores());
+        NodeId(c as u32)
+    }
+
+    /// Node id of edge switch `j` in Pod `p`.
+    pub fn edge(&self, p: usize, j: usize) -> NodeId {
+        let pr = &self.params;
+        debug_assert!(p < pr.pods && j < pr.d);
+        NodeId((pr.cores() + p * (pr.d + pr.aggs_per_pod()) + j) as u32)
+    }
+
+    /// Node id of aggregation switch `a` in Pod `p`.
+    pub fn agg(&self, p: usize, a: usize) -> NodeId {
+        let pr = &self.params;
+        debug_assert!(p < pr.pods && a < pr.aggs_per_pod());
+        NodeId((pr.cores() + p * (pr.d + pr.aggs_per_pod()) + pr.d + a) as u32)
+    }
+
+    /// The aggregation switch paired with edge `j` (the paper's `A_{j/r}`).
+    pub fn agg_of_edge(&self, p: usize, j: usize) -> NodeId {
+        self.agg(p, j / self.params.r)
+    }
+
+    /// Node id of server `slot` on edge `j` of Pod `p`.
+    pub fn server(&self, p: usize, j: usize, slot: usize) -> NodeId {
+        let pr = &self.params;
+        debug_assert!(p < pr.pods && j < pr.d && slot < pr.servers_per_edge);
+        NodeId(
+            (pr.switches() + p * pr.d * pr.servers_per_edge + j * pr.servers_per_edge + slot)
+                as u32,
+        )
+    }
+
+    /// Inverse of [`FatTreeLayout::server`]: Pod, edge index and slot of a
+    /// server node.
+    pub fn server_coords(&self, s: NodeId) -> (usize, usize, usize) {
+        let pr = &self.params;
+        let idx = s.index() - pr.switches();
+        let per_pod = pr.d * pr.servers_per_edge;
+        (
+            idx / per_pod,
+            (idx % per_pod) / pr.servers_per_edge,
+            idx % pr.servers_per_edge,
+        )
+    }
+
+    /// Adds all switches and servers (no links) to a builder, in layout
+    /// order. Returns an error only on internal budget violations.
+    pub fn add_devices(&self, b: &mut NetworkBuilder) -> Result<(), TopologyError> {
+        let pr = &self.params;
+        for _ in 0..pr.cores() {
+            b.add_switch(DeviceKind::Core, pr.core_ports(), None)?;
+        }
+        for p in 0..pr.pods {
+            for _ in 0..pr.d {
+                b.add_switch(DeviceKind::Edge, pr.edge_ports(), Some(p as u32))?;
+            }
+            for _ in 0..pr.aggs_per_pod() {
+                b.add_switch(DeviceKind::Aggregation, pr.agg_ports(), Some(p as u32))?;
+            }
+        }
+        for p in 0..pr.pods {
+            for _ in 0..pr.d * pr.servers_per_edge {
+                b.add_server(Some(p as u32));
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds the intra-Pod links every member of the family shares: the
+    /// complete bipartite edge–aggregation mesh (these links are never
+    /// broken by converter switches).
+    pub fn add_edge_agg_mesh(&self, b: &mut NetworkBuilder) -> Result<(), TopologyError> {
+        let pr = &self.params;
+        for p in 0..pr.pods {
+            for j in 0..pr.d {
+                for a in 0..pr.aggs_per_pod() {
+                    b.add_link(self.edge(p, j), self.agg(p, a))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the classic Clos network for the given parameters.
+///
+/// Wiring follows the paper's Figure 4a: aggregation switch `a` of every Pod
+/// connects to the same group of `h` consecutive core switches
+/// `[a·h, (a+1)·h)`. For `r = 1` (fat-tree) this coincides with the
+/// flat-tree edge-index grouping, which is what makes flat-tree's Clos mode
+/// reproduce [`fat_tree`] exactly.
+pub fn clos(params: ClosParams) -> Result<Network, TopologyError> {
+    let layout = FatTreeLayout::new(params)?;
+    let pr = &layout.params;
+    let mut b = NetworkBuilder::new(format!(
+        "clos(pods={}, d={}, r={}, h={}, spe={})",
+        pr.pods, pr.d, pr.r, pr.h, pr.servers_per_edge
+    ));
+    layout.add_devices(&mut b)?;
+    layout.add_edge_agg_mesh(&mut b)?;
+    // aggregation → core: Figure 4a grouping by aggregation index
+    for p in 0..pr.pods {
+        for a in 0..pr.aggs_per_pod() {
+            for u in 0..pr.h {
+                b.add_link(layout.agg(p, a), layout.core(a * pr.h + u))?;
+            }
+        }
+    }
+    // edge → server
+    for p in 0..pr.pods {
+        for j in 0..pr.d {
+            for s in 0..pr.servers_per_edge {
+                b.add_link(layout.server(p, j, s), layout.edge(p, j))?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Builds the k-ary fat-tree.
+///
+/// `k` must be even and ≥ 2. The result has `5k²/4` switches of `k` ports
+/// and `k³/4` servers.
+pub fn fat_tree(k: usize) -> Result<Network, TopologyError> {
+    let params = ClosParams::fat_tree(k)?;
+    let mut net = clos(params)?;
+    net.set_name(format!("fat-tree(k={k})"));
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_graph::stats::{degree_histogram, is_connected};
+
+    #[test]
+    fn fat_tree_k4_counts() {
+        let n = fat_tree(4).unwrap();
+        assert_eq!(n.num_switches(), 20); // 4 cores + 4 pods × 4
+        assert_eq!(n.num_servers(), 16);
+        // links: 16 server + 16 edge-agg + 16 agg-core
+        assert_eq!(n.graph().edge_count(), 48);
+        n.validate().unwrap();
+        assert!(is_connected(n.graph()));
+    }
+
+    #[test]
+    fn fat_tree_k8_every_switch_uses_all_ports() {
+        let n = fat_tree(8).unwrap();
+        for sw in n.switches() {
+            assert_eq!(
+                n.graph().degree(sw),
+                8,
+                "switch {sw:?} must use all k ports"
+            );
+        }
+    }
+
+    #[test]
+    fn fat_tree_server_count_formula() {
+        for k in [2, 4, 6, 8, 10] {
+            let n = fat_tree(k).unwrap();
+            assert_eq!(n.num_servers(), k * k * k / 4, "k = {k}");
+            assert_eq!(n.num_switches(), 5 * k * k / 4, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn fat_tree_rejects_odd_or_tiny_k() {
+        assert!(fat_tree(3).is_err());
+        assert!(fat_tree(0).is_err());
+        assert!(fat_tree(7).is_err());
+    }
+
+    #[test]
+    fn fat_tree_path_lengths() {
+        use ft_graph::bfs_distances;
+        let n = fat_tree(4).unwrap();
+        let layout = FatTreeLayout::new(ClosParams::fat_tree(4).unwrap()).unwrap();
+        // same edge switch: server-server = 2 hops
+        let d = bfs_distances(n.graph(), layout.server(0, 0, 0));
+        assert_eq!(d[layout.server(0, 0, 1).index()], 2);
+        // same pod, different edge: 4 hops via aggregation
+        assert_eq!(d[layout.server(0, 1, 0).index()], 4);
+        // different pod: 6 hops via core
+        assert_eq!(d[layout.server(1, 0, 0).index()], 6);
+    }
+
+    #[test]
+    fn clos_oversubscribed() {
+        // 4 pods, 4 edges per pod, 2 aggs (r = 2), 4 uplinks each (h = 4),
+        // 6 servers per edge → oversubscription at the edge layer.
+        let p = ClosParams {
+            pods: 4,
+            d: 4,
+            r: 2,
+            h: 4,
+            servers_per_edge: 6,
+        };
+        let n = clos(p).unwrap();
+        assert_eq!(n.num_switches(), p.switches());
+        assert_eq!(n.num_servers(), 4 * 4 * 6);
+        assert_eq!(p.cores(), 8);
+        n.validate().unwrap();
+        assert!(is_connected(n.graph()));
+    }
+
+    #[test]
+    fn clos_invalid_divisibility() {
+        let p = ClosParams {
+            pods: 2,
+            d: 3,
+            r: 2,
+            h: 4,
+            servers_per_edge: 1,
+        };
+        assert!(clos(p).is_err());
+        let p = ClosParams {
+            pods: 2,
+            d: 4,
+            r: 2,
+            h: 3,
+            servers_per_edge: 1,
+        };
+        assert!(clos(p).is_err());
+    }
+
+    #[test]
+    fn layout_ids_disjoint_and_dense() {
+        let params = ClosParams::fat_tree(4).unwrap();
+        let l = FatTreeLayout::new(params).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..params.cores() {
+            assert!(seen.insert(l.core(c)));
+        }
+        for p in 0..params.pods {
+            for j in 0..params.d {
+                assert!(seen.insert(l.edge(p, j)));
+            }
+            for a in 0..params.aggs_per_pod() {
+                assert!(seen.insert(l.agg(p, a)));
+            }
+        }
+        assert_eq!(seen.len(), params.switches());
+        for p in 0..params.pods {
+            for j in 0..params.d {
+                for s in 0..params.servers_per_edge {
+                    assert!(seen.insert(l.server(p, j, s)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), params.switches() + params.servers());
+        // dense: ids cover 0..total
+        let max = seen.iter().map(|n| n.0).max().unwrap() as usize;
+        assert_eq!(max + 1, seen.len());
+    }
+
+    #[test]
+    fn server_coords_roundtrip() {
+        let params = ClosParams::fat_tree(6).unwrap();
+        let l = FatTreeLayout::new(params).unwrap();
+        for p in 0..params.pods {
+            for j in 0..params.d {
+                for s in 0..params.servers_per_edge {
+                    let node = l.server(p, j, s);
+                    assert_eq!(l.server_coords(node), (p, j, s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agg_of_edge_respects_r() {
+        let p = ClosParams {
+            pods: 1,
+            d: 4,
+            r: 2,
+            h: 2,
+            servers_per_edge: 1,
+        };
+        let l = FatTreeLayout::new(p).unwrap();
+        assert_eq!(l.agg_of_edge(0, 0), l.agg(0, 0));
+        assert_eq!(l.agg_of_edge(0, 1), l.agg(0, 0));
+        assert_eq!(l.agg_of_edge(0, 2), l.agg(0, 1));
+        assert_eq!(l.agg_of_edge(0, 3), l.agg(0, 1));
+    }
+
+    #[test]
+    fn degree_histogram_shape_k6() {
+        let n = fat_tree(6).unwrap();
+        let h = degree_histogram(n.graph());
+        // servers have degree 1, every switch degree 6
+        assert_eq!(h[1], n.num_servers());
+        assert_eq!(h[6], n.num_switches());
+    }
+
+    #[test]
+    fn core_group_partition() {
+        let p = ClosParams::fat_tree(8).unwrap();
+        let mut covered = vec![false; p.cores()];
+        for j in 0..p.d {
+            for c in p.core_group(j) {
+                assert!(!covered[c], "core {c} in two groups");
+                covered[c] = true;
+            }
+        }
+        assert!(covered.iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,373 @@
+//! Jellyfish-style random graphs (Singla et al., NSDI'12).
+//!
+//! The paper's "random graph" baseline is a Jellyfish network built from the
+//! *same equipment* as the fat-tree under test (§3.1): `5k²/4` switches of
+//! `k` ports each and `k³/4` servers. Servers are spread as evenly as
+//! possible over the switches; the remaining ports form a uniform random
+//! (near-)regular simple graph using the standard Jellyfish incremental
+//! construction with pair-swap completion.
+
+use crate::network::{DeviceKind, Network, NetworkBuilder, TopologyError};
+use ft_graph::NodeId;
+use rand::prelude::*;
+use std::collections::HashSet;
+
+/// Parameters of a Jellyfish random graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct JellyfishParams {
+    /// Number of switches.
+    pub switches: usize,
+    /// Ports per switch.
+    pub ports: u32,
+    /// Total servers, spread as evenly as possible.
+    pub servers: usize,
+}
+
+impl JellyfishParams {
+    /// Equipment-equivalent parameters for a fat-tree of parameter `k`.
+    pub fn matching_fat_tree(k: usize) -> Result<Self, TopologyError> {
+        if k < 2 || !k.is_multiple_of(2) {
+            return Err(TopologyError::BadParameters(format!(
+                "fat-tree parameter k must be even and ≥ 2, got {k}"
+            )));
+        }
+        Ok(JellyfishParams {
+            switches: 5 * k * k / 4,
+            ports: k as u32,
+            servers: k * k * k / 4,
+        })
+    }
+
+    /// Servers attached to each switch: the first `servers % switches`
+    /// switches take `⌈servers/switches⌉`, the rest `⌊servers/switches⌋`.
+    pub fn servers_on(&self, switch: usize) -> usize {
+        let base = self.servers / self.switches;
+        let extra = self.servers % self.switches;
+        if switch < extra {
+            base + 1
+        } else {
+            base
+        }
+    }
+
+    fn validate(&self) -> Result<(), TopologyError> {
+        if self.switches == 0 {
+            return Err(TopologyError::BadParameters("need ≥ 1 switch".into()));
+        }
+        let max_servers = self.servers_on(0);
+        if max_servers as u32 >= self.ports {
+            return Err(TopologyError::BadParameters(format!(
+                "{} servers on a {}-port switch leaves no network ports",
+                max_servers, self.ports
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builds a random simple graph over `n` nodes where node `i` has at most
+/// `degrees[i]` incident edges, using the Jellyfish procedure: repeatedly
+/// join random non-adjacent pairs with free ports; when blocked with one
+/// node `x` holding ≥ 2 free ports, break a random existing edge `(u, v)`
+/// (with `u, v` both non-adjacent to `x`) and rewire as `(x,u)`, `(x,v)`.
+///
+/// Returns the edge list. A small number of ports may remain unused when
+/// completion is impossible (e.g. an odd total of free ports) — Jellyfish
+/// tolerates spare ports, and so do we.
+pub fn random_graph_with_degrees(degrees: &[u32], rng: &mut StdRng) -> Vec<(u32, u32)> {
+    let n = degrees.len();
+    let mut free: Vec<u32> = degrees.to_vec();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut adj: HashSet<(u32, u32)> = HashSet::new();
+    let norm = |a: u32, b: u32| (a.min(b), a.max(b));
+
+    // Phase 1: random incremental joining.
+    // Keep a pool of nodes with free ports; resample with bounded retries,
+    // falling back to an exhaustive scan for correctness on small graphs.
+    loop {
+        let candidates: Vec<u32> = (0..n as u32).filter(|&v| free[v as usize] > 0).collect();
+        let total_free: u32 = candidates.iter().map(|&v| free[v as usize]).sum();
+        if total_free < 2 {
+            break; // at most one spare port; nothing more to wire
+        }
+        if candidates.len() >= 2 {
+            // bounded random sampling
+            let mut joined = false;
+            for _ in 0..64 {
+                let a = candidates[rng.random_range(0..candidates.len())];
+                let b = candidates[rng.random_range(0..candidates.len())];
+                if a != b && !adj.contains(&norm(a, b)) {
+                    adj.insert(norm(a, b));
+                    edges.push((a, b));
+                    free[a as usize] -= 1;
+                    free[b as usize] -= 1;
+                    joined = true;
+                    break;
+                }
+            }
+            if joined {
+                continue;
+            }
+            // exhaustive scan for any valid pair
+            let mut found = None;
+            'scan: for (i, &a) in candidates.iter().enumerate() {
+                for &b in &candidates[i + 1..] {
+                    if !adj.contains(&norm(a, b)) {
+                        found = Some((a, b));
+                        break 'scan;
+                    }
+                }
+            }
+            if let Some((a, b)) = found {
+                adj.insert(norm(a, b));
+                edges.push((a, b));
+                free[a as usize] -= 1;
+                free[b as usize] -= 1;
+                continue;
+            }
+        }
+        // Phase 2: pair-swap completion. Some node x has free ports but all
+        // its non-neighbors are saturated. While x has ≥ 2 free ports, break
+        // a random edge (u, v) disjoint from x's neighborhood and rewire.
+        let mut progressed = false;
+        for &x in &candidates {
+            while free[x as usize] >= 2 {
+                let swap = pick_swappable_edge(&edges, &adj, x, rng);
+                let Some(idx) = swap else { break };
+                let (u, v) = edges.swap_remove(idx);
+                adj.remove(&norm(u, v));
+                adj.insert(norm(x, u));
+                adj.insert(norm(x, v));
+                edges.push((x, u));
+                edges.push((x, v));
+                free[x as usize] -= 2;
+                progressed = true;
+            }
+        }
+        if progressed {
+            continue;
+        }
+        // Phase 3: 2-opt completion. Two distinct nodes u, v each hold one
+        // free port but are already adjacent (phase 1 cannot join them) and
+        // neither has ≥ 2 free ports (phase 2 cannot help). Break an edge
+        // (a, b) disjoint from {u, v} and rewire as (u,a), (v,b) — degrees
+        // of a and b are unchanged, u and v each gain one edge.
+        'outer: for (ci, &u) in candidates.iter().enumerate() {
+            for &v in &candidates[ci + 1..] {
+                for idx in 0..edges.len() {
+                    let (a, bb) = edges[idx];
+                    if a == u || a == v || bb == u || bb == v {
+                        continue;
+                    }
+                    let (x, y) = if !adj.contains(&norm(u, a)) && !adj.contains(&norm(v, bb)) {
+                        (a, bb)
+                    } else if !adj.contains(&norm(u, bb)) && !adj.contains(&norm(v, a)) {
+                        (bb, a)
+                    } else {
+                        continue;
+                    };
+                    edges.swap_remove(idx);
+                    adj.remove(&norm(a, bb));
+                    adj.insert(norm(u, x));
+                    adj.insert(norm(v, y));
+                    edges.push((u, x));
+                    edges.push((v, y));
+                    free[u as usize] -= 1;
+                    free[v as usize] -= 1;
+                    progressed = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !progressed {
+            break; // spare ports remain; acceptable
+        }
+    }
+    edges
+}
+
+/// Finds a random edge `(u, v)` such that neither endpoint equals or is
+/// adjacent to `x`. Returns its index in `edges`.
+fn pick_swappable_edge(
+    edges: &[(u32, u32)],
+    adj: &HashSet<(u32, u32)>,
+    x: u32,
+    rng: &mut StdRng,
+) -> Option<usize> {
+    let norm = |a: u32, b: u32| (a.min(b), a.max(b));
+    let ok = |&(u, v): &(u32, u32)| {
+        u != x && v != x && !adj.contains(&norm(x, u)) && !adj.contains(&norm(x, v))
+    };
+    // bounded random probes, then exhaustive
+    for _ in 0..64 {
+        if edges.is_empty() {
+            return None;
+        }
+        let i = rng.random_range(0..edges.len());
+        if ok(&edges[i]) {
+            return Some(i);
+        }
+    }
+    edges.iter().position(ok)
+}
+
+/// Builds a Jellyfish random-graph network.
+///
+/// Deterministic for a given `seed`.
+pub fn jellyfish(params: JellyfishParams, seed: u64) -> Result<Network, TopologyError> {
+    params.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(format!(
+        "jellyfish(switches={}, ports={}, servers={}, seed={seed})",
+        params.switches, params.ports, params.servers
+    ));
+    for _ in 0..params.switches {
+        b.add_switch(DeviceKind::Generic, params.ports, None)?;
+    }
+    let degrees: Vec<u32> = (0..params.switches)
+        .map(|i| params.ports - params.servers_on(i) as u32)
+        .collect();
+    for (u, v) in random_graph_with_degrees(&degrees, &mut rng) {
+        b.add_link(NodeId(u), NodeId(v))?;
+    }
+    for i in 0..params.switches {
+        for _ in 0..params.servers_on(i) {
+            let s = b.add_server(None);
+            b.add_link(s, NodeId(i as u32))?;
+        }
+    }
+    b.build()
+}
+
+/// Jellyfish with the same equipment as `fat_tree(k)`.
+pub fn jellyfish_matching_fat_tree(k: usize, seed: u64) -> Result<Network, TopologyError> {
+    let params = JellyfishParams::matching_fat_tree(k)?;
+    let mut net = jellyfish(params, seed)?;
+    net.set_name(format!("random-graph(k={k}, seed={seed})"));
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::fat_tree;
+    use ft_graph::stats::is_connected;
+
+    #[test]
+    fn equipment_matches_fat_tree() {
+        for k in [4, 6, 8] {
+            let ft = fat_tree(k).unwrap();
+            let jf = jellyfish_matching_fat_tree(k, 7).unwrap();
+            let (a, b) = (ft.equipment(), jf.equipment());
+            assert_eq!(a.switches, b.switches, "k = {k}");
+            assert_eq!(a.servers, b.servers, "k = {k}");
+            assert_eq!(a.total_switch_ports, b.total_switch_ports, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = jellyfish_matching_fat_tree(6, 42).unwrap();
+        let b = jellyfish_matching_fat_tree(6, 42).unwrap();
+        assert_eq!(a.graph().canonical_edges(), b.graph().canonical_edges());
+        let c = jellyfish_matching_fat_tree(6, 43).unwrap();
+        assert_ne!(a.graph().canonical_edges(), c.graph().canonical_edges());
+    }
+
+    #[test]
+    fn connected_and_port_respecting() {
+        for seed in 0..5 {
+            let n = jellyfish_matching_fat_tree(8, seed).unwrap();
+            n.validate().unwrap();
+            assert!(
+                is_connected(n.graph()),
+                "seed {seed} produced a disconnected graph"
+            );
+        }
+    }
+
+    #[test]
+    fn simple_graph_no_duplicate_switch_links() {
+        let n = jellyfish_matching_fat_tree(6, 3).unwrap();
+        let mut seen = HashSet::new();
+        for (_, a, b) in n.graph().edges() {
+            if a.index() < n.num_switches() && b.index() < n.num_switches() {
+                let key = (a.0.min(b.0), a.0.max(b.0));
+                assert!(seen.insert(key), "duplicate link {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn server_distribution_even() {
+        let p = JellyfishParams::matching_fat_tree(8).unwrap();
+        let n = jellyfish(p, 1).unwrap();
+        let counts = n.server_counts();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max - min <= 1, "spread {min}..{max}");
+        assert_eq!(counts.iter().sum::<u32>() as usize, p.servers);
+    }
+
+    #[test]
+    fn nearly_all_ports_used() {
+        // Jellyfish may leave a few spare ports; for these sizes the
+        // construction should complete fully or nearly so.
+        let n = jellyfish_matching_fat_tree(8, 11).unwrap();
+        let total_ports: u32 = 8 * n.num_switches() as u32;
+        let used: u32 = 2 * n.switch_link_count() as u32 + n.num_servers() as u32;
+        assert!(
+            total_ports - used <= 2,
+            "too many spare ports: {}",
+            total_ports - used
+        );
+    }
+
+    #[test]
+    fn random_graph_with_degrees_regular() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let degrees = vec![3u32; 16];
+        let edges = random_graph_with_degrees(&degrees, &mut rng);
+        assert_eq!(edges.len(), 16 * 3 / 2);
+        let mut deg = [0u32; 16];
+        let mut seen = HashSet::new();
+        for &(u, v) in &edges {
+            assert_ne!(u, v, "self-loop");
+            assert!(seen.insert((u.min(v), u.max(v))), "duplicate edge");
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| d == 3));
+    }
+
+    #[test]
+    fn random_graph_odd_total_leaves_spare() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // sum of degrees is odd → one port must stay free
+        let degrees = vec![1u32, 1, 1];
+        let edges = random_graph_with_degrees(&degrees, &mut rng);
+        assert_eq!(edges.len(), 1);
+    }
+
+    #[test]
+    fn rejects_too_many_servers() {
+        let p = JellyfishParams {
+            switches: 4,
+            ports: 4,
+            servers: 16,
+        };
+        assert!(jellyfish(p, 0).is_err());
+    }
+
+    #[test]
+    fn zero_servers_pure_switch_fabric() {
+        let p = JellyfishParams {
+            switches: 10,
+            ports: 4,
+            servers: 0,
+        };
+        let n = jellyfish(p, 2).unwrap();
+        assert_eq!(n.num_servers(), 0);
+        assert_eq!(n.switch_link_count(), 10 * 4 / 2);
+    }
+}

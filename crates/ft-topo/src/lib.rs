@@ -1,0 +1,34 @@
+//! Data center topology models for the flat-tree reproduction.
+//!
+//! This crate owns the shared [`Network`] type — the logical topology every
+//! other crate consumes — and the three baseline topologies the paper
+//! evaluates against (§3.1):
+//!
+//! * [`fattree`] — the k-ary fat-tree of Al-Fares et al. (SIGCOMM'08), the
+//!   special case of Clos the paper uses as its "stress test" baseline, plus
+//!   a generic 3-layer Clos parameterization (`ClosParams`) matching the
+//!   paper's Pod notation (d edge switches, d/r aggregation switches, h
+//!   uplinks per aggregation switch).
+//! * [`jellyfish`](mod@jellyfish) — the Jellyfish random graph (Singla et al., NSDI'12)
+//!   built from the *same equipment* as a given fat-tree: same switch count,
+//!   same port count, same server count.
+//! * [`twostage`] — the two-stage random graph the paper compares against in
+//!   Figures 6 and 8: per-Pod random graphs plus a second random graph over
+//!   Pod super-nodes and core switches.
+//! * [`export`] — Graphviz DOT and JSON export of any [`Network`].
+//!
+//! All random constructions take explicit seeds and are fully deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod fattree;
+pub mod jellyfish;
+pub mod network;
+pub mod twostage;
+
+pub use fattree::{clos, fat_tree, ClosParams, FatTreeLayout};
+pub use jellyfish::{jellyfish, jellyfish_matching_fat_tree, JellyfishParams};
+pub use network::{DeviceKind, Equipment, Network, NetworkBuilder, TopologyError};
+pub use twostage::{two_stage_random_graph, TwoStageParams};

@@ -1,0 +1,570 @@
+//! The shared logical-topology type consumed by every crate in the
+//! workspace.
+//!
+//! A [`Network`] is an undirected multigraph of devices (switches and
+//! servers) with per-device port budgets. Two layout invariants keep the
+//! rest of the workspace simple and are enforced by the builder:
+//!
+//! 1. **Switches first**: all switch nodes have ids `0..num_switches()`,
+//!    servers follow. Metrics code can therefore run BFS on a compact
+//!    switch-only subgraph and treat server attachment as "+1 hop" on each
+//!    end.
+//! 2. **Servers are single-homed**: every server has exactly one link, to a
+//!    switch. This matches the paper — converter switches *relocate* a
+//!    server's one uplink, they never multi-home it.
+
+use ft_graph::{EdgeId, Graph, NodeId};
+use std::fmt;
+
+/// The role a device plays in the topology.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum DeviceKind {
+    /// A host.
+    Server,
+    /// Top-of-rack / edge switch inside a Pod.
+    Edge,
+    /// Aggregation switch inside a Pod.
+    Aggregation,
+    /// Core switch (connecting Pods).
+    Core,
+    /// An undifferentiated switch (random-graph topologies have no layers).
+    Generic,
+}
+
+impl DeviceKind {
+    /// Whether this device is any kind of switch.
+    pub fn is_switch(self) -> bool {
+        self != DeviceKind::Server
+    }
+}
+
+/// Errors raised while building or validating a topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A device would exceed its port budget.
+    PortExhausted {
+        /// The device out of ports.
+        node: u32,
+        /// Its port budget.
+        ports: u32,
+    },
+    /// A server was added before a switch (layout invariant 1).
+    SwitchAfterServer,
+    /// A link endpoint does not exist.
+    NoSuchNode(u32),
+    /// A self-link was requested.
+    SelfLink(u32),
+    /// A server has zero or more than one link (layout invariant 2).
+    BadServerDegree {
+        /// The offending server node.
+        node: u32,
+        /// Its link count.
+        degree: usize,
+    },
+    /// A link connects two servers.
+    ServerToServerLink(u32, u32),
+    /// Configuration parameters are invalid (message explains).
+    BadParameters(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::PortExhausted { node, ports } => {
+                write!(f, "device {node} exceeded its {ports}-port budget")
+            }
+            TopologyError::SwitchAfterServer => {
+                write!(f, "all switches must be added before the first server")
+            }
+            TopologyError::NoSuchNode(n) => write!(f, "node {n} does not exist"),
+            TopologyError::SelfLink(n) => write!(f, "self-link on node {n}"),
+            TopologyError::BadServerDegree { node, degree } => {
+                write!(f, "server {node} has degree {degree}, expected exactly 1")
+            }
+            TopologyError::ServerToServerLink(a, b) => {
+                write!(f, "link {a}-{b} connects two servers")
+            }
+            TopologyError::BadParameters(msg) => write!(f, "bad parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Equipment inventory of a network, used to assert that two topologies are
+/// built from the same hardware (the paper's "same equipments" requirement,
+/// §3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Equipment {
+    /// Number of switches.
+    pub switches: usize,
+    /// Number of servers.
+    pub servers: usize,
+    /// Total number of links (switch–switch + server–switch).
+    pub links: usize,
+    /// Total switch ports across the network.
+    pub total_switch_ports: u64,
+}
+
+/// Incremental builder for a [`Network`], enforcing the layout invariants
+/// and port budgets as devices and links are added.
+pub struct NetworkBuilder {
+    graph: Graph,
+    kinds: Vec<DeviceKind>,
+    pods: Vec<Option<u32>>,
+    ports: Vec<u32>,
+    used_ports: Vec<u32>,
+    num_switches: usize,
+    saw_server: bool,
+    name: String,
+}
+
+impl NetworkBuilder {
+    /// Starts a new, empty network with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetworkBuilder {
+            graph: Graph::new(0),
+            kinds: Vec::new(),
+            pods: Vec::new(),
+            ports: Vec::new(),
+            used_ports: Vec::new(),
+            num_switches: 0,
+            saw_server: false,
+            name: name.into(),
+        }
+    }
+
+    /// Adds a switch with the given kind, port budget and optional Pod id.
+    ///
+    /// # Errors
+    /// [`TopologyError::SwitchAfterServer`] if a server was already added.
+    pub fn add_switch(
+        &mut self,
+        kind: DeviceKind,
+        ports: u32,
+        pod: Option<u32>,
+    ) -> Result<NodeId, TopologyError> {
+        assert!(kind.is_switch(), "use add_server for servers");
+        if self.saw_server {
+            return Err(TopologyError::SwitchAfterServer);
+        }
+        let id = self.graph.add_node();
+        self.kinds.push(kind);
+        self.pods.push(pod);
+        self.ports.push(ports);
+        self.used_ports.push(0);
+        self.num_switches += 1;
+        Ok(id)
+    }
+
+    /// Adds a server (one implicit NIC port) with an optional Pod id.
+    pub fn add_server(&mut self, pod: Option<u32>) -> NodeId {
+        self.saw_server = true;
+        let id = self.graph.add_node();
+        self.kinds.push(DeviceKind::Server);
+        self.pods.push(pod);
+        self.ports.push(1);
+        self.used_ports.push(0);
+        id
+    }
+
+    /// Adds an undirected link, consuming one port on each endpoint.
+    ///
+    /// # Errors
+    /// Port budget violations, self-links, server–server links and unknown
+    /// nodes are rejected.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId) -> Result<EdgeId, TopologyError> {
+        let n = self.graph.node_count() as u32;
+        if a.0 >= n {
+            return Err(TopologyError::NoSuchNode(a.0));
+        }
+        if b.0 >= n {
+            return Err(TopologyError::NoSuchNode(b.0));
+        }
+        if a == b {
+            return Err(TopologyError::SelfLink(a.0));
+        }
+        if self.kinds[a.index()] == DeviceKind::Server && self.kinds[b.index()] == DeviceKind::Server
+        {
+            return Err(TopologyError::ServerToServerLink(a.0, b.0));
+        }
+        for &v in &[a, b] {
+            if self.used_ports[v.index()] + 1 > self.ports[v.index()] {
+                return Err(TopologyError::PortExhausted {
+                    node: v.0,
+                    ports: self.ports[v.index()],
+                });
+            }
+        }
+        self.used_ports[a.index()] += 1;
+        self.used_ports[b.index()] += 1;
+        Ok(self.graph.add_edge(a, b))
+    }
+
+    /// Finishes the build, verifying that every server has exactly one link.
+    pub fn build(self) -> Result<Network, TopologyError> {
+        for i in self.num_switches..self.graph.node_count() {
+            let deg = self.graph.degree(NodeId(i as u32));
+            if deg != 1 {
+                return Err(TopologyError::BadServerDegree {
+                    node: i as u32,
+                    degree: deg,
+                });
+            }
+        }
+        Ok(Network {
+            graph: self.graph,
+            kinds: self.kinds,
+            pods: self.pods,
+            ports: self.ports,
+            num_switches: self.num_switches,
+            name: self.name,
+        })
+    }
+}
+
+/// A logical data center topology: switches, servers, links.
+///
+/// Produced by the topology constructors in this crate and by
+/// `ft-core`'s flat-tree materialization; consumed by metrics, routing, the
+/// flow solvers and the simulator.
+#[derive(Clone)]
+pub struct Network {
+    graph: Graph,
+    kinds: Vec<DeviceKind>,
+    pods: Vec<Option<u32>>,
+    ports: Vec<u32>,
+    num_switches: usize,
+    name: String,
+}
+
+impl Network {
+    /// The underlying multigraph (switches and servers).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Mutable access to the underlying graph, for failure injection
+    /// (removing/restoring links). Structural edits that violate the layout
+    /// invariants are the caller's responsibility.
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    /// Descriptive name (e.g. `"fat-tree(k=8)"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replaces the descriptive name. Constructors use this to attach a
+    /// friendlier label than the builder default.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of switch nodes; their ids are `0..num_switches`.
+    pub fn num_switches(&self) -> usize {
+        self.num_switches
+    }
+
+    /// Number of server nodes; their ids are `num_switches..node_count`.
+    pub fn num_servers(&self) -> usize {
+        self.graph.node_count() - self.num_switches
+    }
+
+    /// Device kind of a node.
+    pub fn kind(&self, v: NodeId) -> DeviceKind {
+        self.kinds[v.index()]
+    }
+
+    /// Pod a node belongs to, if any (core and random-graph switches have
+    /// none).
+    pub fn pod(&self, v: NodeId) -> Option<u32> {
+        self.pods[v.index()]
+    }
+
+    /// Port budget of a node.
+    pub fn ports(&self, v: NodeId) -> u32 {
+        self.ports[v.index()]
+    }
+
+    /// Whether the node is a server.
+    pub fn is_server(&self, v: NodeId) -> bool {
+        self.kinds[v.index()] == DeviceKind::Server
+    }
+
+    /// Iterates over all server node ids.
+    pub fn servers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (self.num_switches as u32..self.graph.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterates over all switch node ids.
+    pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_switches as u32).map(NodeId)
+    }
+
+    /// The switch a server is attached to.
+    ///
+    /// # Panics
+    /// Panics if `s` is not a server or is detached (cannot happen for
+    /// builder-validated networks unless its uplink was removed; failure
+    /// scenarios should use [`Network::try_attachment`]).
+    pub fn attachment(&self, s: NodeId) -> NodeId {
+        self.try_attachment(s).expect("server is detached")
+    }
+
+    /// The switch a server is attached to, or `None` if its uplink was
+    /// removed (failure injection).
+    pub fn try_attachment(&self, s: NodeId) -> Option<NodeId> {
+        debug_assert!(self.is_server(s), "{s:?} is not a server");
+        self.graph.neighbors(s).next().map(|(sw, _)| sw)
+    }
+
+    /// Servers attached to each switch: entry `i` lists the servers on
+    /// switch `i`.
+    /// Servers whose uplink has been removed (failure injection) are
+    /// skipped.
+    pub fn servers_per_switch(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.num_switches];
+        for s in self.servers() {
+            if let Some(sw) = self.try_attachment(s) {
+                out[sw.index()].push(s);
+            }
+        }
+        out
+    }
+
+    /// Number of servers attached to each switch.
+    /// Detached servers (removed uplinks) are skipped.
+    pub fn server_counts(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.num_switches];
+        for s in self.servers() {
+            if let Some(sw) = self.try_attachment(s) {
+                out[sw.index()] += 1;
+            }
+        }
+        out
+    }
+
+    /// A compact switch-only copy of the graph: node `i` of the result is
+    /// switch `i` of this network; only switch–switch links are retained
+    /// (including multiplicity).
+    pub fn switch_graph(&self) -> Graph {
+        let mut g = Graph::new(self.num_switches);
+        for (_, a, b) in self.graph.edges() {
+            if a.index() < self.num_switches && b.index() < self.num_switches {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    /// Equipment inventory, for cross-topology equivalence assertions.
+    pub fn equipment(&self) -> Equipment {
+        Equipment {
+            switches: self.num_switches,
+            servers: self.num_servers(),
+            links: self.graph.edge_count(),
+            total_switch_ports: self.switches().map(|v| self.ports[v.index()] as u64).sum(),
+        }
+    }
+
+    /// Number of switch–switch links (excluding server uplinks).
+    pub fn switch_link_count(&self) -> usize {
+        self.graph
+            .edges()
+            .filter(|&(_, a, b)| a.index() < self.num_switches && b.index() < self.num_switches)
+            .count()
+    }
+
+    /// Re-checks all structural invariants (port budgets, server degree,
+    /// no server–server links). Useful after manual graph edits.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        for v in self.graph.nodes() {
+            let deg = self.graph.degree(v) as u32;
+            if deg > self.ports[v.index()] {
+                return Err(TopologyError::PortExhausted {
+                    node: v.0,
+                    ports: self.ports[v.index()],
+                });
+            }
+            if self.is_server(v) && deg != 1 {
+                return Err(TopologyError::BadServerDegree {
+                    node: v.0,
+                    degree: deg as usize,
+                });
+            }
+        }
+        for (_, a, b) in self.graph.edges() {
+            if self.is_server(a) && self.is_server(b) {
+                return Err(TopologyError::ServerToServerLink(a.0, b.0));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Network({}: {} switches, {} servers, {} links)",
+            self.name,
+            self.num_switches,
+            self.num_servers(),
+            self.graph.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network {
+        // two switches, two servers
+        let mut b = NetworkBuilder::new("tiny");
+        let s0 = b.add_switch(DeviceKind::Edge, 4, Some(0)).unwrap();
+        let s1 = b.add_switch(DeviceKind::Core, 4, None).unwrap();
+        b.add_link(s0, s1).unwrap();
+        let h0 = b.add_server(Some(0));
+        let h1 = b.add_server(Some(0));
+        b.add_link(h0, s0).unwrap();
+        b.add_link(h1, s1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let n = tiny();
+        assert_eq!(n.num_switches(), 2);
+        assert_eq!(n.num_servers(), 2);
+        assert_eq!(n.kind(NodeId(0)), DeviceKind::Edge);
+        assert_eq!(n.kind(NodeId(2)), DeviceKind::Server);
+        assert_eq!(n.pod(NodeId(0)), Some(0));
+        assert_eq!(n.pod(NodeId(1)), None);
+        assert!(n.is_server(NodeId(3)));
+        assert_eq!(n.attachment(NodeId(2)), NodeId(0));
+        assert_eq!(n.attachment(NodeId(3)), NodeId(1));
+        assert_eq!(n.server_counts(), vec![1, 1]);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn switch_graph_excludes_servers() {
+        let n = tiny();
+        let sg = n.switch_graph();
+        assert_eq!(sg.node_count(), 2);
+        assert_eq!(sg.edge_count(), 1);
+    }
+
+    #[test]
+    fn equipment_counts() {
+        let n = tiny();
+        let eq = n.equipment();
+        assert_eq!(eq.switches, 2);
+        assert_eq!(eq.servers, 2);
+        assert_eq!(eq.links, 3);
+        assert_eq!(eq.total_switch_ports, 8);
+        assert_eq!(n.switch_link_count(), 1);
+    }
+
+    #[test]
+    fn port_budget_enforced() {
+        let mut b = NetworkBuilder::new("x");
+        let s0 = b.add_switch(DeviceKind::Generic, 1, None).unwrap();
+        let s1 = b.add_switch(DeviceKind::Generic, 2, None).unwrap();
+        b.add_link(s0, s1).unwrap();
+        assert_eq!(
+            b.add_link(s0, s1),
+            Err(TopologyError::PortExhausted { node: 0, ports: 1 })
+        );
+    }
+
+    #[test]
+    fn switch_after_server_rejected() {
+        let mut b = NetworkBuilder::new("x");
+        b.add_server(None);
+        assert_eq!(
+            b.add_switch(DeviceKind::Core, 4, None).unwrap_err(),
+            TopologyError::SwitchAfterServer
+        );
+    }
+
+    #[test]
+    fn self_link_rejected() {
+        let mut b = NetworkBuilder::new("x");
+        let s = b.add_switch(DeviceKind::Core, 4, None).unwrap();
+        assert_eq!(b.add_link(s, s), Err(TopologyError::SelfLink(0)));
+    }
+
+    #[test]
+    fn server_server_link_rejected() {
+        let mut b = NetworkBuilder::new("x");
+        let _s = b.add_switch(DeviceKind::Core, 4, None).unwrap();
+        let h0 = b.add_server(None);
+        let h1 = b.add_server(None);
+        assert_eq!(
+            b.add_link(h0, h1),
+            Err(TopologyError::ServerToServerLink(1, 2))
+        );
+    }
+
+    #[test]
+    fn detached_server_rejected_at_build() {
+        let mut b = NetworkBuilder::new("x");
+        let _s = b.add_switch(DeviceKind::Core, 4, None).unwrap();
+        let _h = b.add_server(None);
+        assert!(matches!(
+            b.build(),
+            Err(TopologyError::BadServerDegree { degree: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut b = NetworkBuilder::new("x");
+        let s = b.add_switch(DeviceKind::Core, 4, None).unwrap();
+        assert_eq!(
+            b.add_link(s, NodeId(9)),
+            Err(TopologyError::NoSuchNode(9))
+        );
+    }
+
+    #[test]
+    fn parallel_switch_links_allowed() {
+        let mut b = NetworkBuilder::new("x");
+        let a = b.add_switch(DeviceKind::Generic, 4, None).unwrap();
+        let c = b.add_switch(DeviceKind::Generic, 4, None).unwrap();
+        b.add_link(a, c).unwrap();
+        b.add_link(a, c).unwrap();
+        let n = b.build().unwrap();
+        assert_eq!(n.switch_link_count(), 2);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_manual_damage() {
+        let mut n = tiny();
+        // remove the server 2 uplink
+        let uplink = n
+            .graph()
+            .edges()
+            .find(|&(_, a, b)| a == NodeId(2) || b == NodeId(2))
+            .map(|(e, _, _)| e)
+            .unwrap();
+        n.graph_mut().remove_edge(uplink);
+        assert!(matches!(
+            n.validate(),
+            Err(TopologyError::BadServerDegree { degree: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TopologyError::PortExhausted { node: 3, ports: 8 };
+        assert!(e.to_string().contains("8-port"));
+        let e = TopologyError::BadParameters("k must be even".into());
+        assert!(e.to_string().contains("k must be even"));
+    }
+}

@@ -1,0 +1,296 @@
+//! The two-stage random graph baseline (paper §3.1, Figures 6 and 8).
+//!
+//! The paper describes it in one sentence: *"two-stage random graph … first
+//! forms random graphs in each Pod with the same number of links as
+//! flat-tree, and takes the Pods as super nodes to form another layer of
+//! random graph together with core switches."* This module is the literal
+//! reconstruction (documented in DESIGN.md):
+//!
+//! * **Stage 1** — within each Pod, the Pod's switches form a uniform random
+//!   simple graph with exactly as many intra-Pod links as flat-tree retains
+//!   (the Clos edge–aggregation mesh: `d · d/r` links per Pod), and the
+//!   Pod's servers are spread evenly over its switches.
+//! * **Stage 2** — Pods become super-nodes whose ports are their switches'
+//!   remaining ports; together with the core switches they form a second
+//!   random graph via a configuration-model port matching (Pod–Pod,
+//!   Pod–core and core–core links all permitted, parallel super-links
+//!   allowed since they land on distinct concrete switches). Each Pod stub
+//!   is assigned to a concrete switch with free ports uniformly at random.
+
+use crate::network::{DeviceKind, Network, NetworkBuilder, TopologyError};
+use ft_graph::NodeId;
+use rand::prelude::*;
+
+/// Parameters of the two-stage random graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct TwoStageParams {
+    /// Number of Pods.
+    pub pods: usize,
+    /// Switches per Pod.
+    pub switches_per_pod: usize,
+    /// Servers per Pod (spread evenly over its switches).
+    pub servers_per_pod: usize,
+    /// Intra-Pod random-graph links per Pod.
+    pub intra_links: usize,
+    /// Core switches.
+    pub cores: usize,
+    /// Ports per switch (Pod switches and cores alike).
+    pub ports: u32,
+}
+
+impl TwoStageParams {
+    /// Equipment-equivalent parameters for a fat-tree of parameter `k`,
+    /// with the intra-Pod link budget flat-tree retains (`k²/4`).
+    pub fn matching_fat_tree(k: usize) -> Result<Self, TopologyError> {
+        if k < 2 || !k.is_multiple_of(2) {
+            return Err(TopologyError::BadParameters(format!(
+                "fat-tree parameter k must be even and ≥ 2, got {k}"
+            )));
+        }
+        Ok(TwoStageParams {
+            pods: k,
+            switches_per_pod: k,
+            servers_per_pod: k * k / 4,
+            intra_links: k * k / 4,
+            cores: k * k / 4,
+            ports: k as u32,
+        })
+    }
+
+    fn validate(&self) -> Result<(), TopologyError> {
+        if self.pods == 0 || self.switches_per_pod == 0 {
+            return Err(TopologyError::BadParameters("empty pod layout".into()));
+        }
+        // Rough feasibility: each pod switch must fit its servers plus its
+        // share of intra links.
+        let w = self.switches_per_pod;
+        let max_servers = self.servers_per_pod.div_ceil(w);
+        let max_intra = (2 * self.intra_links).div_ceil(w);
+        if max_servers + max_intra > self.ports as usize {
+            return Err(TopologyError::BadParameters(format!(
+                "pod switches cannot fit {max_servers} servers + ~{max_intra} intra links in {} ports",
+                self.ports
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Splits `total` into `n` parts as evenly as possible (first parts larger).
+fn spread(total: usize, n: usize) -> Vec<usize> {
+    let base = total / n;
+    let extra = total % n;
+    (0..n).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Builds the two-stage random graph. Deterministic for a given `seed`.
+pub fn two_stage_random_graph(params: TwoStageParams, seed: u64) -> Result<Network, TopologyError> {
+    params.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = params.switches_per_pod;
+    let mut b = NetworkBuilder::new(format!(
+        "two-stage-rg(pods={}, w={w}, cores={}, seed={seed})",
+        params.pods, params.cores
+    ));
+
+    // Cores first, then pod switches (keeps switch ids dense per pod).
+    for _ in 0..params.cores {
+        b.add_switch(DeviceKind::Core, params.ports, None)?;
+    }
+    let pod_switch = |p: usize, i: usize| NodeId((params.cores + p * w + i) as u32);
+    for p in 0..params.pods {
+        for _ in 0..w {
+            b.add_switch(DeviceKind::Generic, params.ports, Some(p as u32))?;
+        }
+    }
+
+    // Per-switch port accounting for stage 2.
+    let mut ext_ports: Vec<Vec<u32>> = Vec::with_capacity(params.pods);
+
+    // Stage 1: intra-pod random graphs + servers.
+    let servers_per_switch = spread(params.servers_per_pod, w);
+    // Target intra degrees: 2·intra_links spread evenly.
+    let intra_deg = spread(2 * params.intra_links, w);
+    for p in 0..params.pods {
+        let degs: Vec<u32> = intra_deg.iter().map(|&d| d as u32).collect();
+        let edges = crate::jellyfish::random_graph_with_degrees(&degs, &mut rng);
+        let mut used = vec![0u32; w];
+        for (u, v) in edges {
+            b.add_link(pod_switch(p, u as usize), pod_switch(p, v as usize))?;
+            used[u as usize] += 1;
+            used[v as usize] += 1;
+        }
+        let ext: Vec<u32> = (0..w)
+            .map(|i| params.ports - servers_per_switch[i] as u32 - used[i])
+            .collect();
+        ext_ports.push(ext);
+    }
+
+    // Stage 2: configuration-model matching over super-node stubs.
+    // Stub encoding: 0..pods = pod super-nodes, pods..pods+cores = cores.
+    let mut stubs: Vec<usize> = Vec::new();
+    for (p, ext) in ext_ports.iter().enumerate() {
+        let total: u32 = ext.iter().sum();
+        stubs.extend(std::iter::repeat_n(p, total as usize));
+    }
+    for c in 0..params.cores {
+        stubs.extend(std::iter::repeat_n(params.pods + c, params.ports as usize));
+    }
+    stubs.shuffle(&mut rng);
+    // Resolve same-super-node pairs by swapping with a random other pair.
+    let pairs = stubs.len() / 2;
+    for _ in 0..10 * pairs.max(1) {
+        let mut conflict = None;
+        for i in 0..pairs {
+            if stubs[2 * i] == stubs[2 * i + 1] {
+                conflict = Some(i);
+                break;
+            }
+        }
+        let Some(i) = conflict else { break };
+        let j = rng.random_range(0..pairs);
+        if j != i && stubs[2 * j] != stubs[2 * i] && stubs[2 * j + 1] != stubs[2 * i + 1] {
+            stubs.swap(2 * i + 1, 2 * j + 1);
+        }
+    }
+
+    // Map super-node stubs to concrete switches.
+    // For pods: pick a random switch with a free external port.
+    let mut free_ext = ext_ports;
+    let mut pick_switch = |p: usize, rng: &mut StdRng| -> NodeId {
+        let free = &mut free_ext[p];
+        let total: u32 = free.iter().sum();
+        debug_assert!(total > 0, "pod {p} out of external ports");
+        let mut t = rng.random_range(0..total);
+        for (i, f) in free.iter_mut().enumerate() {
+            if t < *f {
+                *f -= 1;
+                return pod_switch(p, i);
+            }
+            t -= *f;
+        }
+        unreachable!("stub accounting out of sync");
+    };
+    for i in 0..pairs {
+        let (a, bb) = (stubs[2 * i], stubs[2 * i + 1]);
+        if a == bb {
+            continue; // unresolved conflict: leave both ports spare
+        }
+        let na = if a < params.pods {
+            pick_switch(a, &mut rng)
+        } else {
+            NodeId((a - params.pods) as u32)
+        };
+        let nb = if bb < params.pods {
+            pick_switch(bb, &mut rng)
+        } else {
+            NodeId((bb - params.pods) as u32)
+        };
+        b.add_link(na, nb)?;
+    }
+
+    // Servers last.
+    for p in 0..params.pods {
+        for (i, &cnt) in servers_per_switch.iter().enumerate() {
+            for _ in 0..cnt {
+                let s = b.add_server(Some(p as u32));
+                b.add_link(s, pod_switch(p, i))?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::fat_tree;
+    use ft_graph::stats::is_connected;
+
+    #[test]
+    fn equipment_matches_fat_tree() {
+        for k in [4, 6, 8] {
+            let ft = fat_tree(k).unwrap();
+            let ts = two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), 5)
+                .unwrap();
+            let (a, b) = (ft.equipment(), ts.equipment());
+            assert_eq!(a.switches, b.switches, "k = {k}");
+            assert_eq!(a.servers, b.servers, "k = {k}");
+            assert_eq!(a.total_switch_ports, b.total_switch_ports, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn intra_pod_link_budget() {
+        let k = 8;
+        let n =
+            two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), 3).unwrap();
+        // count intra-pod links
+        let mut intra = vec![0usize; k];
+        for (_, a, b) in n.graph().edges() {
+            if a.index() < n.num_switches() && b.index() < n.num_switches() {
+                if let (Some(pa), Some(pb)) = (n.pod(a), n.pod(b)) {
+                    if pa == pb {
+                        intra[pa as usize] += 1;
+                    }
+                }
+            }
+        }
+        for (p, &cnt) in intra.iter().enumerate() {
+            assert_eq!(cnt, k * k / 4, "pod {p} intra links");
+        }
+    }
+
+    #[test]
+    fn connected_and_valid() {
+        for seed in 0..4 {
+            let n =
+                two_stage_random_graph(TwoStageParams::matching_fat_tree(8).unwrap(), seed)
+                    .unwrap();
+            n.validate().unwrap();
+            assert!(is_connected(n.graph()), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = TwoStageParams::matching_fat_tree(6).unwrap();
+        let a = two_stage_random_graph(p, 9).unwrap();
+        let b = two_stage_random_graph(p, 9).unwrap();
+        assert_eq!(a.graph().canonical_edges(), b.graph().canonical_edges());
+    }
+
+    #[test]
+    fn servers_evenly_spread_within_pods() {
+        let n = two_stage_random_graph(TwoStageParams::matching_fat_tree(8).unwrap(), 1).unwrap();
+        let counts = n.server_counts();
+        // cores have no servers; pod switches have k/4 ± 1
+        for (c, &cnt) in counts.iter().enumerate().take(16) {
+            assert_eq!(cnt, 0, "core {c} must have no servers");
+        }
+        let pod_counts = &counts[16..];
+        let min = pod_counts.iter().min().unwrap();
+        let max = pod_counts.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn spread_helper() {
+        assert_eq!(spread(10, 3), vec![4, 3, 3]);
+        assert_eq!(spread(9, 3), vec![3, 3, 3]);
+        assert_eq!(spread(0, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn rejects_overfull_pods() {
+        let p = TwoStageParams {
+            pods: 2,
+            switches_per_pod: 2,
+            servers_per_pod: 6,
+            intra_links: 4,
+            cores: 1,
+            ports: 4,
+        };
+        assert!(two_stage_random_graph(p, 0).is_err());
+    }
+}

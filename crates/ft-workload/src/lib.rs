@@ -1,0 +1,489 @@
+//! Traffic patterns and workload placement from the paper's evaluation
+//! (§3.1, §3.3).
+//!
+//! Measurement studies the paper cites (DCTCP, Kandula et al., Bodík et
+//! al.) identify two pervasive data center traffic patterns, both of which
+//! this crate generates:
+//!
+//! * **broadcast/incast at hot spots** — clusters of ~1000 servers with one
+//!   random hot-spot server that sends to and receives from every other
+//!   member ([`TrafficPattern::HotSpot`]);
+//! * **all-to-all in small clusters** — ~20-server clusters with uniform
+//!   all-to-all demands ([`TrafficPattern::AllToAll`]).
+//!
+//! Placement locality (§3.1): workloads are placed *continuously across
+//! servers* ([`Locality::Strong`]), *randomly within Pods* — the worst-case
+//! fragmentation simulation ([`Locality::Weak`]), or *randomly across the
+//! entire network* ([`Locality::None`]).
+//!
+//! The output is a server-level [`TrafficMatrix`]; `ft-metrics` aggregates
+//! it to switch-level commodities (dropping same-switch pairs, per the
+//! paper's relaxation of server bandwidth) before handing it to `ft-mcf`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ft_graph::NodeId;
+use ft_topo::Network;
+use rand::prelude::*;
+
+/// How clusters are placed onto servers (§3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Locality {
+    /// Clusters packed continuously across server ids ("locality").
+    Strong,
+    /// Clusters packed randomly within Pods as long as servers remain — the
+    /// paper's worst-case simulation of resource fragmentation
+    /// ("weak locality").
+    Weak,
+    /// Clusters placed uniformly at random across the network
+    /// ("no locality").
+    None,
+}
+
+/// The two pervasive data center traffic patterns (§3.1), plus the
+/// classic permutation benchmark from the topology literature.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum TrafficPattern {
+    /// One random hot spot per cluster broadcasts to and receives from all
+    /// other members (demand 1 per direction per pair).
+    HotSpot,
+    /// Every ordered pair within a cluster exchanges demand 1.
+    AllToAll,
+    /// A uniform random permutation within each cluster: every server
+    /// sends demand 1 to exactly one other member and receives from
+    /// exactly one (derangement-style; the Jellyfish evaluation's standard
+    /// workload — an extension beyond the paper's two patterns).
+    Permutation,
+}
+
+/// A service cluster: the servers co-scheduled into one workload.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// Member servers.
+    pub servers: Vec<NodeId>,
+}
+
+/// A server-level traffic matrix: `(src, dst, demand)` triples.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficMatrix {
+    /// The demands. Src and dst are server node ids of the originating
+    /// network, always distinct.
+    pub demands: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl TrafficMatrix {
+    /// Total demand volume.
+    pub fn total_demand(&self) -> f64 {
+        self.demands.iter().map(|d| d.2).sum()
+    }
+
+    /// Number of individual flows.
+    pub fn flow_count(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Converts to switch-level triples by replacing each server with its
+    /// attachment switch. Same-switch pairs are *kept* here (index-level
+    /// callers may care); `ft-mcf::aggregate_commodities` drops them.
+    pub fn switch_triples(&self, net: &Network) -> Vec<(usize, usize, f64)> {
+        self.demands
+            .iter()
+            .map(|&(s, t, d)| (net.attachment(s).index(), net.attachment(t).index(), d))
+            .collect()
+    }
+
+    /// Merges another matrix into this one (used by hybrid-mode zones).
+    pub fn extend(&mut self, other: &TrafficMatrix) {
+        self.demands.extend_from_slice(&other.demands);
+    }
+}
+
+/// A full workload specification.
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadSpec {
+    /// Traffic pattern within each cluster.
+    pub pattern: TrafficPattern,
+    /// Servers per cluster. Clamped to the available server count; the
+    /// paper uses 1000 for hot-spot and 20 for all-to-all workloads.
+    pub cluster_size: usize,
+    /// Placement locality.
+    pub locality: Locality,
+}
+
+impl WorkloadSpec {
+    /// The paper's broadcast/incast workload (§3.3): 1000-server clusters.
+    pub fn hotspot(locality: Locality) -> Self {
+        WorkloadSpec {
+            pattern: TrafficPattern::HotSpot,
+            cluster_size: 1000,
+            locality,
+        }
+    }
+
+    /// The paper's all-to-all workload (§3.3): 20-server clusters.
+    pub fn all_to_all(locality: Locality) -> Self {
+        WorkloadSpec {
+            pattern: TrafficPattern::AllToAll,
+            cluster_size: 20,
+            locality,
+        }
+    }
+}
+
+/// Partitions the given servers into clusters according to the locality.
+///
+/// Every server joins at most one cluster (paper: "each server being
+/// involved in a single cluster"); servers beyond the last full cluster
+/// stay idle. A cluster size larger than the server count is clamped so at
+/// least one cluster forms.
+pub fn place_clusters(
+    net: &Network,
+    servers: &[NodeId],
+    cluster_size: usize,
+    locality: Locality,
+    rng: &mut StdRng,
+) -> Vec<Cluster> {
+    assert!(cluster_size > 0, "cluster size must be positive");
+    let size = cluster_size.min(servers.len());
+    if size == 0 {
+        return Vec::new();
+    }
+    let count = servers.len() / size;
+    match locality {
+        Locality::Strong => {
+            let mut sorted = servers.to_vec();
+            sorted.sort();
+            sorted
+                .chunks_exact(size)
+                .take(count)
+                .map(|c| Cluster {
+                    servers: c.to_vec(),
+                })
+                .collect()
+        }
+        Locality::None => {
+            let mut shuffled = servers.to_vec();
+            shuffled.shuffle(rng);
+            shuffled
+                .chunks_exact(size)
+                .take(count)
+                .map(|c| Cluster {
+                    servers: c.to_vec(),
+                })
+                .collect()
+        }
+        Locality::Weak => place_weak(net, servers, size, count, rng),
+    }
+}
+
+/// Weak locality: clusters are filled from randomly chosen Pods, each Pod
+/// contributing random free servers, spilling into further random Pods only
+/// when the current one runs out ("packed randomly in Pods as long as there
+/// are remaining servers", §3.3). Networks without Pod annotations (e.g.
+/// Jellyfish) are treated as a single Pod, which degenerates to
+/// [`Locality::None`] — matching the paper's observation that random graphs
+/// are insensitive to placement.
+fn place_weak(
+    net: &Network,
+    servers: &[NodeId],
+    size: usize,
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<Cluster> {
+    use std::collections::BTreeMap;
+    // free servers per pod (BTreeMap for deterministic iteration order)
+    let mut pods: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    for &s in servers {
+        pods.entry(net.pod(s).unwrap_or(0)).or_default().push(s);
+    }
+    for list in pods.values_mut() {
+        list.sort();
+        list.shuffle(rng);
+    }
+    let mut clusters = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut members = Vec::with_capacity(size);
+        while members.len() < size {
+            let nonempty: Vec<u32> = pods
+                .iter()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(&p, _)| p)
+                .collect();
+            let Some(&pod) = nonempty.choose(rng) else {
+                break;
+            };
+            let list = pods.get_mut(&pod).unwrap();
+            while members.len() < size {
+                match list.pop() {
+                    Some(s) => members.push(s),
+                    None => break,
+                }
+            }
+        }
+        if members.len() == size {
+            clusters.push(Cluster { servers: members });
+        }
+    }
+    clusters
+}
+
+/// Generates the traffic matrix for a set of clusters.
+pub fn cluster_traffic(
+    clusters: &[Cluster],
+    pattern: TrafficPattern,
+    rng: &mut StdRng,
+) -> TrafficMatrix {
+    let mut demands = Vec::new();
+    for cluster in clusters {
+        match pattern {
+            TrafficPattern::HotSpot => {
+                if cluster.servers.len() < 2 {
+                    continue;
+                }
+                let hot = *cluster.servers.choose(rng).unwrap();
+                for &s in &cluster.servers {
+                    if s != hot {
+                        demands.push((hot, s, 1.0)); // broadcast
+                        demands.push((s, hot, 1.0)); // incast
+                    }
+                }
+            }
+            TrafficPattern::AllToAll => {
+                for &a in &cluster.servers {
+                    for &b in &cluster.servers {
+                        if a != b {
+                            demands.push((a, b, 1.0));
+                        }
+                    }
+                }
+            }
+            TrafficPattern::Permutation => {
+                let n = cluster.servers.len();
+                if n < 2 {
+                    continue;
+                }
+                // rotate a shuffled order by one: a fixed-point-free
+                // mapping (cyclic derangement)
+                let mut order = cluster.servers.clone();
+                order.shuffle(rng);
+                for i in 0..n {
+                    demands.push((order[i], order[(i + 1) % n], 1.0));
+                }
+            }
+        }
+    }
+    TrafficMatrix { demands }
+}
+
+/// End-to-end generation: place clusters over *all* servers of the network
+/// and emit the traffic matrix. Deterministic for a given seed.
+pub fn generate(net: &Network, spec: &WorkloadSpec, seed: u64) -> TrafficMatrix {
+    let servers: Vec<NodeId> = net.servers().collect();
+    generate_on(net, &servers, spec, seed)
+}
+
+/// Like [`generate`], but restricted to the given servers — used by hybrid
+/// mode, where each zone's workload is placed only on that zone's servers.
+pub fn generate_on(
+    net: &Network,
+    servers: &[NodeId],
+    spec: &WorkloadSpec,
+    seed: u64,
+) -> TrafficMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clusters = place_clusters(net, servers, spec.cluster_size, spec.locality, &mut rng);
+    cluster_traffic(&clusters, spec.pattern, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_topo::fat_tree;
+
+    fn net() -> Network {
+        fat_tree(4).unwrap() // 16 servers, 4 pods
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn strong_placement_contiguous() {
+        let n = net();
+        let servers: Vec<NodeId> = n.servers().collect();
+        let cs = place_clusters(&n, &servers, 4, Locality::Strong, &mut rng());
+        assert_eq!(cs.len(), 4);
+        for (i, c) in cs.iter().enumerate() {
+            assert_eq!(c.servers.len(), 4);
+            // contiguous ids
+            for (off, s) in c.servers.iter().enumerate() {
+                assert_eq!(s.index(), servers[0].index() + i * 4 + off);
+            }
+        }
+    }
+
+    #[test]
+    fn none_placement_partitions() {
+        let n = net();
+        let servers: Vec<NodeId> = n.servers().collect();
+        let cs = place_clusters(&n, &servers, 4, Locality::None, &mut rng());
+        assert_eq!(cs.len(), 4);
+        let mut all: Vec<NodeId> = cs.iter().flat_map(|c| c.servers.clone()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 16, "no server reused");
+    }
+
+    #[test]
+    fn weak_placement_prefers_single_pod() {
+        let n = net();
+        let servers: Vec<NodeId> = n.servers().collect();
+        // each pod has 4 servers; clusters of 4 must each fit one pod
+        let cs = place_clusters(&n, &servers, 4, Locality::Weak, &mut rng());
+        assert_eq!(cs.len(), 4);
+        for c in &cs {
+            let pods: std::collections::HashSet<_> =
+                c.servers.iter().map(|&s| n.pod(s)).collect();
+            assert_eq!(pods.len(), 1, "cluster spilled unnecessarily: {c:?}");
+        }
+    }
+
+    #[test]
+    fn weak_placement_spills_when_needed() {
+        let n = net();
+        let servers: Vec<NodeId> = n.servers().collect();
+        // clusters of 6 > pod size 4 must span ≥ 2 pods
+        let cs = place_clusters(&n, &servers, 6, Locality::Weak, &mut rng());
+        assert_eq!(cs.len(), 2);
+        for c in &cs {
+            assert_eq!(c.servers.len(), 6);
+        }
+    }
+
+    #[test]
+    fn oversized_cluster_clamped() {
+        let n = net();
+        let servers: Vec<NodeId> = n.servers().collect();
+        let cs = place_clusters(&n, &servers, 1000, Locality::Strong, &mut rng());
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].servers.len(), 16);
+    }
+
+    #[test]
+    fn hotspot_traffic_shape() {
+        let n = net();
+        let tm = generate(&n, &WorkloadSpec::hotspot(Locality::Strong), 1);
+        // one cluster of 16 (clamped) → 15 pairs × 2 directions
+        assert_eq!(tm.flow_count(), 30);
+        assert_eq!(tm.total_demand(), 30.0);
+        // exactly one hot spot: one server appears in every flow
+        let mut counts = std::collections::HashMap::new();
+        for &(a, b, _) in &tm.demands {
+            *counts.entry(a).or_insert(0) += 1;
+            *counts.entry(b).or_insert(0) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        assert_eq!(*max, 30, "hot spot participates in every flow");
+    }
+
+    #[test]
+    fn all_to_all_traffic_shape() {
+        let n = net();
+        let spec = WorkloadSpec {
+            pattern: TrafficPattern::AllToAll,
+            cluster_size: 4,
+            locality: Locality::Strong,
+        };
+        let tm = generate(&n, &spec, 1);
+        // 4 clusters × 4·3 ordered pairs
+        assert_eq!(tm.flow_count(), 48);
+    }
+
+    #[test]
+    fn permutation_is_derangement() {
+        let n = net();
+        let spec = WorkloadSpec {
+            pattern: TrafficPattern::Permutation,
+            cluster_size: 8,
+            locality: Locality::None,
+        };
+        let tm = generate(&n, &spec, 4);
+        // 2 clusters × 8 flows; each server sends once and receives once,
+        // never to itself
+        assert_eq!(tm.flow_count(), 16);
+        let mut sends = std::collections::HashMap::new();
+        let mut recvs = std::collections::HashMap::new();
+        for &(a, b, d) in &tm.demands {
+            assert_ne!(a, b, "permutation must be fixed-point free");
+            assert_eq!(d, 1.0);
+            *sends.entry(a).or_insert(0) += 1;
+            *recvs.entry(b).or_insert(0) += 1;
+        }
+        assert!(sends.values().all(|&c| c == 1));
+        assert!(recvs.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn permutation_tiny_cluster_empty() {
+        let n = net();
+        let spec = WorkloadSpec {
+            pattern: TrafficPattern::Permutation,
+            cluster_size: 1,
+            locality: Locality::Strong,
+        };
+        let tm = generate(&n, &spec, 1);
+        assert_eq!(tm.flow_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let n = net();
+        let spec = WorkloadSpec::all_to_all(Locality::None);
+        let a = generate(&n, &spec, 5);
+        let b = generate(&n, &spec, 5);
+        assert_eq!(a.demands, b.demands);
+        let c = generate(&n, &spec, 6);
+        assert_ne!(a.demands, c.demands);
+    }
+
+    #[test]
+    fn switch_triples_use_attachments() {
+        let n = net();
+        let tm = generate(&n, &WorkloadSpec::all_to_all(Locality::Strong), 1);
+        for (s, t, d) in tm.switch_triples(&n) {
+            assert!(s < n.num_switches());
+            assert!(t < n.num_switches());
+            assert_eq!(d, 1.0);
+        }
+    }
+
+    #[test]
+    fn generate_on_subset() {
+        let n = net();
+        let subset: Vec<NodeId> = n.servers().take(8).collect();
+        let spec = WorkloadSpec {
+            pattern: TrafficPattern::AllToAll,
+            cluster_size: 4,
+            locality: Locality::Strong,
+        };
+        let tm = generate_on(&n, &subset, &spec, 3);
+        for &(a, b, _) in &tm.demands {
+            assert!(subset.contains(&a) && subset.contains(&b));
+        }
+    }
+
+    #[test]
+    fn matrix_extend() {
+        let mut a = TrafficMatrix {
+            demands: vec![(NodeId(30), NodeId(31), 1.0)],
+        };
+        let b = TrafficMatrix {
+            demands: vec![(NodeId(32), NodeId(33), 2.0)],
+        };
+        a.extend(&b);
+        assert_eq!(a.flow_count(), 2);
+        assert_eq!(a.total_demand(), 3.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Hybrid-mode operations: a day in the life of the flat-tree controller.
+//!
+//! ```text
+//! cargo run --release --example hybrid_zones
+//! ```
+//!
+//! Scenario (the paper's §2.6 + §3.4 workflow):
+//!
+//! 1. the data center boots as a Clos network;
+//! 2. two tenants arrive — a large analytics job with hot-spot traffic and
+//!    a latency-sensitive web tier with small all-to-all clusters;
+//! 3. the advisor measures both traffic matrices; the operator carves the
+//!    Pods into two zones and the controller converts the topology —
+//!    reporting exactly which converter switches flip and which logical
+//!    links are rewired;
+//! 4. per-zone throughput is evaluated on the hybrid topology and compared
+//!    with what each workload would get from the whole network converted
+//!    to its preferred mode.
+
+use flat_tree::control::advisor::summarize;
+use flat_tree::control::{recommend_mode, Controller, Zone};
+use flat_tree::core::{FlatTreeConfig, Mode, PodMode};
+use flat_tree::mcf::aggregate_commodities;
+use flat_tree::metrics::throughput::{throughput_on_commodities, ThroughputOptions};
+use flat_tree::topo::Network;
+use flat_tree::workload::{generate_on, Locality, TrafficPattern, WorkloadSpec};
+
+fn zone_servers(net: &Network, pods: std::ops::Range<usize>) -> Vec<flat_tree::graph::NodeId> {
+    net.servers()
+        .filter(|&s| net.pod(s).is_some_and(|p| pods.contains(&(p as usize))))
+        .collect()
+}
+
+fn main() {
+    let k = 8;
+    let mut ctl = Controller::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap();
+    println!("booted: mode = {}, {} conversions", ctl.mode().label(), ctl.conversions());
+
+    // Tenant workloads on their prospective zones.
+    let analytics_pods = 0..k / 2;
+    let web_pods = k / 2..k;
+    let net = ctl.network().clone();
+    let analytics_servers = zone_servers(&net, analytics_pods.clone());
+    let web_servers = zone_servers(&net, web_pods.clone());
+    let analytics_spec = WorkloadSpec {
+        pattern: TrafficPattern::HotSpot,
+        cluster_size: 1000,
+        locality: Locality::Strong,
+    };
+    let web_spec = WorkloadSpec {
+        pattern: TrafficPattern::AllToAll,
+        cluster_size: 8,
+        locality: Locality::Strong,
+    };
+    let analytics_tm = generate_on(&net, &analytics_servers, &analytics_spec, 42);
+    let web_tm = generate_on(&net, &web_servers, &web_spec, 42);
+
+    // Measure and consult the advisor per tenant.
+    for (name, tm) in [("analytics", &analytics_tm), ("web", &web_tm)] {
+        let s = summarize(&net, tm);
+        println!(
+            "{name}: {} flows, intra-Pod {:.0}%, hot-spot concentration {:.0}% → advisor: {}",
+            tm.flow_count(),
+            100.0 * s.intra_pod_fraction,
+            100.0 * s.hotspot_concentration,
+            recommend_mode(&s).label()
+        );
+    }
+
+    // Carve zones accordingly and convert.
+    let zones = [
+        Zone::new("analytics", analytics_pods, PodMode::GlobalRandom),
+        Zone::new("web", web_pods, PodMode::LocalRandom),
+    ];
+    let plan = ctl.organize_zones(&zones).unwrap();
+    println!(
+        "\nconversion plan: {} converter ops ({} four-port, {} six-port), {} links removed, {} added",
+        plan.converter_ops(),
+        plan.four_changes.len(),
+        plan.six_changes.len(),
+        plan.links_removed.len(),
+        plan.links_added.len()
+    );
+    println!("now in mode {}", ctl.mode().label());
+
+    // Evaluate per-zone throughput on the hybrid topology vs the
+    // dedicated-network ideal.
+    let hybrid = ctl.network().clone();
+    let opts = ThroughputOptions {
+        epsilon: 0.1,
+        exact_threshold: 0,
+        max_steps: Some(2_000_000),
+    };
+    let flat = ctl.flat_tree();
+    let dedicated_global = flat.materialize(&Mode::GlobalRandom);
+    let dedicated_local = flat.materialize(&Mode::LocalRandom);
+    println!("\n{:<12} {:>14} {:>16}", "zone", "hybrid λ", "dedicated λ");
+    for (name, tm, dedicated) in [
+        ("analytics", &analytics_tm, &dedicated_global),
+        ("web", &web_tm, &dedicated_local),
+    ] {
+        let hybrid_lambda =
+            throughput_on_commodities(&hybrid, &aggregate_commodities(tm.switch_triples(&hybrid)), opts)
+                .lambda;
+        let dedicated_lambda = throughput_on_commodities(
+            dedicated,
+            &aggregate_commodities(tm.switch_triples(dedicated)),
+            opts,
+        )
+        .lambda;
+        println!("{name:<12} {hybrid_lambda:>14.4} {dedicated_lambda:>16.4}");
+    }
+    println!("\nzones share the core yet each keeps its dedicated-network throughput (§3.4)");
+}

@@ -1,0 +1,14 @@
+//! `ftctl` — command-line access to the flat-tree library: build and export
+//! topologies, compute metrics, plan conversions, run the (m, n) profiling
+//! sweep. See `ftctl --help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match flat_tree::cli::parse(&args).and_then(|inv| flat_tree::cli::run(&inv)) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

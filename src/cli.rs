@@ -1,0 +1,385 @@
+//! Command-line interface backing the `ftctl` binary.
+//!
+//! Hand-rolled argument handling (the workspace's dependency policy has no
+//! CLI crate) with the command logic separated from I/O so it is unit
+//! testable: every command produces a [`String`] report, and the binary
+//! just prints it.
+//!
+//! ```text
+//! ftctl topo    --kind fat-tree|random-graph|two-stage|flat-tree -k 8
+//!               [--mode clos|local-rg|global-rg] [--seed S] [--dot F] [--json F]
+//! ftctl metrics --kind … -k 8 [--mode …] [--seed S]
+//! ftctl convert -k 8 --from <mode> --to <mode>
+//! ftctl profile -k 8
+//! ```
+
+use crate::core::{profile_mn, FlatTree, FlatTreeConfig, Mode};
+use crate::graph::bridges::bridges;
+use crate::graph::stats::{diameter, mean_degree};
+use crate::metrics::bisection::random_bisection_bandwidth;
+use crate::metrics::path_length::{average_intra_pod_path_length, average_server_path_length};
+use crate::topo::export::{to_dot, to_json};
+use crate::topo::{
+    fat_tree, jellyfish_matching_fat_tree, two_stage_random_graph, Network, TwoStageParams,
+};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A parsed command line: subcommand plus `--flag value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The subcommand (`topo`, `metrics`, `convert`, `profile`).
+    pub command: String,
+    /// Flag values, keys without the leading `--`.
+    pub options: HashMap<String, String>,
+}
+
+/// Errors surfaced to the user as friendly messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text shown by `--help` and on parse errors.
+pub const USAGE: &str = "\
+ftctl — flat-tree topology tool
+
+USAGE:
+  ftctl topo    --kind <fat-tree|random-graph|two-stage|flat-tree> -k <even>
+                [--mode <clos|local-rg|global-rg>] [--seed <u64>]
+                [--dot <file>] [--json <file>]
+  ftctl metrics --kind <…> -k <even> [--mode <…>] [--seed <u64>]
+  ftctl convert -k <even> --from <mode> --to <mode>
+  ftctl profile -k <even>
+
+Topology kinds build from the same equipment as fat-tree(k). flat-tree
+requires --mode; other kinds ignore it.";
+
+/// Splits raw arguments into an [`Invocation`].
+pub fn parse(args: &[String]) -> Result<Invocation, CliError> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| CliError(format!("missing subcommand\n\n{USAGE}")))?
+        .clone();
+    if command == "--help" || command == "-h" || command == "help" {
+        return Ok(Invocation {
+            command: "help".into(),
+            options: HashMap::new(),
+        });
+    }
+    let mut options = HashMap::new();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .or_else(|| flag.strip_prefix('-'))
+            .ok_or_else(|| CliError(format!("expected a flag, got {flag:?}\n\n{USAGE}")))?;
+        let value = it
+            .next()
+            .ok_or_else(|| CliError(format!("flag --{key} needs a value")))?;
+        options.insert(key.to_string(), value.clone());
+    }
+    Ok(Invocation { command, options })
+}
+
+fn get_k(inv: &Invocation) -> Result<usize, CliError> {
+    let k: usize = inv
+        .options
+        .get("k")
+        .ok_or_else(|| CliError("missing -k <even fat-tree parameter>".into()))?
+        .parse()
+        .map_err(|_| CliError("-k must be an integer".into()))?;
+    if k < 4 || k % 2 != 0 {
+        return Err(CliError(format!("-k must be even and ≥ 4, got {k}")));
+    }
+    Ok(k)
+}
+
+fn get_seed(inv: &Invocation) -> Result<u64, CliError> {
+    match inv.options.get("seed") {
+        None => Ok(1),
+        Some(s) => s
+            .parse()
+            .map_err(|_| CliError("--seed must be an integer".into())),
+    }
+}
+
+fn parse_mode(s: &str) -> Result<Mode, CliError> {
+    match s {
+        "clos" => Ok(Mode::Clos),
+        "local-rg" | "local" => Ok(Mode::LocalRandom),
+        "global-rg" | "global" => Ok(Mode::GlobalRandom),
+        other => Err(CliError(format!(
+            "unknown mode {other:?} (use clos | local-rg | global-rg)"
+        ))),
+    }
+}
+
+fn build_network(inv: &Invocation) -> Result<Network, CliError> {
+    let k = get_k(inv)?;
+    let seed = get_seed(inv)?;
+    let kind = inv
+        .options
+        .get("kind")
+        .map(String::as_str)
+        .unwrap_or("flat-tree");
+    match kind {
+        "fat-tree" => fat_tree(k).map_err(|e| CliError(e.to_string())),
+        "random-graph" => {
+            jellyfish_matching_fat_tree(k, seed).map_err(|e| CliError(e.to_string()))
+        }
+        "two-stage" => two_stage_random_graph(
+            TwoStageParams::matching_fat_tree(k).map_err(|e| CliError(e.to_string()))?,
+            seed,
+        )
+        .map_err(|e| CliError(e.to_string())),
+        "flat-tree" => {
+            let mode = parse_mode(
+                inv.options
+                    .get("mode")
+                    .map(String::as_str)
+                    .unwrap_or("clos"),
+            )?;
+            let cfg = FlatTreeConfig::for_fat_tree_k(k).map_err(|e| CliError(e.to_string()))?;
+            let ft = FlatTree::new(cfg).map_err(|e| CliError(e.to_string()))?;
+            Ok(ft.materialize(&mode))
+        }
+        other => Err(CliError(format!(
+            "unknown --kind {other:?} (use fat-tree | random-graph | two-stage | flat-tree)"
+        ))),
+    }
+}
+
+/// Executes a parsed invocation, returning the report to print.
+pub fn run(inv: &Invocation) -> Result<String, CliError> {
+    match inv.command.as_str() {
+        "help" => Ok(USAGE.to_string()),
+        "topo" => cmd_topo(inv),
+        "metrics" => cmd_metrics(inv),
+        "convert" => cmd_convert(inv),
+        "profile" => cmd_profile(inv),
+        other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_topo(inv: &Invocation) -> Result<String, CliError> {
+    let net = build_network(inv)?;
+    let mut out = String::new();
+    let eq = net.equipment();
+    let _ = writeln!(out, "{}", net.name());
+    let _ = writeln!(
+        out,
+        "  switches: {}   servers: {}   links: {}",
+        eq.switches,
+        eq.servers,
+        eq.links
+    );
+    if let Some(path) = inv.options.get("dot") {
+        std::fs::write(path, to_dot(&net))
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "  dot written to {path}");
+    }
+    if let Some(path) = inv.options.get("json") {
+        std::fs::write(path, to_json(&net))
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "  json written to {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_metrics(inv: &Invocation) -> Result<String, CliError> {
+    let net = build_network(inv)?;
+    let k = get_k(inv)?;
+    let sg = net.switch_graph();
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", net.name());
+    let _ = writeln!(
+        out,
+        "  average path length (servers): {:.4}",
+        average_server_path_length(&net)
+    );
+    let _ = writeln!(
+        out,
+        "  intra-pod path length:         {:.4}",
+        average_intra_pod_path_length(&net, k * k / 4)
+    );
+    let _ = writeln!(
+        out,
+        "  switch diameter:               {}",
+        diameter(&sg).map(|d| d.to_string()).unwrap_or("∞".into())
+    );
+    let _ = writeln!(out, "  mean switch degree:            {:.2}", mean_degree(&sg));
+    let _ = writeln!(out, "  fabric bridges:                {}", bridges(&sg).len());
+    let _ = writeln!(
+        out,
+        "  random-bisection bandwidth:    {}",
+        random_bisection_bandwidth(&net, 16, get_seed(inv)?)
+    );
+    Ok(out)
+}
+
+fn cmd_convert(inv: &Invocation) -> Result<String, CliError> {
+    let k = get_k(inv)?;
+    let from = parse_mode(
+        inv.options
+            .get("from")
+            .ok_or_else(|| CliError("missing --from <mode>".into()))?,
+    )?;
+    let to = parse_mode(
+        inv.options
+            .get("to")
+            .ok_or_else(|| CliError("missing --to <mode>".into()))?,
+    )?;
+    let cfg = FlatTreeConfig::for_fat_tree_k(k).map_err(|e| CliError(e.to_string()))?;
+    let ft = FlatTree::new(cfg).map_err(|e| CliError(e.to_string()))?;
+    let a = ft.resolve(&from).map_err(|e| CliError(e.to_string()))?;
+    let b = ft.resolve(&to).map_err(|e| CliError(e.to_string()))?;
+    let plan = crate::control::plan_transition(&ft, &a, &b).map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "conversion {} → {} (k = {k})", from.label(), to.label());
+    let _ = writeln!(
+        out,
+        "  converter reprogramming ops: {} ({} four-port, {} six-port)",
+        plan.converter_ops(),
+        plan.four_changes.len(),
+        plan.six_changes.len()
+    );
+    let _ = writeln!(
+        out,
+        "  logical links rewired:       {} removed, {} added",
+        plan.links_removed.len(),
+        plan.links_added.len()
+    );
+    Ok(out)
+}
+
+fn cmd_profile(inv: &Invocation) -> Result<String, CliError> {
+    let k = get_k(inv)?;
+    let result = profile_mn(k, 1).map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "profiling sweep for k = {k} (global-RG average path length):");
+    for p in &result.points {
+        let mark = if (p.m, p.n) == (result.best.m, result.best.n) {
+            "  ← best"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  m = {}, n = {}: {:.4}{mark}", p.m, p.n, p.apl);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv(args: &[&str]) -> Invocation {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parse_basic() {
+        let i = inv(&["topo", "--kind", "fat-tree", "-k", "8"]);
+        assert_eq!(i.command, "topo");
+        assert_eq!(i.options["kind"], "fat-tree");
+        assert_eq!(i.options["k"], "8");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["topo".into(), "oops".into()]).is_err());
+        assert!(parse(&["topo".into(), "--k".into()]).is_err());
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(inv(&["--help"]).command, "help");
+        assert!(run(&inv(&["help"])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn topo_all_kinds() {
+        for kind in ["fat-tree", "random-graph", "two-stage", "flat-tree"] {
+            let out = run(&inv(&["topo", "--kind", kind, "-k", "4"])).unwrap();
+            assert!(out.contains("switches: 20"), "{kind}: {out}");
+            assert!(out.contains("servers: 16"), "{kind}: {out}");
+        }
+    }
+
+    #[test]
+    fn topo_flat_tree_modes() {
+        for mode in ["clos", "local-rg", "global-rg"] {
+            let out = run(&inv(&["topo", "--kind", "flat-tree", "-k", "8", "--mode", mode]))
+                .unwrap();
+            assert!(out.contains(mode), "{out}");
+        }
+    }
+
+    #[test]
+    fn metrics_report_fields() {
+        let out = run(&inv(&["metrics", "--kind", "fat-tree", "-k", "4"])).unwrap();
+        assert!(out.contains("average path length"));
+        assert!(out.contains("fabric bridges:                0"));
+    }
+
+    #[test]
+    fn convert_reports_plan() {
+        let out = run(&inv(&["convert", "-k", "8", "--from", "clos", "--to", "global-rg"]))
+            .unwrap();
+        assert!(out.contains("converter reprogramming ops: 96"), "{out}");
+        assert!(out.contains("removed"));
+    }
+
+    #[test]
+    fn convert_noop() {
+        let out =
+            run(&inv(&["convert", "-k", "8", "--from", "clos", "--to", "clos"])).unwrap();
+        assert!(out.contains("ops: 0"), "{out}");
+    }
+
+    #[test]
+    fn profile_marks_best() {
+        let out = run(&inv(&["profile", "-k", "8"])).unwrap();
+        assert!(out.contains("← best"));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(run(&inv(&["topo", "--kind", "nope", "-k", "8"])).is_err());
+        assert!(run(&inv(&["topo", "--kind", "fat-tree", "-k", "7"])).is_err());
+        assert!(run(&inv(&["topo", "--kind", "fat-tree"])).is_err());
+        assert!(run(&inv(&["convert", "-k", "8", "--from", "clos", "--to", "weird"])).is_err());
+        assert!(run(&inv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn dot_and_json_export() {
+        let dir = std::env::temp_dir();
+        let dot = dir.join("ftctl_test.dot");
+        let json = dir.join("ftctl_test.json");
+        let out = run(&inv(&[
+            "topo",
+            "--kind",
+            "fat-tree",
+            "-k",
+            "4",
+            "--dot",
+            dot.to_str().unwrap(),
+            "--json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("dot written"));
+        assert!(std::fs::read_to_string(&dot).unwrap().starts_with("graph"));
+        assert!(std::fs::read_to_string(&json).unwrap().contains("\"nodes\""));
+        let _ = std::fs::remove_file(dot);
+        let _ = std::fs::remove_file(json);
+    }
+}

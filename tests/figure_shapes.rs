@@ -1,0 +1,111 @@
+//! Miniature end-to-end versions of the paper's figures, run at small k so
+//! they fit in the test suite. The full harness lives in
+//! `crates/ft-experiments`; these tests pin the *shape* results the paper
+//! reports so regressions in any crate of the pipeline fail loudly.
+
+use flat_tree::core::{FlatTree, FlatTreeConfig, Mode};
+use flat_tree::metrics::path_length::{
+    average_intra_pod_path_length, average_server_path_length,
+};
+use flat_tree::metrics::throughput::{throughput, ThroughputOptions};
+use flat_tree::topo::{
+    fat_tree, jellyfish_matching_fat_tree, two_stage_random_graph, TwoStageParams,
+};
+use flat_tree::workload::{generate, Locality, TrafficPattern, WorkloadSpec};
+
+fn flat(k: usize, mode: &Mode) -> flat_tree::topo::Network {
+    FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap())
+        .unwrap()
+        .materialize(mode)
+}
+
+/// Figure 5 shape: flat-tree global mode sits between fat-tree and the
+/// random graph, within 10% of the latter.
+#[test]
+fn fig5_shape_small_k() {
+    for k in [8, 10] {
+        let fat = average_server_path_length(&fat_tree(k).unwrap());
+        let rg = average_server_path_length(&jellyfish_matching_fat_tree(k, 1).unwrap());
+        let ft = average_server_path_length(&flat(k, &Mode::GlobalRandom));
+        assert!(ft < fat, "k = {k}: flat {ft} !< fat {fat}");
+        assert!(ft >= rg * 0.98, "k = {k}: flat {ft} implausibly beats rg {rg}");
+        assert!(
+            (ft - rg) / rg <= 0.10,
+            "k = {k}: flat {ft} not within 10% of rg {rg}"
+        );
+    }
+}
+
+/// Figure 6 shape: in-Pod, flat-tree-local ≲ two-stage < fat-tree < rg.
+#[test]
+fn fig6_shape_small_k() {
+    let k = 10;
+    let pod = k * k / 4;
+    let ftl = average_intra_pod_path_length(&flat(k, &Mode::LocalRandom), pod);
+    let fat = average_intra_pod_path_length(&fat_tree(k).unwrap(), pod);
+    let rg = average_intra_pod_path_length(&jellyfish_matching_fat_tree(k, 1).unwrap(), pod);
+    let ts = average_intra_pod_path_length(
+        &two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), 1).unwrap(),
+        pod,
+    );
+    assert!(ftl < fat, "flat {ftl} !< fat {fat}");
+    assert!(fat < rg, "fat {fat} !< rg {rg}");
+    assert!(ftl <= ts * 1.02, "flat {ftl} not ≤ two-stage {ts} (+2%)");
+}
+
+/// Figure 7 shape: hot-spot throughput — flat-tree ≥ 1.2× fat-tree and
+/// within 20% of the random graph.
+#[test]
+fn fig7_shape_small_k() {
+    let k = 8;
+    let spec = WorkloadSpec {
+        pattern: TrafficPattern::HotSpot,
+        cluster_size: 1000,
+        locality: Locality::Strong,
+    };
+    let opts = ThroughputOptions::fptas(0.1);
+    let lam = |net: &flat_tree::topo::Network| throughput(net, &generate(net, &spec, 2), opts).lambda;
+    let fat = lam(&fat_tree(k).unwrap());
+    let ftg = lam(&flat(k, &Mode::GlobalRandom));
+    let rg = lam(&jellyfish_matching_fat_tree(k, 2).unwrap());
+    assert!(ftg >= 1.2 * fat, "flat {ftg} vs fat {fat}");
+    assert!((ftg - rg).abs() / rg <= 0.2, "flat {ftg} vs rg {rg}");
+}
+
+/// Figure 8 shape: all-to-all throughput — flat-tree-local competitive
+/// with the two-stage RG; fat-tree placement-sensitive.
+#[test]
+fn fig8_shape_small_k() {
+    let k = 8;
+    let opts = ThroughputOptions::fptas(0.1);
+    let lam = |net: &flat_tree::topo::Network, locality| {
+        let spec = WorkloadSpec {
+            pattern: TrafficPattern::AllToAll,
+            cluster_size: 20,
+            locality,
+        };
+        throughput(net, &generate(net, &spec, 2), opts).lambda
+    };
+    let ftl = flat(k, &Mode::LocalRandom);
+    let ts = two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), 2).unwrap();
+    assert!(
+        lam(&ftl, Locality::Strong) >= 0.95 * lam(&ts, Locality::Strong),
+        "flat-tree-local must be competitive with two-stage RG at small k"
+    );
+    let fat = fat_tree(k).unwrap();
+    let fat_strong = lam(&fat, Locality::Strong);
+    let fat_weak = lam(&fat, Locality::Weak);
+    assert!(
+        fat_strong >= fat_weak * 0.99,
+        "fat-tree should not improve under fragmentation: {fat_strong} vs {fat_weak}"
+    );
+}
+
+/// §3.2 shape: the profiling sweep finds (m = k/8, n = 2k/8) at or near
+/// the optimum.
+#[test]
+fn profiling_recovers_paper_choice() {
+    let r = flat_tree::core::profile_mn(8, 1).unwrap();
+    let paper = r.points.iter().find(|p| p.m == 1 && p.n == 2).unwrap();
+    assert!(paper.apl <= r.best.apl * 1.05);
+}

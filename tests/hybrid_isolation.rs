@@ -1,0 +1,142 @@
+//! §3.4 integration: hybrid-mode zone isolation at test scale.
+
+use flat_tree::core::{FlatTree, FlatTreeConfig, Mode};
+use flat_tree::graph::NodeId;
+use flat_tree::mcf::{aggregate_commodities, Commodity};
+use flat_tree::metrics::throughput::{throughput_on_commodities, ThroughputOptions};
+use flat_tree::topo::Network;
+use flat_tree::workload::{generate_on, Locality, TrafficPattern, WorkloadSpec};
+
+fn zone_servers(net: &Network, pods: std::ops::Range<usize>) -> Vec<NodeId> {
+    net.servers()
+        .filter(|&s| net.pod(s).is_some_and(|p| pods.contains(&(p as usize))))
+        .collect()
+}
+
+fn commodities(net: &Network, servers: &[NodeId], spec: &WorkloadSpec) -> Vec<Commodity> {
+    aggregate_commodities(generate_on(net, servers, spec, 9).switch_triples(net))
+}
+
+#[test]
+fn zones_match_complete_networks() {
+    let k = 6;
+    let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap();
+    let opts = ThroughputOptions::fptas(0.1);
+
+    let full_global = ft.materialize(&Mode::GlobalRandom);
+    let full_local = ft.materialize(&Mode::LocalRandom);
+
+    for global_pods in [2usize, 3, 4] {
+        let hybrid = ft.materialize(&Mode::two_zone(k, global_pods));
+        let servers_a = zone_servers(&hybrid, 0..global_pods);
+        let servers_b = zone_servers(&hybrid, global_pods..k);
+        let spec_a = WorkloadSpec {
+            pattern: TrafficPattern::HotSpot,
+            cluster_size: 1000,
+            locality: Locality::Strong,
+        };
+        let spec_b = WorkloadSpec {
+            pattern: TrafficPattern::AllToAll,
+            cluster_size: 9,
+            locality: Locality::Strong,
+        };
+        let com_a = commodities(&hybrid, &servers_a, &spec_a);
+        let com_b = commodities(&hybrid, &servers_b, &spec_b);
+        let zone_a = throughput_on_commodities(&hybrid, &com_a, opts).lambda;
+        let zone_b = throughput_on_commodities(&hybrid, &com_b, opts).lambda;
+        let ref_a = throughput_on_commodities(
+            &full_global,
+            &commodities(&full_global, &servers_a, &spec_a),
+            opts,
+        )
+        .lambda;
+        let ref_b = throughput_on_commodities(
+            &full_local,
+            &commodities(&full_local, &servers_b, &spec_b),
+            opts,
+        )
+        .lambda;
+        let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-12);
+        assert!(
+            rel(zone_a, ref_a) <= 0.2,
+            "global zone ({global_pods} pods): hybrid {zone_a} vs complete {ref_a}"
+        );
+        assert!(
+            rel(zone_b, ref_b) <= 0.2,
+            "local zone: hybrid {zone_b} vs complete {ref_b}"
+        );
+
+        // joint solve must not collapse either zone
+        let mut joint = com_a.clone();
+        joint.extend_from_slice(&com_b);
+        let joint_lambda = throughput_on_commodities(&hybrid, &joint, opts).lambda;
+        assert!(
+            joint_lambda >= 0.75 * zone_a.min(zone_b),
+            "joint λ {joint_lambda} collapsed below zones ({zone_a}, {zone_b})"
+        );
+    }
+}
+
+/// Three-way hybrid: Clos, local-RG and global-RG zones coexisting. Each
+/// zone's workload must still achieve its dedicated-network throughput.
+#[test]
+fn three_zone_hybrid_isolation() {
+    use flat_tree::core::PodMode;
+    let k = 6;
+    let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap();
+    let opts = ThroughputOptions::fptas(0.1);
+    let mode = Mode::Hybrid(vec![
+        PodMode::GlobalRandom,
+        PodMode::GlobalRandom,
+        PodMode::LocalRandom,
+        PodMode::LocalRandom,
+        PodMode::Clos,
+        PodMode::Clos,
+    ]);
+    let hybrid = ft.materialize(&mode);
+    hybrid.validate().unwrap();
+
+    let zones: [(std::ops::Range<usize>, Mode, WorkloadSpec); 3] = [
+        (
+            0..2,
+            Mode::GlobalRandom,
+            WorkloadSpec {
+                pattern: TrafficPattern::HotSpot,
+                cluster_size: 1000,
+                locality: Locality::Strong,
+            },
+        ),
+        (
+            2..4,
+            Mode::LocalRandom,
+            WorkloadSpec {
+                pattern: TrafficPattern::AllToAll,
+                cluster_size: 9,
+                locality: Locality::Strong,
+            },
+        ),
+        (
+            4..6,
+            Mode::Clos,
+            WorkloadSpec {
+                pattern: TrafficPattern::AllToAll,
+                cluster_size: 9,
+                locality: Locality::Strong,
+            },
+        ),
+    ];
+    for (pods, ref_mode, spec) in zones {
+        let servers = zone_servers(&hybrid, pods.clone());
+        let com = commodities(&hybrid, &servers, &spec);
+        let lambda = throughput_on_commodities(&hybrid, &com, opts).lambda;
+        let reference = ft.materialize(&ref_mode);
+        let ref_com = commodities(&reference, &servers, &spec);
+        let ref_lambda = throughput_on_commodities(&reference, &ref_com, opts).lambda;
+        let rel = (lambda - ref_lambda).abs() / ref_lambda.max(1e-12);
+        assert!(
+            rel <= 0.25,
+            "zone {pods:?} ({}): hybrid {lambda} vs dedicated {ref_lambda}",
+            ref_mode.label()
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based cross-crate tests: invariants that must hold for *every*
+//! valid flat-tree configuration, not just the paper's.
+
+use flat_tree::core::{FlatTree, FlatTreeConfig, Mode, PodMode};
+use flat_tree::graph::stats::is_connected;
+use flat_tree::metrics::path_length::average_server_path_length;
+use flat_tree::topo::fat_tree;
+use proptest::prelude::*;
+
+/// Arbitrary valid (k, m, n): k even in [4, 16], m + n ≤ k/2, m, n ≥ 1.
+fn arb_kmn() -> impl Strategy<Value = (usize, usize, usize)> {
+    (2usize..=8)
+        .prop_map(|h| 2 * h) // even k
+        .prop_flat_map(|k| {
+            let limit = k / 2;
+            (1usize..limit)
+                .prop_flat_map(move |m| (Just(m), 1usize..=(limit - m)))
+                .prop_map(move |(m, n)| (k, m, n))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every (k, m, n) conserves equipment in every uniform mode.
+    #[test]
+    fn equipment_conserved_for_all_configs((k, m, n) in arb_kmn()) {
+        let reference = fat_tree(k).unwrap().equipment();
+        let cfg = FlatTreeConfig::for_fat_tree_k_mn(k, m, n).unwrap();
+        let ft = FlatTree::new(cfg).unwrap();
+        for mode in [Mode::Clos, Mode::LocalRandom, Mode::GlobalRandom] {
+            let net = ft.materialize(&mode);
+            prop_assert_eq!(net.equipment(), reference);
+            net.validate().unwrap();
+        }
+    }
+
+    /// Clos mode is the fat-tree for every configuration, independent of
+    /// m, n and the wiring pattern (all converters default ⇒ all original
+    /// links restored).
+    #[test]
+    fn clos_identity_for_all_configs((k, m, n) in arb_kmn()) {
+        let cfg = FlatTreeConfig::for_fat_tree_k_mn(k, m, n).unwrap();
+        let ft = FlatTree::new(cfg).unwrap();
+        prop_assert_eq!(
+            ft.materialize(&Mode::Clos).graph().canonical_edges(),
+            fat_tree(k).unwrap().graph().canonical_edges()
+        );
+    }
+
+    /// Local-random mode never disconnects the network (the Clos
+    /// edge–aggregation mesh plus Pod-core wiring always remain).
+    #[test]
+    fn local_mode_connected((k, m, n) in arb_kmn()) {
+        let cfg = FlatTreeConfig::for_fat_tree_k_mn(k, m, n).unwrap();
+        let net = FlatTree::new(cfg).unwrap().materialize(&Mode::LocalRandom);
+        prop_assert!(is_connected(net.graph()));
+    }
+
+    /// Arbitrary hybrid assignments materialize, validate and stay
+    /// connected when n ≥ 1 keeps each pod wired to its cores.
+    #[test]
+    fn random_hybrid_assignments_work(
+        (k, m, n) in arb_kmn(),
+        seed in 0u64..1000,
+    ) {
+        let cfg = FlatTreeConfig::for_fat_tree_k_mn(k, m, n).unwrap();
+        let ft = FlatTree::new(cfg).unwrap();
+        // derive a pseudo-random pod-mode assignment from the seed
+        let modes: Vec<PodMode> = (0..k)
+            .map(|p| match (seed >> (2 * (p % 16))) % 3 {
+                0 => PodMode::Clos,
+                1 => PodMode::LocalRandom,
+                _ => PodMode::GlobalRandom,
+            })
+            .collect();
+        let net = ft.materialize(&Mode::Hybrid(modes));
+        net.validate().unwrap();
+        prop_assert!(is_connected(net.graph()));
+    }
+
+    /// Flattening helps *for the profiled configuration* (m = k/8,
+    /// n = 2k/8): global-random APL beats Clos APL for k ≥ 6. For
+    /// arbitrary (m, n) this is false — extreme m starves core switches of
+    /// fabric links and lengthens (or even disconnects) paths, which is
+    /// exactly why the paper profiles m and n (§2.4).
+    #[test]
+    fn profiled_global_mode_shortens_paths(k in 3usize..=8) {
+        let k = 2 * k; // even, 6..=16
+        let cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
+        let ft = FlatTree::new(cfg).unwrap();
+        let clos = average_server_path_length(&ft.materialize(&Mode::Clos));
+        let flat = average_server_path_length(&ft.materialize(&Mode::GlobalRandom));
+        prop_assert!(flat < clos, "flat {} vs clos {}", flat, clos);
+    }
+
+    /// Conversion planning is symmetric: |plan(A→B)| == |plan(B→A)| and
+    /// reversing swaps the link sets.
+    #[test]
+    fn plans_are_symmetric((k, m, n) in arb_kmn()) {
+        use flat_tree::control::plan_transition;
+        let cfg = FlatTreeConfig::for_fat_tree_k_mn(k, m, n).unwrap();
+        let ft = FlatTree::new(cfg).unwrap();
+        let a = ft.resolve(&Mode::Clos).unwrap();
+        let b = ft.resolve(&Mode::GlobalRandom).unwrap();
+        let ab = plan_transition(&ft, &a, &b).unwrap();
+        let ba = plan_transition(&ft, &b, &a).unwrap();
+        prop_assert_eq!(ab.converter_ops(), ba.converter_ops());
+        prop_assert_eq!(ab.links_added, ba.links_removed);
+        prop_assert_eq!(ab.links_removed, ba.links_added);
+    }
+}

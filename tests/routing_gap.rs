@@ -1,0 +1,77 @@
+//! The routing gap: the paper evaluates throughput under *optimal routing*
+//! (§3.1) but prescribes k-shortest-paths routing for deployment (§2.6).
+//! These tests quantify the gap end-to-end and pin its expected shape.
+
+use flat_tree::core::{FlatTree, FlatTreeConfig, Mode};
+use flat_tree::mcf::{
+    aggregate_commodities, k_shortest_arc_paths, max_concurrent_flow_exact,
+    max_concurrent_flow_on_paths, CapGraph, Commodity,
+};
+use flat_tree::topo::Network;
+use flat_tree::workload::{generate, Locality, TrafficPattern, WorkloadSpec};
+
+fn setup(net: &Network, seed: u64) -> (CapGraph, Vec<Commodity>) {
+    let spec = WorkloadSpec {
+        pattern: TrafficPattern::AllToAll,
+        cluster_size: 8,
+        locality: Locality::Strong,
+    };
+    let tm = generate(net, &spec, seed);
+    let cg = CapGraph::from_graph(&net.switch_graph(), 1.0);
+    let mut cs = aggregate_commodities(tm.switch_triples(net));
+    // subsample: the exact LP is O((K·A)³)-ish in the dense simplex; a
+    // spread of ~15 commodities keeps the test meaningful and fast
+    if cs.len() > 15 {
+        let step = cs.len().div_ceil(15);
+        cs = cs.into_iter().step_by(step).collect();
+    }
+    (cg, cs)
+}
+
+#[test]
+fn ksp_routing_within_modest_gap_of_optimal() {
+    let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(4).unwrap()).unwrap();
+    for mode in [Mode::Clos, Mode::GlobalRandom] {
+        let net = ft.materialize(&mode);
+        let (cg, cs) = setup(&net, 3);
+        if cs.is_empty() {
+            continue;
+        }
+        let optimal = max_concurrent_flow_exact(&cg, &cs);
+        let paths: Vec<_> = cs
+            .iter()
+            .map(|c| k_shortest_arc_paths(&cg, c, 8))
+            .collect();
+        let routed = max_concurrent_flow_on_paths(&cg, &cs, &paths);
+        assert!(
+            routed <= optimal + 1e-6,
+            "{mode:?}: path-restricted {routed} beats optimal {optimal}"
+        );
+        assert!(
+            routed >= 0.6 * optimal,
+            "{mode:?}: 8 shortest paths lose too much: {routed} vs {optimal}"
+        );
+    }
+}
+
+#[test]
+fn more_paths_monotonically_close_the_gap() {
+    let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(4).unwrap()).unwrap();
+    let net = ft.materialize(&Mode::GlobalRandom);
+    let (cg, cs) = setup(&net, 5);
+    let optimal = max_concurrent_flow_exact(&cg, &cs);
+    let mut prev = 0.0;
+    for k in [1usize, 2, 8] {
+        let paths: Vec<_> = cs
+            .iter()
+            .map(|c| k_shortest_arc_paths(&cg, c, k))
+            .collect();
+        let routed = max_concurrent_flow_on_paths(&cg, &cs, &paths);
+        assert!(
+            routed >= prev - 1e-9,
+            "k = {k}: λ regressed from {prev} to {routed}"
+        );
+        assert!(routed <= optimal + 1e-6);
+        prev = routed;
+    }
+}
