@@ -29,28 +29,21 @@ fn bench_routing(c: &mut Criterion) {
     g.sample_size(10);
     for k in [8usize, 16] {
         let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap();
-        let clos = ft.materialize(&Mode::Clos);
-        let global = ft.materialize(&Mode::GlobalRandom);
+        let clos = ft.materialize(&Mode::Clos).unwrap();
+        let global = ft.materialize(&Mode::GlobalRandom).unwrap();
         g.bench_with_input(BenchmarkId::new("ecmp-full-tables", k), &clos, |b, net| {
             b.iter(|| black_box(EcmpRoutes::compute(net)))
         });
-        g.bench_with_input(
-            BenchmarkId::new("ksp8-100-pairs", k),
-            &global,
-            |b, net| {
-                b.iter(|| {
-                    let r = KspRoutes::new(net, 8);
-                    for i in 0..10u32 {
-                        for j in 0..10u32 {
-                            black_box(r.paths(
-                                NodeId(i),
-                                NodeId(net.num_switches() as u32 - 1 - j),
-                            ));
-                        }
+        g.bench_with_input(BenchmarkId::new("ksp8-100-pairs", k), &global, |b, net| {
+            b.iter(|| {
+                let r = KspRoutes::new(net, 8);
+                for i in 0..10u32 {
+                    for j in 0..10u32 {
+                        black_box(r.paths(NodeId(i), NodeId(net.num_switches() as u32 - 1 - j)));
                     }
-                })
-            },
-        );
+                }
+            })
+        });
     }
     g.finish();
 }

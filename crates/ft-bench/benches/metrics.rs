@@ -19,7 +19,8 @@ fn bench_apl(c: &mut Criterion) {
         let ftree = fat_tree(k).unwrap();
         let flat = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap())
             .unwrap()
-            .materialize(&Mode::GlobalRandom);
+            .materialize(&Mode::GlobalRandom)
+            .unwrap();
         g.bench_with_input(BenchmarkId::new("fat-tree", k), &ftree, |b, n| {
             b.iter(|| black_box(average_server_path_length(n)))
         });
@@ -36,7 +37,8 @@ fn bench_intra_pod(c: &mut Criterion) {
     for k in [8usize, 16] {
         let flat = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap())
             .unwrap()
-            .materialize(&Mode::LocalRandom);
+            .materialize(&Mode::LocalRandom)
+            .unwrap();
         g.bench_with_input(BenchmarkId::new("flat-tree-local", k), &flat, |b, n| {
             b.iter(|| black_box(average_intra_pod_path_length(n, k * k / 4)))
         });

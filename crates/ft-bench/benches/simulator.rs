@@ -16,7 +16,7 @@ fn bench_simulation(c: &mut Criterion) {
             (Mode::Clos, RouterPolicy::Ecmp, "clos-ecmp"),
             (Mode::GlobalRandom, RouterPolicy::Ksp(8), "global-ksp8"),
         ] {
-            let net = ft.materialize(&mode);
+            let net = ft.materialize(&mode).unwrap();
             let tm = generate(
                 &net,
                 &WorkloadSpec {
@@ -31,9 +31,7 @@ fn bench_simulation(c: &mut Criterion) {
                 BenchmarkId::new(label, k),
                 &(&net, &flows),
                 |b, (net, flows)| {
-                    b.iter(|| {
-                        black_box(Simulator::new(net, policy).run(flows, &[], 1e9))
-                    })
+                    b.iter(|| black_box(Simulator::new(net, policy).run(flows, &[], 1e9)))
                 },
             );
         }

@@ -43,31 +43,29 @@ fn bench_fptas(c: &mut Criterion) {
         // Figure 7 point: hot-spot workload on flat-tree global mode
         let flat = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap())
             .unwrap()
-            .materialize(&Mode::GlobalRandom);
+            .materialize(&Mode::GlobalRandom)
+            .unwrap();
         let cg = CapGraph::from_graph(&flat.switch_graph(), 1.0);
         let cs = commodities(&flat, TrafficPattern::HotSpot, 1000);
         g.bench_with_input(
             BenchmarkId::new("fig7-hotspot-flat-tree", k),
             &(&cg, &cs),
             |b, (cg, cs)| {
-                b.iter(|| {
-                    black_box(max_concurrent_flow(cg, cs, FptasOptions::with_epsilon(0.2)))
-                })
+                b.iter(|| black_box(max_concurrent_flow(cg, cs, FptasOptions::with_epsilon(0.2))))
             },
         );
         // Figure 8 point: all-to-all on flat-tree local mode
         let local = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap())
             .unwrap()
-            .materialize(&Mode::LocalRandom);
+            .materialize(&Mode::LocalRandom)
+            .unwrap();
         let cg2 = CapGraph::from_graph(&local.switch_graph(), 1.0);
         let cs2 = commodities(&local, TrafficPattern::AllToAll, 20);
         g.bench_with_input(
             BenchmarkId::new("fig8-all-to-all-flat-tree", k),
             &(&cg2, &cs2),
             |b, (cg, cs)| {
-                b.iter(|| {
-                    black_box(max_concurrent_flow(cg, cs, FptasOptions::with_epsilon(0.2)))
-                })
+                b.iter(|| black_box(max_concurrent_flow(cg, cs, FptasOptions::with_epsilon(0.2))))
             },
         );
     }

@@ -44,7 +44,7 @@ fn bench_materialization(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(mode.label(), k),
                 &(&ft, &mode),
-                |b, (ft, mode)| b.iter(|| black_box(ft.materialize(mode))),
+                |b, (ft, mode)| b.iter(|| black_box(ft.materialize(mode).unwrap())),
             );
         }
     }

@@ -57,7 +57,9 @@ pub fn summarize(net: &Network, tm: &TrafficMatrix) -> TrafficSummary {
 /// recommends Clos (the safe all-rounder) — operators with workload
 /// placement control should split zones instead.
 pub fn recommend_mode(summary: &TrafficSummary) -> Mode {
-    if summary.total_demand == 0.0 {
+    // "no measurable demand" — epsilon rather than exact equality, since
+    // the total is a float accumulation
+    if summary.total_demand.abs() < 1e-12 {
         return Mode::Clos;
     }
     if summary.intra_pod_fraction >= 0.6 {
@@ -79,6 +81,7 @@ mod tests {
         FlatTree::new(FlatTreeConfig::for_fat_tree_k(8).unwrap())
             .unwrap()
             .materialize(&Mode::Clos)
+            .unwrap()
     }
 
     #[test]

@@ -125,7 +125,7 @@ impl Controller {
     pub fn convert(&mut self, to: Mode) -> Result<ReconfigPlan, ControlError> {
         let target = self.ft.resolve(&to)?;
         let plan = plan_transition(&self.ft, &self.states, &target)?;
-        self.network = self.ft.try_materialize(&to)?;
+        self.network = self.ft.materialize(&to)?;
         self.states = target;
         self.mode = to;
         if !plan.is_noop() {

@@ -373,7 +373,10 @@ mod tests {
     #[test]
     fn ksp_paths_sorted_loopless() {
         let cfg = FlatTreeConfig::for_fat_tree_k(4).unwrap();
-        let net = FlatTree::new(cfg).unwrap().materialize(&Mode::GlobalRandom);
+        let net = FlatTree::new(cfg)
+            .unwrap()
+            .materialize(&Mode::GlobalRandom)
+            .unwrap();
         let r = KspRoutes::new(&net, 8);
         let paths = r.paths(NodeId(4), NodeId(12));
         assert!(!paths.is_empty() && paths.len() <= 8);

@@ -46,7 +46,12 @@ pub fn compile_rules(net: &Network, routes: &EcmpRoutes) -> Vec<RuleTable> {
 /// Forwards a packet through compiled rules from `src` to `dst` switch,
 /// hashing over candidates per hop. Returns the switch path, or `None` if
 /// a table miss occurs (disconnected destination).
-pub fn forward(tables: &[RuleTable], src: NodeId, dst: NodeId, flow_hash: u64) -> Option<Vec<NodeId>> {
+pub fn forward(
+    tables: &[RuleTable],
+    src: NodeId,
+    dst: NodeId,
+    flow_hash: u64,
+) -> Option<Vec<NodeId>> {
     let mut path = vec![src];
     let mut v = src;
     let mut h = flow_hash.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);

@@ -169,13 +169,16 @@ mod tests {
     #[test]
     fn empty_zone_detected() {
         let zones = [Zone::new("a", 2..2, PodMode::Clos)];
-        assert!(matches!(zones_to_mode(&zones, 4), Err(ZoneError::Empty { .. })));
+        assert!(matches!(
+            zones_to_mode(&zones, 4),
+            Err(ZoneError::Empty { .. })
+        ));
     }
 
     #[test]
     fn servers_in_zone_by_pod() {
         let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(4).unwrap()).unwrap();
-        let net = ft.materialize(&Mode::Clos);
+        let net = ft.materialize(&Mode::Clos).unwrap();
         let z = Zone::new("z", 1..3, PodMode::GlobalRandom);
         let servers = servers_in_zone(&net, &z);
         // pods 1 and 2, k²/4 = 4 servers each

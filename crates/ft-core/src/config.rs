@@ -37,31 +37,34 @@ impl WiringPattern {
     /// Rotation offset of Pod `p` within a core group of size `g` for
     /// blade-B width `m`.
     ///
-    /// # Panics
-    /// `PaperRule` and `Auto` are selection policies, not concrete
-    /// rotations — resolve them with [`FlatTreeConfig::resolved_pattern`]
-    /// first.
-    pub fn offset(self, p: usize, m: usize, g: usize) -> usize {
+    /// Returns `None` for `PaperRule` and `Auto`: they are selection
+    /// policies, not concrete rotations — resolve them with
+    /// [`FlatTreeConfig::resolved_pattern`] first.
+    pub fn offset(self, p: usize, m: usize, g: usize) -> Option<usize> {
         debug_assert!(g > 0);
         match self {
-            WiringPattern::Pattern1 => (p * m) % g,
-            WiringPattern::Pattern2 => (p * (m + 1)) % g,
-            WiringPattern::PaperRule | WiringPattern::Auto => {
-                panic!("resolve {self:?} with FlatTreeConfig::resolved_pattern first")
-            }
+            WiringPattern::Pattern1 => Some((p * m) % g),
+            WiringPattern::Pattern2 => Some((p * (m + 1)) % g),
+            WiringPattern::PaperRule | WiringPattern::Auto => None,
         }
     }
 
     /// Blade-B coverage statistics of a concrete pattern: how many Pods'
     /// blade-B connectors land on each group position, summarized as
     /// `(max − min, distinct offsets)`.
+    ///
+    /// Selection policies (`PaperRule`, `Auto`) have no rotation of their
+    /// own and report the degenerate `(usize::MAX, 0)`.
     pub fn coverage(self, m: usize, g: usize, pods: usize) -> (usize, usize) {
         let mut counts = vec![0usize; g];
         let mut offsets = std::collections::HashSet::new();
         for p in 0..pods {
-            let off = self.offset(p, m, g);
+            let Some(off) = self.offset(p, m, g) else {
+                return (usize::MAX, 0);
+            };
             offsets.insert(off);
             for t in 0..m.min(g) {
+                // bounds: the % g keeps the slot inside counts (len g)
                 counts[(off + t) % g] += 1;
             }
         }
@@ -121,6 +124,17 @@ pub enum FlatTreeError {
         /// Pods in the network.
         want: usize,
     },
+    /// A wiring computation received an unresolved pattern policy
+    /// (`PaperRule`/`Auto`) where a concrete rotation was required.
+    UnresolvedPattern(WiringPattern),
+    /// A profiling sweep produced no candidate configurations.
+    EmptySweep {
+        /// The fat-tree parameter being profiled.
+        k: usize,
+    },
+    /// An internal invariant was violated while assembling a network —
+    /// indicates a bug in the wiring math, not bad input.
+    Internal(String),
 }
 
 impl fmt::Display for FlatTreeError {
@@ -141,8 +155,21 @@ impl fmt::Display for FlatTreeError {
                 "6-port converter {six_index} has no side peer but was configured side/cross"
             ),
             FlatTreeError::BadModeLength { got, want } => {
-                write!(f, "per-Pod mode list has {got} entries, network has {want} Pods")
+                write!(
+                    f,
+                    "per-Pod mode list has {got} entries, network has {want} Pods"
+                )
             }
+            FlatTreeError::UnresolvedPattern(p) => {
+                write!(
+                    f,
+                    "wiring pattern {p:?} must be resolved to a concrete rotation first"
+                )
+            }
+            FlatTreeError::EmptySweep { k } => {
+                write!(f, "profiling sweep for k = {k} produced no candidates")
+            }
+            FlatTreeError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }
@@ -319,18 +346,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "resolve")]
-    fn unresolved_offset_panics() {
-        let _ = WiringPattern::Auto.offset(0, 1, 4);
+    fn unresolved_offset_is_none() {
+        assert_eq!(WiringPattern::Auto.offset(0, 1, 4), None);
+        assert_eq!(WiringPattern::PaperRule.offset(2, 1, 4), None);
     }
 
     #[test]
     fn pattern_offsets() {
         // pattern 1 advances by m, pattern 2 by m+1, both mod g
-        assert_eq!(WiringPattern::Pattern1.offset(3, 2, 8), 6);
-        assert_eq!(WiringPattern::Pattern1.offset(5, 2, 8), 2);
-        assert_eq!(WiringPattern::Pattern2.offset(3, 2, 8), 1);
-        assert_eq!(WiringPattern::Pattern2.offset(0, 2, 8), 0);
+        assert_eq!(WiringPattern::Pattern1.offset(3, 2, 8), Some(6));
+        assert_eq!(WiringPattern::Pattern1.offset(5, 2, 8), Some(2));
+        assert_eq!(WiringPattern::Pattern2.offset(3, 2, 8), Some(1));
+        assert_eq!(WiringPattern::Pattern2.offset(0, 2, 8), Some(0));
     }
 
     #[test]
@@ -351,7 +378,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = FlatTreeError::TooManyConverters { m: 3, n: 2, limit: 4 };
+        let e = FlatTreeError::TooManyConverters {
+            m: 3,
+            n: 2,
+            limit: 4,
+        };
         assert!(e.to_string().contains("m + n = 5"));
     }
 }

@@ -100,7 +100,9 @@ impl FourPortConfig {
     /// The two local links this configuration creates.
     pub fn links(self) -> [(Port, Port); 2] {
         match self {
-            FourPortConfig::Default => [(Port::Server, Port::Edge), (Port::Aggregation, Port::Core)],
+            FourPortConfig::Default => {
+                [(Port::Server, Port::Edge), (Port::Aggregation, Port::Core)]
+            }
             FourPortConfig::Local => [(Port::Server, Port::Aggregation), (Port::Edge, Port::Core)],
         }
     }
@@ -115,9 +117,7 @@ impl SixPortConfig {
             SixPortConfig::Default => {
                 &[(Port::Server, Port::Edge), (Port::Aggregation, Port::Core)]
             }
-            SixPortConfig::Local => {
-                &[(Port::Server, Port::Aggregation), (Port::Edge, Port::Core)]
-            }
+            SixPortConfig::Local => &[(Port::Server, Port::Aggregation), (Port::Edge, Port::Core)],
             SixPortConfig::Side | SixPortConfig::Cross => &[(Port::Server, Port::Core)],
         }
     }
@@ -125,13 +125,18 @@ impl SixPortConfig {
     /// For a side-connected pair where both ends hold `self`, the two
     /// cross-Pod links in terms of (this end's port, peer's port).
     ///
-    /// # Panics
-    /// Panics for `Default`/`Local`, which do not drive the sides.
-    pub fn pair_links(self) -> [(Port, Port); 2] {
+    /// `Default`/`Local` do not drive the sides and yield `None`.
+    pub fn pair_links(self) -> Option<[(Port, Port); 2]> {
         match self {
-            SixPortConfig::Side => [(Port::Edge, Port::Edge), (Port::Aggregation, Port::Aggregation)],
-            SixPortConfig::Cross => [(Port::Edge, Port::Aggregation), (Port::Aggregation, Port::Edge)],
-            _ => panic!("{self:?} does not use side connectors"),
+            SixPortConfig::Side => Some([
+                (Port::Edge, Port::Edge),
+                (Port::Aggregation, Port::Aggregation),
+            ]),
+            SixPortConfig::Cross => Some([
+                (Port::Edge, Port::Aggregation),
+                (Port::Aggregation, Port::Edge),
+            ]),
+            SixPortConfig::Default | SixPortConfig::Local => None,
         }
     }
 }
@@ -168,24 +173,24 @@ mod tests {
         );
         assert_eq!(
             SixPortConfig::Side.pair_links(),
-            [
+            Some([
                 (Port::Edge, Port::Edge),
                 (Port::Aggregation, Port::Aggregation)
-            ]
+            ])
         );
         assert_eq!(
             SixPortConfig::Cross.pair_links(),
-            [
+            Some([
                 (Port::Edge, Port::Aggregation),
                 (Port::Aggregation, Port::Edge)
-            ]
+            ])
         );
     }
 
     #[test]
-    #[should_panic(expected = "does not use side")]
-    fn pair_links_rejects_default() {
-        let _ = SixPortConfig::Default.pair_links();
+    fn pair_links_dark_for_non_side_configs() {
+        assert_eq!(SixPortConfig::Default.pair_links(), None);
+        assert_eq!(SixPortConfig::Local.pair_links(), None);
     }
 
     #[test]
@@ -199,6 +204,6 @@ mod tests {
         assert_eq!(SixPortConfig::Default.local_links().len(), 2);
         assert_eq!(SixPortConfig::Local.local_links().len(), 2);
         assert_eq!(SixPortConfig::Side.local_links().len(), 1);
-        assert_eq!(SixPortConfig::Side.pair_links().len(), 2);
+        assert_eq!(SixPortConfig::Side.pair_links().map(|p| p.len()), Some(2));
     }
 }

@@ -81,7 +81,7 @@ impl FlatTree {
         let mut agg_connectors = Vec::new();
         for p in 0..cfg.clos.pods {
             for j in 0..cfg.clos.d {
-                let gw = group_wiring(&cfg, pattern, p, j);
+                let gw = group_wiring(&cfg, pattern, p, j)?;
                 for (i, &core) in gw.six_core.iter().enumerate() {
                     six_core[geom.six_index(p, j, i)] = core;
                 }
@@ -190,20 +190,13 @@ impl FlatTree {
 
     /// Materializes an operation mode into a logical network.
     ///
-    /// # Panics
-    /// Never for a [`FlatTree`] built through [`FlatTree::new`] with a
-    /// valid mode — internal wiring invariants guarantee the builder
-    /// succeeds. Invalid hybrid mode lengths surface as errors through
-    /// [`FlatTree::resolve`]; this method propagates them as panics for
-    /// ergonomic call sites (use [`FlatTree::try_materialize`] to handle
-    /// them).
-    pub fn materialize(&self, mode: &Mode) -> Network {
-        self.try_materialize(mode)
-            .expect("materialization of a validated mode cannot fail")
-    }
-
-    /// Fallible variant of [`FlatTree::materialize`].
-    pub fn try_materialize(&self, mode: &Mode) -> Result<Network, FlatTreeError> {
+    /// For a [`FlatTree`] built through [`FlatTree::new`] with a valid mode
+    /// this cannot fail — internal wiring invariants guarantee the builder
+    /// succeeds. Invalid hybrid mode lengths surface as
+    /// [`FlatTreeError::BadModeLength`]; builder-level invariant violations
+    /// (which would indicate a bug in the wiring math) surface as
+    /// [`FlatTreeError::Internal`] instead of aborting the process.
+    pub fn materialize(&self, mode: &Mode) -> Result<Network, FlatTreeError> {
         let states = self.resolve(mode)?;
         let mut net = self.materialize_states(&states)?;
         net.set_name(format!(
@@ -241,17 +234,12 @@ impl FlatTree {
 
         let pr = &self.cfg.clos;
         let mut b = NetworkBuilder::new("flat-tree");
-        self.layout
-            .add_devices(&mut b)
-            .expect("device budget is static");
-        self.layout
-            .add_edge_agg_mesh(&mut b)
-            .expect("mesh links fit by construction");
-
-        let build_err = |e| -> FlatTreeError {
-            // Builder failures indicate internal invariant violations.
-            panic!("flat-tree materialization violated port budgets: {e}")
-        };
+        // Builder failures indicate internal invariant violations (the
+        // device and port budgets are static), so they map to `Internal`.
+        let build_err =
+            |e| FlatTreeError::Internal(format!("materialization violated port budgets: {e}"));
+        self.layout.add_devices(&mut b).map_err(build_err)?;
+        self.layout.add_edge_agg_mesh(&mut b).map_err(build_err)?;
 
         // Directly cabled servers.
         for p in 0..pr.pods {
@@ -270,7 +258,9 @@ impl FlatTree {
         // 4-port converters.
         for idx in 0..self.geom.four_count() {
             let (p, j, i) = self.geom.four_site(idx);
-            let node = |port: Port| self.port_node(port, p, j, self.geom.four_slot(i), self.four_core[idx]);
+            let node = |port: Port| {
+                self.port_node(port, p, j, self.geom.four_slot(i), self.four_core[idx])
+            };
             for (a, z) in states.four[idx].links() {
                 b.add_link(node(a), node(z)).map_err(build_err)?;
             }
@@ -278,24 +268,29 @@ impl FlatTree {
         // 6-port converters: local links, then pair links once per pair.
         for idx in 0..self.geom.six_count() {
             let (p, j, i) = self.geom.six_site(idx);
-            let node = |port: Port| self.port_node(port, p, j, self.geom.six_slot(i), self.six_core[idx]);
+            let node =
+                |port: Port| self.port_node(port, p, j, self.geom.six_slot(i), self.six_core[idx]);
             for &(a, z) in states.six[idx].local_links() {
                 b.add_link(node(a), node(z)).map_err(build_err)?;
             }
             if states.six[idx].uses_side() {
-                let peer = self.peer[idx].expect("validated above");
+                // Pair validation above guarantees a peer exists.
+                let Some(peer) = self.peer[idx] else {
+                    return Err(FlatTreeError::UnpairedSide { six_index: idx });
+                };
                 if idx < peer {
                     let (pp, pj, pi) = self.geom.six_site(peer);
                     let pnode = |port: Port| {
                         self.port_node(port, pp, pj, self.geom.six_slot(pi), self.six_core[peer])
                     };
-                    for (a, z) in states.six[idx].pair_links() {
+                    for (a, z) in states.six[idx].pair_links().into_iter().flatten() {
                         b.add_link(node(a), pnode(z)).map_err(build_err)?;
                     }
                 }
             }
         }
-        Ok(b.build().expect("every server is attached by construction"))
+        b.build()
+            .map_err(|e| FlatTreeError::Internal(format!("a server was left unattached: {e}")))
     }
 
     /// Maps a converter-local port to the concrete node it splices.
@@ -321,7 +316,7 @@ mod tests {
     #[test]
     fn clos_mode_reproduces_fat_tree_exactly() {
         for k in [4, 6, 8, 10] {
-            let flat = ft(k).materialize(&Mode::Clos);
+            let flat = ft(k).materialize(&Mode::Clos).unwrap();
             let reference = fat_tree(k).unwrap();
             assert_eq!(
                 flat.graph().canonical_edges(),
@@ -336,7 +331,7 @@ mod tests {
         let f = ft(8);
         let reference = fat_tree(8).unwrap().equipment();
         for mode in [Mode::Clos, Mode::GlobalRandom, Mode::LocalRandom] {
-            let net = f.materialize(&mode);
+            let net = f.materialize(&mode).unwrap();
             assert_eq!(net.equipment(), reference, "mode {mode:?}");
             net.validate().unwrap();
         }
@@ -348,7 +343,7 @@ mod tests {
         let f = ft(8);
         for mode in [Mode::Clos, Mode::GlobalRandom, Mode::LocalRandom] {
             assert!(
-                is_connected(f.materialize(&mode).graph()),
+                is_connected(f.materialize(&mode).unwrap().graph()),
                 "mode {mode:?} disconnected"
             );
         }
@@ -358,7 +353,7 @@ mod tests {
     fn all_switch_ports_used_in_every_mode() {
         let f = ft(8);
         for mode in [Mode::Clos, Mode::GlobalRandom, Mode::LocalRandom] {
-            let net = f.materialize(&mode);
+            let net = f.materialize(&mode).unwrap();
             for sw in net.switches() {
                 assert_eq!(
                     net.graph().degree(sw),
@@ -373,7 +368,7 @@ mod tests {
     fn global_mode_relocates_servers() {
         let k = 8;
         let f = ft(k);
-        let net = f.materialize(&Mode::GlobalRandom);
+        let net = f.materialize(&Mode::GlobalRandom).unwrap();
         let counts = net.server_counts();
         let cores = k * k / 4;
         let servers_on_core: u32 = counts[..cores].iter().sum();
@@ -394,10 +389,13 @@ mod tests {
     fn local_mode_splits_servers_edge_agg() {
         let k = 8;
         let f = ft(k);
-        let net = f.materialize(&Mode::LocalRandom);
+        let net = f.materialize(&Mode::LocalRandom).unwrap();
         let counts = net.server_counts();
         let cores = k * k / 4;
-        assert!(counts[..cores].iter().all(|&c| c == 0), "no servers on cores");
+        assert!(
+            counts[..cores].iter().all(|&c| c == 0),
+            "no servers on cores"
+        );
         let mut edge = 0u32;
         let mut agg = 0u32;
         for sw in net.switches() {
@@ -417,7 +415,7 @@ mod tests {
     #[test]
     fn global_mode_has_interpod_side_links() {
         let f = ft(8);
-        let net = f.materialize(&Mode::GlobalRandom);
+        let net = f.materialize(&Mode::GlobalRandom).unwrap();
         // count switch-switch links between different pods that skip cores
         let mut side_links = 0;
         for (_, a, b) in net.graph().edges() {
@@ -454,7 +452,7 @@ mod tests {
         let idx = g.six_index(1, g.right_global(0), 0);
         assert!(states.six[idx].uses_side());
         // and materialization must succeed with full port usage
-        let net = f.materialize(&mode);
+        let net = f.materialize(&mode).unwrap();
         net.validate().unwrap();
         assert_eq!(net.equipment(), fat_tree(k).unwrap().equipment());
     }
@@ -514,7 +512,7 @@ mod tests {
     fn odd_d_global_mode_works() {
         // k = 6: d = 3 (odd) — middle column falls back to Local
         let f = ft(6);
-        let net = f.materialize(&Mode::GlobalRandom);
+        let net = f.materialize(&Mode::GlobalRandom).unwrap();
         net.validate().unwrap();
         assert_eq!(net.equipment(), fat_tree(6).unwrap().equipment());
         let states = f.resolve(&Mode::GlobalRandom).unwrap();
@@ -565,10 +563,10 @@ mod tests {
     fn oversubscribed_clos_all_modes_valid() {
         use ft_graph::stats::is_connected;
         let f = oversubscribed();
-        let reference = f.materialize(&Mode::Clos);
+        let reference = f.materialize(&Mode::Clos).unwrap();
         reference.validate().unwrap();
         for mode in [Mode::Clos, Mode::GlobalRandom, Mode::LocalRandom] {
-            let net = f.materialize(&mode);
+            let net = f.materialize(&mode).unwrap();
             net.validate().unwrap();
             assert!(is_connected(net.graph()), "{mode:?}");
             assert_eq!(net.equipment(), reference.equipment(), "{mode:?}");
@@ -579,7 +577,7 @@ mod tests {
     fn oversubscribed_clos_mode_matches_generic_clos_structure() {
         use ft_topo::clos;
         let f = oversubscribed();
-        let flat = f.materialize(&Mode::Clos);
+        let flat = f.materialize(&Mode::Clos).unwrap();
         let generic = clos(f.config().clos).unwrap();
         // For r > 1 the flat-tree core grouping (by edge index) differs
         // from classic Clos grouping (by aggregation index), so the edge
@@ -601,8 +599,8 @@ mod tests {
     fn oversubscribed_flattening_shortens_paths() {
         use ft_metrics::path_length::average_server_path_length;
         let f = oversubscribed();
-        let clos = average_server_path_length(&f.materialize(&Mode::Clos));
-        let flat = average_server_path_length(&f.materialize(&Mode::GlobalRandom));
+        let clos = average_server_path_length(&f.materialize(&Mode::Clos).unwrap());
+        let flat = average_server_path_length(&f.materialize(&Mode::GlobalRandom).unwrap());
         assert!(flat < clos, "flat {flat} vs clos {clos}");
     }
 
@@ -621,8 +619,8 @@ mod tests {
     fn flattens_path_length() {
         use ft_metrics::path_length::average_server_path_length;
         let f = ft(8);
-        let clos = average_server_path_length(&f.materialize(&Mode::Clos));
-        let flat = average_server_path_length(&f.materialize(&Mode::GlobalRandom));
+        let clos = average_server_path_length(&f.materialize(&Mode::Clos).unwrap());
+        let flat = average_server_path_length(&f.materialize(&Mode::GlobalRandom).unwrap());
         assert!(
             flat < clos,
             "global-RG APL {flat} must beat Clos APL {clos}"

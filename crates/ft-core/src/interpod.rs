@@ -40,8 +40,8 @@ pub fn side_pairs(geom: &PodGeometry, chaining: InterPodWiring) -> Vec<SidePair>
         return Vec::new();
     }
     let last_right_pod = match chaining {
-        InterPodWiring::Ring => geom.pods,      // pod pods-1 pairs with pod 0
-        InterPodWiring::Path => geom.pods - 1,  // open chain
+        InterPodWiring::Ring => geom.pods, // pod pods-1 pairs with pod 0
+        InterPodWiring::Path => geom.pods - 1, // open chain
     };
     let mut pairs = Vec::with_capacity(last_right_pod * w * geom.m);
     for p in 0..last_right_pod {

@@ -33,6 +33,17 @@
 //! for metrics, routing or simulation. Materialization is pure — the
 //! control plane in `ft-control` layers reconfiguration planning on top.
 
+// Unit tests are exempt from the panic-free policy (see DESIGN.md,
+// "Static analysis & error-handling policy").
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -50,7 +50,7 @@ pub fn profile_mn(k: usize, granularity: usize) -> Result<ProfileResult, FlatTre
         let mut n = step;
         while m + n <= limit {
             let cfg = FlatTreeConfig::for_fat_tree_k_mn(k, m, n)?;
-            let net = FlatTree::new(cfg)?.materialize(&Mode::GlobalRandom);
+            let net = FlatTree::new(cfg)?.materialize(&Mode::GlobalRandom)?;
             points.push(ProfilePoint {
                 m,
                 n,
@@ -63,13 +63,8 @@ pub fn profile_mn(k: usize, granularity: usize) -> Result<ProfileResult, FlatTre
     let best = points
         .iter()
         .copied()
-        .min_by(|a, b| {
-            a.apl
-                .partial_cmp(&b.apl)
-                .unwrap()
-                .then((a.m + a.n).cmp(&(b.m + b.n)))
-        })
-        .expect("sweep is non-empty for k ≥ 4");
+        .min_by(|a, b| a.apl.total_cmp(&b.apl).then((a.m + a.n).cmp(&(b.m + b.n))))
+        .ok_or(FlatTreeError::EmptySweep { k })?;
     Ok(ProfileResult { points, best })
 }
 

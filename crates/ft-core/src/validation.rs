@@ -97,7 +97,7 @@ mod tests {
     fn dist(k: usize, pattern: WiringPattern, mode: &Mode) -> CoreDistribution {
         let mut cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
         cfg.wiring = pattern;
-        core_distribution(&FlatTree::new(cfg).unwrap().materialize(mode))
+        core_distribution(&FlatTree::new(cfg).unwrap().materialize(mode).unwrap())
     }
 
     #[test]

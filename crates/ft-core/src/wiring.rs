@@ -12,7 +12,7 @@
 //! switch (local), or a server (side/cross) — which is how the same
 //! physical wiring supports every operation mode.
 
-use crate::config::{FlatTreeConfig, WiringPattern};
+use crate::config::{FlatTreeConfig, FlatTreeError, WiringPattern};
 
 /// The core-switch assignment for one `(pod, edge-index)` connector group.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -27,10 +27,21 @@ pub struct GroupWiring {
 
 /// Computes the core assignment for Pod `p`, edge index `j`, under the
 /// (already resolved) wiring pattern.
-pub fn group_wiring(cfg: &FlatTreeConfig, pattern: WiringPattern, p: usize, j: usize) -> GroupWiring {
+///
+/// # Errors
+/// [`FlatTreeError::UnresolvedPattern`] if `pattern` is a selection policy
+/// (`PaperRule`/`Auto`) rather than a concrete rotation.
+pub fn group_wiring(
+    cfg: &FlatTreeConfig,
+    pattern: WiringPattern,
+    p: usize,
+    j: usize,
+) -> Result<GroupWiring, FlatTreeError> {
     let g = cfg.clos.group_size();
     let base = j * g; // the group's first core (§2.3: consecutive groups)
-    let start = pattern.offset(p, cfg.m, g);
+    let start = pattern
+        .offset(p, cfg.m, g)
+        .ok_or(FlatTreeError::UnresolvedPattern(pattern))?;
     let mut six_core = Vec::with_capacity(cfg.m);
     let mut four_core = Vec::with_capacity(cfg.n);
     let mut agg_cores = Vec::with_capacity(g - cfg.m - cfg.n);
@@ -44,11 +55,11 @@ pub fn group_wiring(cfg: &FlatTreeConfig, pattern: WiringPattern, p: usize, j: u
             agg_cores.push(core);
         }
     }
-    GroupWiring {
+    Ok(GroupWiring {
         six_core,
         four_core,
         agg_cores,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -68,7 +79,7 @@ mod tests {
         for pattern in [WiringPattern::Pattern1, WiringPattern::Pattern2] {
             for p in 0..c.clos.pods {
                 for j in 0..c.clos.d {
-                    let w = group_wiring(&c, pattern, p, j);
+                    let w = group_wiring(&c, pattern, p, j).unwrap();
                     let mut all: Vec<usize> = w
                         .six_core
                         .iter()
@@ -87,8 +98,8 @@ mod tests {
     #[test]
     fn pattern1_packs_continuously() {
         let c = cfg(16); // m = 2, g = 8
-        let w0 = group_wiring(&c, WiringPattern::Pattern1, 0, 0);
-        let w1 = group_wiring(&c, WiringPattern::Pattern1, 1, 0);
+        let w0 = group_wiring(&c, WiringPattern::Pattern1, 0, 0).unwrap();
+        let w1 = group_wiring(&c, WiringPattern::Pattern1, 1, 0).unwrap();
         // pod 0's blade B occupies cores 0..2, pod 1's 2..4
         assert_eq!(w0.six_core, vec![0, 1]);
         assert_eq!(w1.six_core, vec![2, 3]);
@@ -97,14 +108,14 @@ mod tests {
     #[test]
     fn pattern2_advances_by_m_plus_one() {
         let c = cfg(16); // m = 2, g = 8
-        let w1 = group_wiring(&c, WiringPattern::Pattern2, 1, 0);
+        let w1 = group_wiring(&c, WiringPattern::Pattern2, 1, 0).unwrap();
         assert_eq!(w1.six_core, vec![3, 4]);
     }
 
     #[test]
     fn groups_offset_by_edge_index() {
         let c = cfg(8); // g = 4
-        let w = group_wiring(&c, WiringPattern::Pattern1, 0, 2);
+        let w = group_wiring(&c, WiringPattern::Pattern1, 0, 2).unwrap();
         for &core in w.six_core.iter().chain(&w.four_core).chain(&w.agg_cores) {
             assert!(c.clos.core_group(2).contains(&core));
         }
@@ -113,7 +124,7 @@ mod tests {
     #[test]
     fn sequence_order_b_then_a_then_agg() {
         let c = cfg(8); // m = 1, n = 2, g = 4
-        let w = group_wiring(&c, WiringPattern::Pattern1, 0, 0);
+        let w = group_wiring(&c, WiringPattern::Pattern1, 0, 0).unwrap();
         assert_eq!(w.six_core.len(), 1);
         assert_eq!(w.four_core.len(), 2);
         assert_eq!(w.agg_cores.len(), 1);
@@ -126,7 +137,7 @@ mod tests {
     #[test]
     fn wraparound_within_group() {
         let c = cfg(8); // m = 1, g = 4; pattern 1 pod 5 start = 5 % 4 = 1
-        let w = group_wiring(&c, WiringPattern::Pattern1, 5, 1);
+        let w = group_wiring(&c, WiringPattern::Pattern1, 5, 1).unwrap();
         // group base = 4; positions 1 | 2,3 | 0 (wrapped)
         assert_eq!(w.six_core, vec![5]);
         assert_eq!(w.four_core, vec![6, 7]);
@@ -142,7 +153,7 @@ mod tests {
         let mut hits: Vec<usize> = vec![0; c.clos.cores()];
         for p in 0..c.clos.pods {
             for j in 0..c.clos.d {
-                let w = group_wiring(&c, pattern, p, j);
+                let w = group_wiring(&c, pattern, p, j).unwrap();
                 for &core in w.six_core.iter().chain(&w.four_core).chain(&w.agg_cores) {
                     hits[core] += 1;
                 }
@@ -154,7 +165,7 @@ mod tests {
     #[test]
     fn distinct_cores_within_connector_classes() {
         let c = cfg(32); // m = 4, n = 8, g = 16
-        let w = group_wiring(&c, c.resolved_pattern(), 3, 7);
+        let w = group_wiring(&c, c.resolved_pattern(), 3, 7).unwrap();
         let set: HashSet<usize> = w
             .six_core
             .iter()

@@ -14,8 +14,7 @@
 //!    all-cross to show the mixing's contribution.
 
 use ft_core::{
-    core_distribution, FlatTree, FlatTreeConfig, InterPodWiring, Mode, SixPortConfig,
-    WiringPattern,
+    core_distribution, FlatTree, FlatTreeConfig, InterPodWiring, Mode, SixPortConfig, WiringPattern,
 };
 use ft_experiments::{print_figure, ShapeChecks, SweepOpts};
 use ft_metrics::path_length::average_server_path_length;
@@ -26,13 +25,7 @@ fn main() {
     let mut checks = ShapeChecks::new();
 
     // ---- axis 1: wiring patterns ----
-    let mut t1 = Table::new(&[
-        "k",
-        "pattern",
-        "APL",
-        "server spread",
-        "edge-link spread",
-    ]);
+    let mut t1 = Table::new(&["k", "pattern", "APL", "server spread", "edge-link spread"]);
     for &k in &opts.k_values {
         for (pattern, name) in [
             (WiringPattern::Pattern1, "pattern-1"),
@@ -42,7 +35,7 @@ fn main() {
             let mut cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
             cfg.wiring = pattern;
             let ft = FlatTree::new(cfg).unwrap();
-            let net = ft.materialize(&Mode::GlobalRandom);
+            let net = ft.materialize(&Mode::GlobalRandom).unwrap();
             let apl = average_server_path_length(&net);
             let dist = core_distribution(&net);
             t1.push_row(vec![
@@ -77,10 +70,16 @@ fn main() {
     let mut t2 = Table::new(&["k", "chaining", "APL"]);
     for &k in &opts.k_values {
         let mut apls = Vec::new();
-        for (chain, name) in [(InterPodWiring::Ring, "ring"), (InterPodWiring::Path, "path")] {
+        for (chain, name) in [
+            (InterPodWiring::Ring, "ring"),
+            (InterPodWiring::Path, "path"),
+        ] {
             let mut cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
             cfg.inter_pod = chain;
-            let net = FlatTree::new(cfg).unwrap().materialize(&Mode::GlobalRandom);
+            let net = FlatTree::new(cfg)
+                .unwrap()
+                .materialize(&Mode::GlobalRandom)
+                .unwrap();
             let apl = average_server_path_length(&net);
             apls.push(apl);
             t2.push_row(vec![k.to_string(), name.into(), format!("{apl:.4}")]);

@@ -33,9 +33,7 @@ fn damage(net: &mut Network, fraction: f64, seed: u64) -> usize {
     let mut links: Vec<_> = net
         .graph()
         .edges()
-        .filter(|&(_, a, b)| {
-            a.index() < net.num_switches() && b.index() < net.num_switches()
-        })
+        .filter(|&(_, a, b)| a.index() < net.num_switches() && b.index() < net.num_switches())
         .map(|(e, _, _)| e)
         .collect();
     links.shuffle(&mut rng);
@@ -84,12 +82,12 @@ fn main() {
     let mut degradation: Vec<(f64, String, f64)> = Vec::new();
     for fraction in [0.0, 0.02, 0.05, 0.10] {
         for mode in [Mode::Clos, Mode::GlobalRandom] {
-            let mut net = ft.materialize(&mode);
+            let mut net = ft.materialize(&mode).unwrap();
             damage(&mut net, fraction, opts.seed);
             let stranded = stranded_servers(&net);
             let apl = average_server_path_length(&net);
             let tm = generate(&net, &spec, opts.seed);
-            let lambda = throughput(&net, &tm, topts).lambda;
+            let lambda = throughput(&net, &tm, topts).unwrap().lambda;
             t1.push_row(vec![
                 format!("{:.0}", fraction * 100.0),
                 mode.label(),
@@ -149,7 +147,11 @@ fn main() {
 
     let mut t2 = Table::new(&["phase", "stranded servers", "APL"]);
     let mut stranded_counts = Vec::new();
-    for (phase, states) in [("before failure", &clos_states), ("after failure (Clos)", &clos_states), ("after conversion", &recovery)] {
+    for (phase, states) in [
+        ("before failure", &clos_states),
+        ("after failure (Clos)", &clos_states),
+        ("after conversion", &recovery),
+    ] {
         let mut net = ft.materialize_states(states).unwrap();
         if phase != "before failure" {
             // kill every link of the victim edge switch

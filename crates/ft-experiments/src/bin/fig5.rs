@@ -57,7 +57,10 @@ fn main() {
         Curve::FlatTree(mm, nm) => {
             let u = unit(k);
             let cfg = FlatTreeConfig::for_fat_tree_k_mn(k, mm * u, nm * u).unwrap();
-            let net = FlatTree::new(cfg).unwrap().materialize(&Mode::GlobalRandom);
+            let net = FlatTree::new(cfg)
+                .unwrap()
+                .materialize(&Mode::GlobalRandom)
+                .unwrap();
             average_server_path_length(&net)
         }
     });
@@ -66,12 +69,7 @@ fn main() {
     let mut rg = Series::new("Random graph");
     let mut flats: Vec<((usize, usize), Series)> = [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2)]
         .iter()
-        .map(|&(a, b)| {
-            (
-                (a, b),
-                Series::new(format!("Flat-tree(m={a}k/8,n={b}k/8)")),
-            )
-        })
+        .map(|&(a, b)| ((a, b), Series::new(format!("Flat-tree(m={a}k/8,n={b}k/8)"))))
         .collect();
     for ((k, curve), v) in points.iter().zip(&results) {
         let x = *k as f64;

@@ -43,7 +43,10 @@ fn main() {
         let net = match curve {
             Curve::FlatTree => {
                 let cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
-                FlatTree::new(cfg).unwrap().materialize(&Mode::LocalRandom)
+                FlatTree::new(cfg)
+                    .unwrap()
+                    .materialize(&Mode::LocalRandom)
+                    .unwrap()
             }
             Curve::FatTree => fat_tree(k).unwrap(),
             Curve::RandomGraph => jellyfish_matching_fat_tree(k, opts.seed).unwrap(),
@@ -55,10 +58,7 @@ fn main() {
         average_intra_pod_path_length(&net, pod_size)
     });
 
-    let mut series: Vec<Series> = curves
-        .iter()
-        .map(|(_, name)| Series::new(*name))
-        .collect();
+    let mut series: Vec<Series> = curves.iter().map(|(_, name)| Series::new(*name)).collect();
     for ((k, curve), v) in points.iter().zip(&results) {
         let i = curves.iter().position(|(c, _)| c == curve).unwrap();
         series[i].push(*k as f64, *v);

@@ -36,7 +36,8 @@ fn build(topo: Topo, k: usize, seed: u64) -> Network {
         Topo::FatTree => fat_tree(k).unwrap(),
         Topo::FlatTree => FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap())
             .unwrap()
-            .materialize(&Mode::GlobalRandom),
+            .materialize(&Mode::GlobalRandom)
+            .unwrap(),
         Topo::RandomGraph => jellyfish_matching_fat_tree(k, seed).unwrap(),
     }
 }
@@ -49,7 +50,11 @@ fn main() {
         (Topo::FlatTree, Locality::Strong, "Flat-tree locality"),
         (Topo::FlatTree, Locality::None, "Flat-tree no locality"),
         (Topo::RandomGraph, Locality::Strong, "Random graph locality"),
-        (Topo::RandomGraph, Locality::None, "Random graph no locality"),
+        (
+            Topo::RandomGraph,
+            Locality::None,
+            "Random graph no locality",
+        ),
     ];
     let mut points = Vec::new();
     for &k in &opts.k_values {
@@ -78,6 +83,7 @@ fn main() {
                 max_steps: opts.max_steps,
             },
         )
+        .unwrap()
         .lambda;
         // normalize to the nominal 1000-server cluster (see module docs)
         let actual = spec.cluster_size.min(net.num_servers());
@@ -145,7 +151,11 @@ fn main() {
             checks.check(
                 &format!("{name} throughput grows with k"),
                 at(ci, last) > at(ci, first),
-                format!("k={first}: {:.4} → k={last}: {:.4}", at(ci, first), at(ci, last)),
+                format!(
+                    "k={first}: {:.4} → k={last}: {:.4}",
+                    at(ci, first),
+                    at(ci, last)
+                ),
             );
         }
     }

@@ -34,7 +34,8 @@ fn build(topo: Topo, k: usize, seed: u64) -> Network {
         Topo::FatTree => fat_tree(k).unwrap(),
         Topo::FlatTree => FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap())
             .unwrap()
-            .materialize(&Mode::LocalRandom),
+            .materialize(&Mode::LocalRandom)
+            .unwrap(),
         Topo::TwoStage => {
             two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), seed).unwrap()
         }
@@ -52,7 +53,11 @@ fn main() {
         (Topo::TwoStage, Locality::Strong, "Two-stage RG locality"),
         (Topo::TwoStage, Locality::Weak, "Two-stage RG weak locality"),
         (Topo::RandomGraph, Locality::Strong, "Random graph locality"),
-        (Topo::RandomGraph, Locality::Weak, "Random graph weak locality"),
+        (
+            Topo::RandomGraph,
+            Locality::Weak,
+            "Random graph weak locality",
+        ),
     ];
     let mut points = Vec::new();
     for &k in &opts.k_values {
@@ -81,6 +86,7 @@ fn main() {
                 max_steps: opts.max_steps,
             },
         )
+        .unwrap()
         .lambda;
         // normalize to the nominal 20-server cluster (only k = 4 hosts
         // fewer; same normalization as Figure 7)

@@ -38,10 +38,7 @@ struct Row {
 
 fn zone_servers(net: &Network, pods: std::ops::Range<usize>) -> Vec<ft_graph::NodeId> {
     net.servers()
-        .filter(|&s| {
-            net.pod(s)
-                .is_some_and(|p| pods.contains(&(p as usize)))
-        })
+        .filter(|&s| net.pod(s).is_some_and(|p| pods.contains(&(p as usize))))
         .collect()
 }
 
@@ -62,8 +59,8 @@ fn main() {
     let pods = ft.config().clos.pods;
 
     // Reference complete networks (whole fabric in one mode).
-    let full_global = ft.materialize(&Mode::GlobalRandom);
-    let full_local = ft.materialize(&Mode::LocalRandom);
+    let full_global = ft.materialize(&Mode::GlobalRandom).unwrap();
+    let full_local = ft.materialize(&Mode::LocalRandom).unwrap();
 
     let topts = ThroughputOptions {
         epsilon: opts.epsilon,
@@ -75,7 +72,7 @@ fn main() {
     let rows: Vec<Row> = parallel_points(proportions.clone(), |&pct| {
         let global_pods = ((pct * pods + 50) / 100).clamp(1, pods - 1);
         let mode = Mode::two_zone(pods, global_pods);
-        let hybrid = ft.materialize(&mode);
+        let hybrid = ft.materialize(&mode).unwrap();
 
         let servers_a = zone_servers(&hybrid, 0..global_pods);
         let servers_b = zone_servers(&hybrid, global_pods..pods);
@@ -93,11 +90,17 @@ fn main() {
         };
         let com_a = commodities_for(&hybrid, &servers_a, &spec_a, opts.seed);
         let com_b = commodities_for(&hybrid, &servers_b, &spec_b, opts.seed);
-        let zone_a = throughput_on_commodities(&hybrid, &com_a, topts).lambda;
-        let zone_b = throughput_on_commodities(&hybrid, &com_b, topts).lambda;
+        let zone_a = throughput_on_commodities(&hybrid, &com_a, topts)
+            .unwrap()
+            .lambda;
+        let zone_b = throughput_on_commodities(&hybrid, &com_b, topts)
+            .unwrap()
+            .lambda;
         let mut joint_com = com_a.clone();
         joint_com.extend_from_slice(&com_b);
-        let joint = throughput_on_commodities(&hybrid, &joint_com, topts).lambda;
+        let joint = throughput_on_commodities(&hybrid, &joint_com, topts)
+            .unwrap()
+            .lambda;
 
         // complete-network references: same servers, same workload, whole
         // fabric in the zone's mode
@@ -106,12 +109,14 @@ fn main() {
             &commodities_for(&full_global, &servers_a, &spec_a, opts.seed),
             topts,
         )
+        .unwrap()
         .lambda;
         let ref_b = throughput_on_commodities(
             &full_local,
             &commodities_for(&full_local, &servers_b, &spec_b, opts.seed),
             topts,
         )
+        .unwrap()
         .lambda;
         Row {
             proportion: pct,

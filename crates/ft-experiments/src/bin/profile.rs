@@ -40,10 +40,7 @@ fn main() {
         );
         // the paper's configuration is at or within 5% of the optimum
         let cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
-        let paper = result
-            .points
-            .iter()
-            .find(|p| p.m == cfg.m && p.n == cfg.n);
+        let paper = result.points.iter().find(|p| p.m == cfg.m && p.n == cfg.n);
         // below k = 8 the k/8 interval collapses to 1 and rounding distorts
         // the ratios the paper's choice is based on; check k ≥ 8 only
         if let Some(p) = paper.filter(|_| k >= 8) {

@@ -116,21 +116,20 @@ impl AllPairs {
         for &v in sources {
             dist.extend_from_slice(&bfs_distances(g, v));
         }
-        AllPairs {
-            n,
-            dist,
-        }
+        AllPairs { n, dist }
     }
 
     /// Distance between row `i` and node `j` (row-major indexing).
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> u32 {
+        // bounds: dist has rows·n entries; i < rows and j < n per the ctor
         self.dist[i * self.n + j]
     }
 
     /// The full distance row for row index `i`.
     #[inline]
     pub fn row(&self, i: usize) -> &[u32] {
+        // bounds: dist has rows·n entries, so row i ends at (i + 1)·n
         &self.dist[i * self.n..(i + 1) * self.n]
     }
 

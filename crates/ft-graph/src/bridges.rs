@@ -24,10 +24,7 @@ pub fn bridges(g: &Graph) -> Vec<EdgeId> {
     // Stack frames: (node, parent edge, neighbor cursor).
     let mut stack: Vec<(NodeId, Option<EdgeId>, usize)> = Vec::new();
     // Materialized adjacency so the cursor survives re-entry.
-    let adj: Vec<Vec<(NodeId, EdgeId)>> = g
-        .nodes()
-        .map(|v| g.neighbors(v).collect())
-        .collect();
+    let adj: Vec<Vec<(NodeId, EdgeId)>> = g.nodes().map(|v| g.neighbors(v).collect()).collect();
 
     for start in g.nodes() {
         if disc[start.index()] != 0 {
@@ -59,9 +56,11 @@ pub fn bridges(g: &Graph) -> Vec<EdgeId> {
                 if let Some(&mut (p, _, _)) = stack.last_mut() {
                     low[p.index()] = low[p.index()].min(low[v.index()]);
                     if low[v.index()] > disc[p.index()] {
-                        // the tree edge p—v is a bridge
-                        let e = parent_edge.expect("non-root has a parent edge");
-                        out.push(e);
+                        // the tree edge p—v is a bridge; a non-root frame
+                        // always carries its parent edge.
+                        if let Some(e) = parent_edge {
+                            out.push(e);
+                        }
                     }
                 }
             }
@@ -91,10 +90,7 @@ mod tests {
     #[test]
     fn barbell_single_bridge() {
         // two triangles joined by one edge
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
         let b = bridges(&g);
         assert_eq!(b.len(), 1);
         let (x, y) = g.endpoints(b[0]);

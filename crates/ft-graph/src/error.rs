@@ -1,0 +1,42 @@
+//! Error type for fallible graph construction and queries.
+
+use std::fmt;
+
+/// Errors produced by the fallible [`Graph`](crate::Graph) constructors.
+///
+/// The infallible counterparts (`node`, `add_edge`) assert the same
+/// conditions; callers that build graphs from untrusted or computed sizes
+/// should prefer `try_node` / `try_add_edge` and propagate this error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist.
+    NodeOutOfBounds {
+        /// The offending node index.
+        index: usize,
+        /// Number of nodes in the graph at the time of the call.
+        node_count: usize,
+    },
+    /// A dense index no longer fits the `u32` id space.
+    IdSpaceExhausted {
+        /// The index that overflowed `u32`.
+        index: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfBounds { index, node_count } => {
+                write!(
+                    f,
+                    "node index {index} out of bounds (graph has {node_count} nodes)"
+                )
+            }
+            GraphError::IdSpaceExhausted { index } => {
+                write!(f, "index {index} exceeds the u32 id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,6 +1,29 @@
 //! The undirected multigraph used throughout the workspace.
 
+use crate::error::GraphError;
 use std::fmt;
+
+/// Converts a dense container index into the `u32` id space, asserting that
+/// it fits.
+///
+/// Every workspace topology is orders of magnitude below `u32::MAX` nodes
+/// and edges; the assert documents that invariant instead of silently
+/// truncating. Use [`try_id32`] when the size comes from untrusted input.
+#[inline]
+pub fn id32(index: usize) -> u32 {
+    assert!(
+        index <= u32::MAX as usize,
+        "index {index} exceeds the u32 id space"
+    );
+    index as u32 // checked by the assert above
+}
+
+/// Fallible counterpart of [`id32`]: converts a dense index into the `u32`
+/// id space, or reports [`GraphError::IdSpaceExhausted`].
+#[inline]
+pub fn try_id32(index: usize) -> Result<u32, GraphError> {
+    u32::try_from(index).map_err(|_| GraphError::IdSpaceExhausted { index })
+}
 
 /// Identifier of a node in a [`Graph`].
 ///
@@ -104,12 +127,25 @@ impl Graph {
     #[inline]
     pub fn node(&self, i: usize) -> NodeId {
         assert!(i < self.adj.len(), "node index {i} out of bounds");
-        NodeId(i as u32)
+        NodeId(id32(i))
+    }
+
+    /// Fallible counterpart of [`Graph::node`].
+    #[inline]
+    pub fn try_node(&self, i: usize) -> Result<NodeId, GraphError> {
+        if i < self.adj.len() {
+            Ok(NodeId(try_id32(i)?))
+        } else {
+            Err(GraphError::NodeOutOfBounds {
+                index: i,
+                node_count: self.adj.len(),
+            })
+        }
     }
 
     /// Appends a new isolated node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId(self.adj.len() as u32);
+        let id = NodeId(id32(self.adj.len()));
         self.adj.push(Vec::new());
         id
     }
@@ -124,7 +160,7 @@ impl Graph {
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> EdgeId {
         assert!(a.index() < self.adj.len(), "endpoint {a:?} out of bounds");
         assert!(b.index() < self.adj.len(), "endpoint {b:?} out of bounds");
-        let id = EdgeId(self.edges.len() as u32);
+        let id = EdgeId(id32(self.edges.len()));
         self.edges.push((a, b));
         self.alive.push(true);
         self.adj[a.index()].push((b, id));
@@ -133,6 +169,20 @@ impl Graph {
         }
         self.live_edges += 1;
         id
+    }
+
+    /// Fallible counterpart of [`Graph::add_edge`]: reports an error instead
+    /// of asserting when an endpoint is out of bounds.
+    pub fn try_add_edge(&mut self, a: NodeId, b: NodeId) -> Result<EdgeId, GraphError> {
+        for v in [a, b] {
+            if v.index() >= self.adj.len() {
+                return Err(GraphError::NodeOutOfBounds {
+                    index: v.index(),
+                    node_count: self.adj.len(),
+                });
+            }
+        }
+        Ok(self.add_edge(a, b))
     }
 
     /// Removes an edge (tombstone). Returns `true` if the edge was live.
@@ -239,12 +289,12 @@ impl Graph {
             .iter()
             .enumerate()
             .filter(move |&(i, _)| self.alive[i])
-            .map(|(i, &(a, b))| (EdgeId(i as u32), a, b))
+            .map(|(i, &(a, b))| (EdgeId(id32(i)), a, b))
     }
 
     /// Iterates over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.adj.len() as u32).map(NodeId)
+        (0..id32(self.adj.len())).map(NodeId)
     }
 
     /// Returns the live edge set as a sorted list of normalized endpoint
@@ -373,5 +423,43 @@ mod tests {
     fn add_edge_out_of_bounds_panics() {
         let mut g = Graph::new(1);
         g.add_edge(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    fn try_node_reports_bounds() {
+        let g = Graph::new(2);
+        assert_eq!(g.try_node(1), Ok(NodeId(1)));
+        assert_eq!(
+            g.try_node(2),
+            Err(GraphError::NodeOutOfBounds {
+                index: 2,
+                node_count: 2
+            })
+        );
+    }
+
+    #[test]
+    fn try_add_edge_reports_bounds() {
+        let mut g = Graph::new(2);
+        assert!(g.try_add_edge(NodeId(0), NodeId(1)).is_ok());
+        let err = g.try_add_edge(NodeId(0), NodeId(7)).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfBounds {
+                index: 7,
+                node_count: 2
+            }
+        );
+        assert_eq!(g.edge_count(), 1, "failed add must not mutate the graph");
+    }
+
+    #[test]
+    fn try_id32_overflow() {
+        assert_eq!(try_id32(7), Ok(7));
+        #[cfg(target_pointer_width = "64")]
+        assert_eq!(
+            try_id32(usize::MAX),
+            Err(GraphError::IdSpaceExhausted { index: usize::MAX })
+        );
     }
 }

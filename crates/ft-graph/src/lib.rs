@@ -30,12 +30,24 @@
 //! Edge removal uses tombstones so that edge ids stay stable across failure
 //! injection (`ft-sim` knocks out links and re-runs routing).
 
+// Unit tests are exempt from the panic-free policy (see DESIGN.md,
+// "Static analysis & error-handling policy").
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bfs;
 pub mod bridges;
 pub mod dijkstra;
+pub mod error;
 pub mod graph;
 pub mod maxflow;
 pub mod stats;
@@ -44,7 +56,8 @@ pub mod yen;
 pub use bfs::{bfs_distances, bfs_tree, AllPairs};
 pub use bridges::bridges;
 pub use dijkstra::{dijkstra, DijkstraResult};
-pub use graph::{EdgeId, Graph, NodeId};
+pub use error::GraphError;
+pub use graph::{id32, try_id32, EdgeId, Graph, NodeId};
 pub use maxflow::FlowNetwork;
 pub use stats::{degree_histogram, diameter, is_connected};
 pub use yen::{k_shortest_paths, Path};

@@ -54,7 +54,10 @@ impl FlowNetwork {
     /// Panics if capacity is negative or NaN, or endpoints out of bounds.
     pub fn add_edge(&mut self, u: usize, v: usize, capacity: f64) -> usize {
         assert!(capacity >= 0.0 && !capacity.is_nan(), "bad capacity");
-        assert!(u < self.out.len() && v < self.out.len(), "node out of bounds");
+        assert!(
+            u < self.out.len() && v < self.out.len(),
+            "node out of bounds"
+        );
         let idx = self.to.len();
         self.to.push(v);
         self.cap.push(capacity);

@@ -4,7 +4,7 @@
 //! and the example binaries that print topology summaries.
 
 use crate::bfs::bfs_distances;
-use crate::graph::{Graph, NodeId};
+use crate::graph::{id32, Graph, NodeId};
 use crate::UNREACHABLE;
 
 /// Whether the graph is connected. The empty graph is considered connected.
@@ -26,7 +26,7 @@ pub fn connected_components(g: &Graph) -> usize {
             continue;
         }
         count += 1;
-        let mut stack = vec![NodeId(start as u32)];
+        let mut stack = vec![NodeId(id32(start))];
         comp[start] = count;
         while let Some(v) = stack.pop() {
             for (u, _) in g.neighbors(v) {

@@ -8,8 +8,11 @@ use proptest::prelude::*;
 
 /// Random connected graph: a random spanning tree plus extra random edges.
 fn arb_connected_graph() -> impl Strategy<Value = Graph> {
-    (2usize..20, proptest::collection::vec((0u32..1000, 0u32..1000), 0..30)).prop_map(
-        |(n, extras)| {
+    (
+        2usize..20,
+        proptest::collection::vec((0u32..1000, 0u32..1000), 0..30),
+    )
+        .prop_map(|(n, extras)| {
             let mut g = Graph::new(n);
             for v in 1..n as u32 {
                 // parent chosen deterministically from the extras entropy
@@ -26,8 +29,7 @@ fn arb_connected_graph() -> impl Strategy<Value = Graph> {
                 }
             }
             g
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,2 @@
+/// The allowlist next door is malformed; this file is otherwise clean.
+pub fn fine() {}

@@ -1,0 +1,176 @@
+//! `lint-allow.toml` — the only sanctioned way to suppress a rule.
+//!
+//! The file is a sequence of `[[allow]]` tables, each naming the file, the
+//! rule, a `contains` substring anchoring the suppression to a specific
+//! source line (so it does not rot when line numbers shift), and a
+//! mandatory human-readable `reason`. A minimal hand-rolled parser keeps
+//! the crate dependency-free; anything outside the accepted subset is a
+//! configuration error — suppression must stay auditable.
+
+use crate::rules::Violation;
+
+/// One suppression entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Workspace-relative path the suppression applies to.
+    pub path: String,
+    /// Rule name (see the rule constants in [`crate::rules`]).
+    pub rule: String,
+    /// Substring that must occur in the offending line.
+    pub contains: String,
+    /// Why the suppression is sound. Mandatory and non-empty.
+    pub reason: String,
+}
+
+/// Parses the allowlist, rejecting entries without a reason.
+pub fn parse(src: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(e) = current.take() {
+                entries.push(validate(e, lineno)?);
+            }
+            current = Some(AllowEntry {
+                path: String::new(),
+                rule: String::new(),
+                contains: String::new(),
+                reason: String::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = parse_kv(line) else {
+            return Err(format!(
+                "lint-allow.toml:{lineno}: unrecognized syntax {line:?} (expected `key = \"value\"`)"
+            ));
+        };
+        let Some(e) = current.as_mut() else {
+            return Err(format!(
+                "lint-allow.toml:{lineno}: key outside an [[allow]] table"
+            ));
+        };
+        match key {
+            "path" => e.path = value,
+            "rule" => e.rule = value,
+            "contains" => e.contains = value,
+            "reason" => e.reason = value,
+            other => {
+                return Err(format!("lint-allow.toml:{lineno}: unknown key {other:?}"));
+            }
+        }
+    }
+    if let Some(e) = current.take() {
+        entries.push(validate(e, src.lines().count())?);
+    }
+    Ok(entries)
+}
+
+/// Rejects structurally incomplete entries.
+fn validate(e: AllowEntry, lineno: usize) -> Result<AllowEntry, String> {
+    if e.path.is_empty() || e.rule.is_empty() {
+        return Err(format!(
+            "lint-allow.toml:{lineno}: entry must set both `path` and `rule`"
+        ));
+    }
+    if e.reason.trim().is_empty() {
+        return Err(format!(
+            "lint-allow.toml:{lineno}: entry for {} lacks a `reason` — every suppression must say why it is sound",
+            e.path
+        ));
+    }
+    Ok(e)
+}
+
+/// Parses `key = "value"`.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    // the subset disallows embedded quotes/escapes — reasons are prose
+    if inner.contains('"') || inner.contains('\\') {
+        return None;
+    }
+    Some((key, inner.to_string()))
+}
+
+/// Whether `v` is covered by an entry. A match requires the same path and
+/// rule, and (when `contains` is set) the substring to occur in the line.
+pub fn is_allowed(entries: &[AllowEntry], v: &Violation) -> bool {
+    entries.iter().any(|e| {
+        e.path == v.path
+            && e.rule == v.rule
+            && (e.contains.is_empty() || v.excerpt.contains(&e.contains))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# comment
+[[allow]]
+path = "crates/ft-graph/src/graph.rs"
+rule = "truncating-cast"
+contains = "index as u32"
+reason = "checked by the assert on the preceding line"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let e = parse(GOOD).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].rule, "truncating-cast");
+        assert!(e[0].reason.contains("assert"));
+    }
+
+    #[test]
+    fn missing_reason_rejected() {
+        let src = "[[allow]]\npath = \"a.rs\"\nrule = \"panic\"\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn empty_reason_rejected() {
+        let src = "[[allow]]\npath = \"a.rs\"\nrule = \"panic\"\nreason = \"  \"\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let src =
+            "[[allow]]\npath = \"a.rs\"\nrule = \"panic\"\nreason = \"x\"\nlinenumber = \"12\"\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse("allow me everything").is_err());
+    }
+
+    #[test]
+    fn matching_respects_contains() {
+        let entries = parse(GOOD).unwrap();
+        let mut v = Violation {
+            path: "crates/ft-graph/src/graph.rs".into(),
+            line: 18,
+            rule: "truncating-cast",
+            message: String::new(),
+            excerpt: "index as u32 // checked".into(),
+        };
+        assert!(is_allowed(&entries, &v));
+        v.excerpt = "other as u32".into();
+        assert!(!is_allowed(&entries, &v));
+        v.excerpt = "index as u32 // checked".into();
+        v.rule = "panic";
+        assert!(!is_allowed(&entries, &v));
+    }
+}

@@ -1,0 +1,117 @@
+//! `ft-lint` — the workspace static-analysis gate.
+//!
+//! A dependency-free linter enforcing the project's error-handling and
+//! numeric-hygiene policy over every `.rs` file under `crates/` and `src/`:
+//!
+//! 1. **panic** — no `panic!` / `.unwrap()` / `.expect(` / `unreachable!`
+//!    in library code of the strict crates (`ft-graph`, `ft-lp`, `ft-mcf`,
+//!    `ft-core`, `ft-metrics`); return the crate's error enums instead.
+//! 2. **index-bounds** — arithmetic index expressions (`v[i + 1]`) in
+//!    strict library code need a bounds comment on the same or previous
+//!    line.
+//! 3. **float-eq** — no `==`/`!=` against float literals anywhere in
+//!    library code; compare integers or use an epsilon.
+//! 4. **truncating-cast** — no `as u32`-style narrowing casts on node
+//!    indices in strict library code; use `try_into()` or
+//!    `ft_graph::id32`.
+//! 5. **missing-doc** — every `pub fn` in strict library code carries a
+//!    doc comment.
+//!
+//! Suppression happens only through `lint-allow.toml` (see
+//! [`allow`]); entries without a reason are a configuration error.
+//!
+//! Tests, benches, examples, binaries, and fixture files are exempt — the
+//! policy targets the library surface that the paper-reproduction results
+//! depend on.
+
+pub mod allow;
+pub mod mask;
+pub mod rules;
+
+use rules::Violation;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Violations not covered by the allowlist.
+    pub violations: Vec<Violation>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Violations suppressed by `lint-allow.toml`.
+    pub suppressed: usize,
+}
+
+/// Lints the workspace rooted at `root`. Reads `lint-allow.toml` at the
+/// root if present.
+///
+/// # Errors
+/// Returns a message for unreadable files/directories, a root containing
+/// no `.rs` files at all (a mistyped path must not read as a clean run),
+/// or a malformed allowlist (including entries without a reason).
+pub fn run(root: &Path) -> Result<Report, String> {
+    let allow_path = root.join("lint-allow.toml");
+    let entries = if allow_path.exists() {
+        let src = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+        allow::parse(&src)?
+    } else {
+        Vec::new()
+    };
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "no .rs files under {}/crates or {}/src — wrong root?",
+            root.display(),
+            root.display()
+        ));
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    let mut suppressed = 0usize;
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src =
+            std::fs::read_to_string(f).map_err(|e| format!("reading {}: {e}", f.display()))?;
+        for v in rules::check_file(&rel, &src) {
+            if allow::is_allowed(&entries, &v) {
+                suppressed += 1;
+            } else {
+                violations.push(v);
+            }
+        }
+    }
+    Ok(Report {
+        violations,
+        files_scanned: files.len(),
+        suppressed,
+    })
+}
+
+/// Recursively collects `.rs` files, skipping `target/`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! CLI entry point: `cargo run -p ft-lint [-- <root>]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 configuration error
+//! (unreadable tree or malformed `lint-allow.toml`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() > 1 {
+        eprintln!("ft-lint: configuration error: expected at most one argument (the workspace root), got {}", args.len());
+        eprintln!("usage: ft-lint [<root>]");
+        return ExitCode::from(2);
+    }
+    let root = args
+        .first()
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    match ft_lint::run(&root) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+            }
+            let n = report.violations.len();
+            println!(
+                "ft-lint: {} file(s) scanned, {} violation(s), {} suppressed via lint-allow.toml",
+                report.files_scanned, n, report.suppressed
+            );
+            if n == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("ft-lint: configuration error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

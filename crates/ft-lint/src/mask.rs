@@ -1,0 +1,327 @@
+//! Source masking: a hand-rolled lexical pass that blanks out comments and
+//! string/char literal contents so the rule checks can pattern-match the
+//! remaining code without a full parser (no `syn`; builds offline).
+//!
+//! The mask preserves the byte-for-byte line structure of the input —
+//! every violation can therefore be reported with its true line number —
+//! and records, per line, whether the line carried a `//` comment and
+//! whether it was a `///`/`//!` doc comment (rule 4 needs the latter, the
+//! indexing rule the former).
+
+/// A source file after comment/string stripping.
+pub struct Masked {
+    /// The masked text: comments and literal bodies replaced by spaces,
+    /// newlines kept.
+    pub text: String,
+    /// `has_comment[i]` — line `i` (0-based) contains a comment.
+    pub has_comment: Vec<bool>,
+    /// `is_doc[i]` — line `i` is a `///` or `//!` doc-comment line (or a
+    /// line of a `/** ... */` block).
+    pub is_doc: Vec<bool>,
+    /// `is_attr[i]` — line `i` (trimmed) starts an attribute `#[...]`.
+    pub is_attr: Vec<bool>,
+}
+
+/// States of the masking scanner.
+enum State {
+    Code,
+    LineComment { doc: bool },
+    BlockComment { depth: usize, doc: bool },
+    Str,
+    RawStr { hashes: usize },
+    Char,
+}
+
+/// Masks `src`: comments and the interiors of string/char literals become
+/// spaces, everything else is copied through.
+pub fn mask(src: &str) -> Masked {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let n_lines = src.lines().count().max(1);
+    let mut has_comment = vec![false; n_lines];
+    let mut is_doc = vec![false; n_lines];
+    let mut state = State::Code;
+    let mut line = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            out.push(b'\n');
+            line += 1;
+            if let State::LineComment { .. } = state {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    let doc = i + 2 < bytes.len()
+                        && (bytes[i + 2] == b'/' || bytes[i + 2] == b'!')
+                        // `////...` dividers are plain comments, not docs
+                        && !(bytes[i + 2] == b'/' && i + 3 < bytes.len() && bytes[i + 3] == b'/');
+                    mark(&mut has_comment, line);
+                    if doc {
+                        mark(&mut is_doc, line);
+                    }
+                    state = State::LineComment { doc };
+                    out.push(b' ');
+                    i += 1;
+                } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    let doc = i + 2 < bytes.len() && (bytes[i + 2] == b'*' || bytes[i + 2] == b'!');
+                    mark(&mut has_comment, line);
+                    if doc {
+                        mark(&mut is_doc, line);
+                    }
+                    state = State::BlockComment { depth: 1, doc };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str;
+                    out.push(b'"');
+                    i += 1;
+                } else if b == b'r' && !prev_is_ident(&out) && raw_str_hashes(&bytes[i..]).is_some()
+                {
+                    // raw string literal r"..." / r#"..."#
+                    let hashes = raw_str_hashes(&bytes[i..]).unwrap_or(0);
+                    state = State::RawStr { hashes };
+                    out.resize(out.len() + 2 + hashes, b' ');
+                    i += 2 + hashes;
+                } else if b == b'b'
+                    && !prev_is_ident(&out)
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1] == b'"'
+                {
+                    // byte string b"..."
+                    out.extend_from_slice(b" \"");
+                    state = State::Str;
+                    i += 2;
+                } else if b == b'\'' && char_literal_len(&bytes[i..]).is_some() {
+                    state = State::Char;
+                    out.push(b'\'');
+                    i += 1;
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment { doc } => {
+                mark(&mut has_comment, line);
+                if doc {
+                    mark(&mut is_doc, line);
+                }
+                out.push(b' ');
+                i += 1;
+            }
+            State::BlockComment { depth, doc } => {
+                mark(&mut has_comment, line);
+                if doc {
+                    mark(&mut is_doc, line);
+                }
+                if b == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment {
+                            depth: depth - 1,
+                            doc,
+                        };
+                    }
+                } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    state = State::BlockComment {
+                        depth: depth + 1,
+                        doc,
+                    };
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    // an escaped newline keeps the string open; restore the
+                    // line structure the two-space push just broke
+                    if bytes[i - 1] == b'\n' {
+                        let len = out.len();
+                        out[len - 1] = b'\n';
+                        line += 1;
+                    }
+                } else if b == b'"' {
+                    out.push(b'"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if b == b'"' && closes_raw(&bytes[i..], hashes) {
+                    out.resize(out.len() + 1 + hashes, b' ');
+                    i += 1 + hashes;
+                    state = State::Code;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'\'' {
+                    out.push(b'\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&out).into_owned();
+    let is_attr = text
+        .lines()
+        .map(|l| l.trim_start().starts_with("#["))
+        .collect();
+    Masked {
+        text,
+        has_comment,
+        is_doc,
+        is_attr,
+    }
+}
+
+/// Grows-and-sets helper for the per-line flag vectors.
+fn mark(v: &mut [bool], line: usize) {
+    if let Some(slot) = v.get_mut(line) {
+        *slot = true;
+    }
+}
+
+/// Whether the last emitted byte continues an identifier (so `r` in `for`
+/// or `attr` is not the start of a raw string).
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last()
+        .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// If `bytes` starts a raw string literal (`r"`, `r#"`, `r##"`, …),
+/// returns the number of `#`s.
+fn raw_str_hashes(bytes: &[u8]) -> Option<usize> {
+    if bytes.first() != Some(&b'r') {
+        return None;
+    }
+    let mut h = 0;
+    while bytes.get(1 + h) == Some(&b'#') {
+        h += 1;
+    }
+    (bytes.get(1 + h) == Some(&b'"')).then_some(h)
+}
+
+/// Whether a `"` at the start of `bytes` is followed by enough `#`s to
+/// close a raw string opened with `hashes` hashes.
+fn closes_raw(bytes: &[u8], hashes: usize) -> bool {
+    (1..=hashes).all(|j| bytes.get(j) == Some(&b'#'))
+}
+
+/// Distinguishes a char literal from a lifetime: returns the literal's
+/// length if `bytes` (starting at `'`) opens a char literal.
+fn char_literal_len(bytes: &[u8]) -> Option<usize> {
+    // 'x' | '\n' | '\u{...}' — a lifetime ('a, 'static) has no closing '
+    // within a couple of identifier chars
+    if bytes.len() < 3 {
+        return None;
+    }
+    if bytes[1] == b'\\' {
+        // escaped: scan to the closing quote (bounded; '\u{10FFFF}' is 10)
+        let limit = bytes.len().min(12);
+        return (2..limit).find(|&j| bytes[j] == b'\'').map(|j| j + 1);
+    }
+    // multi-byte UTF-8 scalar or single char followed by '
+    let limit = bytes.len().min(6);
+    let close = (2..limit).find(|&j| bytes[j] == b'\'')?;
+    // 'a' is a char, 'ab is a lifetime-ish token (invalid char literal)
+    let inner = &bytes[1..close];
+    let ident_like = inner
+        .iter()
+        .all(|&b| b.is_ascii_alphanumeric() || b == b'_');
+    if ident_like && inner.len() > 1 {
+        return None;
+    }
+    // a lone identifier char could still be a lifetime ('a as in <'a>);
+    // treat `'x'` as a literal only if the char after the opening quote is
+    // not immediately a generic/lifetime position — heuristic: lifetimes
+    // are always followed by [,>& )] or an identifier, never by `'`
+    Some(close + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        let m = mask("let x = 1; // unwrap() here\nlet y = 2;\n");
+        assert!(!m.text.contains("unwrap"));
+        assert!(m.has_comment[0]);
+        assert!(!m.has_comment[1]);
+        assert!(!m.is_doc[0]);
+    }
+
+    #[test]
+    fn strips_strings_keeps_lines() {
+        let src = "let s = \"panic! at the\\n disco\";\nlet t = 3;\n";
+        let m = mask(src);
+        assert!(!m.text.contains("panic"));
+        assert_eq!(m.text.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn doc_comments_flagged() {
+        let m = mask("/// docs\npub fn f() {}\n");
+        assert!(m.is_doc[0]);
+        assert!(!m.is_doc[1]);
+    }
+
+    #[test]
+    fn raw_strings_masked() {
+        let m = mask("let s = r#\"x.unwrap()\"#;\n");
+        assert!(!m.text.contains("unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask("/* a /* b */ panic! */ let x = 1;\n");
+        assert!(!m.text.contains("panic"));
+        assert!(m.text.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_not_strings() {
+        let m = mask("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(m.text.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn char_literal_masked() {
+        let m = mask("let c = 'x'; let d = '\\n';\n");
+        assert!(m.text.contains("let c ="));
+        assert!(!m.text.contains('x'));
+    }
+
+    #[test]
+    fn attr_lines_flagged() {
+        let m = mask("#[inline]\nfn g() {}\n");
+        assert!(m.is_attr[0]);
+        assert!(!m.is_attr[1]);
+    }
+}

@@ -1,0 +1,523 @@
+//! The project rule checks, applied to masked source (see [`crate::mask`]).
+//!
+//! Scope model: a file is classified by path into
+//!
+//! * **Strict** — library code of the numeric/core crates (`ft-graph`,
+//!   `ft-lp`, `ft-mcf`, `ft-core`, `ft-metrics`): all five rules apply.
+//! * **Lib** — any other library code under `crates/*/src` or `src/`:
+//!   only the float-equality rule applies.
+//! * **Exempt** — tests, benches, examples, binaries, fixtures: no rules.
+//!
+//! `#[cfg(test)]` modules inside strict/lib files are skipped by brace
+//! matching, so unit tests may use `unwrap()` freely.
+
+use crate::mask::{mask, Masked};
+
+/// How strictly a file is checked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scope {
+    /// All rules.
+    Strict,
+    /// Float-equality only.
+    Lib,
+    /// No rules.
+    Exempt,
+}
+
+/// Crates whose library code is held to the full rule set.
+pub const STRICT_CRATES: &[&str] = &["ft-graph", "ft-lp", "ft-mcf", "ft-core", "ft-metrics"];
+
+/// Path components that exempt a file wholesale.
+const EXEMPT_DIRS: &[&str] = &["tests", "benches", "examples", "bin", "fixtures", "target"];
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule name (used by `lint-allow.toml`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// The offending source line, trimmed (allowlist `contains` matches it).
+    pub excerpt: String,
+}
+
+/// Classifies a workspace-relative path (`/`-separated).
+pub fn classify(path: &str) -> Scope {
+    let parts: Vec<&str> = path.split('/').collect();
+    if parts.iter().any(|p| EXEMPT_DIRS.contains(p)) {
+        return Scope::Exempt;
+    }
+    if !path.ends_with(".rs") {
+        return Scope::Exempt;
+    }
+    if parts.first() == Some(&"crates") && parts.get(2) == Some(&"src") {
+        let krate = parts.get(1).copied().unwrap_or("");
+        if STRICT_CRATES.contains(&krate) {
+            return Scope::Strict;
+        }
+        // a crate's `src/main.rs` is binary code, exempt like other bins
+        if parts.last() == Some(&"main.rs") {
+            return Scope::Exempt;
+        }
+        return Scope::Lib;
+    }
+    if parts.first() == Some(&"src") {
+        if parts.last() == Some(&"main.rs") {
+            return Scope::Exempt;
+        }
+        return Scope::Lib;
+    }
+    Scope::Exempt
+}
+
+/// Checks one file, returning its violations (before allowlisting).
+pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
+    let scope = classify(path);
+    if scope == Scope::Exempt {
+        return Vec::new();
+    }
+    let m = mask(src);
+    let skip = test_region_lines(&m);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for (idx, line) in m.text.lines().enumerate() {
+        if skip.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let report = |out: &mut Vec<Violation>, rule: &'static str, message: String| {
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                rule,
+                message,
+                excerpt: raw_lines.get(idx).map_or("", |l| l.trim()).to_string(),
+            });
+        };
+        if scope == Scope::Strict {
+            for pat in ["panic!", "unreachable!", ".unwrap()", ".expect("] {
+                if find_token(line, pat) {
+                    report(
+                        &mut out,
+                        "panic",
+                        format!("`{pat}` in library code; return a Result instead"),
+                    );
+                }
+            }
+            if let Some(expr) = arithmetic_index(line) {
+                let commented = m.has_comment.get(idx).copied().unwrap_or(false)
+                    || (idx > 0 && m.has_comment.get(idx - 1).copied().unwrap_or(false));
+                if !commented {
+                    report(
+                        &mut out,
+                        "index-bounds",
+                        format!(
+                            "arithmetic index `[{expr}]` without a bounds comment on this or the previous line"
+                        ),
+                    );
+                }
+            }
+            if let Some(ty) = truncating_cast(line) {
+                report(
+                    &mut out,
+                    "truncating-cast",
+                    format!("truncating `as {ty}` cast; use try_into() or a checked helper (ft_graph::id32)"),
+                );
+            }
+        }
+        if float_eq(line) {
+            report(
+                &mut out,
+                "float-eq",
+                "`==`/`!=` against a float literal; compare with an epsilon or integers"
+                    .to_string(),
+            );
+        }
+    }
+    if scope == Scope::Strict {
+        out.extend(missing_docs(path, &m, &skip));
+    }
+    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    out
+}
+
+/// Lines covered by `#[cfg(test)]` items (usually the `mod tests` block),
+/// found by brace matching on the masked text.
+fn test_region_lines(m: &Masked) -> Vec<bool> {
+    let lines: Vec<&str> = m.text.lines().collect();
+    let mut skip = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].contains("#[cfg(test)]") {
+            // skip from the attribute through the end of the item's braces
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                skip[j] = true;
+                for c in lines[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                }
+                if opened && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    skip
+}
+
+/// Token-boundary search: `pat` must not be preceded/followed by an
+/// identifier character (so `unwrap_or()` does not match `.unwrap()`).
+fn find_token(line: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(pat) {
+        let at = from + pos;
+        // method patterns (`.unwrap()`) are naturally preceded by an
+        // identifier; bare macros (`panic!`) must not be a name suffix
+        let before_ok = pat.starts_with('.') || at == 0 || !is_ident(line.as_bytes()[at - 1]);
+        let after = at + pat.len();
+        let after_ok = after >= line.len() || !is_ident(line.as_bytes()[after]);
+        // for patterns ending in `(` / `!` the following char is free-form
+        if before_ok && (pat.ends_with('(') || pat.ends_with('!') || pat.ends_with(')') || after_ok)
+        {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Finds an index expression `ident[ ... ]` whose interior contains
+/// arithmetic (`+ - * %`) — the off-by-one habitat. Plain `v[i]` passes.
+fn arithmetic_index(line: &str) -> Option<String> {
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 || !is_ident(bytes[i - 1]) {
+            continue;
+        }
+        // find the matching close bracket on this line
+        let mut depth = 1;
+        let mut j = i + 1;
+        while j < bytes.len() && depth > 0 {
+            match bytes[j] {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if depth != 0 {
+            continue; // spans lines; out of lexical reach
+        }
+        let inner = &line[i + 1..j - 1];
+        let has_arith = inner.bytes().enumerate().any(|(k, c)| {
+            matches!(c, b'+' | b'*' | b'%')
+                || (c == b'-'
+                    // `-` as arithmetic, not `->` or a negative-literal range
+                    && inner.as_bytes().get(k + 1) != Some(&b'>')
+                    && k > 0)
+        });
+        if has_arith {
+            return Some(inner.trim().to_string());
+        }
+    }
+    None
+}
+
+/// Detects `as u8|u16|u32|i8|i16|i32` — casts that can silently truncate a
+/// node index. Widening (`as u64`/`as f64`) and `as usize` are allowed.
+fn truncating_cast(line: &str) -> Option<&'static str> {
+    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(" as ") {
+        let at = from + pos + 4;
+        let rest = &line[at..];
+        for ty in NARROW {
+            if rest.starts_with(ty) {
+                let after = at + ty.len();
+                if after >= line.len() || !is_ident(bytes[after]) {
+                    return Some(ty);
+                }
+            }
+        }
+        from = at;
+    }
+    None
+}
+
+/// Detects `==` / `!=` with a float literal on either side.
+fn float_eq(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let op = matches!((bytes[i], bytes[i + 1]), (b'=', b'=') | (b'!', b'='));
+        // skip <= >= === (pattern ..=) and != inside generics is impossible
+        if op
+            && (i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!'))
+            && bytes.get(i + 2) != Some(&b'=')
+        {
+            let left = token_left(line, i);
+            let right = token_right(line, i + 2);
+            if is_float_literal(left) || is_float_literal(right) {
+                return true;
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// The token immediately left of byte `pos` (identifier/number chars).
+fn token_left(line: &str, pos: usize) -> &str {
+    let bytes = line.as_bytes();
+    let mut end = pos;
+    while end > 0 && bytes[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && (is_ident(bytes[start - 1]) || bytes[start - 1] == b'.') {
+        start -= 1;
+    }
+    &line[start..end]
+}
+
+/// The token immediately right of byte `pos`.
+fn token_right(line: &str, pos: usize) -> &str {
+    let bytes = line.as_bytes();
+    let mut start = pos;
+    while start < bytes.len() && bytes[start] == b' ' {
+        start += 1;
+    }
+    let mut end = start;
+    while end < bytes.len() && (is_ident(bytes[end]) || bytes[end] == b'.') {
+        end += 1;
+    }
+    &line[start..end]
+}
+
+/// Whether `tok` is a floating-point literal (`0.0`, `1.`, `1e-9`, `2f64`).
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok.trim_end_matches("f64").trim_end_matches("f32");
+    if t.is_empty() || !t.as_bytes()[0].is_ascii_digit() {
+        return false;
+    }
+    let has_dot = t.contains('.');
+    let has_exp = t.bytes().any(|b| b == b'e' || b == b'E');
+    let valid = t
+        .bytes()
+        .all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'_' | b'+' | b'-'));
+    valid && (has_dot || has_exp || tok.ends_with("f64") || tok.ends_with("f32"))
+}
+
+/// Rule 4: every `pub fn` in strict library code carries a doc comment.
+fn missing_docs(path: &str, m: &Masked, skip: &[bool]) -> Vec<Violation> {
+    let lines: Vec<&str> = m.text.lines().collect();
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if skip.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(name) = pub_fn_name(line) else {
+            continue;
+        };
+        // walk upward over attributes and blank lines to the nearest doc
+        // (doc lines are blanked in the masked text, so consult is_doc
+        // before the emptiness test)
+        let mut j = idx;
+        let documented = loop {
+            if j == 0 {
+                break false;
+            }
+            j -= 1;
+            if m.is_doc.get(j).copied().unwrap_or(false) {
+                break true;
+            }
+            if m.is_attr.get(j).copied().unwrap_or(false) {
+                continue;
+            }
+            break false;
+        };
+        if !documented {
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "missing-doc",
+                message: format!("public function `{name}` has no doc comment"),
+                excerpt: line.trim().to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// If the line declares a `pub fn` (not `pub(crate) fn`), its name.
+fn pub_fn_name(line: &str) -> Option<&str> {
+    let t = line.trim_start();
+    let rest = t.strip_prefix("pub ")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("const ").unwrap_or(rest);
+    let rest = rest.strip_prefix("unsafe ").unwrap_or(rest);
+    let rest = rest.strip_prefix("fn ")?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_scopes() {
+        assert_eq!(classify("crates/ft-lp/src/simplex.rs"), Scope::Strict);
+        assert_eq!(classify("crates/ft-control/src/advisor.rs"), Scope::Lib);
+        assert_eq!(classify("src/cli.rs"), Scope::Lib);
+        assert_eq!(classify("src/main.rs"), Scope::Exempt);
+        assert_eq!(classify("crates/ft-lp/tests/x.rs"), Scope::Exempt);
+        assert_eq!(classify("crates/ft-bench/benches/b.rs"), Scope::Exempt);
+        assert_eq!(
+            classify("crates/ft-experiments/src/bin/fig7.rs"),
+            Scope::Exempt
+        );
+        assert_eq!(
+            classify("crates/ft-lint/fixtures/violating/panics.rs"),
+            Scope::Exempt
+        );
+    }
+
+    #[test]
+    fn unwrap_in_strict_lib_flagged() {
+        let v = check_file("crates/ft-lp/src/x.rs", "fn f() { let _ = a.unwrap(); }\n");
+        assert!(v.iter().any(|v| v.rule == "panic"), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_or_not_flagged() {
+        let v = check_file(
+            "crates/ft-lp/src/x.rs",
+            "fn f() { let _ = a.unwrap_or(0); }\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "panic"), "{v:?}");
+    }
+
+    #[test]
+    fn test_module_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { a.unwrap(); }\n}\n";
+        let v = check_file("crates/ft-lp/src/x.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn string_contents_ignored() {
+        let v = check_file(
+            "crates/ft-lp/src/x.rs",
+            "fn f() { let s = \"don't .unwrap() me\"; }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn float_eq_flagged_in_any_lib() {
+        let v = check_file(
+            "crates/ft-control/src/x.rs",
+            "fn f(x: f64) -> bool { x == 0.0 }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "float-eq");
+    }
+
+    #[test]
+    fn integer_eq_not_flagged() {
+        let v = check_file(
+            "crates/ft-control/src/x.rs",
+            "fn f(x: u32) -> bool { x == 0 }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn range_pattern_not_float_eq() {
+        let v = check_file(
+            "crates/ft-control/src/x.rs",
+            "fn f(x: u32) -> bool { matches!(x, 0..=4) }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn truncating_cast_flagged() {
+        let v = check_file(
+            "crates/ft-graph/src/x.rs",
+            "fn f(i: usize) -> u32 { i as u32 }\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "truncating-cast"), "{v:?}");
+    }
+
+    #[test]
+    fn widening_cast_ok() {
+        let v = check_file(
+            "crates/ft-graph/src/x.rs",
+            "fn f(i: u32) -> f64 { i as f64 }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn arithmetic_index_needs_comment() {
+        let bad = "fn f(v: &[u32], i: usize) -> u32 { v[i + 1] }\n";
+        let good = "fn f(v: &[u32], i: usize) -> u32 {\n    // bounds: i + 1 < v.len() by caller contract\n    v[i + 1]\n}\n";
+        assert!(check_file("crates/ft-graph/src/x.rs", bad)
+            .iter()
+            .any(|v| v.rule == "index-bounds"));
+        assert!(check_file("crates/ft-graph/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn plain_index_ok() {
+        let v = check_file(
+            "crates/ft-graph/src/x.rs",
+            "fn f(v: &[u32], i: usize) -> u32 { v[i] }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn pub_fn_without_doc_flagged() {
+        let src = "pub fn naked() {}\n";
+        let v = check_file("crates/ft-lp/src/x.rs", src);
+        assert!(v.iter().any(|v| v.rule == "missing-doc"), "{v:?}");
+        let ok = "/// Documented.\npub fn clothed() {}\n";
+        assert!(check_file("crates/ft-lp/src/x.rs", ok).is_empty());
+        let attr = "/// Documented.\n#[inline]\npub fn with_attr() {}\n";
+        assert!(check_file("crates/ft-lp/src/x.rs", attr).is_empty());
+    }
+
+    #[test]
+    fn pub_crate_fn_needs_no_doc() {
+        let v = check_file("crates/ft-lp/src/x.rs", "pub(crate) fn internal() {}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,74 @@
+//! End-to-end tests of the lint gate over the on-disk fixture trees.
+
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn violating_tree_reports_every_rule() {
+    let report = ft_lint::run(&fixture("violating")).unwrap();
+    let rules: std::collections::BTreeSet<&str> =
+        report.violations.iter().map(|v| v.rule).collect();
+    for rule in [
+        "panic",
+        "float-eq",
+        "truncating-cast",
+        "index-bounds",
+        "missing-doc",
+    ] {
+        assert!(rules.contains(rule), "missing {rule}: {rules:?}");
+    }
+    assert!(!report.violations.is_empty());
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let report = ft_lint::run(&fixture("clean")).unwrap();
+    assert!(
+        report.violations.is_empty(),
+        "unexpected: {:?}",
+        report.violations
+    );
+    assert!(report.files_scanned >= 1);
+}
+
+#[test]
+fn allowlist_without_reason_is_config_error() {
+    let err = ft_lint::run(&fixture("bad-allow")).unwrap_err();
+    assert!(err.contains("reason"), "{err}");
+}
+
+#[test]
+fn violations_carry_location_and_excerpt() {
+    let report = ft_lint::run(&fixture("violating")).unwrap();
+    let cast = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "truncating-cast")
+        .unwrap();
+    assert!(cast.path.ends_with("crates/ft-graph/src/lib.rs"));
+    assert!(cast.line > 0);
+    assert!(cast.excerpt.contains("as u32"));
+}
+
+#[test]
+fn repo_gate_is_green() {
+    // the workspace itself must pass its own gate (same invariant CI
+    // enforces via `cargo run -p ft-lint`)
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf();
+    let report = ft_lint::run(&root).unwrap();
+    assert!(
+        report.violations.is_empty(),
+        "workspace lint violations: {:#?}",
+        report.violations
+    );
+}

@@ -22,21 +22,32 @@
 //! # Example
 //!
 //! ```
-//! use ft_lp::{LpProblem, LpOutcome};
+//! use ft_lp::{LpError, LpProblem};
 //!
+//! # fn main() -> Result<(), LpError> {
 //! // maximize 3x + 2y  s.t.  x + y ≤ 4,  x + 3y ≤ 6
 //! let mut lp = LpProblem::new();
 //! let x = lp.add_var(3.0);
 //! let y = lp.add_var(2.0);
 //! lp.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
 //! lp.add_le(&[(x, 1.0), (y, 3.0)], 6.0);
-//! let sol = match lp.solve() {
-//!     LpOutcome::Optimal(s) => s,
-//!     other => panic!("{other:?}"),
-//! };
+//! let sol = lp.solve().optimal()?;
 //! assert!((sol.objective - 12.0).abs() < 1e-9); // x = 4, y = 0
+//! # Ok(())
+//! # }
 //! ```
 
+// Unit tests are exempt from the panic-free policy (see DESIGN.md,
+// "Static analysis & error-handling policy").
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -105,13 +116,38 @@ pub enum LpOutcome {
     Unbounded,
 }
 
-impl LpOutcome {
-    /// Unwraps the optimal solution, panicking otherwise. Convenient in
-    /// tests and experiment harnesses where the model is known feasible.
-    pub fn expect_optimal(self) -> Solution {
+/// Error returned when an optimal solution was required but the LP turned
+/// out infeasible or unbounded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded above over the feasible region.
+    Unbounded,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LpOutcome::Optimal(s) => s,
-            other => panic!("expected optimal LP solution, got {other:?}"),
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+impl LpOutcome {
+    /// Extracts the optimal solution, or reports why there is none.
+    ///
+    /// Callers that know their model is feasible and bounded (e.g. the MCF
+    /// formulations, which always admit the zero flow) typically propagate
+    /// the error as an internal-consistency failure.
+    pub fn optimal(self) -> Result<Solution, LpError> {
+        match self {
+            LpOutcome::Optimal(s) => Ok(s),
+            LpOutcome::Infeasible => Err(LpError::Infeasible),
+            LpOutcome::Unbounded => Err(LpError::Unbounded),
         }
     }
 }
@@ -195,7 +231,7 @@ mod tests {
     use super::*;
 
     fn opt(lp: &LpProblem) -> Solution {
-        lp.solve().expect_optimal()
+        lp.solve().optimal().unwrap()
     }
 
     #[test]
@@ -239,6 +275,19 @@ mod tests {
         let y = lp.add_var(0.0);
         lp.add_ge(&[(x, 1.0), (y, -1.0)], 0.0); // x ≥ y, growing together
         assert!(matches!(lp.solve(), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn optimal_reports_failure_kind() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(1.0);
+        lp.add_le(&[(x, 1.0)], 1.0);
+        lp.add_ge(&[(x, 1.0)], 2.0);
+        assert_eq!(lp.solve().optimal().unwrap_err(), LpError::Infeasible);
+
+        let mut lp = LpProblem::new();
+        lp.add_var(1.0);
+        assert_eq!(lp.solve().optimal().unwrap_err(), LpError::Unbounded);
     }
 
     #[test]

@@ -307,6 +307,7 @@ pub fn solve_standard_form(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Option<(f64,
     for i in 0..m {
         let mut row = vec![0.0; ncols + 1];
         row[..n].copy_from_slice(&a[i]);
+        // bounds: slack column n + i < ncols since ncols = n + m and i < m
         row[n + i] = 1.0;
         row[ncols] = b[i];
         rows.push(row);
@@ -341,12 +342,9 @@ mod tests {
     #[test]
     fn standard_form_simple() {
         // max 3x + 2y, x + y ≤ 4, x + 3y ≤ 6
-        let (obj, x) = solve_standard_form(
-            &[3.0, 2.0],
-            &[vec![1.0, 1.0], vec![1.0, 3.0]],
-            &[4.0, 6.0],
-        )
-        .unwrap();
+        let (obj, x) =
+            solve_standard_form(&[3.0, 2.0], &[vec![1.0, 1.0], vec![1.0, 3.0]], &[4.0, 6.0])
+                .unwrap();
         assert!((obj - 12.0).abs() < 1e-9);
         assert!((x[0] - 4.0).abs() < 1e-9);
         assert!(x[1].abs() < 1e-9);

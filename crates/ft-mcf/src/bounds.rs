@@ -81,7 +81,11 @@ mod tests {
         // star center 0 with 3 leaves; broadcasts to all leaves
         let g = unit(4, &[(0, 1), (0, 2), (0, 3)]);
         let cs: Vec<Commodity> = (1..4)
-            .map(|t| Commodity { src: 0, dst: t, demand: 1.0 })
+            .map(|t| Commodity {
+                src: 0,
+                dst: t,
+                demand: 1.0,
+            })
             .collect();
         // out_cap(0) = 3, total demand 3 → λ ≤ 1
         assert!((node_cut_upper_bound(&g, &cs) - 1.0).abs() < 1e-12);
@@ -91,7 +95,11 @@ mod tests {
     fn node_cut_incast() {
         let g = unit(4, &[(0, 1), (0, 2), (0, 3)]);
         let cs: Vec<Commodity> = (1..4)
-            .map(|s| Commodity { src: s, dst: 0, demand: 2.0 })
+            .map(|s| Commodity {
+                src: s,
+                dst: 0,
+                demand: 2.0,
+            })
             .collect();
         // in_cap(0) = 3, total demand 6 → λ ≤ 0.5
         assert!((node_cut_upper_bound(&g, &cs) - 0.5).abs() < 1e-12);
@@ -106,9 +114,17 @@ mod tests {
     #[test]
     fn single_commodity_diamond() {
         let g = unit(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
-        let c = Commodity { src: 0, dst: 3, demand: 1.0 };
+        let c = Commodity {
+            src: 0,
+            dst: 3,
+            demand: 1.0,
+        };
         assert!((single_commodity_exact(&g, &c) - 2.0).abs() < 1e-9);
-        let c2 = Commodity { src: 0, dst: 3, demand: 4.0 };
+        let c2 = Commodity {
+            src: 0,
+            dst: 3,
+            demand: 4.0,
+        };
         assert!((single_commodity_exact(&g, &c2) - 0.5).abs() < 1e-9);
     }
 
@@ -117,7 +133,11 @@ mod tests {
         // path 0-1-2: commodity 0→2 demand 1.
         // node cut at 0: out_cap 1 → bound 1; maxflow bound also 1.
         let g = unit(3, &[(0, 1), (1, 2)]);
-        let cs = [Commodity { src: 0, dst: 2, demand: 1.0 }];
+        let cs = [Commodity {
+            src: 0,
+            dst: 2,
+            demand: 1.0,
+        }];
         let nc = node_cut_upper_bound(&g, &cs);
         let mf = per_commodity_maxflow_bound(&g, &cs);
         assert!(mf <= nc + 1e-12);

@@ -59,7 +59,7 @@ impl CapGraph {
         assert!(cap > 0.0 && cap.is_finite(), "capacity must be positive");
         let id = self.arcs.len();
         self.arcs.push(Arc { from, to, cap });
-        self.out[from].push(id as u32);
+        self.out[from].push(ft_graph::id32(id));
         id
     }
 
@@ -96,11 +96,7 @@ impl CapGraph {
     /// Sum of capacities entering `v`. O(arcs); cached by callers that need
     /// it repeatedly.
     pub fn in_capacity(&self, v: usize) -> f64 {
-        self.arcs
-            .iter()
-            .filter(|a| a.to == v)
-            .map(|a| a.cap)
-            .sum()
+        self.arcs.iter().filter(|a| a.to == v).map(|a| a.cap).sum()
     }
 
     /// Dijkstra from `src` under per-arc `lengths`, stopping as soon as
@@ -108,7 +104,12 @@ impl CapGraph {
     /// or `None` if unreachable.
     ///
     /// `lengths[i]` must be ≥ 0 for every arc `i`.
-    pub fn shortest_path(&self, src: usize, dst: usize, lengths: &[f64]) -> Option<(Vec<usize>, f64)> {
+    pub fn shortest_path(
+        &self,
+        src: usize,
+        dst: usize,
+        lengths: &[f64],
+    ) -> Option<(Vec<usize>, f64)> {
         #[derive(PartialEq)]
         struct E {
             d: f64,
@@ -117,9 +118,7 @@ impl CapGraph {
         impl Eq for E {}
         impl Ord for E {
             fn cmp(&self, o: &Self) -> Ordering {
-                o.d.partial_cmp(&self.d)
-                    .unwrap_or(Ordering::Equal)
-                    .then_with(|| o.v.cmp(&self.v))
+                o.d.total_cmp(&self.d).then_with(|| o.v.cmp(&self.v))
             }
         }
         impl PartialOrd for E {

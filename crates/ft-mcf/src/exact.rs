@@ -16,22 +16,22 @@
 //! topologies in the examples. Large sweeps use [`crate::fptas`].
 
 use crate::digraph::CapGraph;
-use crate::Commodity;
-use ft_lp::{LpOutcome, LpProblem, Var};
+use crate::{Commodity, McfError};
+use ft_lp::{LpError, LpOutcome, LpProblem, Var};
 
 /// Solves max concurrent flow exactly. Returns the optimal λ.
 ///
 /// Returns 0.0 when any commodity's destination is unreachable (the LP is
 /// feasible only at λ = 0) and when `commodities` is empty... the latter is
-/// reported as `f64::INFINITY` since every λ is feasible. Commodities with
-/// `src == dst` must have been filtered out (see
-/// [`crate::aggregate_commodities`]).
+/// reported as `f64::INFINITY` since every λ is feasible.
 ///
-/// # Panics
-/// Panics if a commodity has `src == dst` or non-positive demand.
-pub fn max_concurrent_flow_exact(g: &CapGraph, commodities: &[Commodity]) -> f64 {
+/// # Errors
+/// [`McfError::InvalidCommodity`] if a commodity has `src == dst` or
+/// non-positive demand (filter with [`crate::aggregate_commodities`]);
+/// [`McfError::Solver`] on an internal LP inconsistency.
+pub fn max_concurrent_flow_exact(g: &CapGraph, commodities: &[Commodity]) -> Result<f64, McfError> {
     if commodities.is_empty() {
-        return f64::INFINITY;
+        return Ok(f64::INFINITY);
     }
     let a_cnt = g.arc_count();
     let n = g.node_count();
@@ -40,8 +40,13 @@ pub fn max_concurrent_flow_exact(g: &CapGraph, commodities: &[Commodity]) -> f64
     // flow variables f[j][a]
     let mut f: Vec<Vec<Var>> = Vec::with_capacity(commodities.len());
     for c in commodities {
-        assert!(c.src != c.dst, "self-commodity must be pre-filtered");
-        assert!(c.demand > 0.0, "demand must be positive");
+        if c.src == c.dst || c.demand <= 0.0 {
+            return Err(McfError::InvalidCommodity {
+                src: c.src,
+                dst: c.dst,
+                demand: c.demand,
+            });
+        }
         f.push((0..a_cnt).map(|_| lp.add_var(0.0)).collect());
     }
     // capacity per arc
@@ -71,9 +76,10 @@ pub fn max_concurrent_flow_exact(g: &CapGraph, commodities: &[Commodity]) -> f64
         }
     }
     match lp.solve() {
-        LpOutcome::Optimal(s) => s.value(lambda),
-        LpOutcome::Infeasible => unreachable!("λ = 0, f = 0 is always feasible"),
-        LpOutcome::Unbounded => f64::INFINITY,
+        LpOutcome::Optimal(s) => Ok(s.value(lambda)),
+        // λ = 0, f = 0 is always feasible, so this is a solver defect.
+        LpOutcome::Infeasible => Err(McfError::Solver(LpError::Infeasible)),
+        LpOutcome::Unbounded => Ok(f64::INFINITY),
     }
 }
 
@@ -90,8 +96,12 @@ mod tests {
     fn single_commodity_path() {
         // path of 3 nodes, one commodity demand 1 → λ = 1 (one unit path)
         let g = unit_capgraph(3, &[(0, 1), (1, 2)]);
-        let cs = [Commodity { src: 0, dst: 2, demand: 1.0 }];
-        let l = max_concurrent_flow_exact(&g, &cs);
+        let cs = [Commodity {
+            src: 0,
+            dst: 2,
+            demand: 1.0,
+        }];
+        let l = max_concurrent_flow_exact(&g, &cs).unwrap();
         assert!((l - 1.0).abs() < 1e-6, "λ = {l}");
     }
 
@@ -99,8 +109,12 @@ mod tests {
     fn single_commodity_matches_maxflow() {
         // diamond: two disjoint 2-hop paths → max flow 2 for demand 1
         let g = unit_capgraph(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
-        let cs = [Commodity { src: 0, dst: 3, demand: 1.0 }];
-        let l = max_concurrent_flow_exact(&g, &cs);
+        let cs = [Commodity {
+            src: 0,
+            dst: 3,
+            demand: 1.0,
+        }];
+        let l = max_concurrent_flow_exact(&g, &cs).unwrap();
         assert!((l - 2.0).abs() < 1e-6, "λ = {l}");
     }
 
@@ -111,10 +125,18 @@ mod tests {
         // cut at node 0 has out-capacity 2 and total demand 2λ ⇒ λ ≤ 1.
         let g = unit_capgraph(3, &[(0, 1), (1, 2), (0, 2)]);
         let cs = [
-            Commodity { src: 0, dst: 1, demand: 1.0 },
-            Commodity { src: 0, dst: 2, demand: 1.0 },
+            Commodity {
+                src: 0,
+                dst: 1,
+                demand: 1.0,
+            },
+            Commodity {
+                src: 0,
+                dst: 2,
+                demand: 1.0,
+            },
         ];
-        let l = max_concurrent_flow_exact(&g, &cs);
+        let l = max_concurrent_flow_exact(&g, &cs).unwrap();
         assert!((l - 1.0).abs() < 1e-6, "λ = {l}");
     }
 
@@ -123,10 +145,18 @@ mod tests {
         // full duplex: 0→1 and 1→0 both get the full unit
         let g = unit_capgraph(2, &[(0, 1)]);
         let cs = [
-            Commodity { src: 0, dst: 1, demand: 1.0 },
-            Commodity { src: 1, dst: 0, demand: 1.0 },
+            Commodity {
+                src: 0,
+                dst: 1,
+                demand: 1.0,
+            },
+            Commodity {
+                src: 1,
+                dst: 0,
+                demand: 1.0,
+            },
         ];
-        let l = max_concurrent_flow_exact(&g, &cs);
+        let l = max_concurrent_flow_exact(&g, &cs).unwrap();
         assert!((l - 1.0).abs() < 1e-6, "λ = {l}");
     }
 
@@ -135,32 +165,95 @@ mod tests {
         // two commodities share one unit edge → λ = 0.5
         let g = unit_capgraph(4, &[(0, 2), (1, 2), (2, 3)]);
         let cs = [
-            Commodity { src: 0, dst: 3, demand: 1.0 },
-            Commodity { src: 1, dst: 3, demand: 1.0 },
+            Commodity {
+                src: 0,
+                dst: 3,
+                demand: 1.0,
+            },
+            Commodity {
+                src: 1,
+                dst: 3,
+                demand: 1.0,
+            },
         ];
-        let l = max_concurrent_flow_exact(&g, &cs);
+        let l = max_concurrent_flow_exact(&g, &cs).unwrap();
         assert!((l - 0.5).abs() < 1e-6, "λ = {l}");
     }
 
     #[test]
     fn demand_scaling_inversely_scales_lambda() {
         let g = unit_capgraph(3, &[(0, 1), (1, 2)]);
-        let l1 = max_concurrent_flow_exact(&g, &[Commodity { src: 0, dst: 2, demand: 1.0 }]);
-        let l2 = max_concurrent_flow_exact(&g, &[Commodity { src: 0, dst: 2, demand: 2.0 }]);
+        let l1 = max_concurrent_flow_exact(
+            &g,
+            &[Commodity {
+                src: 0,
+                dst: 2,
+                demand: 1.0,
+            }],
+        )
+        .unwrap();
+        let l2 = max_concurrent_flow_exact(
+            &g,
+            &[Commodity {
+                src: 0,
+                dst: 2,
+                demand: 2.0,
+            }],
+        )
+        .unwrap();
         assert!((l1 - 2.0 * l2).abs() < 1e-6);
     }
 
     #[test]
     fn unreachable_commodity_zero() {
         let g = unit_capgraph(3, &[(0, 1)]);
-        let l = max_concurrent_flow_exact(&g, &[Commodity { src: 0, dst: 2, demand: 1.0 }]);
+        let l = max_concurrent_flow_exact(
+            &g,
+            &[Commodity {
+                src: 0,
+                dst: 2,
+                demand: 1.0,
+            }],
+        )
+        .unwrap();
         assert!(l.abs() < 1e-9);
     }
 
     #[test]
     fn empty_commodities_unbounded() {
         let g = unit_capgraph(2, &[(0, 1)]);
-        assert!(max_concurrent_flow_exact(&g, &[]).is_infinite());
+        assert!(max_concurrent_flow_exact(&g, &[]).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn invalid_commodity_rejected() {
+        let g = unit_capgraph(2, &[(0, 1)]);
+        let err = max_concurrent_flow_exact(
+            &g,
+            &[Commodity {
+                src: 1,
+                dst: 1,
+                demand: 1.0,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            McfError::InvalidCommodity { src: 1, dst: 1, .. }
+        ));
+        let err = max_concurrent_flow_exact(
+            &g,
+            &[Commodity {
+                src: 0,
+                dst: 1,
+                demand: 0.0,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            McfError::InvalidCommodity { src: 0, dst: 1, .. }
+        ));
     }
 
     #[test]
@@ -177,11 +270,15 @@ mod tests {
         for s in 0..4 {
             for t in 0..4 {
                 if s != t {
-                    cs.push(Commodity { src: s, dst: t, demand: 1.0 });
+                    cs.push(Commodity {
+                        src: s,
+                        dst: t,
+                        demand: 1.0,
+                    });
                 }
             }
         }
-        let l = max_concurrent_flow_exact(&g, &cs);
+        let l = max_concurrent_flow_exact(&g, &cs).unwrap();
         assert!((l - 0.5).abs() < 1e-6, "λ = {l}");
     }
 }

@@ -32,7 +32,7 @@
 
 use crate::bounds::node_cut_upper_bound;
 use crate::digraph::CapGraph;
-use crate::Commodity;
+use crate::{Commodity, McfError};
 
 /// Tuning knobs for the FPTAS.
 #[derive(Clone, Copy, Debug)]
@@ -82,27 +82,41 @@ pub struct McfSolution {
 
 /// Solves max concurrent flow approximately; see module docs.
 ///
-/// Commodities must have distinct endpoints and positive demand (use
-/// [`crate::aggregate_commodities`]). Returns λ = ∞ for an empty commodity
-/// set and λ = 0 when any commodity is disconnected.
+/// Returns λ = ∞ for an empty commodity set and λ = 0 when any commodity
+/// is disconnected.
+///
+/// # Errors
+/// [`McfError::InvalidEpsilon`] when `opts.epsilon` is outside `(0, 0.5)`;
+/// [`McfError::InvalidCommodity`] when a commodity has `src == dst` or
+/// non-positive demand (filter with [`crate::aggregate_commodities`]).
 pub fn max_concurrent_flow(
     g: &CapGraph,
     commodities: &[Commodity],
     opts: FptasOptions,
-) -> McfSolution {
-    assert!(
-        opts.epsilon > 0.0 && opts.epsilon < 0.5,
-        "epsilon must be in (0, 0.5)"
-    );
+) -> Result<McfSolution, McfError> {
+    if !(opts.epsilon > 0.0 && opts.epsilon < 0.5) {
+        return Err(McfError::InvalidEpsilon {
+            epsilon: opts.epsilon,
+        });
+    }
     let m = g.arc_count();
     if commodities.is_empty() {
-        return McfSolution {
+        return Ok(McfSolution {
             lambda: f64::INFINITY,
             upper_bound: f64::INFINITY,
             phases: 0,
             steps: 0,
             utilization: vec![0.0; m],
-        };
+        });
+    }
+    for c in commodities {
+        if c.src == c.dst || c.demand <= 0.0 {
+            return Err(McfError::InvalidCommodity {
+                src: c.src,
+                dst: c.dst,
+                demand: c.demand,
+            });
+        }
     }
     let ub = node_cut_upper_bound(g, commodities);
 
@@ -111,13 +125,13 @@ pub fn max_concurrent_flow(
         let ones = vec![1.0f64; m];
         for c in commodities {
             if g.shortest_path(c.src, c.dst, &ones).is_none() {
-                return McfSolution {
+                return Ok(McfSolution {
                     lambda: 0.0,
                     upper_bound: ub,
                     phases: 0,
                     steps: 0,
                     utilization: vec![0.0; m],
-                };
+                });
             }
         }
     }
@@ -148,13 +162,18 @@ pub fn max_concurrent_flow(
         last = run_once(g, commodities, scale, opts);
     }
     last.upper_bound = ub;
-    last
+    Ok(last)
 }
 
 /// One Garg–Könemann run on demands divided by `scale` (so that the scaled
 /// optimum is ≈ 1 when `scale` ≈ 1/OPT). The returned λ is already mapped
 /// back to the caller's demand units.
-fn run_once(g: &CapGraph, commodities: &[Commodity], scale: f64, opts: FptasOptions) -> McfSolution {
+fn run_once(
+    g: &CapGraph,
+    commodities: &[Commodity],
+    scale: f64,
+    opts: FptasOptions,
+) -> McfSolution {
     let eps = opts.epsilon;
     let m = g.arc_count();
     let delta = (m as f64 / (1.0 - eps)).powf(-1.0 / eps);
@@ -236,8 +255,8 @@ mod tests {
     }
 
     fn check_against_exact(g: &CapGraph, cs: &[Commodity], eps: f64) {
-        let exact = max_concurrent_flow_exact(g, cs);
-        let approx = max_concurrent_flow(g, cs, FptasOptions::with_epsilon(eps));
+        let exact = max_concurrent_flow_exact(g, cs).unwrap();
+        let approx = max_concurrent_flow(g, cs, FptasOptions::with_epsilon(eps)).unwrap();
         assert!(
             approx.lambda <= exact + 1e-6,
             "approx {} exceeds exact {}",
@@ -259,21 +278,45 @@ mod tests {
     #[test]
     fn single_path() {
         let g = unit(3, &[(0, 1), (1, 2)]);
-        check_against_exact(&g, &[Commodity { src: 0, dst: 2, demand: 1.0 }], 0.05);
+        check_against_exact(
+            &g,
+            &[Commodity {
+                src: 0,
+                dst: 2,
+                demand: 1.0,
+            }],
+            0.05,
+        );
     }
 
     #[test]
     fn diamond() {
         let g = unit(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
-        check_against_exact(&g, &[Commodity { src: 0, dst: 3, demand: 1.0 }], 0.05);
+        check_against_exact(
+            &g,
+            &[Commodity {
+                src: 0,
+                dst: 3,
+                demand: 1.0,
+            }],
+            0.05,
+        );
     }
 
     #[test]
     fn shared_bottleneck() {
         let g = unit(4, &[(0, 2), (1, 2), (2, 3)]);
         let cs = [
-            Commodity { src: 0, dst: 3, demand: 1.0 },
-            Commodity { src: 1, dst: 3, demand: 1.0 },
+            Commodity {
+                src: 0,
+                dst: 3,
+                demand: 1.0,
+            },
+            Commodity {
+                src: 1,
+                dst: 3,
+                demand: 1.0,
+            },
         ];
         check_against_exact(&g, &cs, 0.05);
     }
@@ -285,7 +328,11 @@ mod tests {
         for s in 0..4 {
             for t in 0..4 {
                 if s != t {
-                    cs.push(Commodity { src: s, dst: t, demand: 1.0 });
+                    cs.push(Commodity {
+                        src: s,
+                        dst: t,
+                        demand: 1.0,
+                    });
                 }
             }
         }
@@ -296,8 +343,16 @@ mod tests {
     fn uneven_demands() {
         let g = unit(4, &[(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)]);
         let cs = [
-            Commodity { src: 0, dst: 3, demand: 3.0 },
-            Commodity { src: 1, dst: 2, demand: 0.5 },
+            Commodity {
+                src: 0,
+                dst: 3,
+                demand: 3.0,
+            },
+            Commodity {
+                src: 1,
+                dst: 2,
+                demand: 0.5,
+            },
         ];
         check_against_exact(&g, &cs, 0.05);
     }
@@ -307,17 +362,36 @@ mod tests {
         let g = unit(3, &[(0, 1)]);
         let s = max_concurrent_flow(
             &g,
-            &[Commodity { src: 0, dst: 2, demand: 1.0 }],
+            &[Commodity {
+                src: 0,
+                dst: 2,
+                demand: 1.0,
+            }],
             FptasOptions::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(s.lambda, 0.0);
     }
 
     #[test]
     fn empty_commodities_infinite() {
         let g = unit(2, &[(0, 1)]);
-        let s = max_concurrent_flow(&g, &[], FptasOptions::default());
+        let s = max_concurrent_flow(&g, &[], FptasOptions::default()).unwrap();
         assert!(s.lambda.is_infinite());
+    }
+
+    #[test]
+    fn bad_epsilon_rejected() {
+        let g = unit(2, &[(0, 1)]);
+        let cs = [Commodity {
+            src: 0,
+            dst: 1,
+            demand: 1.0,
+        }];
+        for eps in [0.0, -0.1, 0.5, 1.0] {
+            let err = max_concurrent_flow(&g, &cs, FptasOptions::with_epsilon(eps)).unwrap_err();
+            assert!(matches!(err, McfError::InvalidEpsilon { .. }), "eps {eps}");
+        }
     }
 
     #[test]
@@ -325,15 +399,23 @@ mod tests {
         // one unit path shared by 100 units of demand → λ = 0.01; the
         // pre-scaling must keep the run short and the answer accurate.
         let g = unit(3, &[(0, 1), (1, 2)]);
-        let cs = [Commodity { src: 0, dst: 2, demand: 100.0 }];
-        let s = max_concurrent_flow(&g, &cs, FptasOptions::with_epsilon(0.05));
+        let cs = [Commodity {
+            src: 0,
+            dst: 2,
+            demand: 100.0,
+        }];
+        let s = max_concurrent_flow(&g, &cs, FptasOptions::with_epsilon(0.05)).unwrap();
         assert!((s.lambda - 0.01).abs() < 0.002, "λ = {}", s.lambda);
     }
 
     #[test]
     fn step_budget_respected() {
         let g = unit(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
-        let cs = [Commodity { src: 0, dst: 2, demand: 1.0 }];
+        let cs = [Commodity {
+            src: 0,
+            dst: 2,
+            demand: 1.0,
+        }];
         let s = max_concurrent_flow(
             &g,
             &cs,
@@ -341,7 +423,8 @@ mod tests {
                 epsilon: 0.01,
                 max_steps: Some(5),
             },
-        );
+        )
+        .unwrap();
         assert!(s.steps <= 5 * 5, "rescaling runs are each capped");
     }
 

@@ -29,6 +29,17 @@
 //! * [`bounds`] — cheap cut-based upper bounds used for demand pre-scaling
 //!   and sanity checks.
 
+// Unit tests are exempt from the panic-free policy (see DESIGN.md,
+// "Static analysis & error-handling policy").
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -43,6 +54,80 @@ pub use digraph::CapGraph;
 pub use exact::max_concurrent_flow_exact;
 pub use fptas::{max_concurrent_flow, FptasOptions, McfSolution};
 pub use paths::{k_shortest_arc_paths, max_concurrent_flow_on_paths, ArcPath};
+
+/// Errors reported by the concurrent-flow solvers.
+///
+/// All solver entry points validate their inputs and return this instead of
+/// asserting, so callers feeding computed demand matrices (e.g. `ft-metrics`
+/// throughput sweeps) can surface bad instances without aborting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum McfError {
+    /// A commodity had `src == dst` or non-positive demand; such triples
+    /// must be filtered out first (see [`aggregate_commodities`]).
+    InvalidCommodity {
+        /// Source switch index of the offending commodity.
+        src: usize,
+        /// Destination switch index of the offending commodity.
+        dst: usize,
+        /// Its demand.
+        demand: f64,
+    },
+    /// The FPTAS approximation parameter was outside `(0, 0.5)`.
+    InvalidEpsilon {
+        /// The rejected ε.
+        epsilon: f64,
+    },
+    /// `max_concurrent_flow_on_paths` was given a path-set list whose
+    /// length does not match the commodity list.
+    PathSetMismatch {
+        /// Number of commodities.
+        commodities: usize,
+        /// Number of path sets supplied.
+        path_sets: usize,
+    },
+    /// The underlying LP reported an outcome the MCF formulation rules out
+    /// (the zero flow is always feasible) — an internal solver
+    /// inconsistency, typically from numerically hostile capacities.
+    Solver(ft_lp::LpError),
+}
+
+impl std::fmt::Display for McfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            McfError::InvalidCommodity { src, dst, demand } => write!(
+                f,
+                "invalid commodity {src} -> {dst} (demand {demand}): endpoints must \
+                 differ and demand must be positive"
+            ),
+            McfError::InvalidEpsilon { epsilon } => {
+                write!(f, "FPTAS epsilon {epsilon} outside (0, 0.5)")
+            }
+            McfError::PathSetMismatch {
+                commodities,
+                path_sets,
+            } => write!(
+                f,
+                "{path_sets} path sets supplied for {commodities} commodities"
+            ),
+            McfError::Solver(e) => write!(f, "LP solver inconsistency: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for McfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McfError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ft_lp::LpError> for McfError {
+    fn from(e: ft_lp::LpError) -> Self {
+        McfError::Solver(e)
+    }
+}
 
 /// A commodity: `demand` units of flow from switch `src` to switch `dst`
 /// (indices into the switch graph the [`CapGraph`] was built from).
@@ -94,8 +179,16 @@ mod tests {
         assert_eq!(
             cs,
             vec![
-                Commodity { src: 0, dst: 1, demand: 3.0 },
-                Commodity { src: 1, dst: 0, demand: 1.0 },
+                Commodity {
+                    src: 0,
+                    dst: 1,
+                    demand: 3.0
+                },
+                Commodity {
+                    src: 1,
+                    dst: 0,
+                    demand: 1.0
+                },
             ]
         );
     }

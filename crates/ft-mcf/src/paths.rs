@@ -21,8 +21,8 @@
 //! sets routing actually uses.
 
 use crate::digraph::CapGraph;
-use crate::Commodity;
-use ft_lp::{LpOutcome, LpProblem, Var};
+use crate::{Commodity, McfError};
+use ft_lp::{LpError, LpOutcome, LpProblem, Var};
 
 /// A directed path for one commodity: the arc indices it traverses.
 pub type ArcPath = Vec<usize>;
@@ -34,24 +34,26 @@ pub type ArcPath = Vec<usize>;
 /// Returns 0.0 if any commodity has an empty path set (it cannot route at
 /// all), `f64::INFINITY` for an empty commodity list.
 ///
-/// # Panics
-/// Panics if `paths.len() != commodities.len()` or a path is inconsistent
-/// with its commodity endpoints (debug builds).
+/// # Errors
+/// [`McfError::PathSetMismatch`] if `paths.len() != commodities.len()`;
+/// [`McfError::Solver`] on an internal LP inconsistency. Path/endpoint
+/// consistency is still a debug assertion.
 pub fn max_concurrent_flow_on_paths(
     g: &CapGraph,
     commodities: &[Commodity],
     paths: &[Vec<ArcPath>],
-) -> f64 {
-    assert_eq!(
-        commodities.len(),
-        paths.len(),
-        "one path set per commodity"
-    );
+) -> Result<f64, McfError> {
+    if commodities.len() != paths.len() {
+        return Err(McfError::PathSetMismatch {
+            commodities: commodities.len(),
+            path_sets: paths.len(),
+        });
+    }
     if commodities.is_empty() {
-        return f64::INFINITY;
+        return Ok(f64::INFINITY);
     }
     if paths.iter().any(|p| p.is_empty()) {
-        return 0.0;
+        return Ok(0.0);
     }
     #[cfg(debug_assertions)]
     for (c, ps) in commodities.iter().zip(paths) {
@@ -92,9 +94,10 @@ pub fn max_concurrent_flow_on_paths(
         lp.add_eq(&terms, 0.0);
     }
     match lp.solve() {
-        LpOutcome::Optimal(s) => s.value(lambda),
-        LpOutcome::Infeasible => unreachable!("zero flow is always feasible"),
-        LpOutcome::Unbounded => f64::INFINITY,
+        LpOutcome::Optimal(s) => Ok(s.value(lambda)),
+        // The zero flow is always feasible, so this is a solver defect.
+        LpOutcome::Infeasible => Err(McfError::Solver(LpError::Infeasible)),
+        LpOutcome::Unbounded => Ok(f64::INFINITY),
     }
 }
 
@@ -112,7 +115,9 @@ pub fn k_shortest_arc_paths(g: &CapGraph, c: &Commodity, k: usize) -> Vec<ArcPat
     accepted.push((first, len));
     let mut candidates: Vec<(ArcPath, f64)> = Vec::new();
     while accepted.len() < k {
-        let (prev, _) = accepted.last().unwrap().clone();
+        let Some((prev, _)) = accepted.last().cloned() else {
+            break; // unreachable: `accepted` starts with the first path
+        };
         // spur at every prefix: ban the next arc of same-prefix accepted
         // paths by inflating its length
         for spur in 0..prev.len() {
@@ -124,7 +129,12 @@ pub fn k_shortest_arc_paths(g: &CapGraph, c: &Commodity, k: usize) -> Vec<ArcPat
                 }
             }
             // also ban revisiting root nodes by inflating their out-arcs
-            let spur_node = if spur == 0 { c.src } else { g.arc(prev[spur - 1]).to };
+            let spur_node = if spur == 0 {
+                c.src
+            } else {
+                // bounds: spur > 0 in this branch, so spur - 1 < prev.len()
+                g.arc(prev[spur - 1]).to
+            };
             let mut banned_nodes: Vec<usize> = root.iter().map(|&a| g.arc(a).from).collect();
             banned_nodes.retain(|&v| v != spur_node);
             for &v in &banned_nodes {
@@ -148,7 +158,7 @@ pub fn k_shortest_arc_paths(g: &CapGraph, c: &Commodity, k: usize) -> Vec<ArcPat
         let Some(best) = candidates
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|(_, a), (_, b)| a.1.total_cmp(&b.1))
             .map(|(i, _)| i)
         else {
             break;
@@ -173,14 +183,18 @@ mod tests {
         // diamond: optimal routing λ = 2 (two disjoint paths); restricted
         // to one path λ = 1
         let g = unit(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
-        let c = Commodity { src: 0, dst: 3, demand: 1.0 };
+        let c = Commodity {
+            src: 0,
+            dst: 3,
+            demand: 1.0,
+        };
         let one = k_shortest_arc_paths(&g, &c, 1);
         assert_eq!(one.len(), 1);
-        let l1 = max_concurrent_flow_on_paths(&g, &[c], &[one]);
+        let l1 = max_concurrent_flow_on_paths(&g, &[c], &[one]).unwrap();
         assert!((l1 - 1.0).abs() < 1e-6, "λ = {l1}");
         let two = k_shortest_arc_paths(&g, &c, 2);
         assert_eq!(two.len(), 2);
-        let l2 = max_concurrent_flow_on_paths(&g, &[c], &[two]);
+        let l2 = max_concurrent_flow_on_paths(&g, &[c], &[two]).unwrap();
         assert!((l2 - 2.0).abs() < 1e-6, "λ = {l2}");
     }
 
@@ -190,15 +204,20 @@ mod tests {
         // edge-based optimum
         let g = unit(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let cs = [
-            Commodity { src: 0, dst: 3, demand: 1.0 },
-            Commodity { src: 1, dst: 2, demand: 1.0 },
+            Commodity {
+                src: 0,
+                dst: 3,
+                demand: 1.0,
+            },
+            Commodity {
+                src: 1,
+                dst: 2,
+                demand: 1.0,
+            },
         ];
-        let exact = max_concurrent_flow_exact(&g, &cs);
-        let paths: Vec<Vec<ArcPath>> = cs
-            .iter()
-            .map(|c| k_shortest_arc_paths(&g, c, 8))
-            .collect();
-        let restricted = max_concurrent_flow_on_paths(&g, &cs, &paths);
+        let exact = max_concurrent_flow_exact(&g, &cs).unwrap();
+        let paths: Vec<Vec<ArcPath>> = cs.iter().map(|c| k_shortest_arc_paths(&g, c, 8)).collect();
+        let restricted = max_concurrent_flow_on_paths(&g, &cs, &paths).unwrap();
         assert!(restricted <= exact + 1e-6);
         assert!(
             restricted >= exact - 1e-6,
@@ -209,11 +228,15 @@ mod tests {
     #[test]
     fn restriction_never_helps() {
         let g = unit(5, &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4), (1, 2)]);
-        let cs = [Commodity { src: 0, dst: 4, demand: 2.0 }];
-        let exact = max_concurrent_flow_exact(&g, &cs);
+        let cs = [Commodity {
+            src: 0,
+            dst: 4,
+            demand: 2.0,
+        }];
+        let exact = max_concurrent_flow_exact(&g, &cs).unwrap();
         for k in 1..=4 {
             let paths = vec![k_shortest_arc_paths(&g, &cs[0], k)];
-            let restricted = max_concurrent_flow_on_paths(&g, &cs, &paths);
+            let restricted = max_concurrent_flow_on_paths(&g, &cs, &paths).unwrap();
             assert!(
                 restricted <= exact + 1e-6,
                 "k = {k}: restricted {restricted} beats exact {exact}"
@@ -224,22 +247,50 @@ mod tests {
     #[test]
     fn empty_path_set_zero() {
         let g = unit(3, &[(0, 1)]);
-        let c = Commodity { src: 0, dst: 2, demand: 1.0 };
+        let c = Commodity {
+            src: 0,
+            dst: 2,
+            demand: 1.0,
+        };
         assert!(k_shortest_arc_paths(&g, &c, 3).is_empty());
-        let l = max_concurrent_flow_on_paths(&g, &[c], &[vec![]]);
+        let l = max_concurrent_flow_on_paths(&g, &[c], &[vec![]]).unwrap();
         assert_eq!(l, 0.0);
     }
 
     #[test]
     fn no_commodities_infinite() {
         let g = unit(2, &[(0, 1)]);
-        assert!(max_concurrent_flow_on_paths(&g, &[], &[]).is_infinite());
+        assert!(max_concurrent_flow_on_paths(&g, &[], &[])
+            .unwrap()
+            .is_infinite());
+    }
+
+    #[test]
+    fn path_set_mismatch_rejected() {
+        let g = unit(2, &[(0, 1)]);
+        let c = Commodity {
+            src: 0,
+            dst: 1,
+            demand: 1.0,
+        };
+        let err = max_concurrent_flow_on_paths(&g, &[c], &[]).unwrap_err();
+        assert_eq!(
+            err,
+            McfError::PathSetMismatch {
+                commodities: 1,
+                path_sets: 0
+            }
+        );
     }
 
     #[test]
     fn ksp_paths_are_simple_and_sorted() {
         let g = unit(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
-        let c = Commodity { src: 0, dst: 4, demand: 1.0 };
+        let c = Commodity {
+            src: 0,
+            dst: 4,
+            demand: 1.0,
+        };
         let ps = k_shortest_arc_paths(&g, &c, 5);
         assert!(!ps.is_empty());
         for w in ps.windows(2) {

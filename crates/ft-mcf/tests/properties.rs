@@ -4,8 +4,8 @@
 
 use ft_graph::Graph;
 use ft_mcf::{
-    aggregate_commodities, max_concurrent_flow, max_concurrent_flow_exact,
-    node_cut_upper_bound, CapGraph, FptasOptions,
+    aggregate_commodities, max_concurrent_flow, max_concurrent_flow_exact, node_cut_upper_bound,
+    CapGraph, FptasOptions,
 };
 use proptest::prelude::*;
 
@@ -50,8 +50,8 @@ proptest! {
         let cs = aggregate_commodities(inst.demands.clone());
         prop_assume!(!cs.is_empty());
         let eps = 0.08;
-        let exact = max_concurrent_flow_exact(&g, &cs);
-        let approx = max_concurrent_flow(&g, &cs, FptasOptions::with_epsilon(eps));
+        let exact = max_concurrent_flow_exact(&g, &cs).unwrap();
+        let approx = max_concurrent_flow(&g, &cs, FptasOptions::with_epsilon(eps)).unwrap();
         prop_assert!(approx.lambda <= exact + 1e-6,
                      "approx {} exceeds exact {}", approx.lambda, exact);
         prop_assert!(approx.lambda >= (1.0 - 3.0 * eps) * exact - 1e-9,
@@ -74,8 +74,8 @@ proptest! {
         prop_assume!(!cs.is_empty());
         let scaled = aggregate_commodities(
             inst.demands.iter().map(|&(s, t, d)| (s, t, d * scale as f64)));
-        let l1 = max_concurrent_flow_exact(&g, &cs);
-        let l2 = max_concurrent_flow_exact(&g, &scaled);
+        let l1 = max_concurrent_flow_exact(&g, &cs).unwrap();
+        let l2 = max_concurrent_flow_exact(&g, &scaled).unwrap();
         prop_assert!((l1 - l2 * scale as f64).abs() < 1e-5 * (1.0 + l1),
                      "{l1} vs {} × {scale}", l2);
     }
@@ -88,8 +88,8 @@ proptest! {
         let doubled = CapGraph::from_graph(&Graph::from_edges(inst.n as usize, &inst.edges), 2.0);
         let cs = aggregate_commodities(inst.demands.clone());
         prop_assume!(!cs.is_empty());
-        let l1 = max_concurrent_flow_exact(&base, &cs);
-        let l2 = max_concurrent_flow_exact(&doubled, &cs);
+        let l1 = max_concurrent_flow_exact(&base, &cs).unwrap();
+        let l2 = max_concurrent_flow_exact(&doubled, &cs).unwrap();
         prop_assert!((l2 - 2.0 * l1).abs() < 1e-5 * (1.0 + l2));
     }
 
@@ -99,8 +99,8 @@ proptest! {
         let g = CapGraph::from_graph(&Graph::from_edges(inst.n as usize, &inst.edges), 1.0);
         let cs = aggregate_commodities(inst.demands.clone());
         prop_assume!(cs.len() >= 2);
-        let full = max_concurrent_flow_exact(&g, &cs);
-        let reduced = max_concurrent_flow_exact(&g, &cs[..cs.len() - 1]);
+        let full = max_concurrent_flow_exact(&g, &cs).unwrap();
+        let reduced = max_concurrent_flow_exact(&g, &cs[..cs.len() - 1]).unwrap();
         prop_assert!(reduced >= full - 1e-6);
     }
 }

@@ -33,20 +33,16 @@ fn cut_across(net: &Network, server_side: &[bool], tiebreak: bool) -> u32 {
     }
     let side: Vec<bool> = votes
         .iter()
-        .map(|&(a, b)| {
-            if a == b {
-                tiebreak
-            } else {
-                a > b
-            }
-        })
+        .map(|&(a, b)| if a == b { tiebreak } else { a > b })
         .collect();
     let mut cut = 0;
     for (_, a, b) in net.graph().edges() {
-        if a.index() < net.num_switches() && b.index() < net.num_switches()
-            && side[a.index()] != side[b.index()] {
-                cut += 1;
-            }
+        if a.index() < net.num_switches()
+            && b.index() < net.num_switches()
+            && side[a.index()] != side[b.index()]
+        {
+            cut += 1;
+        }
     }
     cut
 }
@@ -83,10 +79,7 @@ pub fn pod_bisection_bandwidth(net: &Network) -> u32 {
     let pods: Vec<Option<u32>> = net.servers().map(|s| net.pod(s)).collect();
     let max_pod = pods.iter().flatten().copied().max();
     let side: Vec<bool> = match max_pod {
-        Some(mp) => pods
-            .iter()
-            .map(|p| p.unwrap_or(0) <= mp / 2)
-            .collect(),
+        Some(mp) => pods.iter().map(|p| p.unwrap_or(0) <= mp / 2).collect(),
         None => (0..n).map(|i| i < n / 2).collect(),
     };
     cut_across(net, &side, false)

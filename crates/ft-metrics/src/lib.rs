@@ -15,6 +15,17 @@
 //! * [`report`] — fixed-width tables and named series for the experiment
 //!   binaries, matching the rows/curves the paper plots.
 
+// Unit tests are exempt from the panic-free policy (see DESIGN.md,
+// "Static analysis & error-handling policy").
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

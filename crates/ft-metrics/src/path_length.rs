@@ -13,7 +13,7 @@
 //! removes self-pairs (a server to itself). Distinct servers on the same
 //! switch are correctly counted at distance 2.
 
-use ft_graph::{bfs_distances, Graph, NodeId, UNREACHABLE};
+use ft_graph::{bfs_distances, id32, Graph, NodeId, UNREACHABLE};
 use ft_topo::Network;
 use std::collections::BTreeMap;
 
@@ -24,11 +24,11 @@ use std::collections::BTreeMap;
 pub fn average_server_path_length(net: &Network) -> f64 {
     let counts = net.server_counts();
     let sg = net.switch_graph();
-    let (sum, pairs) = weighted_sum(&sg, &counts, None);
-    if pairs == 0.0 {
+    let (sum, pairs) = weighted_sum(&sg, &counts);
+    if pairs == 0 {
         return f64::NAN;
     }
-    sum / pairs
+    sum / pairs as f64
 }
 
 /// Average path length over ordered pairs of distinct servers *in the same
@@ -47,26 +47,26 @@ pub fn average_intra_pod_path_length(net: &Network, fallback_pod_size: usize) ->
         let pod = if annotated {
             net.pod(s).unwrap_or(u32::MAX)
         } else {
-            (i / fallback_pod_size.max(1)) as u32
+            id32(i / fallback_pod_size.max(1))
         };
         groups.entry(pod).or_default().push(s);
     }
     let sg = net.switch_graph();
     let mut total = 0.0;
-    let mut pairs = 0.0;
+    let mut pairs = 0u64;
     for servers in groups.values() {
         let mut counts = vec![0u32; net.num_switches()];
         for &s in servers {
             counts[net.attachment(s).index()] += 1;
         }
-        let (sum, p) = weighted_sum(&sg, &counts, None);
+        let (sum, p) = weighted_sum(&sg, &counts);
         total += sum;
         pairs += p;
     }
-    if pairs == 0.0 {
+    if pairs == 0 {
         return f64::NAN;
     }
-    total / pairs
+    total / pairs as f64
 }
 
 /// Histogram of server-pair path lengths: `hist[h]` = number of ordered
@@ -84,7 +84,7 @@ pub fn path_length_histogram(net: &Network) -> Vec<u64> {
         hist[h] += n;
     };
     for &a in &sources {
-        let dist = bfs_distances(&sg, NodeId(a as u32));
+        let dist = bfs_distances(&sg, NodeId(id32(a)));
         for &b in &sources {
             if dist[b] == UNREACHABLE {
                 continue;
@@ -103,23 +103,24 @@ pub fn path_length_histogram(net: &Network) -> Vec<u64> {
     hist
 }
 
-/// Shared weighted-APSP accumulation. Returns `(Σ weight·hops, Σ weight)`
-/// over ordered pairs of distinct servers; disconnected pairs contribute
-/// `∞`.
-fn weighted_sum(sg: &Graph, counts: &[u32], _reserved: Option<()>) -> (f64, f64) {
+/// Shared weighted-APSP accumulation. Returns `(Σ weight·hops, pair count)`
+/// over ordered pairs of distinct servers; the pair count is an exact
+/// integer so callers can test emptiness without comparing floats.
+/// Disconnected pairs contribute `∞` (reported with a pair count of 1).
+fn weighted_sum(sg: &Graph, counts: &[u32]) -> (f64, u64) {
     let total_servers: u64 = counts.iter().map(|&c| c as u64).sum();
     if total_servers < 2 {
-        return (0.0, 0.0);
+        return (0.0, 0);
     }
     let sources: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] > 0).collect();
     let mut sum = 0.0f64;
     for &a in &sources {
-        let dist = bfs_distances(sg, NodeId(a as u32));
+        let dist = bfs_distances(sg, NodeId(id32(a)));
         let na = counts[a] as f64;
         for &b in &sources {
             let w = na * counts[b] as f64;
             if dist[b] == UNREACHABLE {
-                return (f64::INFINITY, 1.0);
+                return (f64::INFINITY, 1);
             }
             sum += w * (dist[b] as f64 + 2.0);
         }
@@ -128,8 +129,7 @@ fn weighted_sum(sg: &Graph, counts: &[u32], _reserved: Option<()>) -> (f64, f64)
         // n_a·(n_a−1), also at 2 hops)
         sum -= 2.0 * na;
     }
-    let n = total_servers as f64;
-    (sum, n * (n - 1.0))
+    (sum, total_servers * (total_servers - 1))
 }
 
 #[cfg(test)]
@@ -204,12 +204,8 @@ mod tests {
         // the paper's core premise: random graphs have shorter paths
         let k = 8;
         let ft = average_server_path_length(&fat_tree(k).unwrap());
-        let rg =
-            average_server_path_length(&jellyfish_matching_fat_tree(k, 1).unwrap());
-        assert!(
-            rg < ft,
-            "random graph APL {rg} should beat fat-tree {ft}"
-        );
+        let rg = average_server_path_length(&jellyfish_matching_fat_tree(k, 1).unwrap());
+        assert!(rg < ft, "random graph APL {rg} should beat fat-tree {ft}");
     }
 
     #[test]

@@ -62,7 +62,7 @@ impl Table {
             .iter()
             .flat_map(|s| s.points.iter().map(|&(x, _)| x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(|a, b| a.total_cmp(b));
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         let mut headers = vec![x_name.to_string()];
         headers.extend(series.iter().map(|s| s.name.clone()));

@@ -13,7 +13,7 @@
 
 use ft_mcf::{
     aggregate_commodities, max_concurrent_flow, max_concurrent_flow_exact, CapGraph, Commodity,
-    FptasOptions,
+    FptasOptions, McfError,
 };
 use ft_topo::Network;
 use ft_workload::TrafficMatrix;
@@ -65,36 +65,48 @@ pub struct ThroughputResult {
 }
 
 /// Evaluates λ for the network under the given server-level matrix.
-pub fn throughput(net: &Network, tm: &TrafficMatrix, opts: ThroughputOptions) -> ThroughputResult {
+///
+/// # Errors
+/// Propagates [`McfError`] from the underlying solver (invalid ε, internal
+/// LP inconsistency); aggregation guarantees the commodities themselves are
+/// well-formed.
+pub fn throughput(
+    net: &Network,
+    tm: &TrafficMatrix,
+    opts: ThroughputOptions,
+) -> Result<ThroughputResult, McfError> {
     let commodities: Vec<Commodity> = aggregate_commodities(tm.switch_triples(net));
     throughput_on_commodities(net, &commodities, opts)
 }
 
 /// Evaluates λ for pre-aggregated switch-level commodities. Exposed for
 /// callers (hybrid-mode experiments) that combine matrices before solving.
+///
+/// # Errors
+/// Propagates [`McfError`] from the underlying solver.
 pub fn throughput_on_commodities(
     net: &Network,
     commodities: &[Commodity],
     opts: ThroughputOptions,
-) -> ThroughputResult {
+) -> Result<ThroughputResult, McfError> {
     let sg = net.switch_graph();
     let cg = CapGraph::from_graph(&sg, 1.0);
     if commodities.is_empty() {
-        return ThroughputResult {
+        return Ok(ThroughputResult {
             lambda: f64::INFINITY,
             exact: true,
             commodities: 0,
             upper_bound: f64::INFINITY,
-        };
+        });
     }
     let lp_vars = commodities.len() * cg.arc_count();
     if lp_vars <= opts.exact_threshold {
-        ThroughputResult {
-            lambda: max_concurrent_flow_exact(&cg, commodities),
+        Ok(ThroughputResult {
+            lambda: max_concurrent_flow_exact(&cg, commodities)?,
             exact: true,
             commodities: commodities.len(),
             upper_bound: f64::INFINITY,
-        }
+        })
     } else {
         let sol = max_concurrent_flow(
             &cg,
@@ -103,13 +115,13 @@ pub fn throughput_on_commodities(
                 epsilon: opts.epsilon,
                 max_steps: opts.max_steps,
             },
-        );
-        ThroughputResult {
+        )?;
+        Ok(ThroughputResult {
             lambda: sol.lambda,
             exact: false,
             commodities: commodities.len(),
             upper_bound: sol.upper_bound,
-        }
+        })
     }
 }
 
@@ -131,7 +143,7 @@ mod tests {
         };
         let tm = generate(&net, &spec, 1);
         // clusters of 2 over contiguous ids = exactly the co-located pairs
-        let r = throughput(&net, &tm, ThroughputOptions::default());
+        let r = throughput(&net, &tm, ThroughputOptions::default()).unwrap();
         assert!(r.lambda.is_infinite());
         assert_eq!(r.commodities, 0);
     }
@@ -152,9 +164,10 @@ mod tests {
                 exact_threshold: usize::MAX,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(exact.exact);
-        let approx = throughput(&net, &tm, ThroughputOptions::fptas(0.05));
+        let approx = throughput(&net, &tm, ThroughputOptions::fptas(0.05)).unwrap();
         assert!(!approx.exact);
         assert!(approx.lambda <= exact.lambda + 1e-6);
         assert!(
@@ -179,19 +192,16 @@ mod tests {
         let tm_ft = generate(&ft, &spec, 9);
         let tm_rg = generate(&rg, &spec, 9);
         let o = ThroughputOptions::fptas(0.08);
-        let lf = throughput(&ft, &tm_ft, o).lambda;
-        let lr = throughput(&rg, &tm_rg, o).lambda;
-        assert!(
-            lr > lf,
-            "random graph λ {lr} should beat fat-tree λ {lf}"
-        );
+        let lf = throughput(&ft, &tm_ft, o).unwrap().lambda;
+        let lr = throughput(&rg, &tm_rg, o).unwrap().lambda;
+        assert!(lr > lf, "random graph λ {lr} should beat fat-tree λ {lf}");
     }
 
     #[test]
     fn lambda_within_upper_bound() {
         let net = fat_tree(4).unwrap();
         let tm = generate(&net, &WorkloadSpec::hotspot(Locality::Strong), 2);
-        let r = throughput(&net, &tm, ThroughputOptions::fptas(0.1));
+        let r = throughput(&net, &tm, ThroughputOptions::fptas(0.1)).unwrap();
         assert!(r.lambda <= r.upper_bound + 1e-9);
         assert!(r.lambda > 0.0);
     }

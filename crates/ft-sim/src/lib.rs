@@ -30,6 +30,4 @@ pub mod simulator;
 
 pub use flows::{flows_from_matrix, flows_with_arrivals};
 pub use ratealloc::{max_min_rates, DirectedLink};
-pub use simulator::{
-    FlowRecord, FlowSpec, NetworkEvent, RouterPolicy, SimReport, Simulator,
-};
+pub use simulator::{FlowRecord, FlowSpec, NetworkEvent, RouterPolicy, SimReport, Simulator};

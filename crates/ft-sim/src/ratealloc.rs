@@ -40,10 +40,8 @@ pub fn max_min_rates(paths: &[Vec<DirectedLink>], capacity: f64) -> Vec<f64> {
     let mut remaining_cap: HashMap<DirectedLink, f64> =
         link_flows.keys().map(|&l| (l, capacity)).collect();
     let mut frozen = vec![false; n];
-    let mut active_on_link: HashMap<DirectedLink, usize> = link_flows
-        .iter()
-        .map(|(&l, fs)| (l, fs.len()))
-        .collect();
+    let mut active_on_link: HashMap<DirectedLink, usize> =
+        link_flows.iter().map(|(&l, fs)| (l, fs.len())).collect();
 
     loop {
         // Find the bottleneck: the link with the smallest fair share among
@@ -118,7 +116,11 @@ mod tests {
         // three links A, B, C; flows: f0 over A+B, f1 over B, f2 over C.
         // B is the bottleneck for f0, f1 → 0.5 each; f2 gets all of C → 1.
         let rates = max_min_rates(
-            &[vec![dl(0, true), dl(1, true)], vec![dl(1, true)], vec![dl(2, true)]],
+            &[
+                vec![dl(0, true), dl(1, true)],
+                vec![dl(1, true)],
+                vec![dl(2, true)],
+            ],
             1.0,
         );
         assert_eq!(rates, vec![0.5, 0.5, 1.0]);
@@ -135,7 +137,11 @@ mod tests {
         // f1 (share 0.5). Both A and B saturate simultaneously → everyone
         // 0.5. Max-min indeed gives (0.5, 0.5, 0.5).
         let rates = max_min_rates(
-            &[vec![dl(0, true), dl(1, true)], vec![dl(0, true)], vec![dl(1, true)]],
+            &[
+                vec![dl(0, true), dl(1, true)],
+                vec![dl(0, true)],
+                vec![dl(1, true)],
+            ],
             1.0,
         );
         assert_eq!(rates, vec![0.5, 0.5, 0.5]);

@@ -411,8 +411,18 @@ mod tests {
         let dst_a = server(&net, 8);
         let dst_b = server(&net, 9);
         let specs = [
-            FlowSpec { src: s_edge0_a, dst: dst_a, size: 1.0, start: 0.0 },
-            FlowSpec { src: s_edge0_b, dst: dst_b, size: 1.0, start: 0.0 },
+            FlowSpec {
+                src: s_edge0_a,
+                dst: dst_a,
+                size: 1.0,
+                start: 0.0,
+            },
+            FlowSpec {
+                src: s_edge0_b,
+                dst: dst_b,
+                size: 1.0,
+                start: 0.0,
+            },
         ];
         let rep = sim.run(&specs, &[], 1e9);
         // regardless of hashing, both finish in [1, 2]
@@ -427,8 +437,18 @@ mod tests {
         let net = k4();
         let mut sim = Simulator::new(&net, RouterPolicy::Ecmp);
         let specs = [
-            FlowSpec { src: server(&net, 0), dst: server(&net, 8), size: 1.0, start: 0.0 },
-            FlowSpec { src: server(&net, 0), dst: server(&net, 8), size: 1.0, start: 10.0 },
+            FlowSpec {
+                src: server(&net, 0),
+                dst: server(&net, 8),
+                size: 1.0,
+                start: 0.0,
+            },
+            FlowSpec {
+                src: server(&net, 0),
+                dst: server(&net, 8),
+                size: 1.0,
+                start: 10.0,
+            },
         ];
         let rep = sim.run(&specs, &[], 1e9);
         assert_eq!(rep.flows[0].completion, Some(1.0));
@@ -479,11 +499,7 @@ mod tests {
             .map(|(e, _, _)| e)
             .unwrap();
         let mut sim = Simulator::new(&net, RouterPolicy::Ecmp);
-        let rep = sim.run(
-            &specs,
-            &[NetworkEvent::LinkDown(5.0, some_core_link)],
-            1e9,
-        );
+        let rep = sim.run(&specs, &[NetworkEvent::LinkDown(5.0, some_core_link)], 1e9);
         assert_eq!(rep.unfinished(), 0, "flow must survive the failure");
         assert!(rep.flows[0].completion.unwrap() >= 10.0);
     }
@@ -527,7 +543,7 @@ mod tests {
     #[test]
     fn ksp_policy_on_flat_tree_global_mode() {
         let ftree = FlatTree::new(FlatTreeConfig::for_fat_tree_k(4).unwrap()).unwrap();
-        let net = ftree.materialize(&Mode::GlobalRandom);
+        let net = ftree.materialize(&Mode::GlobalRandom).unwrap();
         let mut sim = Simulator::new(&net, RouterPolicy::Ksp(8));
         let servers: Vec<NodeId> = net.servers().collect();
         let specs: Vec<FlowSpec> = (0..6)

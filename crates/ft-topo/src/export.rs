@@ -34,10 +34,7 @@ pub fn to_dot(net: &Network) -> String {
             DeviceKind::Generic => ("box", "wheat"),
             DeviceKind::Server => ("circle", "white"),
         };
-        let pod = net
-            .pod(v)
-            .map(|p| format!(" p{p}"))
-            .unwrap_or_default();
+        let pod = net.pod(v).map(|p| format!(" p{p}")).unwrap_or_default();
         let _ = writeln!(
             out,
             "  n{} [label=\"{}{}{}\", shape={shape}, style=filled, fillcolor={color}];",

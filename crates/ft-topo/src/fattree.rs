@@ -55,10 +55,16 @@ impl ClosParams {
             return bad("all Clos parameters must be positive".into());
         }
         if !self.d.is_multiple_of(self.r) {
-            return bad(format!("d = {} must be divisible by r = {}", self.d, self.r));
+            return bad(format!(
+                "d = {} must be divisible by r = {}",
+                self.d, self.r
+            ));
         }
         if !self.h.is_multiple_of(self.r) {
-            return bad(format!("h = {} must be divisible by r = {}", self.h, self.r));
+            return bad(format!(
+                "h = {} must be divisible by r = {}",
+                self.h, self.r
+            ));
         }
         Ok(())
     }

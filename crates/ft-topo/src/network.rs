@@ -184,7 +184,8 @@ impl NetworkBuilder {
         if a == b {
             return Err(TopologyError::SelfLink(a.0));
         }
-        if self.kinds[a.index()] == DeviceKind::Server && self.kinds[b.index()] == DeviceKind::Server
+        if self.kinds[a.index()] == DeviceKind::Server
+            && self.kinds[b.index()] == DeviceKind::Server
         {
             return Err(TopologyError::ServerToServerLink(a.0, b.0));
         }
@@ -525,10 +526,7 @@ mod tests {
     fn unknown_node_rejected() {
         let mut b = NetworkBuilder::new("x");
         let s = b.add_switch(DeviceKind::Core, 4, None).unwrap();
-        assert_eq!(
-            b.add_link(s, NodeId(9)),
-            Err(TopologyError::NoSuchNode(9))
-        );
+        assert_eq!(b.add_link(s, NodeId(9)), Err(TopologyError::NoSuchNode(9)));
     }
 
     #[test]

@@ -211,8 +211,8 @@ mod tests {
     fn equipment_matches_fat_tree() {
         for k in [4, 6, 8] {
             let ft = fat_tree(k).unwrap();
-            let ts = two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), 5)
-                .unwrap();
+            let ts =
+                two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), 5).unwrap();
             let (a, b) = (ft.equipment(), ts.equipment());
             assert_eq!(a.switches, b.switches, "k = {k}");
             assert_eq!(a.servers, b.servers, "k = {k}");
@@ -223,8 +223,7 @@ mod tests {
     #[test]
     fn intra_pod_link_budget() {
         let k = 8;
-        let n =
-            two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), 3).unwrap();
+        let n = two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), 3).unwrap();
         // count intra-pod links
         let mut intra = vec![0usize; k];
         for (_, a, b) in n.graph().edges() {
@@ -244,9 +243,8 @@ mod tests {
     #[test]
     fn connected_and_valid() {
         for seed in 0..4 {
-            let n =
-                two_stage_random_graph(TwoStageParams::matching_fat_tree(8).unwrap(), seed)
-                    .unwrap();
+            let n = two_stage_random_graph(TwoStageParams::matching_fat_tree(8).unwrap(), seed)
+                .unwrap();
             n.validate().unwrap();
             assert!(is_connected(n.graph()), "seed {seed} disconnected");
         }

@@ -344,8 +344,7 @@ mod tests {
         let cs = place_clusters(&n, &servers, 4, Locality::Weak, &mut rng());
         assert_eq!(cs.len(), 4);
         for c in &cs {
-            let pods: std::collections::HashSet<_> =
-                c.servers.iter().map(|&s| n.pod(s)).collect();
+            let pods: std::collections::HashSet<_> = c.servers.iter().map(|&s| n.pod(s)).collect();
             assert_eq!(pods.len(), 1, "cluster spilled unnecessarily: {c:?}");
         }
     }

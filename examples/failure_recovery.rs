@@ -19,7 +19,7 @@ use flat_tree::topo::DeviceKind;
 fn main() {
     let k = 8;
     let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap();
-    let net = ft.materialize(&Mode::GlobalRandom);
+    let net = ft.materialize(&Mode::GlobalRandom).unwrap();
     println!(
         "flat-tree k={k} in {} mode: {} switches, {} links",
         Mode::GlobalRandom.label(),
@@ -42,9 +42,7 @@ fn main() {
     let core_links: Vec<_> = net
         .graph()
         .edges()
-        .filter(|&(_, a, b)| {
-            net.kind(a) == DeviceKind::Core || net.kind(b) == DeviceKind::Core
-        })
+        .filter(|&(_, a, b)| net.kind(a) == DeviceKind::Core || net.kind(b) == DeviceKind::Core)
         .map(|(e, _, _)| e)
         .collect();
     let victims = &core_links[..core_links.len() / 10];
@@ -84,6 +82,10 @@ fn main() {
     let reroutes: usize = faulty.flows.iter().map(|f| f.reroutes).sum();
     println!("{:<22} {:>12} {:>12}", "total re-routes", 0, reroutes);
 
-    assert_eq!(faulty.unfinished(), 0, "all flows must survive the failures");
+    assert_eq!(
+        faulty.unfinished(),
+        0,
+        "all flows must survive the failures"
+    );
     println!("\nall flows completed despite failures — re-routing absorbed the loss ✓");
 }

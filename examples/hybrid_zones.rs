@@ -34,7 +34,11 @@ fn zone_servers(net: &Network, pods: std::ops::Range<usize>) -> Vec<flat_tree::g
 fn main() {
     let k = 8;
     let mut ctl = Controller::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap();
-    println!("booted: mode = {}, {} conversions", ctl.mode().label(), ctl.conversions());
+    println!(
+        "booted: mode = {}, {} conversions",
+        ctl.mode().label(),
+        ctl.conversions()
+    );
 
     // Tenant workloads on their prospective zones.
     let analytics_pods = 0..k / 2;
@@ -92,21 +96,26 @@ fn main() {
         max_steps: Some(2_000_000),
     };
     let flat = ctl.flat_tree();
-    let dedicated_global = flat.materialize(&Mode::GlobalRandom);
-    let dedicated_local = flat.materialize(&Mode::LocalRandom);
+    let dedicated_global = flat.materialize(&Mode::GlobalRandom).unwrap();
+    let dedicated_local = flat.materialize(&Mode::LocalRandom).unwrap();
     println!("\n{:<12} {:>14} {:>16}", "zone", "hybrid λ", "dedicated λ");
     for (name, tm, dedicated) in [
         ("analytics", &analytics_tm, &dedicated_global),
         ("web", &web_tm, &dedicated_local),
     ] {
-        let hybrid_lambda =
-            throughput_on_commodities(&hybrid, &aggregate_commodities(tm.switch_triples(&hybrid)), opts)
-                .lambda;
+        let hybrid_lambda = throughput_on_commodities(
+            &hybrid,
+            &aggregate_commodities(tm.switch_triples(&hybrid)),
+            opts,
+        )
+        .unwrap()
+        .lambda;
         let dedicated_lambda = throughput_on_commodities(
             dedicated,
             &aggregate_commodities(tm.switch_triples(dedicated)),
             opts,
         )
+        .unwrap()
         .lambda;
         println!("{name:<12} {hybrid_lambda:>14.4} {dedicated_lambda:>16.4}");
     }

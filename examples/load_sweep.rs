@@ -40,13 +40,9 @@ fn main() {
     let mut rows = Vec::new();
     for (mode, policy, label) in [
         (Mode::Clos, RouterPolicy::Ecmp, "clos + ECMP"),
-        (
-            Mode::GlobalRandom,
-            RouterPolicy::Ksp(8),
-            "global-rg + KSP8",
-        ),
+        (Mode::GlobalRandom, RouterPolicy::Ksp(8), "global-rg + KSP8"),
     ] {
-        let net = ft.materialize(&mode);
+        let net = ft.materialize(&mode).unwrap();
         let tm = generate(&net, &spec, 11);
         print!("{label:<22}");
         let mut fcts = Vec::new();

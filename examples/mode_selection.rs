@@ -55,9 +55,9 @@ fn main() {
         print!("{name:<34}");
         let mut best = (f64::MIN, "");
         for mode in &modes {
-            let net = ft.materialize(mode);
+            let net = ft.materialize(mode).unwrap();
             let tm = generate(&net, spec, 5);
-            let lambda = throughput(&net, &tm, opts).lambda;
+            let lambda = throughput(&net, &tm, opts).unwrap().lambda;
             if lambda > best.0 {
                 best = (lambda, mode.label().leak());
             }

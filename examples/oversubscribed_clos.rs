@@ -21,9 +21,9 @@ use flat_tree::workload::{generate, Locality, TrafficPattern, WorkloadSpec};
 fn main() {
     let clos = ClosParams {
         pods: 6,
-        d: 4,               // edge switches per pod
-        r: 2,               // edges per aggregation switch
-        h: 4,               // uplinks per aggregation switch
+        d: 4,                // edge switches per pod
+        r: 2,                // edges per aggregation switch
+        h: 4,                // uplinks per aggregation switch
         servers_per_edge: 6, // 6 servers vs 2 uplinks per edge: 3:1 oversubscription
     };
     let cfg = FlatTreeConfig {
@@ -61,10 +61,10 @@ fn main() {
     println!("{:<12} {:>8} {:>12}", "mode", "APL", "hot-spot λ");
     let mut rows = Vec::new();
     for mode in [Mode::Clos, Mode::LocalRandom, Mode::GlobalRandom] {
-        let net = ft.materialize(&mode);
+        let net = ft.materialize(&mode).unwrap();
         let apl = average_server_path_length(&net);
         let tm = generate(&net, &spec, 3);
-        let lambda = throughput(&net, &tm, opts).lambda;
+        let lambda = throughput(&net, &tm, opts).unwrap().lambda;
         println!("{:<12} {:>8.4} {:>12.4}", mode.label(), apl, lambda);
         rows.push((apl, lambda));
     }

@@ -29,9 +29,12 @@ fn main() {
     let ft = FlatTree::new(cfg).expect("validated configuration");
 
     // Materialize each operation mode and measure it.
-    println!("\n{:<12} {:>9} {:>9} {:>8}", "mode", "switches", "links", "APL");
+    println!(
+        "\n{:<12} {:>9} {:>9} {:>8}",
+        "mode", "switches", "links", "APL"
+    );
     for mode in [Mode::Clos, Mode::LocalRandom, Mode::GlobalRandom] {
-        let net = ft.materialize(&mode);
+        let net = ft.materialize(&mode).unwrap();
         println!(
             "{:<12} {:>9} {:>9} {:>8.4}",
             mode.label(),
@@ -42,7 +45,7 @@ fn main() {
     }
 
     // Clos mode is link-identical to the reference fat-tree.
-    let clos = ft.materialize(&Mode::Clos);
+    let clos = ft.materialize(&Mode::Clos).unwrap();
     let reference = fat_tree(k).unwrap();
     assert_eq!(
         clos.graph().canonical_edges(),
@@ -51,7 +54,7 @@ fn main() {
     println!("\nClos mode reproduces fat-tree(k={k}) link-for-link ✓");
 
     // And global mode approaches the true random graph's path length.
-    let flat = average_server_path_length(&ft.materialize(&Mode::GlobalRandom));
+    let flat = average_server_path_length(&ft.materialize(&Mode::GlobalRandom).unwrap());
     let rg = average_server_path_length(&jellyfish_matching_fat_tree(k, 1).unwrap());
     println!(
         "global-random APL {flat:.4} vs true random graph {rg:.4} ({:+.1}%)",

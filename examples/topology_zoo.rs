@@ -33,17 +33,21 @@ fn main() {
             "two-stage-rg",
             two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), 7).unwrap(),
         ),
-        ("flat-tree-clos", ft.materialize(&Mode::Clos)),
-        ("flat-tree-local", ft.materialize(&Mode::LocalRandom)),
-        ("flat-tree-global", ft.materialize(&Mode::GlobalRandom)),
+        ("flat-tree-clos", ft.materialize(&Mode::Clos).unwrap()),
+        (
+            "flat-tree-local",
+            ft.materialize(&Mode::LocalRandom).unwrap(),
+        ),
+        (
+            "flat-tree-global",
+            ft.materialize(&Mode::GlobalRandom).unwrap(),
+        ),
     ];
 
     let eq = zoo[0].1.equipment();
     println!(
         "equipment (identical across the zoo): {} switches × {k} ports, {} servers, {} links\n",
-        eq.switches,
-        eq.servers,
-        eq.links
+        eq.switches, eq.servers, eq.links
     );
     println!(
         "{:<18} {:>9} {:>10} {:>8} {:>8} {:>24}",

@@ -1,0 +1,163 @@
+//! Offline shim for `criterion`: enough API for the ft-bench targets to
+//! compile and produce rough wall-clock numbers. No statistics, plots, or
+//! baselines — each benchmark runs a fixed warm-up plus a timed batch and
+//! prints mean iteration time.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Bench ID: `BenchmarkId::new("name", param)`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    nanos: f64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // warm-up: one call, also used to pick the batch size
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        // aim for ~0.2 s of measurement, between 1 and 1000 iterations
+        let n = ((0.2 / once) as u64).clamp(1, 1000);
+        let t1 = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.iters = n;
+        self.nanos = t1.elapsed().as_secs_f64() * 1e9 / n as f64;
+    }
+}
+
+/// Group of related benchmarks (`Criterion::benchmark_group`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count is ignored by the shim; kept for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: 0,
+            nanos: 0.0,
+        };
+        f(&mut b);
+        report(&self.name, &id.label, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            nanos: 0.0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.label, &b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, label: &str, b: &Bencher) {
+    let (value, unit) = if b.nanos >= 1e9 {
+        (b.nanos / 1e9, "s")
+    } else if b.nanos >= 1e6 {
+        (b.nanos / 1e6, "ms")
+    } else if b.nanos >= 1e3 {
+        (b.nanos / 1e3, "µs")
+    } else {
+        (b.nanos, "ns")
+    };
+    println!(
+        "{group}/{label}: {value:.3} {unit}/iter ({} iters)",
+        b.iters
+    );
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string()).bench_function("", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` passes --test-threads etc. to harness=false bench
+            // binaries under `--benches`; a bare `--bench` arg means "run".
+            $( $group(); )+
+        }
+    };
+}

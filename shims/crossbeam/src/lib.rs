@@ -1,0 +1,58 @@
+//! Offline shim for `crossbeam`: scoped threads over `std::thread::scope`
+//! (stable since 1.63, so the crossbeam dependency is pure API compat).
+//!
+//! Panic semantics differ slightly from crossbeam: a panicking worker makes
+//! `std::thread::scope` itself panic at join, so [`scope`] never actually
+//! returns `Err` — callers' `.expect("worker panicked")` still behaves
+//! correctly (the panic propagates, with a different message).
+
+use std::any::Any;
+
+/// Mirror of `crossbeam::thread::Scope`, wrapping the std scope.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker; the closure receives the scope (crossbeam signature)
+    /// so nested spawns keep working.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Mirror of `crossbeam::scope`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod thread {
+    pub use crate::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_share_stack_data() {
+        let data = vec![1u32, 2, 3, 4];
+        let total = std::sync::Mutex::new(0u32);
+        crate::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    *total.lock().unwrap() += chunk.iter().sum::<u32>();
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner().unwrap(), 10);
+    }
+}

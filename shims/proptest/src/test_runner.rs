@@ -1,0 +1,67 @@
+//! Runner-side types: configuration and the reject/fail outcome used by the
+//! `prop_assert!`/`prop_assume!` macros.
+
+/// Subset of `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the case is discarded, not counted as a run.
+    Reject(&'static str),
+    /// `prop_assert!`-family failure: the whole test fails.
+    Fail(String),
+}
+
+/// FNV-1a over bytes; used to derive a stable per-test seed from the name.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{any, Just, Strategy, TestRng};
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+    }
+
+    #[test]
+    fn strategies_sample_expected_shapes() {
+        let mut rng = TestRng::new(1);
+        let s = (1usize..4, 0u32..10).prop_map(|(a, b)| a as u32 + b);
+        for _ in 0..100 {
+            assert!(s.sample(&mut rng) < 13);
+        }
+        let fm = (2usize..5).prop_flat_map(|n| crate::collection::vec(0u32..10, n));
+        for _ in 0..50 {
+            let v = fm.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        assert_eq!(Just(7u32).sample(&mut rng), 7);
+        let _: bool = any::<bool>().sample(&mut rng);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `serde::Serialize`/`serde::Deserialize` on config
+//! and topology types but performs no actual serde serialization (exports
+//! are hand-rolled in `ft-topo::export`). This shim provides the derive
+//! macro names (as no-ops, via the local `serde_derive` shim) and
+//! blanket-implemented marker traits so bounds like `T: Serialize` would
+//! still resolve.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait SerializeMarker {}
+impl<T: ?Sized> SerializeMarker for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait DeserializeMarker {}
+impl<T: ?Sized> DeserializeMarker for T {}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: no-op derives.
+//!
+//! The workspace only uses `#[derive(serde::Serialize, serde::Deserialize)]`
+//! as forward-looking annotations — nothing actually serializes (export is
+//! hand-rolled JSON/DOT in `ft-topo::export`). These derives therefore emit
+//! no code; the marker traits in the `serde` shim are blanket-implemented.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -95,7 +95,7 @@ fn get_k(inv: &Invocation) -> Result<usize, CliError> {
         .ok_or_else(|| CliError("missing -k <even fat-tree parameter>".into()))?
         .parse()
         .map_err(|_| CliError("-k must be an integer".into()))?;
-    if k < 4 || k % 2 != 0 {
+    if k < 4 || !k.is_multiple_of(2) {
         return Err(CliError(format!("-k must be even and ≥ 4, got {k}")));
     }
     Ok(k)
@@ -131,9 +131,7 @@ fn build_network(inv: &Invocation) -> Result<Network, CliError> {
         .unwrap_or("flat-tree");
     match kind {
         "fat-tree" => fat_tree(k).map_err(|e| CliError(e.to_string())),
-        "random-graph" => {
-            jellyfish_matching_fat_tree(k, seed).map_err(|e| CliError(e.to_string()))
-        }
+        "random-graph" => jellyfish_matching_fat_tree(k, seed).map_err(|e| CliError(e.to_string())),
         "two-stage" => two_stage_random_graph(
             TwoStageParams::matching_fat_tree(k).map_err(|e| CliError(e.to_string()))?,
             seed,
@@ -148,7 +146,7 @@ fn build_network(inv: &Invocation) -> Result<Network, CliError> {
             )?;
             let cfg = FlatTreeConfig::for_fat_tree_k(k).map_err(|e| CliError(e.to_string()))?;
             let ft = FlatTree::new(cfg).map_err(|e| CliError(e.to_string()))?;
-            Ok(ft.materialize(&mode))
+            ft.materialize(&mode).map_err(|e| CliError(e.to_string()))
         }
         other => Err(CliError(format!(
             "unknown --kind {other:?} (use fat-tree | random-graph | two-stage | flat-tree)"
@@ -176,9 +174,7 @@ fn cmd_topo(inv: &Invocation) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "  switches: {}   servers: {}   links: {}",
-        eq.switches,
-        eq.servers,
-        eq.links
+        eq.switches, eq.servers, eq.links
     );
     if let Some(path) = inv.options.get("dot") {
         std::fs::write(path, to_dot(&net))
@@ -214,8 +210,16 @@ fn cmd_metrics(inv: &Invocation) -> Result<String, CliError> {
         "  switch diameter:               {}",
         diameter(&sg).map(|d| d.to_string()).unwrap_or("∞".into())
     );
-    let _ = writeln!(out, "  mean switch degree:            {:.2}", mean_degree(&sg));
-    let _ = writeln!(out, "  fabric bridges:                {}", bridges(&sg).len());
+    let _ = writeln!(
+        out,
+        "  mean switch degree:            {:.2}",
+        mean_degree(&sg)
+    );
+    let _ = writeln!(
+        out,
+        "  fabric bridges:                {}",
+        bridges(&sg).len()
+    );
     let _ = writeln!(
         out,
         "  random-bisection bandwidth:    {}",
@@ -242,7 +246,12 @@ fn cmd_convert(inv: &Invocation) -> Result<String, CliError> {
     let b = ft.resolve(&to).map_err(|e| CliError(e.to_string()))?;
     let plan = crate::control::plan_transition(&ft, &a, &b).map_err(|e| CliError(e.to_string()))?;
     let mut out = String::new();
-    let _ = writeln!(out, "conversion {} → {} (k = {k})", from.label(), to.label());
+    let _ = writeln!(
+        out,
+        "conversion {} → {} (k = {k})",
+        from.label(),
+        to.label()
+    );
     let _ = writeln!(
         out,
         "  converter reprogramming ops: {} ({} four-port, {} six-port)",
@@ -263,7 +272,10 @@ fn cmd_profile(inv: &Invocation) -> Result<String, CliError> {
     let k = get_k(inv)?;
     let result = profile_mn(k, 1).map_err(|e| CliError(e.to_string()))?;
     let mut out = String::new();
-    let _ = writeln!(out, "profiling sweep for k = {k} (global-RG average path length):");
+    let _ = writeln!(
+        out,
+        "profiling sweep for k = {k} (global-RG average path length):"
+    );
     for p in &result.points {
         let mark = if (p.m, p.n) == (result.best.m, result.best.n) {
             "  ← best"
@@ -316,8 +328,16 @@ mod tests {
     #[test]
     fn topo_flat_tree_modes() {
         for mode in ["clos", "local-rg", "global-rg"] {
-            let out = run(&inv(&["topo", "--kind", "flat-tree", "-k", "8", "--mode", mode]))
-                .unwrap();
+            let out = run(&inv(&[
+                "topo",
+                "--kind",
+                "flat-tree",
+                "-k",
+                "8",
+                "--mode",
+                mode,
+            ]))
+            .unwrap();
             assert!(out.contains(mode), "{out}");
         }
     }
@@ -331,16 +351,26 @@ mod tests {
 
     #[test]
     fn convert_reports_plan() {
-        let out = run(&inv(&["convert", "-k", "8", "--from", "clos", "--to", "global-rg"]))
-            .unwrap();
+        let out = run(&inv(&[
+            "convert",
+            "-k",
+            "8",
+            "--from",
+            "clos",
+            "--to",
+            "global-rg",
+        ]))
+        .unwrap();
         assert!(out.contains("converter reprogramming ops: 96"), "{out}");
         assert!(out.contains("removed"));
     }
 
     #[test]
     fn convert_noop() {
-        let out =
-            run(&inv(&["convert", "-k", "8", "--from", "clos", "--to", "clos"])).unwrap();
+        let out = run(&inv(&[
+            "convert", "-k", "8", "--from", "clos", "--to", "clos",
+        ]))
+        .unwrap();
         assert!(out.contains("ops: 0"), "{out}");
     }
 
@@ -355,7 +385,10 @@ mod tests {
         assert!(run(&inv(&["topo", "--kind", "nope", "-k", "8"])).is_err());
         assert!(run(&inv(&["topo", "--kind", "fat-tree", "-k", "7"])).is_err());
         assert!(run(&inv(&["topo", "--kind", "fat-tree"])).is_err());
-        assert!(run(&inv(&["convert", "-k", "8", "--from", "clos", "--to", "weird"])).is_err());
+        assert!(run(&inv(&[
+            "convert", "-k", "8", "--from", "clos", "--to", "weird"
+        ]))
+        .is_err());
         assert!(run(&inv(&["frobnicate"])).is_err());
     }
 
@@ -378,7 +411,9 @@ mod tests {
         .unwrap();
         assert!(out.contains("dot written"));
         assert!(std::fs::read_to_string(&dot).unwrap().starts_with("graph"));
-        assert!(std::fs::read_to_string(&json).unwrap().contains("\"nodes\""));
+        assert!(std::fs::read_to_string(&json)
+            .unwrap()
+            .contains("\"nodes\""));
         let _ = std::fs::remove_file(dot);
         let _ = std::fs::remove_file(json);
     }

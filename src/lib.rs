@@ -35,9 +35,9 @@
 //! let ft = FlatTree::new(cfg).unwrap();
 //!
 //! // Convert: Clos mode reproduces the fat-tree exactly.
-//! let clos = ft.materialize(&Mode::Clos);
+//! let clos = ft.materialize(&Mode::Clos).unwrap();
 //! // Global random-graph approximation flattens the hierarchy.
-//! let flat = ft.materialize(&Mode::GlobalRandom);
+//! let flat = ft.materialize(&Mode::GlobalRandom).unwrap();
 //!
 //! let apl_clos = average_server_path_length(&clos);
 //! let apl_flat = average_server_path_length(&flat);

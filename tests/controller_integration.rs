@@ -66,7 +66,10 @@ fn forwarding_tables_work_after_zone_reorganization() {
             flat_tree::control::rules::forward(&tables, NodeId(src), NodeId(dst), 11).unwrap();
         assert_eq!(path.first(), Some(&NodeId(src)));
         assert_eq!(path.last(), Some(&NodeId(dst)));
-        assert_eq!(path.len() as u32 - 1, routes.distance(NodeId(src), NodeId(dst)));
+        assert_eq!(
+            path.len() as u32 - 1,
+            routes.distance(NodeId(src), NodeId(dst))
+        );
     }
 }
 

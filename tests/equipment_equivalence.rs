@@ -17,10 +17,16 @@ fn all_topologies_share_equipment() {
             .equipment();
         assert_eq!(reference.switches, rg.switches, "k = {k}");
         assert_eq!(reference.servers, rg.servers, "k = {k}");
-        assert_eq!(reference.total_switch_ports, rg.total_switch_ports, "k = {k}");
+        assert_eq!(
+            reference.total_switch_ports, rg.total_switch_ports,
+            "k = {k}"
+        );
         assert_eq!(reference.switches, ts.switches, "k = {k}");
         assert_eq!(reference.servers, ts.servers, "k = {k}");
-        assert_eq!(reference.total_switch_ports, ts.total_switch_ports, "k = {k}");
+        assert_eq!(
+            reference.total_switch_ports, ts.total_switch_ports,
+            "k = {k}"
+        );
     }
 }
 
@@ -39,9 +45,10 @@ fn every_mode_conserves_equipment_and_validates() {
                 .collect(),
         );
         for mode in [Mode::Clos, Mode::LocalRandom, Mode::GlobalRandom, hybrid] {
-            let net = ft.materialize(&mode);
+            let net = ft.materialize(&mode).unwrap();
             assert_eq!(net.equipment(), reference, "k = {k}, mode {mode:?}");
-            net.validate().unwrap_or_else(|e| panic!("k = {k}, {mode:?}: {e}"));
+            net.validate()
+                .unwrap_or_else(|e| panic!("k = {k}, {mode:?}: {e}"));
         }
     }
 }
@@ -52,7 +59,10 @@ fn clos_mode_is_fat_tree_for_every_k() {
     for k in [4, 6, 8, 10, 12, 14] {
         let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap();
         assert_eq!(
-            ft.materialize(&Mode::Clos).graph().canonical_edges(),
+            ft.materialize(&Mode::Clos)
+                .unwrap()
+                .graph()
+                .canonical_edges(),
             fat_tree(k).unwrap().graph().canonical_edges(),
             "k = {k}"
         );
@@ -64,7 +74,7 @@ fn full_port_utilization_in_all_modes() {
     let k = 8;
     let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap();
     for mode in [Mode::Clos, Mode::LocalRandom, Mode::GlobalRandom] {
-        let net = ft.materialize(&mode);
+        let net = ft.materialize(&mode).unwrap();
         for sw in net.switches() {
             assert_eq!(net.graph().degree(sw), k, "{mode:?} wastes ports on {sw:?}");
         }
@@ -84,7 +94,7 @@ fn no_single_points_of_failure_in_any_switch_fabric() {
         two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), 4).unwrap(),
     ];
     for mode in [Mode::Clos, Mode::LocalRandom, Mode::GlobalRandom] {
-        fabrics.push(ft.materialize(&mode));
+        fabrics.push(ft.materialize(&mode).unwrap());
     }
     for net in &fabrics {
         let sg = net.switch_graph();

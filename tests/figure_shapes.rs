@@ -4,9 +4,7 @@
 //! reports so regressions in any crate of the pipeline fail loudly.
 
 use flat_tree::core::{FlatTree, FlatTreeConfig, Mode};
-use flat_tree::metrics::path_length::{
-    average_intra_pod_path_length, average_server_path_length,
-};
+use flat_tree::metrics::path_length::{average_intra_pod_path_length, average_server_path_length};
 use flat_tree::metrics::throughput::{throughput, ThroughputOptions};
 use flat_tree::topo::{
     fat_tree, jellyfish_matching_fat_tree, two_stage_random_graph, TwoStageParams,
@@ -17,6 +15,7 @@ fn flat(k: usize, mode: &Mode) -> flat_tree::topo::Network {
     FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap())
         .unwrap()
         .materialize(mode)
+        .unwrap()
 }
 
 /// Figure 5 shape: flat-tree global mode sits between fat-tree and the
@@ -28,7 +27,10 @@ fn fig5_shape_small_k() {
         let rg = average_server_path_length(&jellyfish_matching_fat_tree(k, 1).unwrap());
         let ft = average_server_path_length(&flat(k, &Mode::GlobalRandom));
         assert!(ft < fat, "k = {k}: flat {ft} !< fat {fat}");
-        assert!(ft >= rg * 0.98, "k = {k}: flat {ft} implausibly beats rg {rg}");
+        assert!(
+            ft >= rg * 0.98,
+            "k = {k}: flat {ft} implausibly beats rg {rg}"
+        );
         assert!(
             (ft - rg) / rg <= 0.10,
             "k = {k}: flat {ft} not within 10% of rg {rg}"
@@ -64,7 +66,11 @@ fn fig7_shape_small_k() {
         locality: Locality::Strong,
     };
     let opts = ThroughputOptions::fptas(0.1);
-    let lam = |net: &flat_tree::topo::Network| throughput(net, &generate(net, &spec, 2), opts).lambda;
+    let lam = |net: &flat_tree::topo::Network| {
+        throughput(net, &generate(net, &spec, 2), opts)
+            .unwrap()
+            .lambda
+    };
     let fat = lam(&fat_tree(k).unwrap());
     let ftg = lam(&flat(k, &Mode::GlobalRandom));
     let rg = lam(&jellyfish_matching_fat_tree(k, 2).unwrap());
@@ -84,7 +90,9 @@ fn fig8_shape_small_k() {
             cluster_size: 20,
             locality,
         };
-        throughput(net, &generate(net, &spec, 2), opts).lambda
+        throughput(net, &generate(net, &spec, 2), opts)
+            .unwrap()
+            .lambda
     };
     let ftl = flat(k, &Mode::LocalRandom);
     let ts = two_stage_random_graph(TwoStageParams::matching_fat_tree(k).unwrap(), 2).unwrap();

@@ -23,11 +23,11 @@ fn zones_match_complete_networks() {
     let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap();
     let opts = ThroughputOptions::fptas(0.1);
 
-    let full_global = ft.materialize(&Mode::GlobalRandom);
-    let full_local = ft.materialize(&Mode::LocalRandom);
+    let full_global = ft.materialize(&Mode::GlobalRandom).unwrap();
+    let full_local = ft.materialize(&Mode::LocalRandom).unwrap();
 
     for global_pods in [2usize, 3, 4] {
-        let hybrid = ft.materialize(&Mode::two_zone(k, global_pods));
+        let hybrid = ft.materialize(&Mode::two_zone(k, global_pods)).unwrap();
         let servers_a = zone_servers(&hybrid, 0..global_pods);
         let servers_b = zone_servers(&hybrid, global_pods..k);
         let spec_a = WorkloadSpec {
@@ -42,19 +42,25 @@ fn zones_match_complete_networks() {
         };
         let com_a = commodities(&hybrid, &servers_a, &spec_a);
         let com_b = commodities(&hybrid, &servers_b, &spec_b);
-        let zone_a = throughput_on_commodities(&hybrid, &com_a, opts).lambda;
-        let zone_b = throughput_on_commodities(&hybrid, &com_b, opts).lambda;
+        let zone_a = throughput_on_commodities(&hybrid, &com_a, opts)
+            .unwrap()
+            .lambda;
+        let zone_b = throughput_on_commodities(&hybrid, &com_b, opts)
+            .unwrap()
+            .lambda;
         let ref_a = throughput_on_commodities(
             &full_global,
             &commodities(&full_global, &servers_a, &spec_a),
             opts,
         )
+        .unwrap()
         .lambda;
         let ref_b = throughput_on_commodities(
             &full_local,
             &commodities(&full_local, &servers_b, &spec_b),
             opts,
         )
+        .unwrap()
         .lambda;
         let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-12);
         assert!(
@@ -69,7 +75,9 @@ fn zones_match_complete_networks() {
         // joint solve must not collapse either zone
         let mut joint = com_a.clone();
         joint.extend_from_slice(&com_b);
-        let joint_lambda = throughput_on_commodities(&hybrid, &joint, opts).lambda;
+        let joint_lambda = throughput_on_commodities(&hybrid, &joint, opts)
+            .unwrap()
+            .lambda;
         assert!(
             joint_lambda >= 0.75 * zone_a.min(zone_b),
             "joint λ {joint_lambda} collapsed below zones ({zone_a}, {zone_b})"
@@ -93,7 +101,7 @@ fn three_zone_hybrid_isolation() {
         PodMode::Clos,
         PodMode::Clos,
     ]);
-    let hybrid = ft.materialize(&mode);
+    let hybrid = ft.materialize(&mode).unwrap();
     hybrid.validate().unwrap();
 
     let zones: [(std::ops::Range<usize>, Mode, WorkloadSpec); 3] = [
@@ -128,10 +136,14 @@ fn three_zone_hybrid_isolation() {
     for (pods, ref_mode, spec) in zones {
         let servers = zone_servers(&hybrid, pods.clone());
         let com = commodities(&hybrid, &servers, &spec);
-        let lambda = throughput_on_commodities(&hybrid, &com, opts).lambda;
-        let reference = ft.materialize(&ref_mode);
+        let lambda = throughput_on_commodities(&hybrid, &com, opts)
+            .unwrap()
+            .lambda;
+        let reference = ft.materialize(&ref_mode).unwrap();
         let ref_com = commodities(&reference, &servers, &spec);
-        let ref_lambda = throughput_on_commodities(&reference, &ref_com, opts).lambda;
+        let ref_lambda = throughput_on_commodities(&reference, &ref_com, opts)
+            .unwrap()
+            .lambda;
         let rel = (lambda - ref_lambda).abs() / ref_lambda.max(1e-12);
         assert!(
             rel <= 0.25,

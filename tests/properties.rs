@@ -29,7 +29,7 @@ proptest! {
         let cfg = FlatTreeConfig::for_fat_tree_k_mn(k, m, n).unwrap();
         let ft = FlatTree::new(cfg).unwrap();
         for mode in [Mode::Clos, Mode::LocalRandom, Mode::GlobalRandom] {
-            let net = ft.materialize(&mode);
+            let net = ft.materialize(&mode).unwrap();
             prop_assert_eq!(net.equipment(), reference);
             net.validate().unwrap();
         }
@@ -43,7 +43,7 @@ proptest! {
         let cfg = FlatTreeConfig::for_fat_tree_k_mn(k, m, n).unwrap();
         let ft = FlatTree::new(cfg).unwrap();
         prop_assert_eq!(
-            ft.materialize(&Mode::Clos).graph().canonical_edges(),
+            ft.materialize(&Mode::Clos).unwrap().graph().canonical_edges(),
             fat_tree(k).unwrap().graph().canonical_edges()
         );
     }
@@ -53,7 +53,7 @@ proptest! {
     #[test]
     fn local_mode_connected((k, m, n) in arb_kmn()) {
         let cfg = FlatTreeConfig::for_fat_tree_k_mn(k, m, n).unwrap();
-        let net = FlatTree::new(cfg).unwrap().materialize(&Mode::LocalRandom);
+        let net = FlatTree::new(cfg).unwrap().materialize(&Mode::LocalRandom).unwrap();
         prop_assert!(is_connected(net.graph()));
     }
 
@@ -74,7 +74,7 @@ proptest! {
                 _ => PodMode::GlobalRandom,
             })
             .collect();
-        let net = ft.materialize(&Mode::Hybrid(modes));
+        let net = ft.materialize(&Mode::Hybrid(modes)).unwrap();
         net.validate().unwrap();
         prop_assert!(is_connected(net.graph()));
     }
@@ -89,8 +89,8 @@ proptest! {
         let k = 2 * k; // even, 6..=16
         let cfg = FlatTreeConfig::for_fat_tree_k(k).unwrap();
         let ft = FlatTree::new(cfg).unwrap();
-        let clos = average_server_path_length(&ft.materialize(&Mode::Clos));
-        let flat = average_server_path_length(&ft.materialize(&Mode::GlobalRandom));
+        let clos = average_server_path_length(&ft.materialize(&Mode::Clos).unwrap());
+        let flat = average_server_path_length(&ft.materialize(&Mode::GlobalRandom).unwrap());
         prop_assert!(flat < clos, "flat {} vs clos {}", flat, clos);
     }
 

@@ -32,17 +32,14 @@ fn setup(net: &Network, seed: u64) -> (CapGraph, Vec<Commodity>) {
 fn ksp_routing_within_modest_gap_of_optimal() {
     let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(4).unwrap()).unwrap();
     for mode in [Mode::Clos, Mode::GlobalRandom] {
-        let net = ft.materialize(&mode);
+        let net = ft.materialize(&mode).unwrap();
         let (cg, cs) = setup(&net, 3);
         if cs.is_empty() {
             continue;
         }
-        let optimal = max_concurrent_flow_exact(&cg, &cs);
-        let paths: Vec<_> = cs
-            .iter()
-            .map(|c| k_shortest_arc_paths(&cg, c, 8))
-            .collect();
-        let routed = max_concurrent_flow_on_paths(&cg, &cs, &paths);
+        let optimal = max_concurrent_flow_exact(&cg, &cs).unwrap();
+        let paths: Vec<_> = cs.iter().map(|c| k_shortest_arc_paths(&cg, c, 8)).collect();
+        let routed = max_concurrent_flow_on_paths(&cg, &cs, &paths).unwrap();
         assert!(
             routed <= optimal + 1e-6,
             "{mode:?}: path-restricted {routed} beats optimal {optimal}"
@@ -57,16 +54,13 @@ fn ksp_routing_within_modest_gap_of_optimal() {
 #[test]
 fn more_paths_monotonically_close_the_gap() {
     let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(4).unwrap()).unwrap();
-    let net = ft.materialize(&Mode::GlobalRandom);
+    let net = ft.materialize(&Mode::GlobalRandom).unwrap();
     let (cg, cs) = setup(&net, 5);
-    let optimal = max_concurrent_flow_exact(&cg, &cs);
+    let optimal = max_concurrent_flow_exact(&cg, &cs).unwrap();
     let mut prev = 0.0;
     for k in [1usize, 2, 8] {
-        let paths: Vec<_> = cs
-            .iter()
-            .map(|c| k_shortest_arc_paths(&cg, c, k))
-            .collect();
-        let routed = max_concurrent_flow_on_paths(&cg, &cs, &paths);
+        let paths: Vec<_> = cs.iter().map(|c| k_shortest_arc_paths(&cg, c, k)).collect();
+        let routed = max_concurrent_flow_on_paths(&cg, &cs, &paths).unwrap();
         assert!(
             routed >= prev - 1e-9,
             "k = {k}: λ regressed from {prev} to {routed}"

@@ -18,7 +18,8 @@ fn slowest_simulated_flow_bounded_by_lp() {
         (
             FlatTree::new(FlatTreeConfig::for_fat_tree_k(6).unwrap())
                 .unwrap()
-                .materialize(&Mode::GlobalRandom),
+                .materialize(&Mode::GlobalRandom)
+                .unwrap(),
             RouterPolicy::Ksp(8),
         ),
     ] {
@@ -29,7 +30,9 @@ fn slowest_simulated_flow_bounded_by_lp() {
         };
         let tm = generate(&net, &spec, 3);
         // LP optimum (upper bound on any min-rate)
-        let lambda = throughput(&net, &tm, ThroughputOptions::fptas(0.05)).lambda;
+        let lambda = throughput(&net, &tm, ThroughputOptions::fptas(0.05))
+            .unwrap()
+            .lambda;
         // simulate the same demands as unit-size flows
         let flows = flows_from_matrix(&tm, 1.0, 0.0);
         let report = Simulator::new(&net, policy).run(&flows, &[], 1e9);
@@ -82,7 +85,7 @@ fn conversion_speeds_up_hotspot_workload() {
         (Mode::Clos, RouterPolicy::Ecmp),
         (Mode::GlobalRandom, RouterPolicy::Ksp(8)),
     ] {
-        let net = ft.materialize(&mode);
+        let net = ft.materialize(&mode).unwrap();
         let tm = generate(&net, &spec, 6);
         let flows = flows_from_matrix(&tm, 1.0, 0.0);
         let report = Simulator::new(&net, policy).run(&flows, &[], 1e9);
