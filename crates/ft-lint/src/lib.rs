@@ -5,7 +5,8 @@
 //!
 //! 1. **panic** — no `panic!` / `.unwrap()` / `.expect(` / `unreachable!`
 //!    in library code of the strict crates (`ft-graph`, `ft-lp`, `ft-mcf`,
-//!    `ft-core`, `ft-metrics`); return the crate's error enums instead.
+//!    `ft-core`, `ft-metrics`, `ft-serve`); return the crate's error enums
+//!    instead.
 //! 2. **index-bounds** — arithmetic index expressions (`v[i + 1]`) in
 //!    strict library code need a bounds comment on the same or previous
 //!    line.

@@ -25,7 +25,14 @@ pub enum Scope {
 }
 
 /// Crates whose library code is held to the full rule set.
-pub const STRICT_CRATES: &[&str] = &["ft-graph", "ft-lp", "ft-mcf", "ft-core", "ft-metrics"];
+pub const STRICT_CRATES: &[&str] = &[
+    "ft-graph",
+    "ft-lp",
+    "ft-mcf",
+    "ft-core",
+    "ft-metrics",
+    "ft-serve",
+];
 
 /// Path components that exempt a file wholesale.
 const EXEMPT_DIRS: &[&str] = &["tests", "benches", "examples", "bin", "fixtures", "target"];
@@ -393,6 +400,7 @@ mod tests {
     #[test]
     fn classify_scopes() {
         assert_eq!(classify("crates/ft-lp/src/simplex.rs"), Scope::Strict);
+        assert_eq!(classify("crates/ft-serve/src/service.rs"), Scope::Strict);
         assert_eq!(classify("crates/ft-control/src/advisor.rs"), Scope::Lib);
         assert_eq!(classify("src/cli.rs"), Scope::Lib);
         assert_eq!(classify("src/main.rs"), Scope::Exempt);

@@ -1,0 +1,142 @@
+//! Service errors and their wire representation.
+//!
+//! Every failure a request can hit maps to a one-line `ERR <code> <msg>`
+//! reply — workers never die on bad input. The codes are part of the FTQ/1
+//! protocol surface (see DESIGN.md §9) and stable across releases.
+
+use std::fmt;
+
+/// Everything that can go wrong inside the query service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request line does not follow the FTQ/1 grammar.
+    BadRequest(String),
+    /// The request names a verb the protocol does not define.
+    UnknownVerb(String),
+    /// The request declared a protocol version other than `ftq/1`.
+    UnsupportedVersion(String),
+    /// A mode/zone specification failed to parse or fit the network.
+    BadMode(String),
+    /// The bounded job queue is full (admission control, not an outage).
+    Busy {
+        /// The configured queue depth that was exceeded.
+        depth: usize,
+    },
+    /// The service is draining; new work is no longer admitted.
+    ShuttingDown,
+    /// A drain or reply wait exceeded its deadline.
+    Timeout {
+        /// How long the caller waited before giving up.
+        waited_ms: u64,
+    },
+    /// The topology/solver engine rejected the operation.
+    Engine(String),
+    /// Socket-level failure (TCP transport only).
+    Io(String),
+    /// An internal invariant broke (worker death, poisoned scope).
+    Internal(String),
+}
+
+impl ServeError {
+    /// The stable protocol error code for `ERR <code> <msg>` replies.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad-request",
+            ServeError::UnknownVerb(_) => "unknown-verb",
+            ServeError::UnsupportedVersion(_) => "unsupported-version",
+            ServeError::BadMode(_) => "bad-mode",
+            ServeError::Busy { .. } => "busy",
+            ServeError::ShuttingDown => "shutdown",
+            ServeError::Timeout { .. } => "timeout",
+            ServeError::Engine(_) => "engine",
+            ServeError::Io(_) => "io",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+
+    /// Renders the single-line `ERR` reply (newlines in the message are
+    /// flattened so the line-delimited framing survives).
+    pub fn err_line(&self) -> String {
+        let msg = self.to_string().replace(['\n', '\r'], " ");
+        format!("ERR {} {}", self.code(), msg)
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(m) => write!(f, "{m}"),
+            ServeError::UnknownVerb(v) => write!(
+                f,
+                "unknown verb {v:?} (use topo | paths | throughput | plan | convert | stats | shutdown)"
+            ),
+            ServeError::UnsupportedVersion(v) => {
+                write!(f, "protocol version {v:?} not supported (speak ftq/1)")
+            }
+            ServeError::BadMode(m) => write!(f, "{m}"),
+            ServeError::Busy { depth } => {
+                write!(f, "job queue full ({depth} requests queued); retry later")
+            }
+            ServeError::ShuttingDown => write!(f, "service is draining; no new requests"),
+            ServeError::Timeout { waited_ms } => {
+                write!(f, "deadline exceeded after {waited_ms} ms")
+            }
+            ServeError::Engine(m) => write!(f, "{m}"),
+            ServeError::Io(m) => write!(f, "{m}"),
+            ServeError::Internal(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ft_core::FlatTreeError> for ServeError {
+    fn from(e: ft_core::FlatTreeError) -> Self {
+        ServeError::Engine(e.to_string())
+    }
+}
+
+impl From<ft_control::controller::ControlError> for ServeError {
+    fn from(e: ft_control::controller::ControlError) -> Self {
+        ServeError::Engine(e.to_string())
+    }
+}
+
+impl From<ft_mcf::McfError> for ServeError {
+    fn from(e: ft_mcf::McfError) -> Self {
+        ServeError::Engine(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn err_lines_are_single_line_and_coded() {
+        let e = ServeError::BadRequest("no\nnewlines".into());
+        let line = e.err_line();
+        assert!(line.starts_with("ERR bad-request "));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(ServeError::ShuttingDown.code(), "shutdown");
+        assert_eq!(ServeError::Busy { depth: 4 }.code(), "busy");
+        assert_eq!(ServeError::Timeout { waited_ms: 7 }.code(), "timeout");
+        assert_eq!(ServeError::UnknownVerb("x".into()).code(), "unknown-verb");
+    }
+
+    #[test]
+    fn engine_errors_convert() {
+        let e: ServeError = ft_mcf::McfError::InvalidEpsilon { epsilon: -1.0 }.into();
+        assert_eq!(e.code(), "engine");
+    }
+}

@@ -1,0 +1,63 @@
+//! ft-serve — a resident query service for flat-tree networks.
+//!
+//! Everything else in the workspace is batch-shaped: build a topology,
+//! compute a metric, print, exit. This crate keeps a
+//! [`ft_control::Controller`] resident and answers FTQ/1 requests — a
+//! versioned, line-delimited text protocol — over two transports that share
+//! one engine:
+//!
+//! - **in-process**: [`Service::run`] hands the caller a [`Handle`] whose
+//!   [`Handle::request`] maps one request line to one reply line;
+//! - **TCP**: [`serve_listener`] accepts localhost connections and speaks
+//!   the same protocol over the wire.
+//!
+//! Internally a fixed worker pool (crossbeam scoped threads over a bounded
+//! MPMC channel) executes requests against a `parking_lot`-guarded LRU
+//! cache of materialized layouts keyed by `(k, zone-layout)`, so repeated
+//! `topo`/`paths`/`throughput` queries for the same layout skip both the
+//! materialization and the batched-BFS path pass. A `convert` request
+//! applies the change through the controller and invalidates the cache. A
+//! [`MetricsRegistry`] counts requests, errors, latencies (power-of-two
+//! histogram buckets) and cache traffic; `stats` returns a one-line
+//! snapshot and shutdown dumps a full report.
+//!
+//! Protocol sketch (see DESIGN.md §9 for the grammar):
+//!
+//! ```text
+//! > ftq/1 paths mode=hybrid:ggll
+//! < OK paths layout=ggll mode=hybrid(g=2,l=2,c=0) apl=3.1408 intra=3.5714 source=miss cached_answer=false
+//! > convert to=global-rg
+//! < OK convert from=cccc to=gggg ops=24 links_removed=16 links_added=14 noop=false conversions=1
+//! > nonsense
+//! < ERR unknown-verb unknown verb "nonsense" (use topo | paths | throughput | plan | convert | stats | shutdown)
+//! ```
+//!
+//! Malformed input, full queues and draining states all come back as
+//! single-line `ERR <code> <msg>` replies — a request can never kill a
+//! worker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
+
+pub mod cache;
+pub mod error;
+pub mod metrics;
+pub mod proto;
+pub mod service;
+pub mod tcp;
+
+pub use cache::{CacheKey, LruCache, Materialized, PathsAnswer};
+pub use error::ServeError;
+pub use metrics::{KindSnapshot, MetricsRegistry, Snapshot};
+pub use proto::{layout_letters, parse, ModeSpec, Request};
+pub use service::{Handle, ServeConfig, Service};
+pub use tcp::{serve_listener, MAX_LINE_BYTES};

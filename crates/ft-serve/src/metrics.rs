@@ -1,0 +1,404 @@
+//! Request metrics: per-verb counters, latency histograms, cache and
+//! engine counters.
+//!
+//! Everything is lock-free (`AtomicU64`) so recording never contends with
+//! the worker pool. Latencies land in power-of-two microsecond buckets:
+//! bucket `i` covers `[2^(i−1), 2^i)` µs (bucket 0 is `< 1 µs`), which is
+//! plenty of resolution to tell a cache hit from a BFS re-run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of latency buckets: bucket 21 tops out at ~2 s; slower requests
+/// saturate into the last bucket.
+pub const BUCKETS: usize = 22;
+
+/// The request kinds the registry tracks, in wire-verb order.
+pub const KINDS: [&str; 7] = [
+    "topo",
+    "paths",
+    "throughput",
+    "plan",
+    "convert",
+    "stats",
+    "shutdown",
+];
+
+fn kind_index(verb: &str) -> Option<usize> {
+    KINDS.iter().position(|&k| k == verb)
+}
+
+#[derive(Default)]
+struct KindStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_us: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// The service-wide metrics registry.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    kinds: [KindStats; KINDS.len()],
+    /// Requests that failed before a verb was known (parse errors).
+    unparsed_errors: AtomicU64,
+    /// Requests rejected because the job queue was full.
+    rejected_busy: AtomicU64,
+    /// Requests rejected because the service was draining.
+    rejected_shutdown: AtomicU64,
+    /// Materialization-cache hits.
+    cache_hits: AtomicU64,
+    /// Materialization-cache misses (entry had to be built).
+    cache_misses: AtomicU64,
+    /// Networks materialized to fill the cache.
+    materializations: AtomicU64,
+    /// Batched-BFS path-length computations (cache-entry fills).
+    path_computations: AtomicU64,
+    /// Conversions applied by `convert` requests.
+    conversions: AtomicU64,
+    /// Whole-cache invalidations triggered by conversions.
+    invalidations: AtomicU64,
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn bucket_of(us: u64) -> usize {
+    // 64 − leading_zeros(us) = position of the highest set bit + 1, which
+    // is exactly the [2^(i−1), 2^i) bucket index; 0 µs lands in bucket 0.
+    let idx = usize::try_from(64 - us.leading_zeros()).unwrap_or(BUCKETS - 1);
+    idx.min(BUCKETS - 1)
+}
+
+impl MetricsRegistry {
+    /// A fresh, all-zero registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Records a completed request of `verb` with its latency; `ok` is
+    /// false when the reply was an `ERR`.
+    pub fn record(&self, verb: &str, latency: Duration, ok: bool) {
+        let Some(i) = kind_index(verb) else {
+            self.unparsed_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let us = duration_us(latency);
+        let k = &self.kinds[i];
+        k.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            k.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        k.total_us.fetch_add(us, Ordering::Relaxed);
+        k.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request that failed to parse (no verb attributable).
+    pub fn record_unparsed(&self) {
+        self.unparsed_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a queue-full rejection.
+    pub fn record_busy(&self) {
+        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a rejected-because-draining request.
+    pub fn record_shutdown_rejection(&self) {
+        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a materialization-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a materialization-cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one network materialization (cache fill).
+    pub fn record_materialization(&self) {
+        self.materializations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one batched-BFS path-length computation.
+    pub fn record_path_computation(&self) {
+        self.path_computations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an applied conversion and the cache invalidation it forced.
+    pub fn record_conversion(&self) {
+        self.conversions.fetch_add(1, Ordering::Relaxed);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> Snapshot {
+        let kinds = self
+            .kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| KindSnapshot {
+                verb: KINDS[i],
+                requests: k.requests.load(Ordering::Relaxed),
+                errors: k.errors.load(Ordering::Relaxed),
+                total_us: k.total_us.load(Ordering::Relaxed),
+                buckets: std::array::from_fn(|b| k.buckets[b].load(Ordering::Relaxed)),
+            })
+            .collect();
+        Snapshot {
+            kinds,
+            unparsed_errors: self.unparsed_errors.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            materializations: self.materializations.load(Ordering::Relaxed),
+            path_computations: self.path_computations.load(Ordering::Relaxed),
+            conversions: self.conversions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counters for one request kind at snapshot time.
+#[derive(Clone, Debug)]
+pub struct KindSnapshot {
+    /// The wire verb.
+    pub verb: &'static str,
+    /// Requests completed (OK or ERR).
+    pub requests: u64,
+    /// Of those, ERR replies.
+    pub errors: u64,
+    /// Summed latency in microseconds.
+    pub total_us: u64,
+    /// Latency histogram (power-of-two µs buckets).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl KindSnapshot {
+    /// Approximate p50 latency in µs: the lower bound of the bucket that
+    /// crosses half the mass (0 when no requests were recorded).
+    pub fn p50_us(&self) -> u64 {
+        percentile_us(&self.buckets, self.requests, 0.5)
+    }
+
+    /// Approximate p99 latency in µs (same bucket-resolution caveat).
+    pub fn p99_us(&self) -> u64 {
+        percentile_us(&self.buckets, self.requests, 0.99)
+    }
+}
+
+fn percentile_us(buckets: &[u64; BUCKETS], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let threshold = (total as f64 * q).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= threshold {
+            // bucket i covers [2^(i−1), 2^i) µs; report the lower bound
+            return if i == 0 { 0 } else { 1u64 << (i - 1) };
+        }
+    }
+    1u64 << (BUCKETS - 1)
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Per-kind stats, in [`KINDS`] order.
+    pub kinds: Vec<KindSnapshot>,
+    /// Requests that failed before a verb was known.
+    pub unparsed_errors: u64,
+    /// Queue-full rejections.
+    pub rejected_busy: u64,
+    /// Draining rejections.
+    pub rejected_shutdown: u64,
+    /// Materialization-cache hits.
+    pub cache_hits: u64,
+    /// Materialization-cache misses.
+    pub cache_misses: u64,
+    /// Networks materialized to fill the cache.
+    pub materializations: u64,
+    /// Batched-BFS path-length computations.
+    pub path_computations: u64,
+    /// Conversions applied.
+    pub conversions: u64,
+    /// Cache invalidations.
+    pub invalidations: u64,
+}
+
+impl Snapshot {
+    /// Total completed requests across all kinds.
+    pub fn total_requests(&self) -> u64 {
+        self.kinds.iter().map(|k| k.requests).sum()
+    }
+
+    /// Total ERR replies across all kinds (parse failures included).
+    pub fn total_errors(&self) -> u64 {
+        self.kinds.iter().map(|k| k.errors).sum::<u64>() + self.unparsed_errors
+    }
+
+    /// The single-line `OK stats …` payload (everything `key=value`).
+    pub fn stats_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "proto=FTQ/1 total={} errors={} busy={} draining_rejects={} \
+             cache_hits={} cache_misses={} materializations={} path_computations={} \
+             conversions={} invalidations={}",
+            self.total_requests(),
+            self.total_errors(),
+            self.rejected_busy,
+            self.rejected_shutdown,
+            self.cache_hits,
+            self.cache_misses,
+            self.materializations,
+            self.path_computations,
+            self.conversions,
+            self.invalidations,
+        );
+        for k in &self.kinds {
+            let _ = write!(
+                out,
+                " {v}={} {v}_errors={} {v}_p50_us={} {v}_p99_us={}",
+                k.requests,
+                k.errors,
+                k.p50_us(),
+                k.p99_us(),
+                v = k.verb
+            );
+        }
+        out
+    }
+
+    /// The multi-line shutdown dump: counters plus per-kind histograms.
+    pub fn render_report(&self, uptime: Duration) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "ft-serve final report (uptime {:.3} s)",
+            uptime.as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "  requests: {} total, {} errors, {} busy-rejected, {} drain-rejected",
+            self.total_requests(),
+            self.total_errors(),
+            self.rejected_busy,
+            self.rejected_shutdown
+        );
+        let _ = writeln!(
+            out,
+            "  cache: {} hits, {} misses, {} materializations, {} path computations, {} invalidations",
+            self.cache_hits, self.cache_misses, self.materializations, self.path_computations,
+            self.invalidations
+        );
+        let _ = writeln!(out, "  conversions applied: {}", self.conversions);
+        for k in &self.kinds {
+            if k.requests == 0 {
+                continue;
+            }
+            let mean = k.total_us / k.requests.max(1);
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>6} req  {:>3} err  mean {:>8} µs  p50 {:>7} µs  p99 {:>7} µs",
+                k.verb,
+                k.requests,
+                k.errors,
+                mean,
+                k.p50_us(),
+                k.p99_us()
+            );
+            let mut hist = String::new();
+            for (i, &c) in k.buckets.iter().enumerate() {
+                if c > 0 {
+                    // bucket i covers [2^(i−1), 2^i) µs
+                    let lo: u64 = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                    let _ = write!(hist, " [{lo}µs:{c}]");
+                }
+            }
+            if !hist.is_empty() {
+                let _ = writeln!(out, "    latency buckets:{hist}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let m = MetricsRegistry::new();
+        m.record("paths", Duration::from_micros(100), true);
+        m.record("paths", Duration::from_micros(200), false);
+        m.record("stats", Duration::from_micros(1), true);
+        m.record_cache_hit();
+        m.record_cache_miss();
+        m.record_materialization();
+        m.record_conversion();
+        let s = m.snapshot();
+        assert_eq!(s.total_requests(), 3);
+        assert_eq!(s.total_errors(), 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.conversions, 1);
+        assert_eq!(s.invalidations, 1);
+        let paths = &s.kinds[1];
+        assert_eq!(paths.verb, "paths");
+        assert_eq!(paths.requests, 2);
+        assert_eq!(paths.errors, 1);
+        assert!(paths.p50_us() >= 64 && paths.p50_us() <= 128);
+    }
+
+    #[test]
+    fn stats_line_is_single_line_and_parseable() {
+        let m = MetricsRegistry::new();
+        m.record("topo", Duration::from_micros(10), true);
+        let line = m.snapshot().stats_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("cache_hits=0"));
+        assert!(line.contains("topo=1"));
+        for tok in line.split_whitespace() {
+            assert!(tok.contains('='), "token {tok:?} not key=value");
+        }
+    }
+
+    #[test]
+    fn unknown_verb_counts_as_unparsed() {
+        let m = MetricsRegistry::new();
+        m.record("nope", Duration::from_micros(10), false);
+        m.record_unparsed();
+        assert_eq!(m.snapshot().total_errors(), 2);
+        assert_eq!(m.snapshot().total_requests(), 0);
+    }
+
+    #[test]
+    fn report_renders_only_active_kinds() {
+        let m = MetricsRegistry::new();
+        m.record("convert", Duration::from_millis(3), true);
+        let r = m.snapshot().render_report(Duration::from_secs(1));
+        assert!(r.contains("convert"));
+        assert!(!r.contains("shutdown   "));
+        assert!(r.contains("latency buckets"));
+    }
+}

@@ -1,0 +1,184 @@
+//! The localhost TCP transport for FTQ/1.
+//!
+//! [`serve_listener`] wraps [`Service::run`]: it accepts connections on a
+//! caller-provided listener (bind to `127.0.0.1:0` to let the OS pick a
+//! port) and funnels every received line through [`Handle::request`], so
+//! TCP clients share the same admission control, cache and metrics as the
+//! in-process transport. Framing is line-delimited: one request per
+//! `\n`-terminated line, one reply line back. Partial lines are buffered
+//! per connection; a line longer than [`MAX_LINE_BYTES`] closes the
+//! connection after an `ERR bad-request` reply.
+//!
+//! The accept loop polls non-blockingly so it can observe the drain flag:
+//! once a `shutdown` request flips it, no further connections are accepted,
+//! open connections are closed after their buffered lines resolve, and the
+//! final metrics report is returned to the caller.
+
+use crate::error::ServeError;
+use crate::service::{Handle, ServeConfig, Service};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on a buffered request line; protects the per-connection
+/// buffer from a peer that never sends a newline.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Runs the query service on `listener` until a `shutdown` request drains
+/// it, returning the final metrics report.
+///
+/// # Errors
+/// [`ServeError::Io`] if the listener cannot be made non-blocking, plus
+/// everything [`Service::run`] can return.
+pub fn serve_listener(listener: TcpListener, cfg: ServeConfig) -> Result<String, ServeError> {
+    listener.set_nonblocking(true)?;
+    let ((), report) = Service::run(cfg, |handle| accept_loop(&listener, handle))?;
+    Ok(report)
+}
+
+fn accept_loop(listener: &TcpListener, handle: &Handle<'_>) {
+    // The inner scope joins per-connection workers before `Service::run`
+    // begins its own drain, so no connection outlives the pool.
+    let _ = crossbeam::scope(|s| {
+        while !handle.is_shutting_down() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    s.spawn(move |_| {
+                        // Socket errors end the connection, never the service.
+                        let _ = serve_conn(handle, stream);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+                Err(_) => break,
+            }
+        }
+    });
+}
+
+fn serve_conn(handle: &Handle<'_>, mut stream: TcpStream) -> Result<(), ServeError> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0_u8; 1024];
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            // pos came from position() over buf, so ..=pos is in bounds.
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line_bytes);
+            let line = text.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let reply = handle.request(line);
+            stream.write_all(reply.as_bytes())?;
+            stream.write_all(b"\n")?;
+        }
+        if handle.is_shutting_down() {
+            return Ok(());
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            let e = ServeError::BadRequest(format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+            stream.write_all(e.err_line().as_bytes())?;
+            stream.write_all(b"\n")?;
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // peer closed
+            // n is the read(2) return, so n ≤ chunk.len() by contract.
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn send_line(stream: &mut TcpStream, line: &str) {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+    }
+
+    #[test]
+    fn loopback_round_trip_and_shutdown() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve_listener(listener, ServeConfig::for_k(4)));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+
+        send_line(&mut stream, "ftq/1 topo");
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK topo "), "{line}");
+
+        line.clear();
+        send_line(&mut stream, "paths mode=global-rg");
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK paths "), "{line}");
+
+        line.clear();
+        send_line(&mut stream, "bogus verb");
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR "), "{line}");
+
+        line.clear();
+        send_line(&mut stream, "shutdown deadline_ms=5000");
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK shutdown drained=true"), "{line}");
+
+        let report = server.join().unwrap().unwrap();
+        assert!(report.contains("ft-serve final report"), "{report}");
+    }
+
+    #[test]
+    fn oversized_line_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            serve_listener(
+                listener,
+                ServeConfig {
+                    workers: 2,
+                    ..ServeConfig::for_k(4)
+                },
+            )
+        });
+
+        let mut noisy = TcpStream::connect(addr).unwrap();
+        noisy
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let garbage = vec![b'x'; MAX_LINE_BYTES + 2];
+        noisy.write_all(&garbage).unwrap();
+        let mut reader = BufReader::new(noisy.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR bad-request "), "{line}");
+
+        // The service survives the abuse and still answers a good client.
+        let mut good = TcpStream::connect(addr).unwrap();
+        good.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reader = BufReader::new(good.try_clone().unwrap());
+        send_line(&mut good, "stats");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK stats "), "{line}");
+
+        send_line(&mut good, "shutdown");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK shutdown "), "{line}");
+        server.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end exercise of the query service: a concurrent mixed workload,
+//! a conversion between two `paths` batches, cache-hit accounting, and a
+//! deadline-bounded graceful shutdown. This is the test CI runs under
+//! `--release` (see `.github/workflows/ci.yml`).
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use ft_serve::{ServeConfig, Service};
+use std::time::{Duration, Instant};
+
+/// Fires every request line on its own scoped thread and collects the
+/// replies in order.
+fn concurrent_batch(handle: &ft_serve::Handle<'_>, requests: &[&str]) -> Vec<String> {
+    crossbeam::scope(|s| {
+        let joins: Vec<_> = requests
+            .iter()
+            .map(|r| s.spawn(move |_| handle.request(r)))
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("request thread panicked"))
+            .collect()
+    })
+    .expect("batch scope failed")
+}
+
+fn field<'a>(reply: &'a str, key: &str) -> &'a str {
+    reply
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= in {reply:?}"))
+}
+
+#[test]
+fn concurrent_mixed_load_convert_and_graceful_shutdown() {
+    let cfg = ServeConfig {
+        workers: 4,
+        cache_capacity: 8,
+        queue_depth: 256,
+        ..ServeConfig::for_k(4)
+    };
+    let ((), report) = Service::run(cfg, |h| {
+        // ---- batch 1: 20 concurrent mixed requests on the Clos baseline.
+        let batch1: Vec<&str> = [
+            &["paths"; 8][..],
+            &["topo"; 4][..],
+            &["throughput eps=0.4 cluster=4 seed=3"; 2][..],
+            &["plan to=global-rg"; 2][..],
+            &["paths mode=local-rg"; 2][..],
+            &["stats"; 2][..],
+        ]
+        .concat();
+        let replies1 = concurrent_batch(h, &batch1);
+        for r in &replies1 {
+            assert!(r.starts_with("OK "), "batch 1 reply failed: {r}");
+        }
+
+        // ---- the cached path: a repeat `paths` for the same layout must be
+        // answered from the cache (hit counter moves, nothing re-materializes
+        // and the batched-BFS pass does not rerun).
+        let before = h.snapshot();
+        let pre_paths = h.request("paths");
+        let after = h.snapshot();
+        assert_eq!(field(&pre_paths, "source"), "hit", "{pre_paths}");
+        assert_eq!(field(&pre_paths, "cached_answer"), "true", "{pre_paths}");
+        assert_eq!(after.cache_hits, before.cache_hits + 1);
+        assert_eq!(
+            after.materializations, before.materializations,
+            "cache hit must not re-materialize"
+        );
+        assert_eq!(
+            after.path_computations, before.path_computations,
+            "cache hit must not rerun the path pass"
+        );
+
+        // ---- convert to the network-wide random graph; the cache empties.
+        let convert = h.request("convert to=global-rg");
+        assert!(convert.starts_with("OK convert "), "{convert}");
+        assert_eq!(field(&convert, "noop"), "false", "{convert}");
+        assert_eq!(field(&convert, "from"), "cccc", "{convert}");
+        assert_eq!(field(&convert, "to"), "gggg", "{convert}");
+
+        // ---- batch 2: 16 more concurrent requests against the new layout.
+        let batch2: Vec<&str> = [
+            &["paths"; 8][..],
+            &["topo"; 4][..],
+            &["plan to=clos"; 2][..],
+            &["stats"; 2][..],
+        ]
+        .concat();
+        let replies2 = concurrent_batch(h, &batch2);
+        for r in &replies2 {
+            assert!(r.starts_with("OK "), "batch 2 reply failed: {r}");
+        }
+
+        // ---- the conversion must change the `paths` answers: new layout
+        // letters and a different average path length.
+        let post_paths = h.request("paths");
+        assert_eq!(field(&pre_paths, "layout"), "cccc");
+        assert_eq!(field(&post_paths, "layout"), "gggg");
+        let pre_apl: f64 = field(&pre_paths, "apl").parse().unwrap();
+        let post_apl: f64 = field(&post_paths, "apl").parse().unwrap();
+        assert!(
+            (pre_apl - post_apl).abs() > 1e-9,
+            "conversion left APL unchanged: {pre_apl} vs {post_apl}"
+        );
+
+        // ---- stats must expose nonzero cache traffic and the invalidation.
+        let stats = h.request("stats");
+        assert!(stats.starts_with("OK stats "), "{stats}");
+        let hits: u64 = field(&stats, "cache_hits").parse().unwrap();
+        let invalidations: u64 = field(&stats, "invalidations").parse().unwrap();
+        assert!(hits > 0, "expected nonzero cache hits: {stats}");
+        assert_eq!(invalidations, 1, "{stats}");
+
+        // ---- graceful shutdown, bounded by its deadline.
+        let start = Instant::now();
+        let bye = h.request("shutdown deadline_ms=5000");
+        let waited = start.elapsed();
+        assert!(bye.starts_with("OK shutdown drained=true"), "{bye}");
+        assert!(
+            waited < Duration::from_millis(5000),
+            "drain exceeded deadline: {waited:?}"
+        );
+
+        // ---- after the drain, new work is refused but the refusal is polite.
+        let refused = h.request("paths");
+        assert!(refused.starts_with("ERR shutdown "), "{refused}");
+    })
+    .expect("service failed");
+
+    assert!(report.contains("ft-serve final report"), "{report}");
+    assert!(report.contains("cache"), "{report}");
+}
+
+#[test]
+fn queue_overflow_degrades_to_busy_not_death() {
+    // One worker and a one-slot queue: a concurrent burst must produce a mix
+    // of OK and ERR busy replies, and the service must still answer cleanly
+    // afterwards.
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::for_k(4)
+    };
+    let ((), _report) = Service::run(cfg, |h| {
+        let burst: Vec<&str> = vec!["paths mode=global-rg"; 32];
+        let replies = concurrent_batch(h, &burst);
+        assert!(replies
+            .iter()
+            .all(|r| r.starts_with("OK paths ") || r.starts_with("ERR busy ")));
+        assert!(
+            replies.iter().any(|r| r.starts_with("OK paths ")),
+            "burst starved completely"
+        );
+        let after = h.request("topo");
+        assert!(after.starts_with("OK topo "), "{after}");
+        let bye = h.request("shutdown deadline_ms=5000");
+        assert!(bye.starts_with("OK shutdown "), "{bye}");
+    })
+    .expect("service failed");
+}

@@ -200,6 +200,40 @@ mod tests {
     }
 
     #[test]
+    fn all_paths_empty() {
+        // A workload of pure same-switch flows never touches a link: every
+        // flow is unconstrained and the filling loop must still terminate.
+        let rates = max_min_rates(&[vec![], vec![], vec![]], 1.0);
+        assert_eq!(rates.len(), 3);
+        assert!(rates.iter().all(|r| r.is_infinite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = max_min_rates(&[vec![dl(0, true)]], 0.0);
+    }
+
+    #[test]
+    fn single_saturated_link_shared_by_all_flows() {
+        // Every flow crosses the same directed link: one progressive-filling
+        // round freezes all of them at exactly 1/n, the link ends exactly
+        // full, and no flow is starved or favored.
+        let n = 7;
+        let paths: Vec<Vec<DirectedLink>> = (0..n).map(|_| vec![dl(0, true)]).collect();
+        let rates = max_min_rates(&paths, 1.0);
+        assert_eq!(rates.len(), n);
+        for r in &rates {
+            assert!((r - 1.0 / n as f64).abs() < 1e-12, "unfair share {r}");
+        }
+        let total: f64 = rates.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-12,
+            "link not exactly saturated: {total}"
+        );
+    }
+
+    #[test]
     fn capacity_scales_rates() {
         let rates = max_min_rates(&[vec![dl(0, true)], vec![dl(0, true)]], 10.0);
         assert_eq!(rates, vec![5.0, 5.0]);

@@ -1,0 +1,65 @@
+//! Drive the in-process FTQ/1 query service with a mixed concurrent batch.
+//!
+//! Boots `ft-serve` on a k = 8 flat-tree, fires a multi-threaded mix of
+//! `topo`/`paths`/`throughput`/`plan` requests, converts the network to the
+//! global random graph between two `paths` rounds (watch the cache empty
+//! and the answers change), and prints the final metrics report the service
+//! dumps on shutdown.
+//!
+//! Run with: `cargo run --release --example serve_queries`
+
+use flat_tree::serve::{Handle, ServeConfig, Service};
+
+/// Issues each request on its own thread and prints the replies in order.
+fn batch(handle: &Handle<'_>, title: &str, requests: &[&str]) {
+    println!("-- {title}");
+    let replies: Vec<String> = std::thread::scope(|s| {
+        let joins: Vec<_> = requests
+            .iter()
+            .map(|r| s.spawn(move || handle.request(r)))
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("request thread panicked"))
+            .collect()
+    });
+    for (req, reply) in requests.iter().zip(&replies) {
+        println!("> {req}\n< {reply}");
+    }
+}
+
+fn main() {
+    let cfg = ServeConfig::for_k(8);
+    let result = Service::run(cfg, |h| {
+        batch(
+            h,
+            "round 1: Clos baseline (all misses, then hits)",
+            &[
+                "topo",
+                "paths",
+                "paths",
+                "paths mode=hybrid:ggggllll",
+                "throughput eps=0.3 cluster=8 pattern=permutation",
+                "plan to=global-rg",
+            ],
+        );
+        batch(
+            h,
+            "convert to the network-wide random graph",
+            &["convert to=global-rg"],
+        );
+        batch(
+            h,
+            "round 2: same queries, new answers (cache was invalidated)",
+            &["topo", "paths", "paths", "stats"],
+        );
+        batch(h, "graceful drain", &["shutdown deadline_ms=2000"]);
+    });
+    match result {
+        Ok(((), report)) => println!("\n{report}"),
+        Err(e) => {
+            eprintln!("service failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //! ftctl metrics --kind … -k 8 [--mode …] [--seed S]
 //! ftctl convert -k 8 --from <mode> --to <mode>
 //! ftctl profile -k 8
+//! ftctl serve   -k 8 [--port 0] [--workers 4] [--cache 8] [--queue 64]
+//! ftctl query   -k 8 --req "paths mode=global-rg; stats"
 //! ```
 
 use crate::core::{profile_mn, FlatTree, FlatTreeConfig, Mode};
@@ -18,6 +20,7 @@ use crate::graph::bridges::bridges;
 use crate::graph::stats::{diameter, mean_degree};
 use crate::metrics::bisection::random_bisection_bandwidth;
 use crate::metrics::path_length::{average_intra_pod_path_length, average_server_path_length};
+use crate::serve::{serve_listener, ServeConfig, Service};
 use crate::topo::export::{to_dot, to_json};
 use crate::topo::{
     fat_tree, jellyfish_matching_fat_tree, two_stage_random_graph, Network, TwoStageParams,
@@ -57,9 +60,17 @@ USAGE:
   ftctl metrics --kind <…> -k <even> [--mode <…>] [--seed <u64>]
   ftctl convert -k <even> --from <mode> --to <mode>
   ftctl profile -k <even>
+  ftctl serve   -k <even> [--port <u16, default 0 = OS-picked>]
+                [--workers <n>] [--cache <n>] [--queue <n>]
+  ftctl query   -k <even> [--req \"<ftq line>[; <ftq line>…]\"] [--workers <n>]
 
 Topology kinds build from the same equipment as fat-tree(k). flat-tree
-requires --mode; other kinds ignore it.";
+requires --mode; other kinds ignore it.
+
+serve runs the resident FTQ/1 query service on localhost TCP until a client
+sends `shutdown`; query boots the same service in-process, issues the
+`;`-separated request lines, and prints one reply line each (protocol verbs:
+topo | paths | throughput | plan | convert | stats | shutdown).";
 
 /// Splits raw arguments into an [`Invocation`].
 pub fn parse(args: &[String]) -> Result<Invocation, CliError> {
@@ -162,6 +173,8 @@ pub fn run(inv: &Invocation) -> Result<String, CliError> {
         "metrics" => cmd_metrics(inv),
         "convert" => cmd_convert(inv),
         "profile" => cmd_profile(inv),
+        "serve" => cmd_serve(inv),
+        "query" => cmd_query(inv),
         other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
     }
 }
@@ -287,6 +300,78 @@ fn cmd_profile(inv: &Invocation) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn get_usize_opt(inv: &Invocation, key: &str) -> Result<Option<usize>, CliError> {
+    match inv.options.get(key) {
+        None => Ok(None),
+        Some(s) => s
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError(format!("--{key} must be an integer"))),
+    }
+}
+
+/// Builds a [`ServeConfig`] from `-k` plus the optional
+/// `--workers`/`--cache`/`--queue` overrides.
+fn serve_config(inv: &Invocation) -> Result<ServeConfig, CliError> {
+    let mut cfg = ServeConfig::for_k(get_k(inv)?);
+    if let Some(w) = get_usize_opt(inv, "workers")? {
+        cfg.workers = w;
+    }
+    if let Some(c) = get_usize_opt(inv, "cache")? {
+        cfg.cache_capacity = c;
+    }
+    if let Some(q) = get_usize_opt(inv, "queue")? {
+        cfg.queue_depth = q;
+    }
+    Ok(cfg)
+}
+
+fn cmd_serve(inv: &Invocation) -> Result<String, CliError> {
+    let cfg = serve_config(inv)?;
+    let port: u16 = match inv.options.get("port") {
+        None => 0,
+        Some(s) => s
+            .parse()
+            .map_err(|_| CliError("--port must be a u16".into()))?,
+    };
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| CliError(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
+    let addr = listener.local_addr().map_err(|e| CliError(e.to_string()))?;
+    // Announced eagerly: the report string below only materializes once a
+    // client sends `shutdown`, and the caller needs the port before that.
+    println!("ftctl serve: listening on {addr} (FTQ/1; send `shutdown` to stop)");
+    serve_listener(listener, cfg).map_err(|e| CliError(e.to_string()))
+}
+
+fn cmd_query(inv: &Invocation) -> Result<String, CliError> {
+    let cfg = serve_config(inv)?;
+    let requests: Vec<String> = inv
+        .options
+        .get("req")
+        .map(String::as_str)
+        .unwrap_or("topo")
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if requests.is_empty() {
+        return Err(CliError("--req contained no request lines".into()));
+    }
+    let (replies, _report) = Service::run(cfg, |h| {
+        requests
+            .iter()
+            .map(|r| h.request(r))
+            .collect::<Vec<String>>()
+    })
+    .map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    for reply in replies {
+        let _ = writeln!(out, "{reply}");
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +475,57 @@ mod tests {
         ]))
         .is_err());
         assert!(run(&inv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn query_runs_ftq_lines_in_process() {
+        let out = run(&inv(&[
+            "query",
+            "-k",
+            "4",
+            "--req",
+            "topo; paths; paths; stats",
+        ]))
+        .unwrap();
+        assert!(out.contains("OK topo "), "{out}");
+        assert!(out.contains("source=hit"), "{out}");
+        assert!(out.contains("OK stats "), "{out}");
+        assert_eq!(out.lines().count(), 4, "{out}");
+    }
+
+    #[test]
+    fn query_surfaces_protocol_errors_as_reply_lines() {
+        let out = run(&inv(&["query", "-k", "4", "--req", "frobnicate"])).unwrap();
+        assert!(out.starts_with("ERR unknown-verb "), "{out}");
+    }
+
+    #[test]
+    fn query_and_serve_flag_validation() {
+        assert!(run(&inv(&["query", "-k", "4", "--req", " ; "])).is_err());
+        assert!(run(&inv(&["query", "-k", "4", "--workers", "zero"])).is_err());
+        assert!(run(&inv(&["serve", "-k", "4", "--port", "70000"])).is_err());
+        // worker count 0 is rejected by the service itself
+        assert!(run(&inv(&["query", "-k", "4", "--workers", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_config_applies_overrides() {
+        let cfg = serve_config(&inv(&[
+            "serve",
+            "-k",
+            "6",
+            "--workers",
+            "2",
+            "--cache",
+            "3",
+            "--queue",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.k, 6);
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.cache_capacity, 3);
+        assert_eq!(cfg.queue_depth, 9);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! * [`workload`] — data-center traffic patterns and placement localities.
 //! * [`metrics`] — average path length and throughput evaluation.
 //! * [`sim`] — flow-level max-min fairness simulator (extension).
+//! * [`serve`] — resident FTQ/1 query service: worker pool, materialization
+//!   cache, request metrics (in-process + localhost TCP transports).
 //!
 //! ## Quickstart
 //!
@@ -52,6 +54,7 @@ pub use ft_graph as graph;
 pub use ft_lp as lp;
 pub use ft_mcf as mcf;
 pub use ft_metrics as metrics;
+pub use ft_serve as serve;
 pub use ft_sim as sim;
 pub use ft_topo as topo;
 pub use ft_workload as workload;
