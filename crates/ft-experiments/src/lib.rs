@@ -15,7 +15,6 @@
 //!    are.
 
 use ft_metrics::Table;
-use std::sync::Mutex;
 
 /// Common sweep options shared by all experiment binaries.
 #[derive(Clone, Debug)]
@@ -100,36 +99,19 @@ impl SweepOpts {
     }
 }
 
-/// Computes `f` over `points` in parallel (bounded by the CPU count) and
-/// returns results in input order. Panics in workers propagate.
+/// Computes `f` over `points` in parallel and returns results in input
+/// order. Panics in workers propagate.
+///
+/// Delegates to [`ft_graph::par::map`], so worker count honours the
+/// `FT_THREADS` override and the deterministic-output contract of
+/// DESIGN.md §10 (results depend only on input order, never scheduling).
 pub fn parallel_points<P, R, F>(points: Vec<P>, f: F) -> Vec<R>
 where
-    P: Send,
+    P: Send + Sync,
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
-    let n = points.len();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let work = Mutex::new(points.into_iter().enumerate().collect::<Vec<_>>());
-    let threads = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    crossbeam::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let item = work.lock().unwrap().pop();
-                let Some((i, p)) = item else { break };
-                let r = f(&p);
-                *results[i].lock().unwrap() = Some(r);
-            });
-        }
-    })
-    .expect("worker panicked");
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("point not computed"))
-        .collect()
+    ft_graph::par::map(&points, f)
 }
 
 /// Collected shape-check results; the binary exits non-zero if any failed.

@@ -6,7 +6,8 @@
 //! logical switch graph plus the two server–switch links, computed by
 //! `ft-metrics` on top of the [`AllPairs`] table built here.
 
-use crate::graph::{Graph, NodeId};
+use crate::csr::Csr;
+use crate::graph::{id32, Graph, NodeId};
 use crate::UNREACHABLE;
 use std::collections::VecDeque;
 
@@ -89,6 +90,11 @@ pub fn bfs_tree(g: &Graph, src: NodeId) -> BfsTree {
 /// For the topologies in this workspace (≤ a few thousand switches) repeated
 /// BFS is both simpler and faster than Johnson-style approaches. The k = 32
 /// fat-tree has 1280 switches → a 1280² `u32` table ≈ 6.5 MB.
+///
+/// Since the sources are independent, rows are filled in parallel over a
+/// frozen [`Csr`] view ([`crate::par`] supplies the workers). Row contents
+/// are a pure function of the row's source node, so the table is
+/// bit-identical for every thread count.
 #[derive(Clone)]
 pub struct AllPairs {
     n: usize,
@@ -96,14 +102,10 @@ pub struct AllPairs {
 }
 
 impl AllPairs {
-    /// Computes all-pairs shortest path distances by one BFS per node.
+    /// Computes all-pairs shortest path distances by one BFS per node,
+    /// parallelized over [`crate::par::thread_count`] workers.
     pub fn compute(g: &Graph) -> Self {
-        let n = g.node_count();
-        let mut dist = Vec::with_capacity(n * n);
-        for v in g.nodes() {
-            dist.extend_from_slice(&bfs_distances(g, v));
-        }
-        AllPairs { n, dist }
+        Self::compute_csr(&Csr::from_graph(g))
     }
 
     /// Computes distances only from the given source nodes (a partial table).
@@ -111,11 +113,36 @@ impl AllPairs {
     /// Rows are stored in the order sources are given; use [`AllPairs::row`]
     /// with the *source's position in `sources`*, not its node id.
     pub fn compute_from(g: &Graph, sources: &[NodeId]) -> Self {
-        let n = g.node_count();
-        let mut dist = Vec::with_capacity(sources.len() * n);
-        for &v in sources {
-            dist.extend_from_slice(&bfs_distances(g, v));
-        }
+        Self::compute_from_csr(&Csr::from_graph(g), sources)
+    }
+
+    /// [`AllPairs::compute`] over a pre-built CSR view (reuse the view when
+    /// computing several tables or mixing APSP with other CSR traversals).
+    pub fn compute_csr(csr: &Csr) -> Self {
+        Self::compute_csr_with_threads(csr, crate::par::thread_count())
+    }
+
+    /// [`AllPairs::compute_csr`] with an explicit worker count (`1` forces
+    /// the sequential reference implementation; benchmarks and the
+    /// determinism tests pin both sides this way).
+    pub fn compute_csr_with_threads(csr: &Csr, threads: usize) -> Self {
+        let sources: Vec<NodeId> = (0..csr.node_count()).map(|i| NodeId(id32(i))).collect();
+        Self::compute_from_csr_with_threads(csr, &sources, threads)
+    }
+
+    /// [`AllPairs::compute_from`] over a pre-built CSR view.
+    pub fn compute_from_csr(csr: &Csr, sources: &[NodeId]) -> Self {
+        Self::compute_from_csr_with_threads(csr, sources, crate::par::thread_count())
+    }
+
+    /// [`AllPairs::compute_from_csr`] with an explicit worker count.
+    pub fn compute_from_csr_with_threads(csr: &Csr, sources: &[NodeId], threads: usize) -> Self {
+        let n = csr.node_count();
+        let mut dist = vec![0u32; sources.len() * n];
+        crate::par::fill_rows_with(threads, &mut dist, n, Vec::new, |i, row, queue| {
+            // bounds: fill_rows_with yields one row index per source
+            csr.bfs_into(sources[i], row, queue);
+        });
         AllPairs { n, dist }
     }
 
@@ -218,6 +245,30 @@ mod tests {
             for j in 0..4 {
                 assert_eq!(ap.get(i, j), ap.get(j, i));
             }
+        }
+    }
+
+    #[test]
+    fn all_pairs_rows_match_bfs_distances() {
+        let g = diamond();
+        let ap = AllPairs::compute(&g);
+        for v in g.nodes() {
+            assert_eq!(ap.row(v.index()), bfs_distances(&g, v).as_slice());
+        }
+    }
+
+    #[test]
+    fn all_pairs_parallel_matches_sequential() {
+        // 20-node graph: a ring plus a few chords, enough rows for several
+        // worker chunks.
+        let mut edges: Vec<(u32, u32)> = (0..20).map(|i| (i, (i + 1) % 20)).collect();
+        edges.extend([(0, 10), (3, 17), (5, 12)]);
+        let g = Graph::from_edges(20, &edges);
+        let csr = crate::csr::Csr::from_graph(&g);
+        let seq = AllPairs::compute_csr_with_threads(&csr, 1);
+        for threads in [2, 3, 8, 64] {
+            let par = AllPairs::compute_csr_with_threads(&csr, threads);
+            assert_eq!(par.dist, seq.dist, "threads={threads}");
         }
     }
 

@@ -6,6 +6,7 @@
 //! functions (the exponential dual weights). Keeping lengths out of the graph
 //! avoids rebuilding or mutating it in the hot loop.
 
+use crate::csr::Csr;
 use crate::graph::{EdgeId, Graph, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -20,34 +21,54 @@ pub struct DijkstraResult {
 }
 
 impl DijkstraResult {
-    /// Reconstructs a shortest path to `t` as the list of edges from the
-    /// source to `t`, or `None` if unreachable.
-    pub fn edge_path_to(&self, t: NodeId) -> Option<Vec<EdgeId>> {
+    /// Number of hops on the shortest path to `t`, or `None` if `t` is
+    /// unreachable.
+    pub fn hops_to(&self, t: NodeId) -> Option<usize> {
         if !self.dist[t.index()].is_finite() {
             return None;
         }
-        let mut edges = Vec::new();
+        let mut hops = 0usize;
         let mut cur = t;
-        while let Some((p, e)) = self.parent[cur.index()] {
-            edges.push(e);
+        while let Some((p, _)) = self.parent[cur.index()] {
+            hops += 1;
             cur = p;
         }
+        Some(hops)
+    }
+
+    /// Shared parent walk behind both path reconstructions: collects
+    /// `f(parent, edge)` per hop walking from `t` back toward the source
+    /// (i.e. in reverse path order), with the output sized up front from
+    /// [`DijkstraResult::hops_to`] so neither caller re-allocates while
+    /// pushing. Returns `None` when `t` is unreachable.
+    fn walk_parents<T, F>(&self, t: NodeId, extra_capacity: usize, mut f: F) -> Option<Vec<T>>
+    where
+        F: FnMut(NodeId, EdgeId) -> T,
+    {
+        let hops = self.hops_to(t)?;
+        let mut out = Vec::with_capacity(hops + extra_capacity);
+        let mut cur = t;
+        while let Some((p, e)) = self.parent[cur.index()] {
+            out.push(f(p, e));
+            cur = p;
+        }
+        Some(out)
+    }
+
+    /// Reconstructs a shortest path to `t` as the list of edges from the
+    /// source to `t`, or `None` if unreachable.
+    pub fn edge_path_to(&self, t: NodeId) -> Option<Vec<EdgeId>> {
+        let mut edges = self.walk_parents(t, 0, |_, e| e)?;
         edges.reverse();
         Some(edges)
     }
 
     /// Reconstructs a shortest path to `t` as a node list, or `None`.
     pub fn node_path_to(&self, t: NodeId) -> Option<Vec<NodeId>> {
-        if !self.dist[t.index()].is_finite() {
-            return None;
-        }
-        let mut path = vec![t];
-        let mut cur = t;
-        while let Some((p, _)) = self.parent[cur.index()] {
-            path.push(p);
-            cur = p;
-        }
+        // one extra slot so pushing `t` after the reverse stays in capacity
+        let mut path = self.walk_parents(t, 1, |p, _| p)?;
         path.reverse();
+        path.push(t);
         Some(path)
     }
 }
@@ -98,7 +119,25 @@ pub fn dijkstra_filtered<F>(g: &Graph, src: NodeId, length: &[f64], allow: F) ->
 where
     F: Fn(NodeId, EdgeId) -> bool,
 {
-    let n = g.node_count();
+    // One-shot calls pay a CSR freeze; repeated callers (Yen's, benchmarks)
+    // build the view once and use `dijkstra_csr_filtered` directly. The CSR
+    // preserves `Graph::neighbors` order, so results are bit-identical.
+    dijkstra_csr_filtered(&Csr::from_graph(g), src, length, allow)
+}
+
+/// [`dijkstra`] over a pre-built [`Csr`] view.
+pub fn dijkstra_csr(csr: &Csr, src: NodeId, length: &[f64]) -> DijkstraResult {
+    dijkstra_csr_filtered(csr, src, length, |_, _| true)
+}
+
+/// [`dijkstra_filtered`] over a pre-built [`Csr`] view: the hot-path variant
+/// that traverses the contiguous `offsets`/`targets`/`edge_ids` arrays
+/// instead of the pointer-chasing `Vec<Vec<…>>` adjacency.
+pub fn dijkstra_csr_filtered<F>(csr: &Csr, src: NodeId, length: &[f64], allow: F) -> DijkstraResult
+where
+    F: Fn(NodeId, EdgeId) -> bool,
+{
+    let n = csr.node_count();
     let mut dist = vec![f64::INFINITY; n];
     let mut parent = vec![None; n];
     let mut heap = BinaryHeap::new();
@@ -111,7 +150,8 @@ where
         if d > dist[v.index()] {
             continue; // stale entry
         }
-        for (u, e) in g.neighbors(v) {
+        for (t, ei) in csr.targets(v.index()).iter().zip(csr.edge_ids(v.index())) {
+            let (u, e) = (NodeId(*t), EdgeId(*ei));
             if !allow(u, e) {
                 continue;
             }
@@ -205,6 +245,34 @@ mod tests {
         let edges = d.edge_path_to(NodeId(3)).unwrap();
         assert_eq!(nodes.len(), edges.len() + 1);
         assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn csr_variant_is_bit_identical() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
+        let len: Vec<f64> = (0..g.edge_id_bound())
+            .map(|i| 0.5 + i as f64 * 0.3)
+            .collect();
+        let csr = Csr::from_graph(&g);
+        for v in g.nodes() {
+            let a = dijkstra(&g, v, &len);
+            let b = dijkstra_csr(&csr, v, &len);
+            for (x, y) in a.dist.iter().zip(&b.dist) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(a.parent, b.parent);
+        }
+    }
+
+    #[test]
+    fn hops_to_counts_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = dijkstra(&g, NodeId(0), &[1.0; 3]);
+        assert_eq!(d.hops_to(NodeId(0)), Some(0));
+        assert_eq!(d.hops_to(NodeId(3)), Some(3));
+        let g2 = Graph::from_edges(3, &[(0, 1)]);
+        let d2 = dijkstra(&g2, NodeId(0), &[1.0]);
+        assert_eq!(d2.hops_to(NodeId(2)), None);
     }
 
     #[test]

@@ -46,16 +46,19 @@
 
 pub mod bfs;
 pub mod bridges;
+pub mod csr;
 pub mod dijkstra;
 pub mod error;
 pub mod graph;
 pub mod maxflow;
+pub mod par;
 pub mod stats;
 pub mod yen;
 
 pub use bfs::{bfs_distances, bfs_tree, AllPairs};
 pub use bridges::bridges;
-pub use dijkstra::{dijkstra, DijkstraResult};
+pub use csr::Csr;
+pub use dijkstra::{dijkstra, dijkstra_csr, DijkstraResult};
 pub use error::GraphError;
 pub use graph::{id32, try_id32, EdgeId, Graph, NodeId};
 pub use maxflow::FlowNetwork;

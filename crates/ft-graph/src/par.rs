@@ -1,0 +1,223 @@
+//! Scoped parallel-map utilities with a deterministic output contract.
+//!
+//! Everything in the workspace that fans out — BFS-APSP row fills, the
+//! per-instance sweeps in `ft-experiments`, the materialization fills in
+//! `ft-serve` — goes through this module so that one rule holds everywhere:
+//! **the result is a pure function of the input order, never of thread
+//! scheduling**. Each item's result is written to the slot of its *input*
+//! index, so `map(items, f)` returns exactly `items.iter().map(f).collect()`
+//! regardless of worker count (DESIGN.md §10 spells out the contract).
+//!
+//! Worker count comes from the `FT_THREADS` environment variable when set to
+//! a positive integer, otherwise from
+//! [`std::thread::available_parallelism`]. `FT_THREADS=1` forces sequential
+//! execution, which the determinism tests use to compare against
+//! multi-threaded runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: `FT_THREADS` if set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`] (falling back
+/// to 1 when even that is unavailable).
+pub fn thread_count() -> usize {
+    if let Ok(raw) = std::env::var("FT_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item and collects the results in input order, using
+/// [`thread_count`] workers.
+///
+/// Equivalent to `items.iter().map(f).collect()` — bit-for-bit, for any
+/// worker count. A panic in `f` propagates to the caller.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_with(thread_count(), items, f)
+}
+
+/// [`map`] with an explicit worker count (used by benchmarks and the
+/// determinism tests to pin sequential vs parallel runs).
+pub fn map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // One slot per input index; workers claim items dynamically through the
+    // cursor but always deposit into the item's own slot, so the collected
+    // output order is independent of scheduling.
+    let slots: Vec<parking_lot::Mutex<Option<R>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let slots_ref = &slots;
+    let cursor_ref = &cursor;
+    // The crossbeam shim's scope propagates worker panics by panicking at
+    // join (std::thread::scope semantics), so it never returns `Err` and an
+    // unfilled slot below is unreachable in practice.
+    let _ = crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(move |_| loop {
+                let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots_ref[i].lock() = Some(r);
+            });
+        }
+    });
+    let out: Vec<R> = slots
+        .into_iter()
+        .filter_map(|slot| slot.into_inner())
+        .collect();
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// Fills `out`, viewed as consecutive rows of `row_len` elements, in
+/// parallel: `fill(row_index, row_slice, scratch)` is called exactly once
+/// per row, with a per-worker `scratch` created by `init`.
+///
+/// Rows are distributed as contiguous chunks (worker `w` owns rows
+/// `[w * rows_per_worker, …)`), so writes are disjoint and no
+/// synchronization is needed beyond the scope join. The per-worker scratch
+/// lets row kernels (e.g. a BFS frontier queue) stay allocation-free after
+/// warm-up. Deterministic for the same reason as [`map`]: each row's
+/// content depends only on its row index.
+///
+/// `out.len()` must be a multiple of `row_len`; `row_len == 0` is a no-op.
+pub fn fill_rows_with<T, S, G, F>(threads: usize, out: &mut [T], row_len: usize, init: G, fill: F)
+where
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
+    if row_len == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len() % row_len, 0);
+    let rows = out.len() / row_len;
+    let workers = threads.min(rows).max(1);
+    if workers <= 1 {
+        let mut scratch = init();
+        for (i, row) in out.chunks_mut(row_len).enumerate() {
+            fill(i, row, &mut scratch);
+        }
+        return;
+    }
+
+    // ceil(rows / workers) rows per chunk; the last chunk may be shorter.
+    let rows_per_chunk = rows.div_ceil(workers);
+    let init = &init;
+    let fill = &fill;
+    // See `map_with` for why the scope result can be ignored.
+    let _ = crossbeam::scope(|s| {
+        for (c, chunk) in out.chunks_mut(rows_per_chunk * row_len).enumerate() {
+            s.spawn(move |_| {
+                let mut scratch = init();
+                let first_row = c * rows_per_chunk;
+                for (j, row) in chunk.chunks_mut(row_len).enumerate() {
+                    fill(first_row + j, row, &mut scratch);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 7] {
+            assert_eq!(map_with(threads, &items, |x| x * x), expect);
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(map_with(4, &empty, |x| *x), Vec::<u32>::new());
+        assert_eq!(map_with(4, &[41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn map_uses_env_thread_count() {
+        // Not asserting actual concurrency (1-core CI), just that the env
+        // path parses and the result stays correct.
+        std::env::set_var("FT_THREADS", "3");
+        assert_eq!(thread_count(), 3);
+        let got = map(&[1u32, 2, 3, 4, 5], |x| x * 2);
+        std::env::remove_var("FT_THREADS");
+        assert_eq!(got, vec![2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn thread_count_rejects_garbage() {
+        std::env::set_var("FT_THREADS", "zero");
+        let n = thread_count();
+        std::env::set_var("FT_THREADS", "0");
+        let m = thread_count();
+        std::env::remove_var("FT_THREADS");
+        assert!(n >= 1);
+        assert!(m >= 1);
+    }
+
+    #[test]
+    fn fill_rows_matches_sequential() {
+        let rows = 13;
+        let row_len = 5;
+        let fill = |i: usize, row: &mut [u64], scratch: &mut u64| {
+            *scratch += 1;
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (i * row_len + j) as u64;
+            }
+        };
+        let mut seq = vec![0u64; rows * row_len];
+        fill_rows_with(1, &mut seq, row_len, || 0u64, fill);
+        for threads in [2, 4, 16] {
+            let mut par = vec![0u64; rows * row_len];
+            fill_rows_with(threads, &mut par, row_len, || 0u64, fill);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fill_rows_zero_row_len_is_noop() {
+        let mut out: Vec<u8> = Vec::new();
+        fill_rows_with(4, &mut out, 0, || (), |_, _, _| {});
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            map_with(2, &[1u32, 2, 3, 4], |x| {
+                assert!(*x != 3, "boom");
+                *x
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -2,7 +2,8 @@
 //! random graphs.
 
 use ft_graph::{
-    bfs_distances, bfs_tree, dijkstra, k_shortest_paths, FlowNetwork, Graph, NodeId, UNREACHABLE,
+    bfs_distances, bfs_tree, dijkstra, k_shortest_paths, AllPairs, Csr, FlowNetwork, Graph, NodeId,
+    UNREACHABLE,
 };
 use proptest::prelude::*;
 
@@ -130,6 +131,21 @@ proptest! {
         let bfs = bfs_distances(&g, NodeId(0));
         if bfs[dst] != UNREACHABLE {
             prop_assert!(fwd >= 1.0 - 1e-9);
+        }
+    }
+
+    /// Parallel BFS-APSP over the CSR view is identical to the sequential
+    /// table for every worker count — the DESIGN.md §10 determinism
+    /// contract on random graphs.
+    #[test]
+    fn parallel_apsp_equals_sequential(g in arb_connected_graph(), workers in 2usize..9) {
+        let csr = Csr::from_graph(&g);
+        let seq = AllPairs::compute_csr_with_threads(&csr, 1);
+        let par = AllPairs::compute_csr_with_threads(&csr, workers);
+        for v in 0..g.node_count() {
+            prop_assert_eq!(seq.row(v), par.row(v), "row {} diverged", v);
+            // and each row agrees with the Graph-based BFS it replaced
+            prop_assert_eq!(seq.row(v), &bfs_distances(&g, NodeId(v as u32))[..]);
         }
     }
 

@@ -103,65 +103,171 @@ impl CapGraph {
     /// `dst` is settled. Returns the arc path `src → dst` and its length,
     /// or `None` if unreachable.
     ///
-    /// `lengths[i]` must be ≥ 0 for every arc `i`.
+    /// `lengths[i]` must be ≥ 0 for every arc `i`. Convenience wrapper over
+    /// [`CapGraph::shortest_path_with`] that pays one scratch allocation per
+    /// call; hot loops (the FPTAS phases, Yen spurs) hold a
+    /// [`DijkstraScratch`] and call the `_with` variant directly.
     pub fn shortest_path(
         &self,
         src: usize,
         dst: usize,
         lengths: &[f64],
     ) -> Option<(Vec<usize>, f64)> {
-        #[derive(PartialEq)]
-        struct E {
-            d: f64,
-            v: usize,
-        }
-        impl Eq for E {}
-        impl Ord for E {
-            fn cmp(&self, o: &Self) -> Ordering {
-                o.d.total_cmp(&self.d).then_with(|| o.v.cmp(&self.v))
-            }
-        }
-        impl PartialOrd for E {
-            fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
-                Some(self.cmp(o))
-            }
-        }
+        let mut scratch = DijkstraScratch::new();
+        let d = self.shortest_path_with(src, dst, lengths, &mut scratch)?;
+        Some((std::mem::take(&mut scratch.path), d))
+    }
 
-        let n = self.out.len();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut parent: Vec<u32> = vec![u32::MAX; n];
-        let mut heap = BinaryHeap::new();
-        dist[src] = 0.0;
-        heap.push(E { d: 0.0, v: src });
-        while let Some(E { d, v }) = heap.pop() {
+    /// [`CapGraph::shortest_path`] into a reusable [`DijkstraScratch`]:
+    /// zero heap allocation once the scratch has warmed up to this graph's
+    /// node count. On success the arc path is left in
+    /// [`DijkstraScratch::path`] and the distance is returned.
+    ///
+    /// Bit-identical to `shortest_path`: same heap ordering (distance, then
+    /// node index), same relaxation order, same early exit at `dst`.
+    pub fn shortest_path_with(
+        &self,
+        src: usize,
+        dst: usize,
+        lengths: &[f64],
+        scratch: &mut DijkstraScratch,
+    ) -> Option<f64> {
+        scratch.begin(self.out.len());
+        scratch.settle(src, 0.0, u32::MAX);
+        scratch.heap.push(HeapArc { d: 0.0, v: src });
+        while let Some(HeapArc { d, v }) = scratch.heap.pop() {
             if v == dst {
                 break;
             }
-            if d > dist[v] {
+            // every heap entry was stamped when pushed this run, so the
+            // plain (un-stamped) dist read is valid
+            if d > scratch.dist[v] {
                 continue;
             }
             for &ai in &self.out[v] {
                 let a = self.arcs[ai as usize];
                 let nd = d + lengths[ai as usize];
-                if nd < dist[a.to] {
-                    dist[a.to] = nd;
-                    parent[a.to] = ai;
-                    heap.push(E { d: nd, v: a.to });
+                if nd < scratch.dist_of(a.to) {
+                    scratch.settle(a.to, nd, ai);
+                    scratch.heap.push(HeapArc { d: nd, v: a.to });
                 }
             }
         }
-        if !dist[dst].is_finite() {
+        if scratch.stamp[dst] != scratch.gen || !scratch.dist[dst].is_finite() {
             return None;
         }
-        let mut path = Vec::new();
         let mut cur = dst;
         while cur != src {
-            let ai = parent[cur];
-            path.push(ai as usize);
+            let ai = scratch.parent[cur];
+            scratch.path.push(ai as usize);
             cur = self.arcs[ai as usize].from;
         }
-        path.reverse();
-        Some((path, dist[dst]))
+        scratch.path.reverse();
+        Some(scratch.dist[dst])
+    }
+}
+
+/// Min-heap entry for the arc Dijkstra: minimum distance first, ties broken
+/// by node index so the pop order (and with it every FPTAS dual update) is
+/// fully deterministic.
+#[derive(Clone, Debug, PartialEq)]
+struct HeapArc {
+    d: f64,
+    v: usize,
+}
+
+impl Eq for HeapArc {}
+
+impl Ord for HeapArc {
+    fn cmp(&self, o: &Self) -> Ordering {
+        o.d.total_cmp(&self.d).then_with(|| o.v.cmp(&self.v))
+    }
+}
+
+impl PartialOrd for HeapArc {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+
+/// Reusable state for [`CapGraph::shortest_path_with`].
+///
+/// The FPTAS runs one Dijkstra per phase step — tens of thousands of calls
+/// on the same graph — and allocating `dist`/`parent`/heap each time
+/// dominated the runtime at k ≥ 16. The scratch keeps those buffers alive
+/// across calls:
+///
+/// * `dist`/`parent` entries are valid only where `stamp[v] == gen`; a new
+///   run just bumps `gen` instead of re-filling the arrays (O(1) reset, with
+///   a full wipe on the ~4-billion-run stamp wraparound).
+/// * the binary heap and the output path vector are `clear()`ed, which
+///   retains their capacity.
+///
+/// After the first call at a given graph size, subsequent calls perform no
+/// heap allocation. A scratch may be shared across graphs; `begin` grows the
+/// arrays to the largest node count seen.
+#[derive(Clone, Debug, Default)]
+pub struct DijkstraScratch {
+    /// Current run id; array entries are valid iff their stamp matches.
+    gen: u32,
+    /// Per-node stamp of the run that last wrote `dist`/`parent`.
+    stamp: Vec<u32>,
+    /// Tentative distance per node (valid where stamped).
+    dist: Vec<f64>,
+    /// Incoming arc on the best known path (valid where stamped;
+    /// `u32::MAX` marks the source).
+    parent: Vec<u32>,
+    /// Priority queue, drained at the start of every run.
+    heap: BinaryHeap<HeapArc>,
+    /// Arc path of the last successful run, source → destination.
+    path: Vec<usize>,
+}
+
+impl DijkstraScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        DijkstraScratch::default()
+    }
+
+    /// Starts a new run over a graph with `n` nodes.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, f64::INFINITY);
+            self.parent.resize(n, u32::MAX);
+        }
+        if self.gen == u32::MAX {
+            // stamp wraparound: wipe so old runs can't alias run 1 again
+            self.stamp.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+        self.heap.clear();
+        self.path.clear();
+    }
+
+    /// Distance of `v` in the current run (`∞` when untouched).
+    #[inline]
+    fn dist_of(&self, v: usize) -> f64 {
+        if self.stamp[v] == self.gen {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Records `dist`/`parent` for `v` and marks it touched this run.
+    #[inline]
+    fn settle(&mut self, v: usize, d: f64, parent_arc: u32) {
+        self.stamp[v] = self.gen;
+        self.dist[v] = d;
+        self.parent[v] = parent_arc;
+    }
+
+    /// Arc path found by the last successful
+    /// [`CapGraph::shortest_path_with`] call, in source → destination order.
+    pub fn path(&self) -> &[usize] {
+        &self.path
     }
 }
 
@@ -224,6 +330,52 @@ mod tests {
         let (path, d) = cg.shortest_path(0, 0, &[]).unwrap();
         assert!(path.is_empty());
         assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let cg = CapGraph::from_graph(&g, 1.0);
+        let lengths: Vec<f64> = (0..cg.arc_count()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut scratch = DijkstraScratch::new();
+        for src in 0..5 {
+            for dst in 0..5 {
+                let fresh = cg.shortest_path(src, dst, &lengths);
+                let reused = cg
+                    .shortest_path_with(src, dst, &lengths, &mut scratch)
+                    .map(|d| (scratch.path().to_vec(), d));
+                match (fresh, reused) {
+                    (Some((p1, d1)), Some((p2, d2))) => {
+                        assert_eq!(p1, p2, "{src}->{dst}");
+                        assert_eq!(d1.to_bits(), d2.to_bits(), "{src}->{dst}");
+                    }
+                    (None, None) => {}
+                    other => panic!("fresh/reused disagree for {src}->{dst}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_unreachable_then_reachable() {
+        let mut cg = CapGraph::new(3);
+        cg.add_arc(0, 1, 1.0);
+        let len = vec![1.0];
+        let mut s = DijkstraScratch::new();
+        assert!(cg.shortest_path_with(0, 2, &len, &mut s).is_none());
+        // stale state from the failed run must not leak into the next one
+        assert_eq!(cg.shortest_path_with(0, 1, &len, &mut s), Some(1.0));
+        assert_eq!(s.path(), &[0]);
+        assert!(cg.shortest_path_with(2, 1, &len, &mut s).is_none());
+    }
+
+    #[test]
+    fn scratch_grows_across_graphs() {
+        let mut s = DijkstraScratch::new();
+        let small = CapGraph::from_graph(&Graph::from_edges(2, &[(0, 1)]), 1.0);
+        assert!(small.shortest_path_with(0, 1, &[1.0; 2], &mut s).is_some());
+        let big = CapGraph::from_graph(&Graph::from_edges(6, &[(0, 1), (1, 5)]), 1.0);
+        assert_eq!(big.shortest_path_with(0, 5, &[1.0; 4], &mut s), Some(2.0));
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! caller's demand units.
 
 use crate::bounds::node_cut_upper_bound;
-use crate::digraph::CapGraph;
+use crate::digraph::{CapGraph, DijkstraScratch};
 use crate::{Commodity, McfError};
 
 /// Tuning knobs for the FPTAS.
@@ -120,11 +120,18 @@ pub fn max_concurrent_flow(
     }
     let ub = node_cut_upper_bound(g, commodities);
 
+    // One Dijkstra scratch for the whole solve: the pre-check below, plus
+    // every routing step of every run_once call, reuse its buffers (zero
+    // per-call allocation after the first Dijkstra warms it up).
+    let mut scratch = DijkstraScratch::new();
+
     // Reachability pre-check: a disconnected commodity pins λ to 0.
     {
         let ones = vec![1.0f64; m];
         for c in commodities {
-            if g.shortest_path(c.src, c.dst, &ones).is_none() {
+            if g.shortest_path_with(c.src, c.dst, &ones, &mut scratch)
+                .is_none()
+            {
                 return Ok(McfSolution {
                     lambda: 0.0,
                     upper_bound: ub,
@@ -145,7 +152,7 @@ pub fn max_concurrent_flow(
     } else {
         1.0
     };
-    let mut last = run_once(g, commodities, scale, opts);
+    let mut last = run_once(g, commodities, scale, opts, &mut scratch);
     for _ in 0..4 {
         let scaled_lambda = last.lambda * scale; // λ' of the scaled instance
         if (0.2..=5.0).contains(&scaled_lambda) {
@@ -159,7 +166,7 @@ pub fn max_concurrent_flow(
         } else {
             scale /= scaled_lambda; // new scale ≈ 1/OPT
         }
-        last = run_once(g, commodities, scale, opts);
+        last = run_once(g, commodities, scale, opts, &mut scratch);
     }
     last.upper_bound = ub;
     Ok(last)
@@ -173,6 +180,7 @@ fn run_once(
     commodities: &[Commodity],
     scale: f64,
     opts: FptasOptions,
+    scratch: &mut DijkstraScratch,
 ) -> McfSolution {
     let eps = opts.epsilon;
     let m = g.arc_count();
@@ -195,17 +203,21 @@ fn run_once(
                     }
                 }
                 steps += 1;
-                let Some((path, _)) = g.shortest_path(c.src, c.dst, &length) else {
+                // allocation-free: path lands in the reused scratch buffers
+                if g.shortest_path_with(c.src, c.dst, &length, scratch)
+                    .is_none()
+                {
                     break 'outer; // cannot happen after the pre-check
-                };
-                let bottleneck = path
+                }
+                let bottleneck = scratch
+                    .path()
                     .iter()
                     .map(|&a| g.arc(a).cap)
                     .fold(f64::INFINITY, f64::min);
                 let f = rem.min(bottleneck);
                 rem -= f;
                 routed[j] += f;
-                for &a in &path {
+                for &a in scratch.path() {
                     let cap = g.arc(a).cap;
                     flow[a] += f;
                     let old = length[a];

@@ -50,7 +50,7 @@ pub mod fptas;
 pub mod paths;
 
 pub use bounds::node_cut_upper_bound;
-pub use digraph::CapGraph;
+pub use digraph::{CapGraph, DijkstraScratch};
 pub use exact::max_concurrent_flow_exact;
 pub use fptas::{max_concurrent_flow, FptasOptions, McfSolution};
 pub use paths::{k_shortest_arc_paths, max_concurrent_flow_on_paths, ArcPath};

@@ -20,7 +20,7 @@
 //! Variables are per-path flows, so the LP stays small for the k ≤ 8 path
 //! sets routing actually uses.
 
-use crate::digraph::CapGraph;
+use crate::digraph::{CapGraph, DijkstraScratch};
 use crate::{Commodity, McfError};
 use ft_lp::{LpError, LpOutcome, LpProblem, Var};
 
@@ -108,11 +108,16 @@ pub fn max_concurrent_flow_on_paths(
 /// undirected switch graph).
 pub fn k_shortest_arc_paths(g: &CapGraph, c: &Commodity, k: usize) -> Vec<ArcPath> {
     let ones = vec![1.0; g.arc_count()];
+    // one Dijkstra scratch plus one lengths buffer, reused across all spur
+    // computations (the buffer is re-initialized from `ones` per spur
+    // instead of cloning a fresh vector)
+    let mut scratch = DijkstraScratch::new();
+    let mut lengths = ones.clone();
     let mut accepted: Vec<(ArcPath, f64)> = Vec::new();
-    let Some((first, len)) = g.shortest_path(c.src, c.dst, &ones) else {
+    let Some(len) = g.shortest_path_with(c.src, c.dst, &ones, &mut scratch) else {
         return Vec::new();
     };
-    accepted.push((first, len));
+    accepted.push((scratch.path().to_vec(), len));
     let mut candidates: Vec<(ArcPath, f64)> = Vec::new();
     while accepted.len() < k {
         let Some((prev, _)) = accepted.last().cloned() else {
@@ -122,7 +127,7 @@ pub fn k_shortest_arc_paths(g: &CapGraph, c: &Commodity, k: usize) -> Vec<ArcPat
         // paths by inflating its length
         for spur in 0..prev.len() {
             let root = &prev[..spur];
-            let mut lengths = ones.clone();
+            lengths.copy_from_slice(&ones);
             for (p, _) in &accepted {
                 if p.len() > spur && &p[..spur] == root {
                     lengths[p[spur]] = f64::INFINITY;
@@ -142,10 +147,10 @@ pub fn k_shortest_arc_paths(g: &CapGraph, c: &Commodity, k: usize) -> Vec<ArcPat
                     lengths[ai as usize] = f64::INFINITY;
                 }
             }
-            if let Some((tail, tail_len)) = g.shortest_path(spur_node, c.dst, &lengths) {
+            if let Some(tail_len) = g.shortest_path_with(spur_node, c.dst, &lengths, &mut scratch) {
                 if tail_len.is_finite() {
                     let mut path = root.to_vec();
-                    path.extend_from_slice(&tail);
+                    path.extend_from_slice(scratch.path());
                     let total = path.len() as f64;
                     if !accepted.iter().any(|(p, _)| *p == path)
                         && !candidates.iter().any(|(p, _)| *p == path)

@@ -13,9 +13,18 @@
 //! removes self-pairs (a server to itself). Distinct servers on the same
 //! switch are correctly counted at distance 2.
 
-use ft_graph::{bfs_distances, id32, Graph, NodeId, UNREACHABLE};
+use ft_graph::{id32, AllPairs, Csr, Graph, NodeId, UNREACHABLE};
 use ft_topo::Network;
 use std::collections::BTreeMap;
+
+/// Builds the partial APSP table for the server-hosting switches, one
+/// parallel BFS row per source over a frozen CSR view. Row `i` belongs to
+/// `sources[i]`. Rows are bit-identical for every `FT_THREADS` value, so
+/// every float accumulation downstream is too.
+fn source_distances(sg: &Graph, sources: &[usize]) -> AllPairs {
+    let nodes: Vec<NodeId> = sources.iter().map(|&i| NodeId(id32(i))).collect();
+    AllPairs::compute_from_csr(&Csr::from_graph(sg), &nodes)
+}
 
 /// Average path length in hops over all ordered pairs of distinct servers.
 ///
@@ -76,6 +85,7 @@ pub fn path_length_histogram(net: &Network) -> Vec<u64> {
     let counts = net.server_counts();
     let sg = net.switch_graph();
     let sources: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] > 0).collect();
+    let ap = source_distances(&sg, &sources);
     let mut hist: Vec<u64> = Vec::new();
     let mut bump = |h: usize, n: u64| {
         if h >= hist.len() {
@@ -83,8 +93,8 @@ pub fn path_length_histogram(net: &Network) -> Vec<u64> {
         }
         hist[h] += n;
     };
-    for &a in &sources {
-        let dist = bfs_distances(&sg, NodeId(id32(a)));
+    for (ai, &a) in sources.iter().enumerate() {
+        let dist = ap.row(ai);
         for &b in &sources {
             if dist[b] == UNREACHABLE {
                 continue;
@@ -113,9 +123,13 @@ fn weighted_sum(sg: &Graph, counts: &[u32]) -> (f64, u64) {
         return (0.0, 0);
     }
     let sources: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] > 0).collect();
+    // parallel BFS up front; the accumulation below keeps the exact
+    // source/target order of the old sequential loop, so the float sum is
+    // unchanged bit for bit
+    let ap = source_distances(sg, &sources);
     let mut sum = 0.0f64;
-    for &a in &sources {
-        let dist = bfs_distances(sg, NodeId(id32(a)));
+    for (ai, &a) in sources.iter().enumerate() {
+        let dist = ap.row(ai);
         let na = counts[a] as f64;
         for &b in &sources {
             let w = na * counts[b] as f64;

@@ -54,6 +54,13 @@ pub struct MetricsRegistry {
     materializations: AtomicU64,
     /// Batched-BFS path-length computations (cache-entry fills).
     path_computations: AtomicU64,
+    /// Summed latency of those fills, in microseconds.
+    path_fill_total_us: AtomicU64,
+    /// Latency histogram of cache-entry fills (power-of-two µs buckets,
+    /// same scale as the per-verb histograms). The fill runs the parallel
+    /// BFS-APSP kernel, so this is the service's direct view of the
+    /// hot-path kernel's latency.
+    path_fill_buckets: [AtomicU64; BUCKETS],
     /// Conversions applied by `convert` requests.
     conversions: AtomicU64,
     /// Whole-cache invalidations triggered by conversions.
@@ -124,9 +131,13 @@ impl MetricsRegistry {
         self.materializations.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts one batched-BFS path-length computation.
-    pub fn record_path_computation(&self) {
+    /// Records one batched-BFS path-length computation (cache-entry fill)
+    /// and the time the parallel APSP kernel took.
+    pub fn record_path_computation(&self, latency: Duration) {
+        let us = duration_us(latency);
         self.path_computations.fetch_add(1, Ordering::Relaxed);
+        self.path_fill_total_us.fetch_add(us, Ordering::Relaxed);
+        self.path_fill_buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts an applied conversion and the cache invalidation it forced.
@@ -158,6 +169,10 @@ impl MetricsRegistry {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             materializations: self.materializations.load(Ordering::Relaxed),
             path_computations: self.path_computations.load(Ordering::Relaxed),
+            path_fill_total_us: self.path_fill_total_us.load(Ordering::Relaxed),
+            path_fill_buckets: std::array::from_fn(|b| {
+                self.path_fill_buckets[b].load(Ordering::Relaxed)
+            }),
             conversions: self.conversions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
         }
@@ -227,6 +242,10 @@ pub struct Snapshot {
     pub materializations: u64,
     /// Batched-BFS path-length computations.
     pub path_computations: u64,
+    /// Summed cache-fill latency in microseconds.
+    pub path_fill_total_us: u64,
+    /// Cache-fill latency histogram (power-of-two µs buckets).
+    pub path_fill_buckets: [u64; BUCKETS],
     /// Conversions applied.
     pub conversions: u64,
     /// Cache invalidations.
@@ -234,6 +253,16 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Approximate p50 cache-fill latency in µs (bucket lower bound).
+    pub fn path_fill_p50_us(&self) -> u64 {
+        percentile_us(&self.path_fill_buckets, self.path_computations, 0.5)
+    }
+
+    /// Approximate p99 cache-fill latency in µs (bucket lower bound).
+    pub fn path_fill_p99_us(&self) -> u64 {
+        percentile_us(&self.path_fill_buckets, self.path_computations, 0.99)
+    }
+
     /// Total completed requests across all kinds.
     pub fn total_requests(&self) -> u64 {
         self.kinds.iter().map(|k| k.requests).sum()
@@ -263,6 +292,12 @@ impl Snapshot {
             self.path_computations,
             self.conversions,
             self.invalidations,
+        );
+        let _ = write!(
+            out,
+            " path_fill_p50_us={} path_fill_p99_us={}",
+            self.path_fill_p50_us(),
+            self.path_fill_p99_us(),
         );
         for k in &self.kinds {
             let _ = write!(
@@ -302,6 +337,16 @@ impl Snapshot {
             self.invalidations
         );
         let _ = writeln!(out, "  conversions applied: {}", self.conversions);
+        if let Some(mean) = self.path_fill_total_us.checked_div(self.path_computations) {
+            let _ = writeln!(
+                out,
+                "  path fills: {} computed, mean {} µs, p50 {} µs, p99 {} µs",
+                self.path_computations,
+                mean,
+                self.path_fill_p50_us(),
+                self.path_fill_p99_us()
+            );
+        }
         for k in &self.kinds {
             if k.requests == 0 {
                 continue;
@@ -368,6 +413,25 @@ mod tests {
         assert_eq!(paths.requests, 2);
         assert_eq!(paths.errors, 1);
         assert!(paths.p50_us() >= 64 && paths.p50_us() <= 128);
+    }
+
+    #[test]
+    fn path_fill_latency_histogram() {
+        let m = MetricsRegistry::new();
+        m.record_path_computation(Duration::from_micros(100));
+        m.record_path_computation(Duration::from_micros(100));
+        m.record_path_computation(Duration::from_micros(5000));
+        let s = m.snapshot();
+        assert_eq!(s.path_computations, 3);
+        assert_eq!(s.path_fill_total_us, 5200);
+        assert_eq!(s.path_fill_buckets.iter().sum::<u64>(), 3);
+        assert!(s.path_fill_p50_us() >= 64 && s.path_fill_p50_us() <= 128);
+        assert!(s.path_fill_p99_us() >= 4096);
+        let line = s.stats_line();
+        assert!(line.contains("path_computations=3"));
+        assert!(line.contains("path_fill_p50_us="));
+        let report = s.render_report(Duration::from_secs(1));
+        assert!(report.contains("path fills: 3 computed"));
     }
 
     #[test]

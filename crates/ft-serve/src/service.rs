@@ -339,11 +339,14 @@ fn exec_paths(shared: &Shared, spec: Option<&ModeSpec>) -> Result<String, ServeE
         match *slot {
             Some(a) => (a, true),
             None => {
+                // the fill runs the parallel BFS-APSP kernel twice (global
+                // + intra-pod); time it for the fill-latency histogram
+                let t0 = std::time::Instant::now();
                 let a = PathsAnswer {
                     apl: average_server_path_length(&entry.network),
                     intra: average_intra_pod_path_length(&entry.network, shared.servers_per_pod),
                 };
-                shared.metrics.record_path_computation();
+                shared.metrics.record_path_computation(t0.elapsed());
                 *slot = Some(a);
                 (a, false)
             }

@@ -18,6 +18,10 @@
 use crate::core::{profile_mn, FlatTree, FlatTreeConfig, Mode};
 use crate::graph::bridges::bridges;
 use crate::graph::stats::{diameter, mean_degree};
+use crate::graph::{par, AllPairs, Csr};
+use crate::mcf::{
+    aggregate_commodities, max_concurrent_flow, CapGraph, DijkstraScratch, FptasOptions,
+};
 use crate::metrics::bisection::random_bisection_bandwidth;
 use crate::metrics::path_length::{average_intra_pod_path_length, average_server_path_length};
 use crate::serve::{serve_listener, ServeConfig, Service};
@@ -25,6 +29,7 @@ use crate::topo::export::{to_dot, to_json};
 use crate::topo::{
     fat_tree, jellyfish_matching_fat_tree, two_stage_random_graph, Network, TwoStageParams,
 };
+use crate::workload::{generate, Locality, WorkloadSpec};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -63,6 +68,7 @@ USAGE:
   ftctl serve   -k <even> [--port <u16, default 0 = OS-picked>]
                 [--workers <n>] [--cache <n>] [--queue <n>]
   ftctl query   -k <even> [--req \"<ftq line>[; <ftq line>…]\"] [--workers <n>]
+  ftctl bench   [--json <file>] [--quick]
 
 Topology kinds build from the same equipment as fat-tree(k). flat-tree
 requires --mode; other kinds ignore it.
@@ -70,7 +76,16 @@ requires --mode; other kinds ignore it.
 serve runs the resident FTQ/1 query service on localhost TCP until a client
 sends `shutdown`; query boots the same service in-process, issues the
 `;`-separated request lines, and prints one reply line each (protocol verbs:
-topo | paths | throughput | plan | convert | stats | shutdown).";
+topo | paths | throughput | plan | convert | stats | shutdown).
+
+bench times the hot-path kernels (CSR BFS-APSP sequential vs parallel,
+Dijkstra with fresh vs reused scratch buffers, the FPTAS throughput solve)
+on fixed seeds at k ∈ {8, 16, 32} and optionally writes a JSON report
+(--quick restricts to k = 8 with a shorter FPTAS step cap). The worker
+count honours the FT_THREADS environment override.";
+
+/// Flags that take no value; `parse` records them as `\"true\"`.
+const BOOL_FLAGS: &[&str] = &["quick"];
 
 /// Splits raw arguments into an [`Invocation`].
 pub fn parse(args: &[String]) -> Result<Invocation, CliError> {
@@ -91,6 +106,10 @@ pub fn parse(args: &[String]) -> Result<Invocation, CliError> {
             .strip_prefix("--")
             .or_else(|| flag.strip_prefix('-'))
             .ok_or_else(|| CliError(format!("expected a flag, got {flag:?}\n\n{USAGE}")))?;
+        if BOOL_FLAGS.contains(&key) {
+            options.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| CliError(format!("flag --{key} needs a value")))?;
@@ -175,6 +194,7 @@ pub fn run(inv: &Invocation) -> Result<String, CliError> {
         "profile" => cmd_profile(inv),
         "serve" => cmd_serve(inv),
         "query" => cmd_query(inv),
+        "bench" => cmd_bench(inv),
         other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
     }
 }
@@ -372,6 +392,232 @@ fn cmd_query(inv: &Invocation) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Fixed RNG seed for every bench topology and workload: the report must be
+/// reproducible run to run (timings vary, checksums and λ must not).
+const BENCH_SEED: u64 = 1;
+
+/// Runs `f` once and returns its result plus the wall-clock milliseconds.
+fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = std::time::Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// One timed kernel measurement destined for the JSON report. `extras`
+/// holds additional fields as already-rendered JSON values (numbers).
+struct BenchEntry {
+    k: usize,
+    kernel: &'static str,
+    variant: &'static str,
+    ms: f64,
+    extras: Vec<(&'static str, String)>,
+}
+
+impl BenchEntry {
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"k\": {}, \"kernel\": \"{}\", \"variant\": \"{}\", \"ms\": {:.3}",
+            self.k, self.kernel, self.variant, self.ms
+        );
+        for (key, value) in &self.extras {
+            let _ = write!(s, ", \"{key}\": {value}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Renders the full bench report as pretty-printed JSON (hand-rolled: the
+/// workspace dependency policy has no serializer for this shape).
+fn bench_json(threads: usize, quick: bool, entries: &[BenchEntry]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema\": \"ft-hotpaths-bench/1\",");
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    let _ = writeln!(s, "  \"seed\": {BENCH_SEED},");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(s, "    {}{comma}", e.to_json());
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// BFS-APSP over the fat-tree(k) switch fabric: one thread vs the session's
+/// worker count, on the same frozen CSR. The tables must agree row for row
+/// (the determinism contract of DESIGN.md §10); the shared checksum lands
+/// in both JSON entries so regressions show up in diffs.
+fn bench_apsp(k: usize, threads: usize, entries: &mut Vec<BenchEntry>) -> Result<(), CliError> {
+    let net = fat_tree(k).map_err(|e| CliError(e.to_string()))?;
+    let sg = net.switch_graph();
+    let csr = Csr::from_graph(&sg);
+    let (seq, seq_ms) = time_ms(|| AllPairs::compute_csr_with_threads(&csr, 1));
+    let (par_ap, par_ms) = time_ms(|| AllPairs::compute_csr_with_threads(&csr, threads));
+    let n = csr.node_count();
+    let mut checksum = 0u64;
+    for i in 0..n {
+        if seq.row(i) != par_ap.row(i) {
+            return Err(CliError(format!(
+                "bench: parallel APSP diverged from sequential at k = {k}, row {i}"
+            )));
+        }
+        checksum = seq
+            .row(i)
+            .iter()
+            .fold(checksum, |a, &d| a.wrapping_add(d as u64));
+    }
+    let extras = vec![("nodes", n.to_string()), ("checksum", checksum.to_string())];
+    entries.push(BenchEntry {
+        k,
+        kernel: "apsp",
+        variant: "seq",
+        ms: seq_ms,
+        extras: extras.clone(),
+    });
+    entries.push(BenchEntry {
+        k,
+        kernel: "apsp",
+        variant: "par",
+        ms: par_ms,
+        extras,
+    });
+    Ok(())
+}
+
+/// Unit-length Dijkstra over the fat-tree(k) switch fabric as a capacitated
+/// digraph: the allocating `shortest_path` vs `shortest_path_with` reusing
+/// one [`DijkstraScratch`] across all calls. Distance sums must be
+/// bit-identical (same algorithm, same relaxation order).
+fn bench_dijkstra(k: usize, entries: &mut Vec<BenchEntry>) -> Result<(), CliError> {
+    const CALLS: usize = 64;
+    let net = fat_tree(k).map_err(|e| CliError(e.to_string()))?;
+    let sg = net.switch_graph();
+    let g = CapGraph::from_graph(&sg, 1.0);
+    let n = g.node_count();
+    let ones = vec![1.0f64; g.arc_count()];
+    // deterministic src/dst schedule spread across the fabric
+    let pair = |i: usize| ((i * 37) % n, (i * 97 + n / 2) % n);
+    let (alloc_sum, alloc_ms) = time_ms(|| {
+        let mut sum = 0.0f64;
+        for i in 0..CALLS {
+            let (s, d) = pair(i);
+            if s == d {
+                continue;
+            }
+            if let Some((_, dist)) = g.shortest_path(s, d, &ones) {
+                sum += dist;
+            }
+        }
+        sum
+    });
+    let (scratch_sum, scratch_ms) = time_ms(|| {
+        let mut scratch = DijkstraScratch::new();
+        let mut sum = 0.0f64;
+        for i in 0..CALLS {
+            let (s, d) = pair(i);
+            if s == d {
+                continue;
+            }
+            if let Some(dist) = g.shortest_path_with(s, d, &ones, &mut scratch) {
+                sum += dist;
+            }
+        }
+        sum
+    });
+    if alloc_sum.to_bits() != scratch_sum.to_bits() {
+        return Err(CliError(format!(
+            "bench: scratch Dijkstra diverged from allocating variant at k = {k} \
+             ({alloc_sum} vs {scratch_sum})"
+        )));
+    }
+    let extras = vec![
+        ("calls", CALLS.to_string()),
+        ("dist_sum", format!("{alloc_sum:.1}")),
+    ];
+    entries.push(BenchEntry {
+        k,
+        kernel: "dijkstra",
+        variant: "alloc",
+        ms: alloc_ms,
+        extras: extras.clone(),
+    });
+    entries.push(BenchEntry {
+        k,
+        kernel: "dijkstra",
+        variant: "scratch",
+        ms: scratch_ms,
+        extras,
+    });
+    Ok(())
+}
+
+/// End-to-end FPTAS throughput solve on the k flat-tree in global
+/// random-graph mode under the paper's hot-spot workload, with a step cap
+/// so the bench stays bounded at k = 32. λ, steps, and phases are recorded
+/// alongside the timing: they are deterministic for the fixed seed.
+fn bench_fptas(k: usize, quick: bool, entries: &mut Vec<BenchEntry>) -> Result<(), CliError> {
+    let cfg = FlatTreeConfig::for_fat_tree_k(k).map_err(|e| CliError(e.to_string()))?;
+    let ft = FlatTree::new(cfg).map_err(|e| CliError(e.to_string()))?;
+    let net = ft
+        .materialize(&Mode::GlobalRandom)
+        .map_err(|e| CliError(e.to_string()))?;
+    let tm = generate(&net, &WorkloadSpec::hotspot(Locality::None), BENCH_SEED);
+    let commodities = aggregate_commodities(tm.switch_triples(&net));
+    let sg = net.switch_graph();
+    let g = CapGraph::from_graph(&sg, 1.0);
+    let opts = FptasOptions {
+        epsilon: 0.15,
+        max_steps: Some(if quick { 500 } else { 3_000 }),
+    };
+    let (sol, ms) = time_ms(|| max_concurrent_flow(&g, &commodities, opts));
+    let sol = sol.map_err(|e| CliError(e.to_string()))?;
+    entries.push(BenchEntry {
+        k,
+        kernel: "fptas",
+        variant: "scratch",
+        ms,
+        extras: vec![
+            ("lambda", format!("{:.6}", sol.lambda)),
+            ("steps", sol.steps.to_string()),
+            ("phases", sol.phases.to_string()),
+            ("commodities", commodities.len().to_string()),
+        ],
+    });
+    Ok(())
+}
+
+fn cmd_bench(inv: &Invocation) -> Result<String, CliError> {
+    let quick = inv.options.contains_key("quick");
+    let ks: &[usize] = if quick { &[8] } else { &[8, 16, 32] };
+    let threads = par::thread_count();
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    for &k in ks {
+        bench_apsp(k, threads, &mut entries)?;
+        bench_dijkstra(k, &mut entries)?;
+        bench_fptas(k, quick, &mut entries)?;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "hot-path benchmark (threads = {threads}, seed = {BENCH_SEED}{})",
+        if quick { ", quick" } else { "" }
+    );
+    for e in &entries {
+        let _ = writeln!(
+            out,
+            "  k={:<2} {:8} {:8} {:10.3} ms",
+            e.k, e.kernel, e.variant, e.ms
+        );
+    }
+    if let Some(path) = inv.options.get("json") {
+        std::fs::write(path, bench_json(threads, quick, &entries))
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "  json written to {path}");
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +772,40 @@ mod tests {
         assert_eq!(cfg.workers, 2);
         assert_eq!(cfg.cache_capacity, 3);
         assert_eq!(cfg.queue_depth, 9);
+    }
+
+    #[test]
+    fn parse_valueless_quick_flag() {
+        let i = inv(&["bench", "--quick", "--json", "out.json"]);
+        assert_eq!(i.options["quick"], "true");
+        assert_eq!(i.options["json"], "out.json");
+        // --quick at the end must not swallow a missing value
+        let i = inv(&["bench", "--json", "out.json", "--quick"]);
+        assert_eq!(i.options["quick"], "true");
+    }
+
+    #[test]
+    fn bench_quick_reports_all_kernels() {
+        let dir = std::env::temp_dir();
+        let json = dir.join("ftctl_bench_test.json");
+        let out = run(&inv(&[
+            "bench",
+            "--quick",
+            "--json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for token in ["apsp", "dijkstra", "fptas", "seq", "par", "scratch"] {
+            assert!(out.contains(token), "missing {token} in: {out}");
+        }
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(
+            body.contains("\"schema\": \"ft-hotpaths-bench/1\""),
+            "{body}"
+        );
+        assert!(body.contains("\"lambda\""), "{body}");
+        assert!(body.contains("\"checksum\""), "{body}");
+        let _ = std::fs::remove_file(json);
     }
 
     #[test]
