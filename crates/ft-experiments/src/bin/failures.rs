@@ -87,7 +87,18 @@ fn main() {
             let stranded = stranded_servers(&net);
             let apl = average_server_path_length(&net);
             let tm = generate(&net, &spec, opts.seed);
-            let lambda = throughput(&net, &tm, topts).unwrap().lambda;
+            let r = throughput(&net, &tm, topts).unwrap();
+            if r.budget_exhausted {
+                eprintln!(
+                    "{}",
+                    ft_metrics::budget_warning(
+                        &format!("failures {} {:.0}%", mode.label(), fraction * 100.0),
+                        r.lambda,
+                        opts.max_steps.unwrap_or(0),
+                    )
+                );
+            }
+            let lambda = r.lambda;
             t1.push_row(vec![
                 format!("{:.0}", fraction * 100.0),
                 mode.label(),

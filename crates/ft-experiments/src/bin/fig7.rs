@@ -65,7 +65,7 @@ fn main() {
         }
     }
     let results = parallel_points(points.clone(), |&(k, ci, rep)| {
-        let (topo, locality, _) = combos[ci];
+        let (topo, locality, name) = combos[ci];
         let seed = opts.seed + rep as u64;
         let net = build(topo, k, seed);
         let spec = WorkloadSpec {
@@ -74,7 +74,7 @@ fn main() {
             locality,
         };
         let tm = generate(&net, &spec, seed);
-        let lambda = throughput(
+        let r = throughput(
             &net,
             &tm,
             ThroughputOptions {
@@ -83,8 +83,18 @@ fn main() {
                 max_steps: opts.max_steps,
             },
         )
-        .unwrap()
-        .lambda;
+        .unwrap();
+        if r.budget_exhausted {
+            eprintln!(
+                "{}",
+                ft_metrics::budget_warning(
+                    &format!("fig7 {name} k={k} seed={seed}"),
+                    r.lambda,
+                    opts.max_steps.unwrap_or(0),
+                )
+            );
+        }
+        let lambda = r.lambda;
         // normalize to the nominal 1000-server cluster (see module docs)
         let actual = spec.cluster_size.min(net.num_servers());
         lambda * (actual as f64 - 1.0) / 999.0

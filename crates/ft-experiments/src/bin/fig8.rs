@@ -77,7 +77,7 @@ fn main() {
             locality,
         };
         let tm = generate(&net, &spec, seed);
-        let lambda = throughput(
+        let r = throughput(
             &net,
             &tm,
             ThroughputOptions {
@@ -86,8 +86,18 @@ fn main() {
                 max_steps: opts.max_steps,
             },
         )
-        .unwrap()
-        .lambda;
+        .unwrap();
+        if r.budget_exhausted {
+            eprintln!(
+                "{}",
+                ft_metrics::budget_warning(
+                    &format!("fig8 combo={ci} k={k} seed={seed}"),
+                    r.lambda,
+                    opts.max_steps.unwrap_or(0),
+                )
+            );
+        }
+        let lambda = r.lambda;
         // normalize to the nominal 20-server cluster (only k = 4 hosts
         // fewer; same normalization as Figure 7)
         let actual = spec.cluster_size.min(net.num_servers());

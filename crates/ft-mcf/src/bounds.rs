@@ -4,9 +4,15 @@
 //!
 //! * **demand pre-scaling** in the FPTAS — Garg–Könemann's phase count is
 //!   proportional to the optimal λ of the *scaled* instance, so we scale
-//!   demands such that λ ≈ 1 before running;
+//!   demands such that λ ≈ 1 before running. With Fleischer source
+//!   batching each phase costs O(#sources) shortest-path trees (plus
+//!   staleness recomputes), so a bad pre-scale now wastes whole trees, not
+//!   just single paths — the cut bound below is what keeps the step budget
+//!   honest;
 //! * **sanity checks** — a certified-feasible FPTAS λ must never exceed
-//!   these bounds.
+//!   these bounds (and when [`crate::McfSolution::budget_exhausted`] is
+//!   set, the gap between λ and these bounds quantifies how far the
+//!   truncated run may be from convergence).
 
 use crate::digraph::CapGraph;
 use crate::Commodity;

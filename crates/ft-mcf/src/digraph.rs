@@ -165,6 +165,170 @@ impl CapGraph {
         scratch.path.reverse();
         Some(scratch.dist[dst])
     }
+
+    /// Full single-source Dijkstra from `src` under per-arc `lengths` — no
+    /// early exit, so afterwards the scratch holds the complete shortest-path
+    /// tree: [`DijkstraScratch::reached`] / [`DijkstraScratch::distance`] are
+    /// valid for every node and [`CapGraph::tree_walk`] yields the tree path
+    /// to any reached destination.
+    ///
+    /// This is the kernel of the source-batched (Fleischer) FPTAS: one tree
+    /// serves every commodity that shares `src`, replacing one early-exit
+    /// Dijkstra *per commodity*. Heap ordering and relaxation order are
+    /// identical to [`CapGraph::shortest_path_with`], so the tree path to a
+    /// destination is the exact path that call would have produced.
+    pub fn shortest_path_tree_with(
+        &self,
+        src: usize,
+        lengths: &[f64],
+        scratch: &mut DijkstraScratch,
+    ) {
+        scratch.begin(self.out.len());
+        scratch.settle(src, 0.0, u32::MAX);
+        scratch.heap.push(HeapArc { d: 0.0, v: src });
+        while let Some(HeapArc { d, v }) = scratch.heap.pop() {
+            if d > scratch.dist[v] {
+                continue;
+            }
+            for &ai in &self.out[v] {
+                let a = self.arcs[ai as usize];
+                let nd = d + lengths[ai as usize];
+                if nd < scratch.dist_of(a.to) {
+                    scratch.settle(a.to, nd, ai);
+                    scratch.heap.push(HeapArc { d: nd, v: a.to });
+                }
+            }
+        }
+    }
+
+    /// Iterates the arc indices of the tree path to `dst` recorded by the
+    /// last [`CapGraph::shortest_path_tree_with`] run, in destination →
+    /// source order (the FPTAS only needs the arc *set* — bottleneck,
+    /// staleness, pushes — so the reversal is never materialized). Yields
+    /// nothing when `dst` was not reached or is the source itself.
+    pub fn tree_walk<'a>(&'a self, scratch: &'a DijkstraScratch, dst: usize) -> TreeWalk<'a> {
+        let cur = if scratch.reached(dst) {
+            dst
+        } else {
+            usize::MAX
+        };
+        TreeWalk {
+            scratch,
+            arcs: &self.arcs,
+            cur,
+            toward_head: false,
+        }
+    }
+
+    /// Builds the incoming-arc adjacency, the mirror of
+    /// [`CapGraph::out_arcs`]. One `O(arcs)` pass, done once per solve and
+    /// reused by every [`CapGraph::shortest_path_tree_to_with`] call. Arc
+    /// ids within each node's list appear in ascending order, keeping the
+    /// sink-rooted Dijkstra's relaxation order deterministic.
+    pub fn reverse_index(&self) -> ReverseIndex {
+        let mut inn = vec![Vec::new(); self.out.len()];
+        for (i, a) in self.arcs.iter().enumerate() {
+            inn[a.to].push(ft_graph::id32(i));
+        }
+        ReverseIndex { inn }
+    }
+
+    /// Full single-*sink* Dijkstra: shortest distances **to** `dst` under
+    /// per-arc `lengths`, relaxing incoming arcs via `rev`. Afterwards
+    /// `scratch.distance(v)` is the length of the shortest `v → dst` path
+    /// and `scratch.parent[v]` holds the first arc of that path (an arc
+    /// *leaving* `v`), so [`CapGraph::tree_walk_to`] can replay any node's
+    /// path to the sink.
+    ///
+    /// This is the destination-batched half of the Fleischer FPTAS: traffic
+    /// matrices with a few aggregation points (the paper's hot-spot
+    /// workload) have thousands of commodities sharing a *destination*, and
+    /// one sink tree serves them all. Heap ordering matches
+    /// [`CapGraph::shortest_path_tree_with`] (distance, then node index).
+    pub fn shortest_path_tree_to_with(
+        &self,
+        rev: &ReverseIndex,
+        dst: usize,
+        lengths: &[f64],
+        scratch: &mut DijkstraScratch,
+    ) {
+        scratch.begin(self.out.len());
+        scratch.settle(dst, 0.0, u32::MAX);
+        scratch.heap.push(HeapArc { d: 0.0, v: dst });
+        while let Some(HeapArc { d, v }) = scratch.heap.pop() {
+            if d > scratch.dist[v] {
+                continue;
+            }
+            for &ai in &rev.inn[v] {
+                let a = self.arcs[ai as usize];
+                let nd = d + lengths[ai as usize];
+                if nd < scratch.dist_of(a.from) {
+                    scratch.settle(a.from, nd, ai);
+                    scratch.heap.push(HeapArc { d: nd, v: a.from });
+                }
+            }
+        }
+    }
+
+    /// Iterates the arc indices of the sink-tree path from `src` recorded
+    /// by the last [`CapGraph::shortest_path_tree_to_with`] run, in source →
+    /// destination order. Yields nothing when `src` cannot reach the sink
+    /// or is the sink itself.
+    pub fn tree_walk_to<'a>(&'a self, scratch: &'a DijkstraScratch, src: usize) -> TreeWalk<'a> {
+        let cur = if scratch.reached(src) {
+            src
+        } else {
+            usize::MAX
+        };
+        TreeWalk {
+            scratch,
+            arcs: &self.arcs,
+            cur,
+            toward_head: true,
+        }
+    }
+}
+
+/// Incoming-arc adjacency of a [`CapGraph`]; see
+/// [`CapGraph::reverse_index`].
+#[derive(Clone, Debug)]
+pub struct ReverseIndex {
+    inn: Vec<Vec<u32>>,
+}
+
+/// Iterator over a shortest-path-tree path: destination → source for
+/// source trees ([`CapGraph::tree_walk`]), source → destination for sink
+/// trees ([`CapGraph::tree_walk_to`]).
+pub struct TreeWalk<'a> {
+    scratch: &'a DijkstraScratch,
+    arcs: &'a [Arc],
+    cur: usize,
+    /// Walk direction: `false` follows parent arcs tail-ward (source
+    /// trees), `true` head-ward (sink trees).
+    toward_head: bool,
+}
+
+impl Iterator for TreeWalk<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.cur == usize::MAX {
+            return None;
+        }
+        let ai = self.scratch.parent[self.cur];
+        if ai == u32::MAX {
+            // reached the tree root
+            self.cur = usize::MAX;
+            return None;
+        }
+        let a = ai as usize;
+        self.cur = if self.toward_head {
+            self.arcs[a].to
+        } else {
+            self.arcs[a].from
+        };
+        Some(a)
+    }
 }
 
 /// Min-heap entry for the arc Dijkstra: minimum distance first, ties broken
@@ -268,6 +432,32 @@ impl DijkstraScratch {
     /// [`CapGraph::shortest_path_with`] call, in source → destination order.
     pub fn path(&self) -> &[usize] {
         &self.path
+    }
+
+    /// Whether `v` was reached by the last run (early-exit runs only settle
+    /// nodes up to the exit; [`CapGraph::shortest_path_tree_with`] settles
+    /// every reachable node).
+    pub fn reached(&self, v: usize) -> bool {
+        v < self.stamp.len() && self.stamp[v] == self.gen && self.dist[v].is_finite()
+    }
+
+    /// Shortest-path distance of `v` found by the last run, or `None` when
+    /// `v` was not reached.
+    pub fn distance(&self, v: usize) -> Option<f64> {
+        if self.reached(v) {
+            Some(self.dist[v])
+        } else {
+            None
+        }
+    }
+
+    /// Number of Dijkstra runs this scratch has been warmed up for (each
+    /// `shortest_path_with` / `shortest_path_tree_with` call is one run).
+    /// Exposed so tests can assert how many shortest-path computations a
+    /// caller actually performed — e.g. that the FPTAS reachability
+    /// pre-check does one SSSP per distinct *source*, not per commodity.
+    pub fn runs(&self) -> u32 {
+        self.gen
     }
 }
 
@@ -383,5 +573,87 @@ mod tests {
     fn zero_capacity_rejected() {
         let mut cg = CapGraph::new(2);
         cg.add_arc(0, 1, 0.0);
+    }
+
+    #[test]
+    fn tree_matches_early_exit_paths() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3), (2, 5)]);
+        let cg = CapGraph::from_graph(&g, 1.0);
+        let lengths: Vec<f64> = (0..cg.arc_count()).map(|i| 1.0 + (i % 4) as f64).collect();
+        let mut tree = DijkstraScratch::new();
+        for src in 0..6 {
+            cg.shortest_path_tree_with(src, &lengths, &mut tree);
+            for dst in 0..6 {
+                let fresh = cg.shortest_path(src, dst, &lengths);
+                match fresh {
+                    Some((path, d)) => {
+                        assert_eq!(tree.distance(dst), Some(d), "{src}->{dst}");
+                        let mut walked: Vec<usize> = cg.tree_walk(&tree, dst).collect();
+                        walked.reverse();
+                        assert_eq!(walked, path, "{src}->{dst}");
+                    }
+                    None => assert!(!tree.reached(dst), "{src}->{dst}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sink_tree_matches_forward_paths() {
+        // distances and path *lengths* to a fixed sink must agree with the
+        // forward solver for every source; the sink tree may pick a
+        // different equal-length path (its tie-breaks run from the sink),
+        // so compare total length, not arc ids
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3), (2, 5)]);
+        let cg = CapGraph::from_graph(&g, 1.0);
+        let lengths: Vec<f64> = (0..cg.arc_count()).map(|i| 1.0 + (i % 4) as f64).collect();
+        let rev = cg.reverse_index();
+        let mut tree = DijkstraScratch::new();
+        for dst in 0..6 {
+            cg.shortest_path_tree_to_with(&rev, dst, &lengths, &mut tree);
+            for src in 0..6 {
+                match cg.shortest_path(src, dst, &lengths) {
+                    Some((_, d)) => {
+                        assert_eq!(tree.distance(src), Some(d), "{src}->{dst}");
+                        let walked: Vec<usize> = cg.tree_walk_to(&tree, src).collect();
+                        let walked_len: f64 = walked.iter().map(|&a| lengths[a]).sum();
+                        assert!((walked_len - d).abs() < 1e-12, "{src}->{dst}");
+                        // the walk really is a src → dst arc chain
+                        if src != dst {
+                            assert_eq!(cg.arc(walked[0]).from, src);
+                            assert_eq!(cg.arc(*walked.last().unwrap()).to, dst);
+                            for w in walked.windows(2) {
+                                assert_eq!(cg.arc(w[0]).to, cg.arc(w[1]).from);
+                            }
+                        }
+                    }
+                    None => assert!(!tree.reached(src), "{src}->{dst}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_walk_unreached_and_source_yield_nothing() {
+        let mut cg = CapGraph::new(3);
+        cg.add_arc(0, 1, 1.0);
+        let mut s = DijkstraScratch::new();
+        cg.shortest_path_tree_with(0, &[1.0], &mut s);
+        assert!(s.reached(1) && !s.reached(2));
+        assert_eq!(s.distance(2), None);
+        assert_eq!(cg.tree_walk(&s, 2).count(), 0);
+        assert_eq!(cg.tree_walk(&s, 0).count(), 0);
+        assert_eq!(cg.tree_walk(&s, 1).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn scratch_counts_runs() {
+        let cg = CapGraph::from_graph(&Graph::from_edges(3, &[(0, 1), (1, 2)]), 1.0);
+        let ones = vec![1.0; cg.arc_count()];
+        let mut s = DijkstraScratch::new();
+        assert_eq!(s.runs(), 0);
+        let _ = cg.shortest_path_with(0, 2, &ones, &mut s);
+        cg.shortest_path_tree_with(1, &ones, &mut s);
+        assert_eq!(s.runs(), 2);
     }
 }

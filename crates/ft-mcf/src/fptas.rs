@@ -1,15 +1,34 @@
 //! The Garg–Könemann FPTAS for maximum concurrent multi-commodity flow,
-//! with Fleischer-style phase routing.
+//! with Fleischer-style **source batching**.
 //!
 //! # Algorithm
 //!
 //! Every arc starts with length `δ/cap(a)` where
 //! `δ = (m/(1−ε))^(−1/ε)`. The algorithm proceeds in *phases*; in each
-//! phase every commodity routes its full demand, one shortest path at a
-//! time under the current lengths, sending at most the path's bottleneck
-//! capacity per step. After pushing `f` over arc `a`, the arc's length is
-//! multiplied by `(1 + ε·f/cap(a))`. The run stops when the dual value
-//! `D(l) = Σ cap(a)·l(a)` reaches 1.
+//! phase every commodity routes its full demand along (approximately)
+//! shortest paths under the current lengths, sending at most the path's
+//! bottleneck capacity per push. After pushing `f` over arc `a`, the arc's
+//! length is multiplied by `(1 + ε·f/cap(a))`. The run stops when the dual
+//! value `D(l) = Σ cap(a)·l(a)` reaches 1.
+//!
+//! # Source batching (Fleischer)
+//!
+//! Garg–Könemann as literally stated computes one shortest path per push —
+//! `O(#commodities)` Dijkstras per phase, which is what made k = 32
+//! instances (11 200 commodities) exhaust any step budget inside phase 0.
+//! Fleischer's refinement groups commodities by *source*: one Dijkstra
+//! builds the full shortest-path **tree** from a source, and every
+//! commodity sharing that source routes along its tree path for as long as
+//! the path's *current* total length stays within a `(1 + ε)` factor of
+//! the destination's distance at tree-build time (arc lengths only grow,
+//! so that distance lower-bounds the current shortest path). Only when a
+//! needed path drifts past that band is the tree recomputed. The
+//! shortest-path count per
+//! phase drops from `O(#commodities)` to `O(#sources)` plus a number of
+//! recomputations bounded by the total arc-length growth — independent of
+//! the number of commodities. Routing along `(1 + ε)`-approximate shortest
+//! paths is exactly the setting of Fleischer's analysis and preserves the
+//! `(1 − 3ε)` guarantee.
 //!
 //! The raw accumulated flow violates capacities by at most a
 //! `log_{1+ε}(1/δ)` factor; dividing by the *actual worst overload*
@@ -21,7 +40,24 @@
 //!
 //! This certificate is what [`max_concurrent_flow`] reports — it is a true
 //! lower bound on the optimum independent of floating-point behaviour, and
-//! Garg–Könemann's analysis guarantees it is ≥ (1 − 3ε) · OPT.
+//! the Fleischer–Garg–Könemann analysis guarantees it is ≥ (1 − 3ε) · OPT
+//! at convergence.
+//!
+//! # Budget semantics
+//!
+//! A step budget ([`FptasOptions::max_steps`]) bounds the number of
+//! shortest-path computations (source trees in the batched solver,
+//! per-commodity paths in [`max_concurrent_flow_reference`]). Once half of
+//! a finite budget is spent, the batched solver arms a *budget-rescue*
+//! termination: a per-phase primal–dual gap check that stops the run as
+//! soon as the certified λ provably meets the `(1 − 3ε)` guarantee against
+//! a dual upper bound — converged by certificate, before the budget trips.
+//! Only if even that fails does the budget trip, and the run then reports
+//! the certified λ of the flow accumulated *so far* with
+//! [`McfSolution::budget_exhausted`] set: the value is still a true
+//! feasible lower bound, but the `(1 − 3ε)` optimality guarantee no longer
+//! applies. Callers must check the flag instead of treating λ as
+//! converged. Unbudgeted runs always go to the textbook `D(l) ≥ 1`.
 //!
 //! # Demand pre-scaling
 //!
@@ -29,9 +65,17 @@
 //! demands are internally rescaled (using the node-cut upper bound, then
 //! adaptively) to put λ near 1. The reported λ is mapped back to the
 //! caller's demand units.
+//!
+//! # Determinism
+//!
+//! Commodity groups are formed in first-appearance order of their source
+//! and scanned in input order within a group; Dijkstra tie-breaking is the
+//! node-index ordering of [`CapGraph::shortest_path_with`]. The result is a
+//! pure function of `(graph, commodities, options)` — no thread count or
+//! scheduling dependence.
 
 use crate::bounds::node_cut_upper_bound;
-use crate::digraph::{CapGraph, DijkstraScratch};
+use crate::digraph::{CapGraph, DijkstraScratch, ReverseIndex};
 use crate::{Commodity, McfError};
 
 /// Tuning knobs for the FPTAS.
@@ -40,8 +84,10 @@ pub struct FptasOptions {
     /// Approximation parameter ε ∈ (0, 0.5). The certified λ is
     /// ≥ (1 − 3ε)·OPT. Smaller ε costs ~1/ε² more work.
     pub epsilon: f64,
-    /// Safety valve: abort after this many routing steps (shortest-path
-    /// computations). `None` = unlimited.
+    /// Safety valve: abort after this many shortest-path computations
+    /// (source trees in the batched solver, per-commodity paths in the
+    /// reference solver). `None` = unlimited. A tripped budget is reported
+    /// via [`McfSolution::budget_exhausted`], never as a silent λ = 0.
     pub max_steps: Option<usize>,
 }
 
@@ -67,20 +113,28 @@ impl FptasOptions {
 /// Result of an FPTAS run.
 #[derive(Clone, Debug)]
 pub struct McfSolution {
-    /// Certified-feasible concurrent flow rate (a lower bound on OPT,
-    /// ≥ (1 − 3ε)·OPT).
+    /// Certified-feasible concurrent flow rate — always a true lower bound
+    /// on OPT; additionally ≥ (1 − 3ε)·OPT when
+    /// [`McfSolution::budget_exhausted`] is `false`.
     pub lambda: f64,
-    /// Upper bound from the node cut (∞ if unconstrained).
+    /// Certified upper bound on OPT: the tighter of the node cut and the
+    /// best dual bound `D(l)/α(l)` observed during the run (∞ if neither
+    /// constrains).
     pub upper_bound: f64,
     /// Completed phases.
     pub phases: usize,
-    /// Total shortest-path computations.
+    /// Total shortest-path computations (source trees when batched).
     pub steps: usize,
+    /// `true` when [`FptasOptions::max_steps`] tripped before the dual
+    /// termination condition: `lambda` is then only the certified lower
+    /// bound of the partial run, not a converged (1 − 3ε)-approximation.
+    pub budget_exhausted: bool,
     /// Per-arc utilization of the certified solution (flow/cap ∈ [0, 1]).
     pub utilization: Vec<f64>,
 }
 
-/// Solves max concurrent flow approximately; see module docs.
+/// Solves max concurrent flow approximately with the source-batched
+/// (Fleischer) routing loop; see module docs.
 ///
 /// Returns λ = ∞ for an empty commodity set and λ = 0 when any commodity
 /// is disconnected.
@@ -94,6 +148,124 @@ pub fn max_concurrent_flow(
     commodities: &[Commodity],
     opts: FptasOptions,
 ) -> Result<McfSolution, McfError> {
+    solve(g, commodities, opts, true)
+}
+
+/// The original per-commodity Garg–Könemann routing loop: one shortest
+/// path per push, `O(#commodities)` Dijkstras per phase.
+///
+/// Retained as the validation oracle for the batched solver — property
+/// tests pin `max_concurrent_flow` against this within the ε guarantee —
+/// and as the baseline in benchmark comparisons. Production callers want
+/// [`max_concurrent_flow`].
+///
+/// # Errors
+/// Same contract as [`max_concurrent_flow`].
+pub fn max_concurrent_flow_reference(
+    g: &CapGraph,
+    commodities: &[Commodity],
+    opts: FptasOptions,
+) -> Result<McfSolution, McfError> {
+    solve(g, commodities, opts, false)
+}
+
+/// One batch of commodities served by a single shortest-path tree: a
+/// *source* tree rooted at a shared `src` (`reversed == false`) or a
+/// *sink* tree rooted at a shared `dst` (`reversed == true`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Group {
+    /// Tree root: the shared source, or the shared destination when
+    /// `reversed`.
+    root: usize,
+    /// Whether the tree is sink-rooted
+    /// ([`CapGraph::shortest_path_tree_to_with`]).
+    reversed: bool,
+    /// Commodity indices, in input order.
+    members: Vec<usize>,
+}
+
+/// Partitions commodity indices into tree batches, each commodity joining
+/// whichever endpoint is shared by *more* commodities overall: hot-spot
+/// matrices (the paper's Figure 7 workload) have thousands of commodities
+/// converging on a handful of destinations, and batching those under sink
+/// trees cuts trees-per-phase from O(#sources) to O(#hot spots). Ties go
+/// to the source side. Groups are formed in first-appearance order and
+/// members stay in input order — the fixed ordering is part of the
+/// determinism contract (DESIGN.md §10): the routing schedule, and with it
+/// every float accumulation, depends only on the input commodity order.
+fn group_commodities(commodities: &[Commodity]) -> Vec<Group> {
+    use std::collections::HashMap;
+    let mut src_count: HashMap<usize, usize> = HashMap::new();
+    let mut dst_count: HashMap<usize, usize> = HashMap::new();
+    for c in commodities {
+        *src_count.entry(c.src).or_insert(0) += 1;
+        *dst_count.entry(c.dst).or_insert(0) += 1;
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    let mut slot: HashMap<(usize, bool), usize> = HashMap::new();
+    for (j, c) in commodities.iter().enumerate() {
+        let reversed = dst_count[&c.dst] > src_count[&c.src];
+        let key = if reversed {
+            (c.dst, true)
+        } else {
+            (c.src, false)
+        };
+        match slot.get(&key) {
+            // index came from `groups.len()` below — always in bounds
+            Some(&i) => groups[i].members.push(j),
+            None => {
+                slot.insert(key, groups.len());
+                groups.push(Group {
+                    root: key.0,
+                    reversed,
+                    members: vec![j],
+                });
+            }
+        }
+    }
+    groups
+}
+
+/// Reachability pre-check: one unit-length SSSP per tree batch (not per
+/// commodity — commodities sharing a tree share the check). Returns
+/// `false` when any commodity's far endpoint is unreachable, which pins
+/// λ to 0.
+fn all_reachable(
+    g: &CapGraph,
+    commodities: &[Commodity],
+    groups: &[Group],
+    rev: &ReverseIndex,
+    scratch: &mut DijkstraScratch,
+) -> bool {
+    let ones = vec![1.0f64; g.arc_count()];
+    for grp in groups {
+        if grp.reversed {
+            g.shortest_path_tree_to_with(rev, grp.root, &ones, scratch);
+        } else {
+            g.shortest_path_tree_with(grp.root, &ones, scratch);
+        }
+        for &j in &grp.members {
+            let far = if grp.reversed {
+                commodities[j].src
+            } else {
+                commodities[j].dst
+            };
+            if !scratch.reached(far) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Shared frame of both solvers: validation, reachability pre-check,
+/// adaptive demand scaling around [`run_once`].
+fn solve(
+    g: &CapGraph,
+    commodities: &[Commodity],
+    opts: FptasOptions,
+    batched: bool,
+) -> Result<McfSolution, McfError> {
     if !(opts.epsilon > 0.0 && opts.epsilon < 0.5) {
         return Err(McfError::InvalidEpsilon {
             epsilon: opts.epsilon,
@@ -106,6 +278,7 @@ pub fn max_concurrent_flow(
             upper_bound: f64::INFINITY,
             phases: 0,
             steps: 0,
+            budget_exhausted: false,
             utilization: vec![0.0; m],
         });
     }
@@ -118,29 +291,26 @@ pub fn max_concurrent_flow(
             });
         }
     }
+    let groups = group_commodities(commodities);
+    let rev = g.reverse_index();
     let ub = node_cut_upper_bound(g, commodities);
 
     // One Dijkstra scratch for the whole solve: the pre-check below, plus
-    // every routing step of every run_once call, reuse its buffers (zero
-    // per-call allocation after the first Dijkstra warms it up).
+    // every tree/path computation of every run_once call, reuse its buffers
+    // (zero per-call allocation after the first run warms it up).
     let mut scratch = DijkstraScratch::new();
 
-    // Reachability pre-check: a disconnected commodity pins λ to 0.
-    {
-        let ones = vec![1.0f64; m];
-        for c in commodities {
-            if g.shortest_path_with(c.src, c.dst, &ones, &mut scratch)
-                .is_none()
-            {
-                return Ok(McfSolution {
-                    lambda: 0.0,
-                    upper_bound: ub,
-                    phases: 0,
-                    steps: 0,
-                    utilization: vec![0.0; m],
-                });
-            }
-        }
+    // A disconnected commodity pins λ to 0 — that is a converged answer,
+    // not a budget artifact.
+    if !all_reachable(g, commodities, &groups, &rev, &mut scratch) {
+        return Ok(McfSolution {
+            lambda: 0.0,
+            upper_bound: ub,
+            phases: 0,
+            steps: 0,
+            budget_exhausted: false,
+            utilization: vec![0.0; m],
+        });
     }
 
     // Adaptive demand scaling. The solver runs on demands `d/scale`; the
@@ -152,7 +322,17 @@ pub fn max_concurrent_flow(
     } else {
         1.0
     };
-    let mut last = run_once(g, commodities, scale, opts, &mut scratch);
+    let mut last = run_once(
+        g,
+        commodities,
+        &groups,
+        &rev,
+        scale,
+        ub,
+        opts,
+        &mut scratch,
+        batched,
+    );
     for _ in 0..4 {
         let scaled_lambda = last.lambda * scale; // λ' of the scaled instance
         if (0.2..=5.0).contains(&scaled_lambda) {
@@ -166,45 +346,424 @@ pub fn max_concurrent_flow(
         } else {
             scale /= scaled_lambda; // new scale ≈ 1/OPT
         }
-        last = run_once(g, commodities, scale, opts, &mut scratch);
+        last = run_once(
+            g,
+            commodities,
+            &groups,
+            &rev,
+            scale,
+            ub,
+            opts,
+            &mut scratch,
+            batched,
+        );
     }
-    last.upper_bound = ub;
+    last.upper_bound = last.upper_bound.min(ub);
     Ok(last)
 }
 
+/// Mutable state of one Garg–Könemann run, shared by both routing loops.
+struct RunState<'a> {
+    g: &'a CapGraph,
+    commodities: &'a [Commodity],
+    eps: f64,
+    scale: f64,
+    max_steps: Option<usize>,
+    /// Current per-arc length l(a).
+    length: Vec<f64>,
+    /// Accumulated (capacity-violating) per-arc flow.
+    flow: Vec<f64>,
+    /// Accumulated routed amount per commodity (scaled units).
+    routed: Vec<f64>,
+    /// Dual value D(l) = Σ cap(a)·l(a); termination at ≥ 1.
+    dual: f64,
+    /// Best upper bound on the scaled optimum: seeded with the node-cut
+    /// bound in scaled units, then tightened by `D(l)/α(l)` each phase.
+    dual_ub: f64,
+    /// Certificate snapshot from before the primal reset:
+    /// `(λ_scaled, flow)`. The final answer never drops below it even if
+    /// the budget trips right after the reset.
+    primal_floor: Option<(f64, Vec<f64>)>,
+    /// Best certified λ_scaled seen at each phase end (non-decreasing),
+    /// for the plateau half of the gap termination rule.
+    best_hist: Vec<f64>,
+    phases: usize,
+    steps: usize,
+    budget_exhausted: bool,
+}
+
+impl RunState<'_> {
+    /// The certified concurrent flow rate of the *scaled* instance for the
+    /// currently accumulated flow: worst-served commodity over worst
+    /// overload, exactly the value [`max_concurrent_flow`] reports (before
+    /// mapping back to caller units).
+    fn lambda_scaled(&self) -> f64 {
+        let mu = (0..self.g.arc_count())
+            .map(|a| self.flow[a] / self.g.arc(a).cap)
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        let served = self
+            .commodities
+            .iter()
+            .enumerate()
+            .map(|(j, c)| self.routed[j] / (c.demand / self.scale))
+            .fold(f64::INFINITY, f64::min);
+        if served.is_finite() {
+            served / mu
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the budget-rescue gap termination is armed: only once a
+    /// finite step budget is at least half spent. Unbudgeted runs — and
+    /// budgeted runs still in their first half — terminate at the textbook
+    /// `D(l) ≥ 1` and keep the fully converged λ. The gap certificate
+    /// exists to rescue a *certified* answer before the budget trips, not
+    /// to trade λ quality for speed when steps are not scarce: stopping at
+    /// the (1 − 3ε) contract can leave λ tens of percent below the
+    /// converged value, which downstream consumers comparing λ across
+    /// instances (the hybrid-zone experiment, the ft-sim cross-check)
+    /// would misread as a real throughput difference.
+    fn gap_rescue_armed(&self) -> bool {
+        self.max_steps
+            .is_some_and(|max| self.steps.saturating_mul(2) >= max)
+    }
+
+    /// Phase-end bookkeeping for the plateau half of the gap test: record
+    /// the best certified λ seen so far (non-decreasing). Runs every
+    /// phase — armed or not — so the history is already warm when the
+    /// budget rescue arms and the rescue can fire on its first check.
+    fn note_phase_lambda(&mut self) {
+        let best = self
+            .lambda_scaled()
+            .max(self.best_hist.last().copied().unwrap_or(0.0));
+        self.best_hist.push(best);
+    }
+
+    /// Phase-end primal–dual gap test (batched loop only, armed by
+    /// [`Self::gap_rescue_armed`]). Records the dual upper bound
+    /// `D(l)/α(l)` from this phase's trees, then reports converged when
+    /// **both** hold:
+    ///
+    /// * *contract*: the certified primal `λ = (min_j routed_j/d_j)/μ` is
+    ///   ≥ (1 − 3ε) of the best upper bound seen — from this point on,
+    ///   more phases can only improve the constant, never the guarantee;
+    /// * *plateau*: the best certified λ grew < 1% over the last two
+    ///   phases — the primal has stopped paying for further phases.
+    ///
+    /// The contract half alone would stop at the weakest permissible
+    /// answer; the plateau half alone could stop before the guarantee
+    /// holds. Together they rescue a near-converged λ from a run that
+    /// would otherwise trip its budget before `D(l) ≥ 1`.
+    fn gap_converged(&mut self, group_alpha: &[f64]) -> bool {
+        let alpha: f64 = group_alpha.iter().sum();
+        if alpha <= 0.0 {
+            return false;
+        }
+        self.dual_ub = self.dual_ub.min(self.dual / alpha);
+        let lambda_scaled = self.lambda_scaled();
+        if std::env::var_os("FT_FPTAS_TRACE").is_some() {
+            eprintln!(
+                "phase={} steps={} dual={:.4} lam={:.5} ub={:.5} ratio={:.3}",
+                self.phases,
+                self.steps,
+                self.dual,
+                lambda_scaled,
+                self.dual_ub,
+                lambda_scaled / self.dual_ub
+            );
+        }
+        let contract =
+            lambda_scaled > 0.0 && lambda_scaled >= (1.0 - 3.0 * self.eps) * self.dual_ub;
+        let n = self.best_hist.len();
+        // `n >= 3` is checked first, so both indices are in bounds
+        let plateau = n >= 3 && self.best_hist[n - 1] <= 1.01 * self.best_hist[n - 3];
+        contract && plateau
+    }
+
+    /// One-time primal reset (batched loop only): the first couple of
+    /// phases route under near-uniform lengths and pile flow onto paths a
+    /// converged run would avoid; that early flow inflates the overload μ
+    /// and drags the certified λ for the rest of the run. Once the lengths
+    /// have absorbed the congestion profile (and the dual is still far from
+    /// terminating), dropping the accumulated flow — lengths stay — lets
+    /// the certificate re-accumulate purely on informed paths. The
+    /// pre-reset certificate is kept as a floor, so this is monotone: the
+    /// reported λ can only improve.
+    fn primal_reset(&mut self) {
+        self.primal_floor = Some((self.lambda_scaled(), self.flow.clone()));
+        self.flow.iter_mut().for_each(|f| *f = 0.0);
+        self.routed.iter_mut().for_each(|r| *r = 0.0);
+    }
+}
+
 /// One Garg–Könemann run on demands divided by `scale` (so that the scaled
-/// optimum is ≈ 1 when `scale` ≈ 1/OPT). The returned λ is already mapped
-/// back to the caller's demand units.
+/// optimum is ≈ 1 when `scale` ≈ 1/OPT). `ub_caller` is the node-cut upper
+/// bound in *caller* units; `ub_caller · scale` bounds the scaled optimum
+/// and seeds the dual upper bound, so the gap test can fire as soon as the
+/// primal is good instead of waiting for `D(l)/α(l)` to tighten from ∞.
+/// The returned λ is already mapped back to the caller's demand units.
+#[allow(clippy::too_many_arguments)]
 fn run_once(
     g: &CapGraph,
     commodities: &[Commodity],
+    groups: &[Group],
+    rev: &ReverseIndex,
     scale: f64,
+    ub_caller: f64,
     opts: FptasOptions,
     scratch: &mut DijkstraScratch,
+    batched: bool,
 ) -> McfSolution {
     let eps = opts.epsilon;
     let m = g.arc_count();
     let delta = (m as f64 / (1.0 - eps)).powf(-1.0 / eps);
+    let seed_ub = if ub_caller.is_finite() && ub_caller > 0.0 {
+        ub_caller * scale
+    } else {
+        f64::INFINITY
+    };
+    let mut st = RunState {
+        g,
+        commodities,
+        eps,
+        scale,
+        max_steps: opts.max_steps,
+        length: (0..m).map(|a| delta / g.arc(a).cap).collect(),
+        flow: vec![0.0f64; m],
+        routed: vec![0.0; commodities.len()],
+        dual: 0.0,
+        dual_ub: seed_ub,
+        primal_floor: None,
+        best_hist: Vec::new(),
+        phases: 0,
+        steps: 0,
+        budget_exhausted: false,
+    };
+    st.dual = (0..m).map(|a| g.arc(a).cap * st.length[a]).sum();
 
-    let mut length: Vec<f64> = (0..m).map(|a| delta / g.arc(a).cap).collect();
-    let mut flow = vec![0.0f64; m];
-    let mut routed: Vec<f64> = vec![0.0; commodities.len()];
-    let mut dual: f64 = (0..m).map(|a| g.arc(a).cap * length[a]).sum();
-    let mut phases = 0usize;
-    let mut steps = 0usize;
+    if batched {
+        route_batched(&mut st, groups, rev, scratch);
+    } else {
+        route_reference(&mut st, scratch);
+    }
 
-    'outer: while dual < 1.0 {
-        for (j, c) in commodities.iter().enumerate() {
-            let mut rem = c.demand / scale;
-            while rem > 0.0 && dual < 1.0 {
-                if let Some(max) = opts.max_steps {
-                    if steps >= max {
+    // Certified feasible λ: scale the accumulated flow down by its worst
+    // overload, take the worst-served commodity. If the pre-reset snapshot
+    // certifies more (budget tripped shortly after the primal reset), fall
+    // back to it — λ is then monotone in the work done.
+    let mut lambda_scaled = st.lambda_scaled();
+    let mut best_flow = &st.flow;
+    if let Some((floor, flow)) = &st.primal_floor {
+        if *floor > lambda_scaled {
+            lambda_scaled = *floor;
+            best_flow = flow;
+        }
+    }
+    let mu = (0..m)
+        .map(|a| best_flow[a] / g.arc(a).cap)
+        .fold(0.0f64, f64::max)
+        .max(1.0); // if nothing overloads, the flow is already feasible
+    let utilization: Vec<f64> = (0..m).map(|a| best_flow[a] / g.arc(a).cap / mu).collect();
+
+    McfSolution {
+        // λ in caller units: scaled instance demands were d/scale
+        lambda: lambda_scaled / scale,
+        // dual_ub bounds the *scaled* optimum; map back to caller units
+        upper_bound: st.dual_ub / scale,
+        phases: st.phases,
+        steps: st.steps,
+        budget_exhausted: st.budget_exhausted,
+        utilization,
+    }
+}
+
+/// Fleischer-style batched routing: one shortest-path tree per
+/// (group, step) — a source tree rooted at the shared source, or a sink
+/// tree rooted at the shared destination for `reversed` groups. Every
+/// member routes along its tree path while that path's *current* length
+/// stays within `(1 + ε)` of the far endpoint's distance at tree-build
+/// time. Arc lengths only grow, so the build-time distance is a lower
+/// bound on the current shortest path — a path passing the check is a
+/// `(1 + ε)`-approximate shortest path, which is exactly the oracle the
+/// Garg–Könemann analysis needs. Once a needed path drifts past the band,
+/// the tree is recomputed.
+///
+/// Beyond the textbook `D(l) ≥ 1` termination, the batched loop can stop
+/// as soon as the certified primal value meets the advertised guarantee
+/// against a *dual* upper bound: any length function `l` proves
+/// `OPT ≤ D(l)/α(l)` with `α(l) = Σ_j d_j·dist_l(s_j, t_j)` (scaling `l`
+/// by `1/α(l)` makes it feasible for the dual LP). A phase-end tree per
+/// group hands us under-estimates of every `dist_l`, and an
+/// under-estimated α only *weakens* the bound — so the check costs one
+/// tree pass plus an `O(m)` scan per phase and stopping at
+/// `λ_certified ≥ (1 − 3ε)·D(l)/α(l)` delivers exactly the promised
+/// `(1 − 3ε)·OPT`. This early exit is armed only once half of a finite
+/// step budget is spent ([`RunState::gap_rescue_armed`]): it rescues a
+/// certified answer from a run that would otherwise trip its budget,
+/// while unbudgeted (or comfortably budgeted) runs keep the fully
+/// converged λ of the `D(l) ≥ 1` termination.
+fn route_batched(
+    st: &mut RunState<'_>,
+    groups: &[Group],
+    rev: &ReverseIndex,
+    scratch: &mut DijkstraScratch,
+) {
+    let one_plus_eps = 1.0 + st.eps;
+    // Remaining (scaled) demand of the current group's members this phase.
+    let mut rem: Vec<f64> = Vec::new();
+    // Arc path of the member being routed (root-ward order; direction is
+    // irrelevant for bottleneck/staleness/push).
+    let mut path: Vec<usize> = Vec::new();
+    // Per-group Σ d_j·dist(s_j, t_j) from the phase-end α pass: together a
+    // lower bound on α under the end-of-phase lengths.
+    let mut group_alpha = vec![0.0f64; groups.len()];
+
+    'outer: while st.dual < 1.0 {
+        for grp in groups {
+            let members = &grp.members;
+            rem.clear();
+            rem.extend(members.iter().map(|&j| st.commodities[j].demand / st.scale));
+            while rem.iter().any(|&r| r > 0.0) {
+                if let Some(max) = st.max_steps {
+                    if st.steps >= max {
+                        st.budget_exhausted = true;
                         break 'outer;
                     }
                 }
-                steps += 1;
+                st.steps += 1;
+                if grp.reversed {
+                    st.g.shortest_path_tree_to_with(rev, grp.root, &st.length, scratch);
+                } else {
+                    st.g.shortest_path_tree_with(grp.root, &st.length, scratch);
+                }
+                for (i, &j) in members.iter().enumerate() {
+                    'member: while rem[i] > 0.0 {
+                        // the member's endpoint away from the tree root
+                        let far = if grp.reversed {
+                            st.commodities[j].src
+                        } else {
+                            st.commodities[j].dst
+                        };
+                        if !scratch.reached(far) {
+                            break 'outer; // cannot happen after the pre-check
+                        }
+                        // Distance at tree-build time: a lower bound on the
+                        // current shortest-path distance (lengths only grow).
+                        let Some(tree_dist) = scratch.distance(far) else {
+                            break 'outer; // unreachable: reached() was true
+                        };
+                        path.clear();
+                        if grp.reversed {
+                            path.extend(st.g.tree_walk_to(scratch, far));
+                        } else {
+                            path.extend(st.g.tree_walk(scratch, far));
+                        }
+                        let mut bottleneck = f64::INFINITY;
+                        let mut path_len = 0.0f64;
+                        for &a in &path {
+                            bottleneck = bottleneck.min(st.g.arc(a).cap);
+                            path_len += st.length[a];
+                        }
+                        if path_len > one_plus_eps * tree_dist {
+                            // this member's tree path is no longer a
+                            // (1 + ε)-approximate shortest path — defer the
+                            // member; other members route through different
+                            // subtrees and may still be in band. The tree is
+                            // rebuilt only when a full sweep leaves demand
+                            // pending (each fresh tree serves at least one
+                            // push: a fresh path trivially passes the check).
+                            break 'member;
+                        }
+                        let f = rem[i].min(bottleneck);
+                        rem[i] -= f;
+                        st.routed[j] += f;
+                        for &a in &path {
+                            let cap = st.g.arc(a).cap;
+                            st.flow[a] += f;
+                            let old = st.length[a];
+                            st.length[a] = old * (1.0 + st.eps * f / cap);
+                            st.dual += cap * (st.length[a] - old);
+                        }
+                        if st.dual >= 1.0 {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        // Budget-rescue gap termination, armed only once half of a finite
+        // step budget is spent: a phase-end α pass — one fresh tree per
+        // group under the current lengths — makes the dual bound D(l)/α(l)
+        // tight, which is what lets gap_converged fire before the budget
+        // trips. The trees are counted against the step budget like any
+        // other; a partial pass only weakens the bound (older entries
+        // under-estimate their group's α contribution). While unarmed the
+        // pass is skipped entirely and the loop runs to `D(l) ≥ 1`.
+        st.phases += 1;
+        st.note_phase_lambda();
+        if st.gap_rescue_armed() {
+            for (gi, grp) in groups.iter().enumerate() {
+                if let Some(max) = st.max_steps {
+                    if st.steps >= max {
+                        st.budget_exhausted = true;
+                        break 'outer;
+                    }
+                }
+                st.steps += 1;
+                if grp.reversed {
+                    st.g.shortest_path_tree_to_with(rev, grp.root, &st.length, scratch);
+                } else {
+                    st.g.shortest_path_tree_with(grp.root, &st.length, scratch);
+                }
+                group_alpha[gi] = grp
+                    .members
+                    .iter()
+                    .map(|&j| {
+                        let far = if grp.reversed {
+                            st.commodities[j].src
+                        } else {
+                            st.commodities[j].dst
+                        };
+                        let d = st.commodities[j].demand / st.scale;
+                        d * scratch.distance(far).unwrap_or(0.0)
+                    })
+                    .sum();
+            }
+            if st.gap_converged(&group_alpha) {
+                break;
+            }
+        }
+        // Primal reset (see RunState::primal_reset): once, after the
+        // lengths have seen two full phases of traffic, and only when the
+        // dual is still far from terminating — runs that are about to
+        // converge keep their accumulated flow.
+        if st.phases == 2 && st.primal_floor.is_none() && st.dual < 0.25 {
+            st.primal_reset();
+        }
+    }
+}
+
+/// The original per-commodity routing loop: one early-exit Dijkstra per
+/// push. Kept verbatim as the oracle behind
+/// [`max_concurrent_flow_reference`].
+fn route_reference(st: &mut RunState<'_>, scratch: &mut DijkstraScratch) {
+    'outer: while st.dual < 1.0 {
+        for (j, c) in st.commodities.iter().enumerate() {
+            let mut rem = c.demand / st.scale;
+            while rem > 0.0 && st.dual < 1.0 {
+                if let Some(max) = st.max_steps {
+                    if st.steps >= max {
+                        st.budget_exhausted = true;
+                        break 'outer;
+                    }
+                }
+                st.steps += 1;
                 // allocation-free: path lands in the reused scratch buffers
-                if g.shortest_path_with(c.src, c.dst, &length, scratch)
+                if st
+                    .g
+                    .shortest_path_with(c.src, c.dst, &st.length, scratch)
                     .is_none()
                 {
                     break 'outer; // cannot happen after the pre-check
@@ -212,47 +771,24 @@ fn run_once(
                 let bottleneck = scratch
                     .path()
                     .iter()
-                    .map(|&a| g.arc(a).cap)
+                    .map(|&a| st.g.arc(a).cap)
                     .fold(f64::INFINITY, f64::min);
                 let f = rem.min(bottleneck);
                 rem -= f;
-                routed[j] += f;
+                st.routed[j] += f;
                 for &a in scratch.path() {
-                    let cap = g.arc(a).cap;
-                    flow[a] += f;
-                    let old = length[a];
-                    length[a] = old * (1.0 + eps * f / cap);
-                    dual += cap * (length[a] - old);
+                    let cap = st.g.arc(a).cap;
+                    st.flow[a] += f;
+                    let old = st.length[a];
+                    st.length[a] = old * (1.0 + st.eps * f / cap);
+                    st.dual += cap * (st.length[a] - old);
                 }
             }
-            if dual >= 1.0 {
+            if st.dual >= 1.0 {
                 break 'outer;
             }
         }
-        phases += 1;
-    }
-
-    // Certified feasible λ: scale the accumulated flow down by its worst
-    // overload, take the worst-served commodity.
-    let mu = (0..m)
-        .map(|a| flow[a] / g.arc(a).cap)
-        .fold(0.0f64, f64::max)
-        .max(1.0); // if nothing overloads, the flow is already feasible
-    let served = commodities
-        .iter()
-        .enumerate()
-        .map(|(j, c)| routed[j] / (c.demand / scale))
-        .fold(f64::INFINITY, f64::min);
-    let lambda_scaled = if served.is_finite() { served / mu } else { 0.0 };
-    let utilization: Vec<f64> = (0..m).map(|a| flow[a] / g.arc(a).cap / mu).collect();
-
-    McfSolution {
-        // λ in caller units: scaled instance demands were d/scale
-        lambda: lambda_scaled / scale,
-        upper_bound: f64::INFINITY,
-        phases,
-        steps,
-        utilization,
+        st.phases += 1;
     }
 }
 
@@ -266,25 +802,36 @@ mod tests {
         CapGraph::from_graph(&Graph::from_edges(n, edges), 1.0)
     }
 
-    fn check_against_exact(g: &CapGraph, cs: &[Commodity], eps: f64) {
-        let exact = max_concurrent_flow_exact(g, cs).unwrap();
-        let approx = max_concurrent_flow(g, cs, FptasOptions::with_epsilon(eps)).unwrap();
+    fn check_one(g: &CapGraph, cs: &[Commodity], eps: f64, exact: f64, sol: &McfSolution) {
         assert!(
-            approx.lambda <= exact + 1e-6,
+            sol.lambda <= exact + 1e-6,
             "approx {} exceeds exact {}",
-            approx.lambda,
+            sol.lambda,
             exact
         );
         assert!(
-            approx.lambda >= (1.0 - 3.0 * eps) * exact - 1e-9,
+            sol.lambda >= (1.0 - 3.0 * eps) * exact - 1e-9,
             "approx {} below guarantee for exact {}",
-            approx.lambda,
+            sol.lambda,
             exact
         );
-        assert!(approx.lambda <= approx.upper_bound + 1e-9);
-        for &u in &approx.utilization {
+        assert!(sol.lambda <= sol.upper_bound + 1e-9);
+        assert!(!sol.budget_exhausted, "unlimited run reported exhaustion");
+        for &u in &sol.utilization {
             assert!(u <= 1.0 + 1e-9, "utilization {u} over capacity");
         }
+        let _ = (g, cs);
+    }
+
+    /// Both solvers — batched and per-commodity reference — must satisfy
+    /// the sandwich against the exact simplex on every fixed instance.
+    fn check_against_exact(g: &CapGraph, cs: &[Commodity], eps: f64) {
+        let exact = max_concurrent_flow_exact(g, cs).unwrap();
+        let opts = FptasOptions::with_epsilon(eps);
+        let batched = max_concurrent_flow(g, cs, opts).unwrap();
+        check_one(g, cs, eps, exact, &batched);
+        let reference = max_concurrent_flow_reference(g, cs, opts).unwrap();
+        check_one(g, cs, eps, exact, &reference);
     }
 
     #[test]
@@ -383,6 +930,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.lambda, 0.0);
+        // disconnection is a converged answer, not a budget artifact
+        assert!(!s.budget_exhausted);
     }
 
     #[test]
@@ -390,6 +939,7 @@ mod tests {
         let g = unit(2, &[(0, 1)]);
         let s = max_concurrent_flow(&g, &[], FptasOptions::default()).unwrap();
         assert!(s.lambda.is_infinite());
+        assert!(!s.budget_exhausted);
     }
 
     #[test]
@@ -421,7 +971,7 @@ mod tests {
     }
 
     #[test]
-    fn step_budget_respected() {
+    fn step_budget_respected_and_reported() {
         let g = unit(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
         let cs = [Commodity {
             src: 0,
@@ -438,6 +988,155 @@ mod tests {
         )
         .unwrap();
         assert!(s.steps <= 5 * 5, "rescaling runs are each capped");
+        // ε = 0.01 needs far more than 5 trees to converge: the budget must
+        // be *reported*, not silently swallowed.
+        assert!(s.budget_exhausted);
+    }
+
+    #[test]
+    fn converged_run_reports_no_exhaustion() {
+        let g = unit(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let cs = [Commodity {
+            src: 0,
+            dst: 3,
+            demand: 1.0,
+        }];
+        let s = max_concurrent_flow(
+            &g,
+            &cs,
+            FptasOptions {
+                epsilon: 0.1,
+                max_steps: Some(1_000_000),
+            },
+        )
+        .unwrap();
+        assert!(!s.budget_exhausted);
+        assert!(s.lambda > 0.0);
+    }
+
+    #[test]
+    fn groups_first_appearance_order_source_side() {
+        let c = |src, dst| Commodity {
+            src,
+            dst,
+            demand: 1.0,
+        };
+        // src and dst multiplicities tie everywhere → all source-side
+        let cs = [c(3, 0), c(1, 2), c(3, 2), c(0, 3), c(1, 0)];
+        let groups = group_commodities(&cs);
+        let expect = |root, members: Vec<usize>| Group {
+            root,
+            reversed: false,
+            members,
+        };
+        assert_eq!(
+            groups,
+            vec![
+                expect(3, vec![0, 2]),
+                expect(1, vec![1, 4]),
+                expect(0, vec![3])
+            ]
+        );
+    }
+
+    #[test]
+    fn groups_batch_shared_destinations_under_sink_trees() {
+        let c = |src, dst| Commodity {
+            src,
+            dst,
+            demand: 1.0,
+        };
+        // three sources converging on one destination: one sink tree, not
+        // three source trees — plus one ordinary source group
+        let cs = [c(0, 3), c(1, 3), c(2, 3), c(3, 0)];
+        let groups = group_commodities(&cs);
+        assert_eq!(
+            groups,
+            vec![
+                Group {
+                    root: 3,
+                    reversed: true,
+                    members: vec![0, 1, 2],
+                },
+                Group {
+                    root: 3,
+                    reversed: false,
+                    members: vec![3],
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn precheck_runs_one_sssp_per_distinct_source() {
+        // 5 commodities over 2 distinct sources → exactly 2 scratch
+        // warm-ups, not 5 (the old per-commodity pre-check did 5).
+        let g = unit(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let c = |src, dst| Commodity {
+            src,
+            dst,
+            demand: 1.0,
+        };
+        let cs = [c(0, 1), c(0, 2), c(0, 3), c(2, 0), c(2, 1)];
+        let groups = group_commodities(&cs);
+        let rev = g.reverse_index();
+        let mut scratch = DijkstraScratch::new();
+        assert!(all_reachable(&g, &cs, &groups, &rev, &mut scratch));
+        assert_eq!(scratch.runs(), 2, "one SSSP per tree batch");
+    }
+
+    #[test]
+    fn batched_close_to_reference_on_fixed_instances() {
+        // The batched solver routes along (1 + ε)-approximate paths, so the
+        // two certified values need not be bit-identical — but both are
+        // (1 − 3ε)-approximations, so they agree within the joint band.
+        let eps = 0.05;
+        let cases: Vec<(CapGraph, Vec<Commodity>)> = vec![
+            (
+                unit(4, &[(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)]),
+                vec![
+                    Commodity {
+                        src: 0,
+                        dst: 3,
+                        demand: 2.0,
+                    },
+                    Commodity {
+                        src: 1,
+                        dst: 2,
+                        demand: 1.0,
+                    },
+                ],
+            ),
+            (
+                unit(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]),
+                vec![
+                    Commodity {
+                        src: 0,
+                        dst: 3,
+                        demand: 1.0,
+                    },
+                    Commodity {
+                        src: 0,
+                        dst: 2,
+                        demand: 1.0,
+                    },
+                    Commodity {
+                        src: 4,
+                        dst: 1,
+                        demand: 0.5,
+                    },
+                ],
+            ),
+        ];
+        for (g, cs) in &cases {
+            let opts = FptasOptions::with_epsilon(eps);
+            let b = max_concurrent_flow(g, cs, opts).unwrap().lambda;
+            let r = max_concurrent_flow_reference(g, cs, opts).unwrap().lambda;
+            assert!(
+                b >= (1.0 - 3.0 * eps) * r - 1e-9 && r >= (1.0 - 3.0 * eps) * b - 1e-9,
+                "batched {b} vs reference {r} outside the ε band"
+            );
+        }
     }
 
     #[test]

@@ -17,11 +17,18 @@
 //!   `ft-lp`'s simplex. Exact, used for small instances and as the oracle
 //!   that validates the FPTAS.
 //! * [`fptas::max_concurrent_flow`] — the Garg–Könemann fully polynomial
-//!   approximation scheme with Fleischer-style phase routing. Scales to the
-//!   paper's k = 32 networks. The returned λ is *certified primal feasible*
-//!   (we rescale the accumulated flow by its worst link overload), so it is
-//!   a true lower bound regardless of floating-point drift, and the theory
-//!   guarantees it is within `(1 − 3ε)` of optimal.
+//!   approximation scheme with Fleischer-style **source batching**: one
+//!   shortest-path tree per (source, step) serves every commodity sharing
+//!   that source, so the Dijkstra count per phase is O(#sources) instead of
+//!   O(#commodities). Scales past the paper's k = 32 networks (11 200
+//!   commodities). The returned λ is *certified primal feasible* (we
+//!   rescale the accumulated flow by its worst link overload), so it is a
+//!   true lower bound regardless of floating-point drift, and the theory
+//!   guarantees it is within `(1 − 3ε)` of optimal at convergence; a
+//!   tripped step budget is reported via
+//!   [`fptas::McfSolution::budget_exhausted`], never as a silent λ = 0.
+//!   [`fptas::max_concurrent_flow_reference`] retains the per-commodity
+//!   routing loop as the validation oracle.
 //! * [`paths::max_concurrent_flow_on_paths`] — the concurrent-flow LP
 //!   restricted to explicit path sets, quantifying what k-shortest-paths
 //!   routing (§2.6) loses relative to the paper's optimal-routing
@@ -52,7 +59,7 @@ pub mod paths;
 pub use bounds::node_cut_upper_bound;
 pub use digraph::{CapGraph, DijkstraScratch};
 pub use exact::max_concurrent_flow_exact;
-pub use fptas::{max_concurrent_flow, FptasOptions, McfSolution};
+pub use fptas::{max_concurrent_flow, max_concurrent_flow_reference, FptasOptions, McfSolution};
 pub use paths::{k_shortest_arc_paths, max_concurrent_flow_on_paths, ArcPath};
 
 /// Errors reported by the concurrent-flow solvers.

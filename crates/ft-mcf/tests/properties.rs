@@ -4,8 +4,8 @@
 
 use ft_graph::Graph;
 use ft_mcf::{
-    aggregate_commodities, max_concurrent_flow, max_concurrent_flow_exact, node_cut_upper_bound,
-    CapGraph, FptasOptions,
+    aggregate_commodities, max_concurrent_flow, max_concurrent_flow_exact,
+    max_concurrent_flow_reference, node_cut_upper_bound, CapGraph, FptasOptions,
 };
 use proptest::prelude::*;
 
@@ -64,6 +64,33 @@ proptest! {
         for &u in &approx.utilization {
             prop_assert!(u <= 1.0 + 1e-9);
         }
+    }
+
+    /// The source-batched solver against the per-commodity reference loop:
+    /// both are certified-feasible (1 − 3ε)-approximations, so each must be
+    /// ≥ (1 − 3ε)·exact and they must agree within the joint band — the
+    /// batching (one tree per source, (1 + ε)-approximate paths) cannot
+    /// cost more than the ε guarantee.
+    #[test]
+    fn batched_matches_reference_within_epsilon(inst in arb_instance()) {
+        let g = CapGraph::from_graph(&Graph::from_edges(inst.n as usize, &inst.edges), 1.0);
+        let cs = aggregate_commodities(inst.demands.clone());
+        prop_assume!(!cs.is_empty());
+        let eps = 0.08;
+        let opts = FptasOptions::with_epsilon(eps);
+        let batched = max_concurrent_flow(&g, &cs, opts).unwrap();
+        let reference = max_concurrent_flow_reference(&g, &cs, opts).unwrap();
+        prop_assert!(!batched.budget_exhausted && !reference.budget_exhausted);
+        let (b, r) = (batched.lambda, reference.lambda);
+        prop_assert!(b >= (1.0 - 3.0 * eps) * r - 1e-9,
+                     "batched {b} below ε band of reference {r}");
+        prop_assert!(r >= (1.0 - 3.0 * eps) * b - 1e-9,
+                     "reference {r} below ε band of batched {b}");
+        // and the batched result still sandwiches against the exact LP
+        let exact = max_concurrent_flow_exact(&g, &cs).unwrap();
+        prop_assert!(b <= exact + 1e-6, "batched {b} exceeds exact {exact}");
+        prop_assert!(b >= (1.0 - 3.0 * eps) * exact - 1e-9,
+                     "batched {b} below guarantee of exact {exact}");
     }
 
     /// λ scales inversely with uniform demand scaling.

@@ -38,5 +38,5 @@ pub use bisection::{pod_bisection_bandwidth, random_bisection_bandwidth};
 pub use path_length::{
     average_intra_pod_path_length, average_server_path_length, path_length_histogram,
 };
-pub use report::{Series, Table};
+pub use report::{budget_warning, Series, Table};
 pub use throughput::{throughput, ThroughputOptions, ThroughputResult};

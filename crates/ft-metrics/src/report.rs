@@ -141,6 +141,23 @@ impl Table {
     }
 }
 
+/// Formats the standard warning line for a throughput solve whose FPTAS
+/// step budget tripped before convergence
+/// ([`crate::throughput::ThroughputResult::budget_exhausted`]): the λ in
+/// hand is a certified lower bound, **not** a converged approximation, and
+/// every reporting surface (`ftctl bench`, experiment binaries, FTQ
+/// replies) must say so instead of presenting it as final.
+///
+/// `context` names the solve (e.g. `"fptas k=32"`), `lambda` is the
+/// certified partial value, `steps` the budget that tripped.
+pub fn budget_warning(context: &str, lambda: f64, steps: usize) -> String {
+    format!(
+        "WARN {context}: step budget exhausted after {steps} steps; \
+         λ = {} is a certified lower bound, not a converged result",
+        format_num(lambda)
+    )
+}
+
 /// Formats a number compactly: integers without decimals, else 4 significant
 /// decimals.
 pub fn format_num(v: f64) -> String {
@@ -202,6 +219,15 @@ mod tests {
     fn row_arity_checked() {
         let mut t = Table::new(&["a", "b"]);
         t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn budget_warning_names_context_and_value() {
+        let w = budget_warning("fptas k=32", 0.25, 3000);
+        assert!(w.starts_with("WARN fptas k=32:"), "{w}");
+        assert!(w.contains("3000"), "{w}");
+        assert!(w.contains("0.25"), "{w}");
+        assert!(w.contains("lower bound"), "{w}");
     }
 
     #[test]

@@ -54,7 +54,9 @@ impl ThroughputOptions {
 /// Result of a throughput evaluation.
 #[derive(Clone, Debug)]
 pub struct ThroughputResult {
-    /// Concurrent per-flow throughput λ.
+    /// Concurrent per-flow throughput λ. Always a certified lower bound;
+    /// only a converged (1 − 3ε)-approximation when
+    /// [`ThroughputResult::budget_exhausted`] is `false`.
     pub lambda: f64,
     /// Whether the exact LP (true) or the FPTAS (false) produced it.
     pub exact: bool,
@@ -62,6 +64,11 @@ pub struct ThroughputResult {
     pub commodities: usize,
     /// Node-cut upper bound on λ (∞ when unconstrained / exact path).
     pub upper_bound: f64,
+    /// `true` when the FPTAS step budget ([`ThroughputOptions::max_steps`])
+    /// tripped before convergence: `lambda` is then only a lower bound.
+    /// Always `false` on the exact-LP path. Surface this to users (see
+    /// [`crate::report::budget_warning`]) instead of presenting λ as final.
+    pub budget_exhausted: bool,
 }
 
 /// Evaluates λ for the network under the given server-level matrix.
@@ -97,6 +104,7 @@ pub fn throughput_on_commodities(
             exact: true,
             commodities: 0,
             upper_bound: f64::INFINITY,
+            budget_exhausted: false,
         });
     }
     let lp_vars = commodities.len() * cg.arc_count();
@@ -106,6 +114,7 @@ pub fn throughput_on_commodities(
             exact: true,
             commodities: commodities.len(),
             upper_bound: f64::INFINITY,
+            budget_exhausted: false,
         })
     } else {
         let sol = max_concurrent_flow(
@@ -121,6 +130,7 @@ pub fn throughput_on_commodities(
             exact: false,
             commodities: commodities.len(),
             upper_bound: sol.upper_bound,
+            budget_exhausted: sol.budget_exhausted,
         })
     }
 }
@@ -204,5 +214,6 @@ mod tests {
         let r = throughput(&net, &tm, ThroughputOptions::fptas(0.1)).unwrap();
         assert!(r.lambda <= r.upper_bound + 1e-9);
         assert!(r.lambda > 0.0);
+        assert!(!r.budget_exhausted, "unbounded run must converge");
     }
 }

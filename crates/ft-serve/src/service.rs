@@ -379,11 +379,15 @@ fn exec_throughput(
     };
     let tm = generate(&entry.network, &wl, seed);
     let r = throughput(&entry.network, &tm, ThroughputOptions::fptas(epsilon))?;
+    // budget_exhausted is part of the reply contract: λ from a truncated
+    // FPTAS run is a lower bound, and clients must be able to tell.
     Ok(format!(
-        "layout={layout} eps={epsilon} lambda={:.6} commodities={} exact={} source={}",
+        "layout={layout} eps={epsilon} lambda={:.6} commodities={} exact={} \
+         budget_exhausted={} source={}",
         r.lambda,
         r.commodities,
         r.exact,
+        r.budget_exhausted,
         source(hit)
     ))
 }
@@ -587,5 +591,7 @@ mod tests {
         assert!(reply.starts_with("OK throughput "), "{reply}");
         assert!(reply.contains("lambda="), "{reply}");
         assert!(reply.contains("eps=0.3"), "{reply}");
+        // an unbounded FPTAS run converges, and the reply must say so
+        assert!(reply.contains("budget_exhausted=false"), "{reply}");
     }
 }

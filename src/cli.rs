@@ -68,7 +68,7 @@ USAGE:
   ftctl serve   -k <even> [--port <u16, default 0 = OS-picked>]
                 [--workers <n>] [--cache <n>] [--queue <n>]
   ftctl query   -k <even> [--req \"<ftq line>[; <ftq line>…]\"] [--workers <n>]
-  ftctl bench   [--json <file>] [--quick]
+  ftctl bench   [--json <file>] [--quick] [--check <baseline.json>]
 
 Topology kinds build from the same equipment as fat-tree(k). flat-tree
 requires --mode; other kinds ignore it.
@@ -79,10 +79,13 @@ sends `shutdown`; query boots the same service in-process, issues the
 topo | paths | throughput | plan | convert | stats | shutdown).
 
 bench times the hot-path kernels (CSR BFS-APSP sequential vs parallel,
-Dijkstra with fresh vs reused scratch buffers, the FPTAS throughput solve)
-on fixed seeds at k ∈ {8, 16, 32} and optionally writes a JSON report
-(--quick restricts to k = 8 with a shorter FPTAS step cap). The worker
-count honours the FT_THREADS environment override.";
+Dijkstra with fresh vs reused scratch buffers, the source-batched FPTAS
+throughput solve) on fixed seeds at k ∈ {8, 16, 32} and optionally writes
+a JSON report (--quick restricts to k = 8 with a shorter FPTAS step cap).
+--check compares the run against a previously written report: determinism
+fields (checksums, distance sums, λ at matching step budgets) must match
+exactly and any kernel slower than 1.25× baseline + 5 ms fails the run.
+The worker count honours the FT_THREADS environment override.";
 
 /// Flags that take no value; `parse` records them as `\"true\"`.
 const BOOL_FLAGS: &[&str] = &["quick"];
@@ -414,6 +417,13 @@ struct BenchEntry {
 }
 
 impl BenchEntry {
+    fn extra(&self, key: &str) -> Option<&str> {
+        self.extras
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     fn to_json(&self) -> String {
         let mut s = format!(
             "{{\"k\": {}, \"kernel\": \"{}\", \"variant\": \"{}\", \"ms\": {:.3}",
@@ -552,11 +562,18 @@ fn bench_dijkstra(k: usize, entries: &mut Vec<BenchEntry>) -> Result<(), CliErro
     Ok(())
 }
 
-/// End-to-end FPTAS throughput solve on the k flat-tree in global
-/// random-graph mode under the paper's hot-spot workload, with a step cap
-/// so the bench stays bounded at k = 32. λ, steps, and phases are recorded
-/// alongside the timing: they are deterministic for the fixed seed.
-fn bench_fptas(k: usize, quick: bool, entries: &mut Vec<BenchEntry>) -> Result<(), CliError> {
+/// End-to-end source-batched FPTAS throughput solve on the k flat-tree in
+/// global random-graph mode under the paper's hot-spot workload, with a
+/// step cap so the bench stays bounded even if convergence regresses. λ,
+/// steps, and phases are recorded alongside the timing: they are
+/// deterministic for the fixed seed. A tripped budget is recorded in the
+/// entry and surfaced as a warning line — never a silent λ = 0.
+fn bench_fptas(
+    k: usize,
+    quick: bool,
+    entries: &mut Vec<BenchEntry>,
+    warnings: &mut Vec<String>,
+) -> Result<(), CliError> {
     let cfg = FlatTreeConfig::for_fat_tree_k(k).map_err(|e| CliError(e.to_string()))?;
     let ft = FlatTree::new(cfg).map_err(|e| CliError(e.to_string()))?;
     let net = ft
@@ -566,25 +583,128 @@ fn bench_fptas(k: usize, quick: bool, entries: &mut Vec<BenchEntry>) -> Result<(
     let commodities = aggregate_commodities(tm.switch_triples(&net));
     let sg = net.switch_graph();
     let g = CapGraph::from_graph(&sg, 1.0);
+    let max_steps = if quick { 500 } else { 3_000 };
     let opts = FptasOptions {
         epsilon: 0.15,
-        max_steps: Some(if quick { 500 } else { 3_000 }),
+        max_steps: Some(max_steps),
     };
     let (sol, ms) = time_ms(|| max_concurrent_flow(&g, &commodities, opts));
     let sol = sol.map_err(|e| CliError(e.to_string()))?;
+    if sol.budget_exhausted {
+        warnings.push(crate::metrics::budget_warning(
+            &format!("bench fptas k={k}"),
+            sol.lambda,
+            max_steps,
+        ));
+    }
     entries.push(BenchEntry {
         k,
         kernel: "fptas",
-        variant: "scratch",
+        variant: "batched",
         ms,
         extras: vec![
             ("lambda", format!("{:.6}", sol.lambda)),
             ("steps", sol.steps.to_string()),
             ("phases", sol.phases.to_string()),
             ("commodities", commodities.len().to_string()),
+            ("budget_exhausted", sol.budget_exhausted.to_string()),
         ],
     });
     Ok(())
+}
+
+/// Extracts the value of `"key":` from a single-line JSON object of the
+/// bench schema, quotes stripped. Values never contain `,` or `}` (numbers,
+/// booleans, and plain identifiers only), so no real parser is needed.
+fn json_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = line[start..].trim_start();
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Compares this run's entries against a previously written bench report
+/// (the regression gate behind `ftctl bench --check`). Per matched
+/// (k, kernel, variant):
+///
+/// * wall time must stay under `1.25 × baseline + 5 ms` — the grace term
+///   keeps sub-millisecond kernels from tripping on scheduler noise;
+/// * determinism fields compare **exactly**: `checksum`, `dist_sum`
+///   always, `lambda` whenever both runs took the same number of steps (a
+///   `--quick` run against a full baseline legitimately differs).
+///
+/// Baseline entries with no counterpart in this run are skipped, so a
+/// quick run can be checked against the full checked-in baseline.
+fn bench_check(path: &str, entries: &[BenchEntry]) -> Result<String, CliError> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read baseline {path}: {e}")))?;
+    let mut compared = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        let (Some(k), Some(kernel), Some(variant), Some(ms)) = (
+            json_value(line, "k"),
+            json_value(line, "kernel"),
+            json_value(line, "variant"),
+            json_value(line, "ms"),
+        ) else {
+            continue;
+        };
+        let Ok(k) = k.parse::<usize>() else { continue };
+        let Ok(old_ms) = ms.parse::<f64>() else {
+            continue;
+        };
+        let Some(new) = entries
+            .iter()
+            .find(|e| e.k == k && e.kernel == kernel && e.variant == variant)
+        else {
+            continue; // quick runs cover a subset of the full baseline
+        };
+        compared += 1;
+        let limit = old_ms * 1.25 + 5.0;
+        if new.ms > limit {
+            failures.push(format!(
+                "k={k} {kernel}/{variant}: {:.3} ms exceeds limit {limit:.3} ms \
+                 (baseline {old_ms:.3} ms + 25% + 5 ms grace)",
+                new.ms
+            ));
+        }
+        let steps_match = match (json_value(line, "steps"), new.extra("steps")) {
+            (Some(old), Some(cur)) => old == cur,
+            _ => true,
+        };
+        let mut determinism: Vec<&str> = vec!["checksum", "dist_sum"];
+        if steps_match {
+            determinism.push("lambda");
+        }
+        for key in determinism {
+            if let (Some(old), Some(cur)) = (json_value(line, key), new.extra(key)) {
+                if old != cur {
+                    failures.push(format!(
+                        "k={k} {kernel}/{variant}: {key} diverged from baseline \
+                         ({old} vs {cur})"
+                    ));
+                }
+            }
+        }
+    }
+    if compared == 0 {
+        return Err(CliError(format!(
+            "baseline {path} has no entries matching this run"
+        )));
+    }
+    if failures.is_empty() {
+        Ok(format!("  check ok against {path} ({compared} entries)\n"))
+    } else {
+        Err(CliError(format!(
+            "bench check against {path} failed:\n  {}",
+            failures.join("\n  ")
+        )))
+    }
 }
 
 fn cmd_bench(inv: &Invocation) -> Result<String, CliError> {
@@ -592,10 +712,11 @@ fn cmd_bench(inv: &Invocation) -> Result<String, CliError> {
     let ks: &[usize] = if quick { &[8] } else { &[8, 16, 32] };
     let threads = par::thread_count();
     let mut entries: Vec<BenchEntry> = Vec::new();
+    let mut warnings: Vec<String> = Vec::new();
     for &k in ks {
         bench_apsp(k, threads, &mut entries)?;
         bench_dijkstra(k, &mut entries)?;
-        bench_fptas(k, quick, &mut entries)?;
+        bench_fptas(k, quick, &mut entries, &mut warnings)?;
     }
     let mut out = String::new();
     let _ = writeln!(
@@ -610,10 +731,16 @@ fn cmd_bench(inv: &Invocation) -> Result<String, CliError> {
             e.k, e.kernel, e.variant, e.ms
         );
     }
+    for w in &warnings {
+        let _ = writeln!(out, "  {w}");
+    }
     if let Some(path) = inv.options.get("json") {
         std::fs::write(path, bench_json(threads, quick, &entries))
             .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
         let _ = writeln!(out, "  json written to {path}");
+    }
+    if let Some(path) = inv.options.get("check") {
+        out.push_str(&bench_check(path, &entries)?);
     }
     Ok(out)
 }
@@ -795,7 +922,9 @@ mod tests {
             json.to_str().unwrap(),
         ]))
         .unwrap();
-        for token in ["apsp", "dijkstra", "fptas", "seq", "par", "scratch"] {
+        for token in [
+            "apsp", "dijkstra", "fptas", "seq", "par", "scratch", "batched",
+        ] {
             assert!(out.contains(token), "missing {token} in: {out}");
         }
         let body = std::fs::read_to_string(&json).unwrap();
@@ -805,7 +934,67 @@ mod tests {
         );
         assert!(body.contains("\"lambda\""), "{body}");
         assert!(body.contains("\"checksum\""), "{body}");
+        assert!(body.contains("\"budget_exhausted\""), "{body}");
+
+        // a report always passes a --check against itself
+        let checked = run(&inv(&[
+            "bench",
+            "--quick",
+            "--check",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(checked.contains("check ok"), "{checked}");
         let _ = std::fs::remove_file(json);
+    }
+
+    #[test]
+    fn json_value_extracts_fields() {
+        let line = r#"{"k": 8, "kernel": "fptas", "ms": 14.103, "lambda": 0.051282}"#;
+        assert_eq!(json_value(line, "k"), Some("8"));
+        assert_eq!(json_value(line, "kernel"), Some("fptas"));
+        assert_eq!(json_value(line, "lambda"), Some("0.051282"));
+        assert_eq!(json_value(line, "missing"), None);
+    }
+
+    #[test]
+    fn bench_check_flags_regression_and_divergence() {
+        let entry = |ms: f64, lambda: &str, steps: &str| BenchEntry {
+            k: 8,
+            kernel: "fptas",
+            variant: "batched",
+            ms,
+            extras: vec![("lambda", lambda.to_string()), ("steps", steps.to_string())],
+        };
+        let baseline = std::env::temp_dir().join("ftctl_bench_check_test.json");
+        std::fs::write(
+            &baseline,
+            "{\n  \"entries\": [\n    {\"k\": 8, \"kernel\": \"fptas\", \"variant\": \
+             \"batched\", \"ms\": 10.000, \"lambda\": 0.051282, \"steps\": 751}\n  ]\n}\n",
+        )
+        .unwrap();
+        let path = baseline.to_str().unwrap();
+
+        // within budget, identical λ → ok
+        assert!(bench_check(path, &[entry(12.0, "0.051282", "751")]).is_ok());
+        // 1.25× + 5 ms grace exceeded → regression
+        let err = bench_check(path, &[entry(30.0, "0.051282", "751")]).unwrap_err();
+        assert!(err.0.contains("exceeds limit"), "{err}");
+        // same steps but different λ → determinism failure
+        let err = bench_check(path, &[entry(12.0, "0.040000", "751")]).unwrap_err();
+        assert!(err.0.contains("lambda diverged"), "{err}");
+        // different step budget → λ legitimately differs, only timing gates
+        assert!(bench_check(path, &[entry(12.0, "0.040000", "500")]).is_ok());
+        // nothing comparable → error, not a silent pass
+        let other = [BenchEntry {
+            k: 4,
+            kernel: "apsp",
+            variant: "seq",
+            ms: 1.0,
+            extras: vec![],
+        }];
+        assert!(bench_check(path, &other).is_err());
+        let _ = std::fs::remove_file(baseline);
     }
 
     #[test]

@@ -37,6 +37,10 @@ fn solve_k8() -> (f64, Vec<u32>) {
         },
     )
     .unwrap();
+    assert!(
+        !sol.budget_exhausted,
+        "k=8 must converge inside the generous test budget"
+    );
     (sol.lambda, table)
 }
 
