@@ -33,6 +33,8 @@ pub struct SweepOpts {
     /// fabrics host a single cluster whose random hot-spot placement adds
     /// noise; the paper's smooth curves imply averaging.
     pub reps: usize,
+    /// Stream ft-obs spans to this JSONL file (from `--trace PATH`).
+    pub trace_path: Option<String>,
 }
 
 impl SweepOpts {
@@ -45,7 +47,15 @@ impl SweepOpts {
     ///   (1 − 3ε)·OPT),
     /// * `--seed S` — RNG seed (default 1),
     /// * `--reps N` — seeds averaged per throughput point (default 3),
-    /// * `--csv PATH` — also write the CSV there.
+    /// * `--csv PATH` — also write the CSV there,
+    /// * `--trace PATH` — enable ft-obs instrumentation and stream spans
+    ///   (one JSON object per line) to PATH. Without it, instrumentation
+    ///   stays off at one relaxed atomic load per site.
+    ///
+    /// When `--trace` is given the sink is installed and instrumentation
+    /// enabled before returning; [`ShapeChecks::finish`] flushes and closes
+    /// the sink before exiting (`process::exit` skips TLS destructors, so
+    /// the flush cannot be left to them).
     pub fn from_args(default_kmax: usize) -> SweepOpts {
         let args: Vec<String> = std::env::args().collect();
         let mut kmax = default_kmax;
@@ -53,6 +63,7 @@ impl SweepOpts {
         let mut seed = 1u64;
         let mut csv_path = None;
         let mut reps = 3usize;
+        let mut trace_path = None;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -77,15 +88,25 @@ impl SweepOpts {
                     i += 1;
                     reps = args[i].parse().expect("--reps needs an integer");
                 }
+                "--trace" => {
+                    i += 1;
+                    trace_path = Some(args[i].clone());
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --full | --kmax N | --eps X | --seed S | --reps N | --csv PATH"
+                        "flags: --full | --kmax N | --eps X | --seed S | --reps N | --csv PATH \
+                         | --trace PATH"
                     );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}; try --help"),
             }
             i += 1;
+        }
+        if let Some(path) = &trace_path {
+            ft_obs::install_file_sink(path)
+                .unwrap_or_else(|e| panic!("cannot open trace file {path}: {e}"));
+            ft_obs::set_enabled(true);
         }
         let k_values: Vec<usize> = (4..=kmax).step_by(2).collect();
         SweepOpts {
@@ -95,6 +116,7 @@ impl SweepOpts {
             max_steps: Some(2_000_000),
             csv_path,
             reps: reps.max(1),
+            trace_path,
         }
     }
 }
@@ -139,12 +161,17 @@ impl ShapeChecks {
     }
 
     /// Prints the summary and terminates with the appropriate exit code.
+    ///
+    /// Flushes and closes any ft-obs trace sink first: `process::exit`
+    /// skips TLS destructors, so buffered spans would otherwise be lost.
     pub fn finish(self) -> ! {
         println!(
             "\nshape checks: {}/{} passed",
             self.total - self.failures,
             self.total
         );
+        ft_obs::set_enabled(false);
+        ft_obs::take_sink();
         std::process::exit(if self.failures == 0 { 0 } else { 1 });
     }
 }

@@ -15,6 +15,30 @@
 //! multi-threaded runs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Cached handles into the global ft-obs registry: fan-out calls, items
+/// executed, row fills, and the worker count last used. Recorded once per
+/// `map`/`fill_rows_with` call (not per item), so the pool's exposition
+/// lines cost O(1) atomics per fan-out.
+struct ParCounters {
+    maps: &'static ft_obs::Counter,
+    tasks: &'static ft_obs::Counter,
+    fills: &'static ft_obs::Counter,
+    rows: &'static ft_obs::Counter,
+    workers: &'static ft_obs::Gauge,
+}
+
+fn obs() -> &'static ParCounters {
+    static CELL: OnceLock<ParCounters> = OnceLock::new();
+    CELL.get_or_init(|| ParCounters {
+        maps: ft_obs::registry::counter("ft_par_maps_total"),
+        tasks: ft_obs::registry::counter("ft_par_tasks_total"),
+        fills: ft_obs::registry::counter("ft_par_fills_total"),
+        rows: ft_obs::registry::counter("ft_par_rows_total"),
+        workers: ft_obs::registry::gauge("ft_par_workers"),
+    })
+}
 
 /// Number of worker threads to use: `FT_THREADS` if set to a positive
 /// integer, otherwise [`std::thread::available_parallelism`] (falling back
@@ -56,6 +80,11 @@ where
 {
     let n = items.len();
     let workers = threads.min(n).max(1);
+    let c = obs();
+    c.maps.incr();
+    c.tasks.add(n as u64);
+    c.workers.set(workers as u64);
+    let _span = ft_obs::span!("par.map", items = n, workers = workers);
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -74,13 +103,22 @@ where
     // unfilled slot below is unreachable in practice.
     let _ = crossbeam::scope(|s| {
         for _ in 0..workers {
-            s.spawn(move |_| loop {
-                let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(move |_| {
+                loop {
+                    let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    *slots_ref[i].lock() = Some(r);
                 }
-                let r = f(&items[i]);
-                *slots_ref[i].lock() = Some(r);
+                if ft_obs::enabled() {
+                    // Drain this worker's span buffer before the scope
+                    // joins: the TLS destructor only runs at actual thread
+                    // exit, which can land after the caller's sink is
+                    // flushed or removed.
+                    ft_obs::flush();
+                }
             });
         }
     });
@@ -116,6 +154,11 @@ where
     debug_assert_eq!(out.len() % row_len, 0);
     let rows = out.len() / row_len;
     let workers = threads.min(rows).max(1);
+    let pc = obs();
+    pc.fills.incr();
+    pc.rows.add(rows as u64);
+    pc.workers.set(workers as u64);
+    let _span = ft_obs::span!("par.fill_rows", rows = rows, workers = workers);
     if workers <= 1 {
         let mut scratch = init();
         for (i, row) in out.chunks_mut(row_len).enumerate() {
@@ -136,6 +179,10 @@ where
                 let first_row = c * rows_per_chunk;
                 for (j, row) in chunk.chunks_mut(row_len).enumerate() {
                     fill(first_row + j, row, &mut scratch);
+                }
+                if ft_obs::enabled() {
+                    // See map_with: drain before the scope joins.
+                    ft_obs::flush();
                 }
             });
         }

@@ -3,7 +3,8 @@
 //! Scope model: a file is classified by path into
 //!
 //! * **Strict** — library code of the numeric/core crates (`ft-graph`,
-//!   `ft-lp`, `ft-mcf`, `ft-core`, `ft-metrics`): all five rules apply.
+//!   `ft-lp`, `ft-mcf`, `ft-core`, `ft-metrics`, `ft-serve`, `ft-obs`):
+//!   all five rules apply.
 //! * **Lib** — any other library code under `crates/*/src` or `src/`:
 //!   only the float-equality rule applies.
 //! * **Exempt** — tests, benches, examples, binaries, fixtures: no rules.
@@ -32,6 +33,7 @@ pub const STRICT_CRATES: &[&str] = &[
     "ft-core",
     "ft-metrics",
     "ft-serve",
+    "ft-obs",
 ];
 
 /// Path components that exempt a file wholesale.

@@ -77,6 +77,34 @@
 use crate::bounds::node_cut_upper_bound;
 use crate::digraph::{CapGraph, DijkstraScratch, ReverseIndex};
 use crate::{Commodity, McfError};
+use std::sync::OnceLock;
+
+/// Cached handles into the global ft-obs registry. The hot loops count
+/// into plain `u64` fields of [`RunState`] (zero atomic traffic inside a
+/// phase); totals are flushed here once per [`run_once`] call, so the
+/// solver's exposition lines cost O(1) atomics per run.
+struct McfCounters {
+    runs: &'static ft_obs::Counter,
+    phases: &'static ft_obs::Counter,
+    trees: &'static ft_obs::Counter,
+    pushes: &'static ft_obs::Counter,
+    deferrals: &'static ft_obs::Counter,
+    rescue_armed: &'static ft_obs::Counter,
+    budget_exhausted: &'static ft_obs::Counter,
+}
+
+fn obs() -> &'static McfCounters {
+    static CELL: OnceLock<McfCounters> = OnceLock::new();
+    CELL.get_or_init(|| McfCounters {
+        runs: ft_obs::registry::counter("ft_mcf_runs_total"),
+        phases: ft_obs::registry::counter("ft_mcf_phases_total"),
+        trees: ft_obs::registry::counter("ft_mcf_trees_total"),
+        pushes: ft_obs::registry::counter("ft_mcf_pushes_total"),
+        deferrals: ft_obs::registry::counter("ft_mcf_stale_deferrals_total"),
+        rescue_armed: ft_obs::registry::counter("ft_mcf_rescue_armed_total"),
+        budget_exhausted: ft_obs::registry::counter("ft_mcf_budget_exhausted_total"),
+    })
+}
 
 /// Tuning knobs for the FPTAS.
 #[derive(Clone, Copy, Debug)]
@@ -390,6 +418,12 @@ struct RunState<'a> {
     phases: usize,
     steps: usize,
     budget_exhausted: bool,
+    /// Successful path pushes (observability only; flushed to the global
+    /// registry once per run, never read by the algorithm).
+    pushes: u64,
+    /// Tree-path staleness deferrals in the batched loop (observability
+    /// only).
+    deferrals: u64,
 }
 
 impl RunState<'_> {
@@ -540,8 +574,18 @@ fn run_once(
         phases: 0,
         steps: 0,
         budget_exhausted: false,
+        pushes: 0,
+        deferrals: 0,
     };
     st.dual = (0..m).map(|a| g.arc(a).cap * st.length[a]).sum();
+
+    let mut run_span = ft_obs::span!(
+        "fptas.run",
+        commodities = commodities.len(),
+        groups = groups.len(),
+        batched = batched,
+        scale = scale,
+    );
 
     if batched {
         route_batched(&mut st, groups, rev, scratch);
@@ -566,6 +610,29 @@ fn run_once(
         .fold(0.0f64, f64::max)
         .max(1.0); // if nothing overloads, the flow is already feasible
     let utilization: Vec<f64> = (0..m).map(|a| best_flow[a] / g.arc(a).cap / mu).collect();
+
+    // Flush the run's plain-field tallies into the global registry (O(1)
+    // atomics per run) and close the run span with its outcome.
+    let c = obs();
+    c.runs.incr();
+    c.phases.add(st.phases as u64);
+    c.trees.add(st.steps as u64);
+    c.pushes.add(st.pushes);
+    c.deferrals.add(st.deferrals);
+    if st.gap_rescue_armed() {
+        c.rescue_armed.incr();
+    }
+    if st.budget_exhausted {
+        c.budget_exhausted.incr();
+    }
+    if let Some(s) = run_span.as_mut() {
+        s.field("lambda", lambda_scaled / scale);
+        s.field("phases", st.phases);
+        s.field("steps", st.steps);
+        s.field("pushes", st.pushes);
+        s.field("deferrals", st.deferrals);
+        s.field("budget_exhausted", st.budget_exhausted);
+    }
 
     McfSolution {
         // λ in caller units: scaled instance demands were d/scale
@@ -621,6 +688,13 @@ fn route_batched(
     let mut group_alpha = vec![0.0f64; groups.len()];
 
     'outer: while st.dual < 1.0 {
+        // One span per phase (None while tracing is off — the only cost is
+        // a relaxed load). End-of-phase trajectory fields (trees, pushes,
+        // deferrals, D(l), certified λ, α, dual bound) are attached before
+        // the span drops at the bottom of the iteration; a phase cut short
+        // by `break 'outer` still emits its timing event.
+        let mut phase_span = ft_obs::span!("fptas.phase", phase = st.phases);
+        let (steps0, pushes0, deferrals0) = (st.steps, st.pushes, st.deferrals);
         for grp in groups {
             let members = &grp.members;
             rem.clear();
@@ -674,11 +748,13 @@ fn route_batched(
                             // rebuilt only when a full sweep leaves demand
                             // pending (each fresh tree serves at least one
                             // push: a fresh path trivially passes the check).
+                            st.deferrals += 1;
                             break 'member;
                         }
                         let f = rem[i].min(bottleneck);
                         rem[i] -= f;
                         st.routed[j] += f;
+                        st.pushes += 1;
                         for &a in &path {
                             let cap = st.g.arc(a).cap;
                             st.flow[a] += f;
@@ -703,6 +779,14 @@ fn route_batched(
         // pass is skipped entirely and the loop runs to `D(l) ≥ 1`.
         st.phases += 1;
         st.note_phase_lambda();
+        if let Some(s) = phase_span.as_mut() {
+            s.field("trees", (st.steps - steps0) as u64);
+            s.field("pushes", st.pushes - pushes0);
+            s.field("deferrals", st.deferrals - deferrals0);
+            s.field("dual", st.dual);
+            s.field("lambda_scaled", st.best_hist.last().copied().unwrap_or(0.0));
+            s.field("rescue_armed", st.gap_rescue_armed());
+        }
         if st.gap_rescue_armed() {
             for (gi, grp) in groups.iter().enumerate() {
                 if let Some(max) = st.max_steps {
@@ -731,7 +815,13 @@ fn route_batched(
                     })
                     .sum();
             }
-            if st.gap_converged(&group_alpha) {
+            let converged = st.gap_converged(&group_alpha);
+            if let Some(s) = phase_span.as_mut() {
+                s.field("alpha", group_alpha.iter().sum::<f64>());
+                s.field("dual_ub", st.dual_ub);
+                s.field("converged_by_gap", converged);
+            }
+            if converged {
                 break;
             }
         }
@@ -741,6 +831,9 @@ fn route_batched(
         // converge keep their accumulated flow.
         if st.phases == 2 && st.primal_floor.is_none() && st.dual < 0.25 {
             st.primal_reset();
+            if let Some(s) = phase_span.as_mut() {
+                s.field("primal_reset", true);
+            }
         }
     }
 }
@@ -750,6 +843,8 @@ fn route_batched(
 /// [`max_concurrent_flow_reference`].
 fn route_reference(st: &mut RunState<'_>, scratch: &mut DijkstraScratch) {
     'outer: while st.dual < 1.0 {
+        let mut phase_span = ft_obs::span!("fptas.phase", phase = st.phases);
+        let (steps0, pushes0) = (st.steps, st.pushes);
         for (j, c) in st.commodities.iter().enumerate() {
             let mut rem = c.demand / st.scale;
             while rem > 0.0 && st.dual < 1.0 {
@@ -776,6 +871,7 @@ fn route_reference(st: &mut RunState<'_>, scratch: &mut DijkstraScratch) {
                 let f = rem.min(bottleneck);
                 rem -= f;
                 st.routed[j] += f;
+                st.pushes += 1;
                 for &a in scratch.path() {
                     let cap = st.g.arc(a).cap;
                     st.flow[a] += f;
@@ -789,6 +885,11 @@ fn route_reference(st: &mut RunState<'_>, scratch: &mut DijkstraScratch) {
             }
         }
         st.phases += 1;
+        if let Some(s) = phase_span.as_mut() {
+            s.field("paths", (st.steps - steps0) as u64);
+            s.field("pushes", st.pushes - pushes0);
+            s.field("dual", st.dual);
+        }
     }
 }
 

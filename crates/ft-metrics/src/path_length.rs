@@ -16,12 +16,36 @@
 use ft_graph::{id32, AllPairs, Csr, Graph, NodeId, UNREACHABLE};
 use ft_topo::Network;
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Cached registry handles: APSP computations and BFS rows filled.
+/// Recorded once per [`source_distances`] call, never per row.
+struct ApspCounters {
+    computations: &'static ft_obs::Counter,
+    rows: &'static ft_obs::Counter,
+}
+
+fn obs() -> &'static ApspCounters {
+    static CELL: OnceLock<ApspCounters> = OnceLock::new();
+    CELL.get_or_init(|| ApspCounters {
+        computations: ft_obs::registry::counter("ft_metrics_apsp_total"),
+        rows: ft_obs::registry::counter("ft_metrics_apsp_rows_total"),
+    })
+}
 
 /// Builds the partial APSP table for the server-hosting switches, one
 /// parallel BFS row per source over a frozen CSR view. Row `i` belongs to
 /// `sources[i]`. Rows are bit-identical for every `FT_THREADS` value, so
 /// every float accumulation downstream is too.
 fn source_distances(sg: &Graph, sources: &[usize]) -> AllPairs {
+    let c = obs();
+    c.computations.incr();
+    c.rows.add(sources.len() as u64);
+    let _span = ft_obs::span!(
+        "metrics.apsp",
+        sources = sources.len(),
+        nodes = sg.node_count()
+    );
     let nodes: Vec<NodeId> = sources.iter().map(|&i| NodeId(id32(i))).collect();
     AllPairs::compute_from_csr(&Csr::from_graph(sg), &nodes)
 }

@@ -1,0 +1,341 @@
+//! Structured spans: timestamped, parent-linked trace events buffered per
+//! thread and drained as JSONL to a process-wide sink.
+//!
+//! Each span records its name, a process-unique id, the id of the span
+//! that was open on the same thread when it began (parent), a small
+//! sequential thread id, a start timestamp (µs since the first trace
+//! event of the process) and its duration. Events are rendered at span
+//! drop into a bounded per-thread buffer ([`RING_CAP`] lines) that is
+//! flushed to the sink when full, on [`flush`], and on thread exit (TLS
+//! destructor). With no sink installed, full buffers are discarded and
+//! counted in `ft_obs_dropped_events_total`.
+//!
+//! Nothing here runs unless [`crate::enabled`] is true at the [`span!`]
+//! site — the disabled cost is one relaxed atomic load.
+//!
+//! [`span!`]: crate::span!
+
+use crate::registry;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Per-thread buffer capacity, in events; a full buffer flushes to the
+/// sink (or is discarded and counted when no sink is installed).
+pub const RING_CAP: usize = 4096;
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+enum SinkTarget {
+    File(BufWriter<File>),
+    Memory(Arc<Mutex<Vec<String>>>),
+}
+
+static SINK: Mutex<Option<SinkTarget>> = Mutex::new(None);
+
+fn lock_sink() -> MutexGuard<'static, Option<SinkTarget>> {
+    // Poison only means a writer thread panicked; the buffered writer is
+    // still structurally sound for telemetry purposes.
+    SINK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Install a JSONL file sink at `path` (truncating any existing file).
+/// Subsequent span events are appended there, one JSON object per line.
+pub fn install_file_sink<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *lock_sink() = Some(SinkTarget::File(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Install an in-memory sink (for tests) and return the shared vector the
+/// event lines land in.
+pub fn install_memory_sink() -> Arc<Mutex<Vec<String>>> {
+    let store = Arc::new(Mutex::new(Vec::new()));
+    *lock_sink() = Some(SinkTarget::Memory(Arc::clone(&store)));
+    store
+}
+
+/// Flush the calling thread's buffered events into the sink, then flush
+/// the sink itself (for file sinks, down to the OS). Other threads'
+/// buffers flush when full or when those threads exit.
+pub fn flush() {
+    let _ = TLS.try_with(|t| {
+        if let Ok(mut t) = t.try_borrow_mut() {
+            let lines = std::mem::take(&mut t.lines);
+            drain(lines);
+        }
+    });
+    if let Some(SinkTarget::File(w)) = lock_sink().as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Flush the calling thread's buffer, then remove and flush the installed
+/// sink (if any). Call at the end of a traced run so the file is complete
+/// before the process exits (TLS destructors do not run on
+/// `process::exit`).
+pub fn take_sink() {
+    flush();
+    if let Some(SinkTarget::File(mut w)) = lock_sink().take() {
+        let _ = w.flush();
+    }
+}
+
+fn drain(lines: Vec<String>) {
+    if lines.is_empty() {
+        return;
+    }
+    let mut sink = lock_sink();
+    match sink.as_mut() {
+        Some(SinkTarget::File(w)) => {
+            for l in &lines {
+                let _ = writeln!(w, "{l}");
+            }
+        }
+        Some(SinkTarget::Memory(store)) => {
+            let mut v = store.lock().unwrap_or_else(|p| p.into_inner());
+            v.extend(lines);
+        }
+        None => {
+            drop(sink);
+            registry::counter("ft_obs_dropped_events_total").add(lines.len() as u64);
+        }
+    }
+}
+
+struct ThreadBuf {
+    /// Small sequential id for this thread, stamped into its events.
+    thread: u64,
+    /// Ids of the spans currently open on this thread, innermost last.
+    stack: Vec<u64>,
+    /// Rendered JSONL events awaiting a flush.
+    lines: Vec<String>,
+}
+
+impl ThreadBuf {
+    fn push_line(&mut self, line: String) {
+        self.lines.push(line);
+        if self.lines.len() >= RING_CAP {
+            let lines = std::mem::take(&mut self.lines);
+            drain(lines);
+        }
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        let lines = std::mem::take(&mut self.lines);
+        drain(lines);
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadBuf> = RefCell::new(ThreadBuf {
+        thread: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+        lines: Vec::new(),
+    });
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A value renderable as a JSON span field. Implemented for the integer,
+/// float, bool and string types instrumentation sites actually pass.
+pub trait FieldValue {
+    /// Append `self` as a JSON value.
+    fn write_json(&self, out: &mut String);
+}
+
+macro_rules! int_field {
+    ($($t:ty),*) => {$(
+        impl FieldValue for $t {
+            fn write_json(&self, out: &mut String) {
+                let _ = write!(out, "{self}");
+            }
+        }
+    )*};
+}
+int_field!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FieldValue for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl FieldValue for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // Debug formatting keeps a decimal point / exponent, so the
+            // value parses back as a JSON number (Display prints `1`
+            // for 1.0, which is also valid JSON — but keep the type).
+            let _ = write!(out, "{self:?}");
+        } else if self.is_nan() {
+            out.push_str("\"NaN\"");
+        } else if self.is_sign_negative() {
+            out.push_str("\"-inf\"");
+        } else {
+            out.push_str("\"inf\"");
+        }
+    }
+}
+
+impl FieldValue for &str {
+    fn write_json(&self, out: &mut String) {
+        out.push('"');
+        json_escape_into(out, self);
+        out.push('"');
+    }
+}
+
+impl FieldValue for String {
+    fn write_json(&self, out: &mut String) {
+        self.as_str().write_json(out);
+    }
+}
+
+/// An open span. Created via [`Span::begin`] (usually through the
+/// [`span!`] macro); records its event when dropped.
+///
+/// [`span!`]: crate::span!
+pub struct Span {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_us: u64,
+    /// Rendered `"key":value` pairs, comma-joined.
+    fields: String,
+}
+
+impl Span {
+    /// Open a span named `name`, parented to the innermost span currently
+    /// open on this thread (parent id 0 = root).
+    pub fn begin(name: &'static str) -> Span {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = TLS
+            .try_with(|t| {
+                t.try_borrow_mut()
+                    .map(|mut t| {
+                        let p = t.stack.last().copied().unwrap_or(0);
+                        t.stack.push(id);
+                        p
+                    })
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0);
+        Span {
+            id,
+            parent,
+            name,
+            start_us: now_us(),
+            fields: String::new(),
+        }
+    }
+
+    /// Attach a `key: value` field. May be called any time before the span
+    /// drops, so end-of-phase results (α, D(l), λ) can be recorded on the
+    /// span that timed the phase.
+    pub fn field<V: FieldValue>(&mut self, key: &str, value: V) {
+        if !self.fields.is_empty() {
+            self.fields.push(',');
+        }
+        self.fields.push('"');
+        json_escape_into(&mut self.fields, key);
+        self.fields.push_str("\":");
+        value.write_json(&mut self.fields);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let end_us = now_us();
+        let dur_us = end_us.saturating_sub(self.start_us);
+        let _ = TLS.try_with(|t| {
+            if let Ok(mut t) = t.try_borrow_mut() {
+                // Unwind the open-span stack; out-of-order drops (spans
+                // moved across an await-like boundary do not exist here,
+                // but be robust) just remove their own id.
+                match t.stack.last() {
+                    Some(&top) if top == self.id => {
+                        t.stack.pop();
+                    }
+                    _ => t.stack.retain(|&sid| sid != self.id),
+                }
+                let mut line = String::with_capacity(96 + self.fields.len());
+                let _ = write!(
+                    line,
+                    "{{\"type\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{},\
+                     \"thread\":{},\"start_us\":{},\"dur_us\":{},\"fields\":{{{}}}}}",
+                    self.name, self.id, self.parent, t.thread, self.start_us, dur_us, self.fields
+                );
+                t.push_line(line);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_rendering_is_valid_json_fragments() {
+        let mut s = Span::begin("test.fields");
+        s.field("k", 8usize);
+        s.field("lambda", 0.25f64);
+        s.field("tag", "a\"b");
+        s.field("ok", true);
+        assert_eq!(
+            s.fields,
+            "\"k\":8,\"lambda\":0.25,\"tag\":\"a\\\"b\",\"ok\":true"
+        );
+    }
+
+    #[test]
+    fn nonfinite_floats_are_quoted() {
+        let mut out = String::new();
+        f64::NAN.write_json(&mut out);
+        assert_eq!(out, "\"NaN\"");
+        out.clear();
+        f64::INFINITY.write_json(&mut out);
+        assert_eq!(out, "\"inf\"");
+        out.clear();
+        f64::NEG_INFINITY.write_json(&mut out);
+        assert_eq!(out, "\"-inf\"");
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        let mut out = String::new();
+        json_escape_into(&mut out, "a\nb\t\u{1}c");
+        assert_eq!(out, "a\\nb\\t\\u0001c");
+    }
+}

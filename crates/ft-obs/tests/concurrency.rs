@@ -1,0 +1,191 @@
+//! Concurrency and sink-integrity tests for ft-obs: a multi-threaded
+//! counter/histogram hammer asserting exact totals (no lost updates), and
+//! span-nesting tests on the JSONL sink (events parse, parent ids
+//! resolve, thread ids differ across threads).
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use ft_obs::{registry, HistogramSnapshot, Span};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::thread;
+
+/// The sink and the `enabled` flag are process-wide; tests that touch them
+/// serialize on this lock so they cannot observe each other's events.
+static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+const THREADS: usize = 8;
+const ITERS: u64 = 10_000;
+
+#[test]
+fn hammer_counters_and_histograms_lose_no_updates() {
+    let c = registry::counter("hammer_total");
+    let h = registry::histogram("hammer_us");
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    c.incr();
+                    // Spread samples across buckets deterministically.
+                    h.record_us((t as u64 * ITERS + i) % 4096);
+                }
+            });
+        }
+    });
+    let n = THREADS as u64 * ITERS;
+    assert_eq!(c.get(), n, "counter lost updates");
+    let snap: HistogramSnapshot = h.snapshot();
+    assert_eq!(snap.count, n, "histogram lost samples");
+    assert_eq!(
+        snap.buckets.iter().sum::<u64>(),
+        n,
+        "bucket mass does not match count"
+    );
+    // Every thread recorded the same sample multiset modulo 4096, so the
+    // sum is exactly THREADS * (0 + 1 + ... + 4095) * (ITERS / 4096)...
+    // ITERS isn't a multiple of 4096; just recompute sequentially.
+    let mut expect_sum = 0u64;
+    for t in 0..THREADS as u64 {
+        for i in 0..ITERS {
+            expect_sum += (t * ITERS + i) % 4096;
+        }
+    }
+    assert_eq!(snap.sum_us, expect_sum, "histogram sum lost updates");
+    // The hammered metrics show up in exposition text.
+    let text = registry::expose();
+    assert!(text.contains(&format!("hammer_total {n}")));
+    assert!(text.contains(&format!("hammer_us_count {n}")));
+}
+
+/// Pulls `"key":<integer>` out of a rendered JSONL event.
+fn int_field(line: &str, key: &str) -> Option<i64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Shallow JSONL sanity check: balanced braces/quotes, expected keys.
+fn assert_parses(line: &str) {
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line:?}");
+    assert_eq!(line.matches('{').count(), line.matches('}').count());
+    assert_eq!(
+        line.matches('"').count() % 2,
+        0,
+        "unbalanced quotes: {line:?}"
+    );
+    for key in [
+        "type", "name", "id", "parent", "thread", "start_us", "dur_us", "fields",
+    ] {
+        assert!(
+            line.contains(&format!("\"{key}\":")),
+            "missing {key}: {line:?}"
+        );
+    }
+    assert_eq!(str_field(line, "type").as_deref(), Some("span"));
+}
+
+#[test]
+fn span_nesting_resolves_parent_ids_in_jsonl() {
+    let _guard = SINK_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let store = ft_obs::install_memory_sink();
+    ft_obs::set_enabled(true);
+
+    {
+        let mut outer = Span::begin("test.outer");
+        outer.field("k", 8usize);
+        {
+            let _mid = ft_obs::span!("test.mid", step = 1u64);
+            let _inner = ft_obs::span!("test.inner");
+        }
+        let _sibling = ft_obs::span!("test.sibling", lambda = 0.5f64);
+    }
+    ft_obs::set_enabled(false);
+    ft_obs::take_sink();
+
+    let lines = store.lock().unwrap_or_else(|p| p.into_inner());
+    assert_eq!(lines.len(), 4, "one event per closed span: {lines:?}");
+
+    let mut by_name: HashMap<String, &String> = HashMap::new();
+    for line in lines.iter() {
+        assert_parses(line);
+        by_name.insert(str_field(line, "name").expect("name"), line);
+    }
+    let id = |n: &str| int_field(by_name[n], "id").expect("id");
+    let parent = |n: &str| int_field(by_name[n], "parent").expect("parent");
+
+    assert_eq!(parent("test.outer"), 0, "outer span is a root");
+    assert_eq!(parent("test.mid"), id("test.outer"));
+    assert_eq!(parent("test.inner"), id("test.mid"));
+    assert_eq!(parent("test.sibling"), id("test.outer"));
+
+    // Fields round-trip.
+    assert!(by_name["test.outer"].contains("\"k\":8"));
+    assert!(by_name["test.mid"].contains("\"step\":1"));
+    assert!(by_name["test.sibling"].contains("\"lambda\":0.5"));
+
+    // Inner spans close first, so they appear before their parents; all
+    // on the same thread.
+    let threads: Vec<i64> = lines
+        .iter()
+        .map(|l| int_field(l, "thread").expect("thread"))
+        .collect();
+    assert!(threads.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn spans_on_separate_threads_are_roots_with_distinct_thread_ids() {
+    let _guard = SINK_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let store = ft_obs::install_memory_sink();
+    ft_obs::set_enabled(true);
+
+    thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                {
+                    let _sp = ft_obs::span!("test.worker");
+                }
+                // Drain this worker's buffer before the scope joins: the
+                // TLS destructor also drains, but only at actual thread
+                // exit, which can land after `scope` returns.
+                ft_obs::flush();
+            });
+        }
+    });
+    ft_obs::set_enabled(false);
+    ft_obs::take_sink();
+
+    let lines = store.lock().unwrap_or_else(|p| p.into_inner());
+    let workers: Vec<&String> = lines
+        .iter()
+        .filter(|l| str_field(l, "name").as_deref() == Some("test.worker"))
+        .collect();
+    assert_eq!(workers.len(), 2, "{lines:?}");
+    for l in &workers {
+        assert_parses(l);
+        assert_eq!(int_field(l, "parent"), Some(0));
+    }
+    let t0 = int_field(workers[0], "thread").expect("thread");
+    let t1 = int_field(workers[1], "thread").expect("thread");
+    assert_ne!(t0, t1, "distinct threads must get distinct ids");
+}
+
+#[test]
+fn disabled_span_macro_returns_none() {
+    // Takes the sink lock: flipping the global flag must not race the
+    // enabled-window of the sink tests.
+    let _guard = SINK_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    ft_obs::set_enabled(false);
+    let g = ft_obs::span!("test.disabled", expensive = 1u64);
+    assert!(g.is_none());
+}

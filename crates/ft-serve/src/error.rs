@@ -68,7 +68,7 @@ impl fmt::Display for ServeError {
             ServeError::BadRequest(m) => write!(f, "{m}"),
             ServeError::UnknownVerb(v) => write!(
                 f,
-                "unknown verb {v:?} (use topo | paths | throughput | plan | convert | stats | shutdown)"
+                "unknown verb {v:?} (use topo | paths | throughput | plan | convert | stats | metrics | shutdown)"
             ),
             ServeError::UnsupportedVersion(v) => {
                 write!(f, "protocol version {v:?} not supported (speak ftq/1)")

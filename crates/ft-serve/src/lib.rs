@@ -17,9 +17,11 @@
 //! `topo`/`paths`/`throughput` queries for the same layout skip both the
 //! materialization and the batched-BFS path pass. A `convert` request
 //! applies the change through the controller and invalidates the cache. A
-//! [`MetricsRegistry`] counts requests, errors, latencies (power-of-two
-//! histogram buckets) and cache traffic; `stats` returns a one-line
-//! snapshot and shutdown dumps a full report.
+//! [`MetricsRegistry`] (built on the `ft-obs` counter/histogram
+//! primitives) counts requests, errors, latencies (power-of-two histogram
+//! buckets) and cache traffic; `stats` returns a one-line snapshot,
+//! `metrics` a Prometheus-style exposition covering serve, solver and
+//! pool counters, and shutdown dumps a full report.
 //!
 //! Protocol sketch (see DESIGN.md §9 for the grammar):
 //!
@@ -29,12 +31,13 @@
 //! > convert to=global-rg
 //! < OK convert from=cccc to=gggg ops=24 links_removed=16 links_added=14 noop=false conversions=1
 //! > nonsense
-//! < ERR unknown-verb unknown verb "nonsense" (use topo | paths | throughput | plan | convert | stats | shutdown)
+//! < ERR unknown-verb unknown verb "nonsense" (use topo | paths | throughput | plan | convert | stats | metrics | shutdown)
 //! ```
 //!
 //! Malformed input, full queues and draining states all come back as
 //! single-line `ERR <code> <msg>` replies — a request can never kill a
-//! worker.
+//! worker. Replies are one line except for `metrics` (header plus `n`
+//! exposition lines; see the `proto` module grammar).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

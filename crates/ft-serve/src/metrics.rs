@@ -1,26 +1,32 @@
 //! Request metrics: per-verb counters, latency histograms, cache and
-//! engine counters.
+//! engine counters — built on the [`ft_obs`] metric primitives (PR 5
+//! absorbed the ad-hoc atomics this module used to carry).
 //!
-//! Everything is lock-free (`AtomicU64`) so recording never contends with
-//! the worker pool. Latencies land in power-of-two microsecond buckets:
-//! bucket `i` covers `[2^(i−1), 2^i)` µs (bucket 0 is `< 1 µs`), which is
-//! plenty of resolution to tell a cache hit from a BFS re-run.
+//! Everything is lock-free (relaxed `AtomicU64` inside
+//! [`ft_obs::Counter`]/[`ft_obs::Histogram`]) so recording never contends
+//! with the worker pool. Latencies land in power-of-two microsecond
+//! buckets: bucket `i` covers `[2^(i−1), 2^i)` µs (bucket 0 is `< 1 µs`),
+//! which is plenty of resolution to tell a cache hit from a BFS re-run.
+//! Quantiles (p50/p95/p99) are derived through the shared
+//! [`ft_obs::quantile_lower_bound`] helper — the same one the exposition
+//! format uses — and report the lower bound of the crossing bucket.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use ft_obs::{Counter, Histogram, HistogramSnapshot};
 use std::time::Duration;
 
-/// Number of latency buckets: bucket 21 tops out at ~2 s; slower requests
-/// saturate into the last bucket.
-pub const BUCKETS: usize = 22;
+/// Number of latency buckets (re-exported from ft-obs; bucket 21 tops out
+/// at ~2 s, slower requests saturate into it).
+pub const BUCKETS: usize = ft_obs::BUCKETS;
 
 /// The request kinds the registry tracks, in wire-verb order.
-pub const KINDS: [&str; 7] = [
+pub const KINDS: [&str; 8] = [
     "topo",
     "paths",
     "throughput",
     "plan",
     "convert",
     "stats",
+    "metrics",
     "shutdown",
 ];
 
@@ -30,10 +36,9 @@ fn kind_index(verb: &str) -> Option<usize> {
 
 #[derive(Default)]
 struct KindStats {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    total_us: AtomicU64,
-    buckets: [AtomicU64; BUCKETS],
+    requests: Counter,
+    errors: Counter,
+    latency: Histogram,
 }
 
 /// The service-wide metrics registry.
@@ -41,41 +46,26 @@ struct KindStats {
 pub struct MetricsRegistry {
     kinds: [KindStats; KINDS.len()],
     /// Requests that failed before a verb was known (parse errors).
-    unparsed_errors: AtomicU64,
+    unparsed_errors: Counter,
     /// Requests rejected because the job queue was full.
-    rejected_busy: AtomicU64,
+    rejected_busy: Counter,
     /// Requests rejected because the service was draining.
-    rejected_shutdown: AtomicU64,
+    rejected_shutdown: Counter,
     /// Materialization-cache hits.
-    cache_hits: AtomicU64,
+    cache_hits: Counter,
     /// Materialization-cache misses (entry had to be built).
-    cache_misses: AtomicU64,
+    cache_misses: Counter,
     /// Networks materialized to fill the cache.
-    materializations: AtomicU64,
-    /// Batched-BFS path-length computations (cache-entry fills).
-    path_computations: AtomicU64,
-    /// Summed latency of those fills, in microseconds.
-    path_fill_total_us: AtomicU64,
-    /// Latency histogram of cache-entry fills (power-of-two µs buckets,
-    /// same scale as the per-verb histograms). The fill runs the parallel
-    /// BFS-APSP kernel, so this is the service's direct view of the
-    /// hot-path kernel's latency.
-    path_fill_buckets: [AtomicU64; BUCKETS],
+    materializations: Counter,
+    /// Latency histogram of batched-BFS cache-entry fills (its sample
+    /// count doubles as the path-computation counter). The fill runs the
+    /// parallel BFS-APSP kernel, so this is the service's direct view of
+    /// the hot-path kernel's latency.
+    path_fill: Histogram,
     /// Conversions applied by `convert` requests.
-    conversions: AtomicU64,
+    conversions: Counter,
     /// Whole-cache invalidations triggered by conversions.
-    invalidations: AtomicU64,
-}
-
-fn duration_us(d: Duration) -> u64 {
-    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
-}
-
-fn bucket_of(us: u64) -> usize {
-    // 64 − leading_zeros(us) = position of the highest set bit + 1, which
-    // is exactly the [2^(i−1), 2^i) bucket index; 0 µs lands in bucket 0.
-    let idx = usize::try_from(64 - us.leading_zeros()).unwrap_or(BUCKETS - 1);
-    idx.min(BUCKETS - 1)
+    invalidations: Counter,
 }
 
 impl MetricsRegistry {
@@ -88,62 +78,57 @@ impl MetricsRegistry {
     /// false when the reply was an `ERR`.
     pub fn record(&self, verb: &str, latency: Duration, ok: bool) {
         let Some(i) = kind_index(verb) else {
-            self.unparsed_errors.fetch_add(1, Ordering::Relaxed);
+            self.unparsed_errors.incr();
             return;
         };
-        let us = duration_us(latency);
         let k = &self.kinds[i];
-        k.requests.fetch_add(1, Ordering::Relaxed);
+        k.requests.incr();
         if !ok {
-            k.errors.fetch_add(1, Ordering::Relaxed);
+            k.errors.incr();
         }
-        k.total_us.fetch_add(us, Ordering::Relaxed);
-        k.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        k.latency.record(latency);
     }
 
     /// Counts a request that failed to parse (no verb attributable).
     pub fn record_unparsed(&self) {
-        self.unparsed_errors.fetch_add(1, Ordering::Relaxed);
+        self.unparsed_errors.incr();
     }
 
     /// Counts a queue-full rejection.
     pub fn record_busy(&self) {
-        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        self.rejected_busy.incr();
     }
 
     /// Counts a rejected-because-draining request.
     pub fn record_shutdown_rejection(&self) {
-        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+        self.rejected_shutdown.incr();
     }
 
     /// Counts a materialization-cache hit.
     pub fn record_cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.incr();
     }
 
     /// Counts a materialization-cache miss.
     pub fn record_cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.incr();
     }
 
     /// Counts one network materialization (cache fill).
     pub fn record_materialization(&self) {
-        self.materializations.fetch_add(1, Ordering::Relaxed);
+        self.materializations.incr();
     }
 
     /// Records one batched-BFS path-length computation (cache-entry fill)
     /// and the time the parallel APSP kernel took.
     pub fn record_path_computation(&self, latency: Duration) {
-        let us = duration_us(latency);
-        self.path_computations.fetch_add(1, Ordering::Relaxed);
-        self.path_fill_total_us.fetch_add(us, Ordering::Relaxed);
-        self.path_fill_buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.path_fill.record(latency);
     }
 
     /// Counts an applied conversion and the cache invalidation it forced.
     pub fn record_conversion(&self) {
-        self.conversions.fetch_add(1, Ordering::Relaxed);
-        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.conversions.incr();
+        self.invalidations.incr();
     }
 
     /// A point-in-time copy of every counter.
@@ -154,27 +139,24 @@ impl MetricsRegistry {
             .enumerate()
             .map(|(i, k)| KindSnapshot {
                 verb: KINDS[i],
-                requests: k.requests.load(Ordering::Relaxed),
-                errors: k.errors.load(Ordering::Relaxed),
-                total_us: k.total_us.load(Ordering::Relaxed),
-                buckets: std::array::from_fn(|b| k.buckets[b].load(Ordering::Relaxed)),
+                requests: k.requests.get(),
+                errors: k.errors.get(),
+                latency: k.latency.snapshot(),
             })
             .collect();
+        let path_fill = self.path_fill.snapshot();
         Snapshot {
             kinds,
-            unparsed_errors: self.unparsed_errors.load(Ordering::Relaxed),
-            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
-            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            materializations: self.materializations.load(Ordering::Relaxed),
-            path_computations: self.path_computations.load(Ordering::Relaxed),
-            path_fill_total_us: self.path_fill_total_us.load(Ordering::Relaxed),
-            path_fill_buckets: std::array::from_fn(|b| {
-                self.path_fill_buckets[b].load(Ordering::Relaxed)
-            }),
-            conversions: self.conversions.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
+            unparsed_errors: self.unparsed_errors.get(),
+            rejected_busy: self.rejected_busy.get(),
+            rejected_shutdown: self.rejected_shutdown.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            materializations: self.materializations.get(),
+            path_computations: path_fill.count,
+            path_fill,
+            conversions: self.conversions.get(),
+            invalidations: self.invalidations.get(),
         }
     }
 }
@@ -188,39 +170,26 @@ pub struct KindSnapshot {
     pub requests: u64,
     /// Of those, ERR replies.
     pub errors: u64,
-    /// Summed latency in microseconds.
-    pub total_us: u64,
-    /// Latency histogram (power-of-two µs buckets).
-    pub buckets: [u64; BUCKETS],
+    /// Latency histogram (power-of-two µs buckets, count and µs sum).
+    pub latency: HistogramSnapshot,
 }
 
 impl KindSnapshot {
     /// Approximate p50 latency in µs: the lower bound of the bucket that
     /// crosses half the mass (0 when no requests were recorded).
     pub fn p50_us(&self) -> u64 {
-        percentile_us(&self.buckets, self.requests, 0.5)
+        self.latency.p50_us()
+    }
+
+    /// Approximate p95 latency in µs (same bucket-resolution caveat).
+    pub fn p95_us(&self) -> u64 {
+        self.latency.p95_us()
     }
 
     /// Approximate p99 latency in µs (same bucket-resolution caveat).
     pub fn p99_us(&self) -> u64 {
-        percentile_us(&self.buckets, self.requests, 0.99)
+        self.latency.p99_us()
     }
-}
-
-fn percentile_us(buckets: &[u64; BUCKETS], total: u64, q: f64) -> u64 {
-    if total == 0 {
-        return 0;
-    }
-    let threshold = (total as f64 * q).ceil() as u64;
-    let mut seen = 0u64;
-    for (i, &c) in buckets.iter().enumerate() {
-        seen += c;
-        if seen >= threshold {
-            // bucket i covers [2^(i−1), 2^i) µs; report the lower bound
-            return if i == 0 { 0 } else { 1u64 << (i - 1) };
-        }
-    }
-    1u64 << (BUCKETS - 1)
 }
 
 /// A point-in-time copy of the whole registry.
@@ -240,12 +209,10 @@ pub struct Snapshot {
     pub cache_misses: u64,
     /// Networks materialized to fill the cache.
     pub materializations: u64,
-    /// Batched-BFS path-length computations.
+    /// Batched-BFS path-length computations (the fill histogram's count).
     pub path_computations: u64,
-    /// Summed cache-fill latency in microseconds.
-    pub path_fill_total_us: u64,
-    /// Cache-fill latency histogram (power-of-two µs buckets).
-    pub path_fill_buckets: [u64; BUCKETS],
+    /// Cache-fill latency histogram.
+    pub path_fill: HistogramSnapshot,
     /// Conversions applied.
     pub conversions: u64,
     /// Cache invalidations.
@@ -255,12 +222,17 @@ pub struct Snapshot {
 impl Snapshot {
     /// Approximate p50 cache-fill latency in µs (bucket lower bound).
     pub fn path_fill_p50_us(&self) -> u64 {
-        percentile_us(&self.path_fill_buckets, self.path_computations, 0.5)
+        self.path_fill.p50_us()
+    }
+
+    /// Approximate p95 cache-fill latency in µs (bucket lower bound).
+    pub fn path_fill_p95_us(&self) -> u64 {
+        self.path_fill.p95_us()
     }
 
     /// Approximate p99 cache-fill latency in µs (bucket lower bound).
     pub fn path_fill_p99_us(&self) -> u64 {
-        percentile_us(&self.path_fill_buckets, self.path_computations, 0.99)
+        self.path_fill.p99_us()
     }
 
     /// Total completed requests across all kinds.
@@ -295,20 +267,87 @@ impl Snapshot {
         );
         let _ = write!(
             out,
-            " path_fill_p50_us={} path_fill_p99_us={}",
+            " path_fill_p50_us={} path_fill_p95_us={} path_fill_p99_us={}",
             self.path_fill_p50_us(),
+            self.path_fill_p95_us(),
             self.path_fill_p99_us(),
         );
         for k in &self.kinds {
             let _ = write!(
                 out,
-                " {v}={} {v}_errors={} {v}_p50_us={} {v}_p99_us={}",
+                " {v}={} {v}_errors={} {v}_p50_us={} {v}_p95_us={} {v}_p99_us={}",
                 k.requests,
                 k.errors,
                 k.p50_us(),
+                k.p95_us(),
                 k.p99_us(),
                 v = k.verb
             );
+        }
+        out
+    }
+
+    /// Prometheus-style exposition lines for the service counters
+    /// (`ft_serve_*` namespace), one `name{labels} value` per line, sorted
+    /// for deterministic output. The `metrics` verb concatenates this with
+    /// the process-global [`ft_obs::registry::expose`] text so one reply
+    /// covers serve, solver and pool metrics.
+    pub fn exposition(&self) -> String {
+        use std::fmt::Write as _;
+        let mut lines: Vec<String> = Vec::new();
+        let hist = |lines: &mut Vec<String>, name: &str, labels: &str, h: &HistogramSnapshot| {
+            let sep = if labels.is_empty() { "" } else { "," };
+            let brace = |extra: &str| {
+                if labels.is_empty() && extra.is_empty() {
+                    String::new()
+                } else if extra.is_empty() {
+                    format!("{{{labels}}}")
+                } else {
+                    format!("{{{labels}{sep}{extra}}}")
+                }
+            };
+            for (q, tag) in [(0.5, "0.50"), (0.95, "0.95"), (0.99, "0.99")] {
+                lines.push(format!(
+                    "{name}{} {}",
+                    brace(&format!("q=\"{tag}\"")),
+                    h.quantile_us(q)
+                ));
+            }
+            lines.push(format!("{name}_count{} {}", brace(""), h.count));
+            lines.push(format!("{name}_sum{} {}", brace(""), h.sum_us));
+        };
+        for k in &self.kinds {
+            let labels = format!("verb=\"{}\"", k.verb);
+            lines.push(format!(
+                "ft_serve_requests_total{{{labels}}} {}",
+                k.requests
+            ));
+            lines.push(format!("ft_serve_errors_total{{{labels}}} {}", k.errors));
+            hist(
+                &mut lines,
+                "ft_serve_request_latency_us",
+                &labels,
+                &k.latency,
+            );
+        }
+        for (name, v) in [
+            ("ft_serve_unparsed_errors_total", self.unparsed_errors),
+            ("ft_serve_rejected_busy_total", self.rejected_busy),
+            ("ft_serve_rejected_shutdown_total", self.rejected_shutdown),
+            ("ft_serve_cache_hits_total", self.cache_hits),
+            ("ft_serve_cache_misses_total", self.cache_misses),
+            ("ft_serve_materializations_total", self.materializations),
+            ("ft_serve_path_computations_total", self.path_computations),
+            ("ft_serve_conversions_total", self.conversions),
+            ("ft_serve_invalidations_total", self.invalidations),
+        ] {
+            lines.push(format!("{name} {v}"));
+        }
+        hist(&mut lines, "ft_serve_path_fill_us", "", &self.path_fill);
+        lines.sort_unstable();
+        let mut out = String::new();
+        for l in &lines {
+            let _ = writeln!(out, "{l}");
         }
         out
     }
@@ -337,13 +376,14 @@ impl Snapshot {
             self.invalidations
         );
         let _ = writeln!(out, "  conversions applied: {}", self.conversions);
-        if let Some(mean) = self.path_fill_total_us.checked_div(self.path_computations) {
+        if self.path_computations > 0 {
             let _ = writeln!(
                 out,
-                "  path fills: {} computed, mean {} µs, p50 {} µs, p99 {} µs",
+                "  path fills: {} computed, mean {} µs, p50 {} µs, p95 {} µs, p99 {} µs",
                 self.path_computations,
-                mean,
+                self.path_fill.mean_us(),
                 self.path_fill_p50_us(),
+                self.path_fill_p95_us(),
                 self.path_fill_p99_us()
             );
         }
@@ -351,22 +391,21 @@ impl Snapshot {
             if k.requests == 0 {
                 continue;
             }
-            let mean = k.total_us / k.requests.max(1);
             let _ = writeln!(
                 out,
-                "  {:<10} {:>6} req  {:>3} err  mean {:>8} µs  p50 {:>7} µs  p99 {:>7} µs",
+                "  {:<10} {:>6} req  {:>3} err  mean {:>8} µs  p50 {:>7} µs  p95 {:>7} µs  p99 {:>7} µs",
                 k.verb,
                 k.requests,
                 k.errors,
-                mean,
+                k.latency.mean_us(),
                 k.p50_us(),
+                k.p95_us(),
                 k.p99_us()
             );
             let mut hist = String::new();
-            for (i, &c) in k.buckets.iter().enumerate() {
+            for (i, &c) in k.latency.buckets.iter().enumerate() {
                 if c > 0 {
-                    // bucket i covers [2^(i−1), 2^i) µs
-                    let lo: u64 = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                    let lo = ft_obs::bucket_lower_bound_us(i);
                     let _ = write!(hist, " [{lo}µs:{c}]");
                 }
             }
@@ -381,16 +420,6 @@ impl Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn buckets_are_log2() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(1024), 11);
-        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
-    }
 
     #[test]
     fn record_and_snapshot() {
@@ -413,6 +442,21 @@ mod tests {
         assert_eq!(paths.requests, 2);
         assert_eq!(paths.errors, 1);
         assert!(paths.p50_us() >= 64 && paths.p50_us() <= 128);
+        assert!(paths.p95_us() >= paths.p50_us());
+    }
+
+    #[test]
+    fn metrics_verb_is_a_tracked_kind() {
+        let m = MetricsRegistry::new();
+        m.record("metrics", Duration::from_micros(10), true);
+        let s = m.snapshot();
+        assert_eq!(s.total_requests(), 1);
+        let k = s
+            .kinds
+            .iter()
+            .find(|k| k.verb == "metrics")
+            .expect("metrics kind");
+        assert_eq!(k.requests, 1);
     }
 
     #[test]
@@ -423,15 +467,18 @@ mod tests {
         m.record_path_computation(Duration::from_micros(5000));
         let s = m.snapshot();
         assert_eq!(s.path_computations, 3);
-        assert_eq!(s.path_fill_total_us, 5200);
-        assert_eq!(s.path_fill_buckets.iter().sum::<u64>(), 3);
+        assert_eq!(s.path_fill.sum_us, 5200);
+        assert_eq!(s.path_fill.buckets.iter().sum::<u64>(), 3);
         assert!(s.path_fill_p50_us() >= 64 && s.path_fill_p50_us() <= 128);
+        assert!(s.path_fill_p95_us() >= 4096);
         assert!(s.path_fill_p99_us() >= 4096);
         let line = s.stats_line();
         assert!(line.contains("path_computations=3"));
         assert!(line.contains("path_fill_p50_us="));
+        assert!(line.contains("path_fill_p95_us="));
         let report = s.render_report(Duration::from_secs(1));
         assert!(report.contains("path fills: 3 computed"));
+        assert!(report.contains("p95"));
     }
 
     #[test]
@@ -442,6 +489,7 @@ mod tests {
         assert!(!line.contains('\n'));
         assert!(line.contains("cache_hits=0"));
         assert!(line.contains("topo=1"));
+        assert!(line.contains("topo_p95_us="));
         for tok in line.split_whitespace() {
             assert!(tok.contains('='), "token {tok:?} not key=value");
         }
@@ -464,5 +512,31 @@ mod tests {
         assert!(r.contains("convert"));
         assert!(!r.contains("shutdown   "));
         assert!(r.contains("latency buckets"));
+    }
+
+    #[test]
+    fn exposition_lines_cover_serve_metrics() {
+        let m = MetricsRegistry::new();
+        m.record("paths", Duration::from_micros(100), true);
+        m.record_cache_miss();
+        m.record_path_computation(Duration::from_micros(300));
+        let text = m.snapshot().exposition();
+        assert!(text.contains("ft_serve_requests_total{verb=\"paths\"} 1"));
+        assert!(text.contains("ft_serve_cache_misses_total 1"));
+        assert!(text.contains("ft_serve_request_latency_us{verb=\"paths\",q=\"0.50\"} 64"));
+        assert!(text.contains("ft_serve_request_latency_us_count{verb=\"paths\"} 1"));
+        assert!(text.contains("ft_serve_path_fill_us{q=\"0.99\"} 256"));
+        assert!(text.contains("ft_serve_path_fill_us_count 1"));
+        // Sorted and newline-terminated → deterministic, parse-friendly.
+        let lines: Vec<&str> = text.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+        assert!(text.ends_with('\n'));
+        for line in &lines {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap_or("");
+            assert!(value.parse::<u64>().is_ok(), "bad value in {line:?}");
+        }
     }
 }

@@ -5,13 +5,16 @@
 //! ```text
 //! request  = [ "ftq/1" SP ] verb *( SP key "=" value )
 //! verb     = "topo" | "paths" | "throughput" | "plan" | "convert"
-//!          | "stats" | "shutdown"
+//!          | "stats" | "metrics" | "shutdown"
 //! reply    = "OK" SP verb *( SP key "=" value )
 //!          | "ERR" SP code SP message
 //! ```
 //!
 //! Values never contain whitespace; replies are always a single line so the
-//! framing is symmetric in both directions. The version token is optional
+//! framing is symmetric in both directions — with one documented exception:
+//! `metrics` replies with `OK metrics lines=<n>` followed by exactly `n`
+//! Prometheus-style exposition lines (`name{label="v"} value`), so a client
+//! reads the header line, then `n` more. The version token is optional
 //! on requests (interactive convenience); any other `ftq/<v>` token is
 //! rejected with `unsupported-version`.
 //!
@@ -154,8 +157,11 @@ pub enum Request {
         /// Target layout.
         to: ModeSpec,
     },
-    /// Metrics snapshot.
+    /// Metrics snapshot (single `key=value` line).
     Stats,
+    /// Prometheus-style metrics exposition (the multi-line reply — see the
+    /// module grammar for the framing).
+    Metrics,
     /// Graceful drain: reject new work, wait for in-flight requests.
     Shutdown {
         /// Drain deadline in milliseconds.
@@ -174,6 +180,7 @@ impl Request {
             Request::Plan { .. } => "plan",
             Request::Convert { .. } => "convert",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Shutdown { .. } => "shutdown",
         }
     }
@@ -328,6 +335,10 @@ pub fn parse(line: &str) -> Result<Request, ServeError> {
             reject_unknown(&args, &[])?;
             Ok(Request::Stats)
         }
+        "metrics" => {
+            reject_unknown(&args, &[])?;
+            Ok(Request::Metrics)
+        }
         "shutdown" => {
             reject_unknown(&args, &["deadline_ms"])?;
             Ok(Request::Shutdown {
@@ -345,6 +356,8 @@ mod tests {
     #[test]
     fn verbs_parse() {
         assert_eq!(parse("stats").unwrap(), Request::Stats);
+        assert_eq!(parse("metrics").unwrap(), Request::Metrics);
+        assert!(parse("metrics verbose=1").is_err());
         assert_eq!(parse("ftq/1 paths").unwrap(), Request::Paths { mode: None });
         assert_eq!(
             parse("FTQ/1 topo mode=clos").unwrap(),

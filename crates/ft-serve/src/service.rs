@@ -104,10 +104,13 @@ pub struct Handle<'a> {
 }
 
 impl Handle<'_> {
-    /// Submits one FTQ/1 request line and blocks for the reply line.
+    /// Submits one FTQ/1 request line and blocks for the reply.
     ///
-    /// Never panics and never returns a multi-line string: malformed input,
-    /// full queues and draining states all come back as `ERR <code> <msg>`.
+    /// Never panics: malformed input, full queues and draining states all
+    /// come back as `ERR <code> <msg>`. Replies are a single line except
+    /// for `metrics`, whose `OK metrics lines=<n>` header is followed by
+    /// `n` exposition lines (the protocol's one documented multi-line
+    /// reply).
     pub fn request(&self, line: &str) -> String {
         if self.shared.shutting_down.load(Ordering::SeqCst) {
             self.shared.metrics.record_shutdown_rejection();
@@ -218,6 +221,12 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
+    if ft_obs::enabled() {
+        // Drain this worker's span buffer before the pool scope joins: the
+        // TLS destructor only runs at actual thread exit, which can land
+        // after the caller removes the trace sink.
+        ft_obs::flush();
+    }
 }
 
 fn run_job(shared: &Shared, rx: &Receiver<Job>, job: Job) {
@@ -239,7 +248,10 @@ pub(crate) fn execute(shared: &Shared, rx: Option<&Receiver<Job>>, line: &str) -
     };
     let verb = req.verb();
     let start = Instant::now();
-    let result = dispatch(shared, rx, &req);
+    let result = {
+        let _span = ft_obs::span!("serve.request", verb = verb);
+        dispatch(shared, rx, &req)
+    };
     let latency = start.elapsed();
     match result {
         Ok(payload) => {
@@ -280,6 +292,7 @@ fn dispatch(
         Request::Plan { to } => exec_plan(shared, to),
         Request::Convert { to } => exec_convert(shared, to),
         Request::Stats => Ok(shared.metrics.snapshot().stats_line()),
+        Request::Metrics => Ok(exec_metrics(shared)),
         Request::Shutdown { deadline_ms } => exec_shutdown(shared, rx, *deadline_ms),
     }
 }
@@ -304,6 +317,7 @@ fn entry_for(
         return Ok((mode, layout, entry, true));
     }
     shared.metrics.record_cache_miss();
+    let _span = ft_obs::span!("serve.materialize", k = shared.cfg.k);
     let network = shared.controller.read().flat_tree().materialize(&mode)?;
     shared.metrics.record_materialization();
     let entry = Arc::new(Materialized::new(network));
@@ -342,6 +356,7 @@ fn exec_paths(shared: &Shared, spec: Option<&ModeSpec>) -> Result<String, ServeE
                 // the fill runs the parallel BFS-APSP kernel twice (global
                 // + intra-pod); time it for the fill-latency histogram
                 let t0 = std::time::Instant::now();
+                let _span = ft_obs::span!("serve.path_fill", k = shared.cfg.k);
                 let a = PathsAnswer {
                     apl: average_server_path_length(&entry.network),
                     intra: average_intra_pod_path_length(&entry.network, shared.servers_per_pod),
@@ -429,6 +444,20 @@ fn exec_convert(shared: &Shared, to: &ModeSpec) -> Result<String, ServeError> {
         plan.links_added.len(),
         plan.is_noop()
     ))
+}
+
+/// Renders the `metrics` payload: an `lines=<n>` header token followed by
+/// `n` Prometheus-style exposition lines — the service's own `ft_serve_*`
+/// counters first, then the process-global ft-obs registry (solver, pool,
+/// APSP and span-sink metrics), so one reply covers the whole stack.
+fn exec_metrics(shared: &Shared) -> String {
+    let mut body = shared.metrics.snapshot().exposition();
+    body.push_str(&ft_obs::registry::expose());
+    let n = body.lines().count();
+    // The body is newline-terminated; the header token rides on the OK
+    // line, so strip the trailing newline to avoid a blank last line.
+    let trimmed = body.trim_end_matches('\n');
+    format!("lines={n}\n{trimmed}")
 }
 
 fn exec_shutdown(
@@ -580,6 +609,40 @@ mod tests {
         };
         assert!(Service::run(cfg, |_| ()).is_err());
         assert!(Service::run(ServeConfig::for_k(5), |_| ()).is_err());
+    }
+
+    #[test]
+    fn metrics_verb_exposes_counters() {
+        let (reply, _) = Service::run(cfg(), |h| {
+            h.request("paths");
+            h.request("metrics")
+        })
+        .unwrap();
+        let mut lines = reply.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("OK metrics lines="), "{header}");
+        let n: usize = header
+            .trim_start_matches("OK metrics lines=")
+            .parse()
+            .unwrap();
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), n, "header line count must match body");
+        assert!(n > 0);
+        // Serve metrics, and (via the global registry) pool + APSP metrics
+        // from the paths request's BFS fan-out, are all present.
+        let text = body.join("\n");
+        assert!(
+            text.contains("ft_serve_requests_total{verb=\"paths\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("ft_serve_cache_misses_total 1"), "{text}");
+        assert!(text.contains("ft_metrics_apsp_total"), "{text}");
+        assert!(text.contains("ft_par_"), "{text}");
+        for line in &body {
+            let (name, value) = line.rsplit_once(' ').unwrap();
+            assert!(!name.is_empty());
+            assert!(value.parse::<u64>().is_ok(), "bad value in {line:?}");
+        }
     }
 
     #[test]

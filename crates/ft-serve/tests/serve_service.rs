@@ -134,6 +134,39 @@ fn concurrent_mixed_load_convert_and_graceful_shutdown() {
 }
 
 #[test]
+fn metrics_verb_round_trips_through_the_service() {
+    let ((), _report) = Service::run(ServeConfig::for_k(4), |h| {
+        assert!(h.request("paths").starts_with("OK paths "));
+        let reply = h.request("metrics");
+        let mut lines = reply.lines();
+        let header = lines.next().unwrap();
+        let n: usize = header
+            .strip_prefix("OK metrics lines=")
+            .unwrap_or_else(|| panic!("bad header {header:?}"))
+            .parse()
+            .unwrap();
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), n, "{reply}");
+        let text = body.join("\n");
+        // One reply covers the serve registry and the process-global
+        // solver/pool registries.
+        assert!(
+            text.contains("ft_serve_requests_total{verb=\"paths\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ft_serve_request_latency_us{verb=\"paths\",q=\"0.95\"}"),
+            "{text}"
+        );
+        assert!(text.contains("ft_metrics_apsp_total"), "{text}");
+        assert!(text.contains("ft_par_rows_total"), "{text}");
+        let bye = h.request("shutdown deadline_ms=5000");
+        assert!(bye.starts_with("OK shutdown "), "{bye}");
+    })
+    .expect("service failed");
+}
+
+#[test]
 fn queue_overflow_degrades_to_busy_not_death() {
     // One worker and a one-slot queue: a concurrent burst must produce a mix
     // of OK and ERR busy replies, and the service must still answer cleanly

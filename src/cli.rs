@@ -67,16 +67,24 @@ USAGE:
   ftctl profile -k <even>
   ftctl serve   -k <even> [--port <u16, default 0 = OS-picked>]
                 [--workers <n>] [--cache <n>] [--queue <n>]
+                [--trace <file.jsonl>]
   ftctl query   -k <even> [--req \"<ftq line>[; <ftq line>…]\"] [--workers <n>]
+                [--trace <file.jsonl>]
   ftctl bench   [--json <file>] [--quick] [--check <baseline.json>]
+                [--trace <file.jsonl>]
 
 Topology kinds build from the same equipment as fat-tree(k). flat-tree
 requires --mode; other kinds ignore it.
 
 serve runs the resident FTQ/1 query service on localhost TCP until a client
 sends `shutdown`; query boots the same service in-process, issues the
-`;`-separated request lines, and prints one reply line each (protocol verbs:
-topo | paths | throughput | plan | convert | stats | shutdown).
+`;`-separated request lines, and prints each reply (protocol verbs:
+topo | paths | throughput | plan | convert | stats | metrics | shutdown;
+`metrics` replies with a Prometheus-style exposition, one metric per line).
+
+--trace enables the ft-obs instrumentation for the run and streams
+structured spans (one JSON object per line) to the given file; without it
+all instrumentation stays off at a single atomic-load cost per site.
 
 bench times the hot-path kernels (CSR BFS-APSP sequential vs parallel,
 Dijkstra with fresh vs reused scratch buffers, the source-batched FPTAS
@@ -323,6 +331,34 @@ fn cmd_profile(inv: &Invocation) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Arms the ft-obs trace sink when `--trace <file>` is present. The guard
+/// disables instrumentation and flushes/closes the sink on drop, so spans
+/// land on disk even when the command errors out.
+struct TraceGuard {
+    armed: bool,
+}
+
+impl TraceGuard {
+    fn from_inv(inv: &Invocation) -> Result<TraceGuard, CliError> {
+        let Some(path) = inv.options.get("trace") else {
+            return Ok(TraceGuard { armed: false });
+        };
+        ft_obs::install_file_sink(path)
+            .map_err(|e| CliError(format!("cannot open trace file {path}: {e}")))?;
+        ft_obs::set_enabled(true);
+        Ok(TraceGuard { armed: true })
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            ft_obs::set_enabled(false);
+            ft_obs::take_sink();
+        }
+    }
+}
+
 fn get_usize_opt(inv: &Invocation, key: &str) -> Result<Option<usize>, CliError> {
     match inv.options.get(key) {
         None => Ok(None),
@@ -350,6 +386,7 @@ fn serve_config(inv: &Invocation) -> Result<ServeConfig, CliError> {
 }
 
 fn cmd_serve(inv: &Invocation) -> Result<String, CliError> {
+    let _trace = TraceGuard::from_inv(inv)?;
     let cfg = serve_config(inv)?;
     let port: u16 = match inv.options.get("port") {
         None => 0,
@@ -367,6 +404,7 @@ fn cmd_serve(inv: &Invocation) -> Result<String, CliError> {
 }
 
 fn cmd_query(inv: &Invocation) -> Result<String, CliError> {
+    let _trace = TraceGuard::from_inv(inv)?;
     let cfg = serve_config(inv)?;
     let requests: Vec<String> = inv
         .options
@@ -708,6 +746,7 @@ fn bench_check(path: &str, entries: &[BenchEntry]) -> Result<String, CliError> {
 }
 
 fn cmd_bench(inv: &Invocation) -> Result<String, CliError> {
+    let _trace = TraceGuard::from_inv(inv)?;
     let quick = inv.options.contains_key("quick");
     let ks: &[usize] = if quick { &[8] } else { &[8, 16, 32] };
     let threads = par::thread_count();
@@ -731,8 +770,10 @@ fn cmd_bench(inv: &Invocation) -> Result<String, CliError> {
             e.k, e.kernel, e.variant, e.ms
         );
     }
+    // Warnings go to stderr so piped/captured bench output stays
+    // machine-readable; a truncated-budget λ is still a lower bound.
     for w in &warnings {
-        let _ = writeln!(out, "  {w}");
+        eprintln!("  {w}");
     }
     if let Some(path) = inv.options.get("json") {
         std::fs::write(path, bench_json(threads, quick, &entries))
@@ -946,6 +987,33 @@ mod tests {
         .unwrap();
         assert!(checked.contains("check ok"), "{checked}");
         let _ = std::fs::remove_file(json);
+    }
+
+    #[test]
+    fn query_trace_writes_jsonl_spans() {
+        let trace = std::env::temp_dir().join("ftctl_query_trace_test.jsonl");
+        let out = run(&inv(&[
+            "query",
+            "-k",
+            "4",
+            "--req",
+            "paths; metrics",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("OK paths "), "{out}");
+        assert!(out.contains("OK metrics lines="), "{out}");
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(!body.trim().is_empty(), "trace file is empty");
+        for line in body.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not a JSON object line: {line:?}"
+            );
+        }
+        assert!(body.contains("\"name\":\"serve.request\""), "{body}");
+        let _ = std::fs::remove_file(trace);
     }
 
     #[test]

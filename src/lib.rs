@@ -25,6 +25,9 @@
 //! * [`sim`] — flow-level max-min fairness simulator (extension).
 //! * [`serve`] — resident FTQ/1 query service: worker pool, materialization
 //!   cache, request metrics (in-process + localhost TCP transports).
+//! * [`obs`] — zero-dependency observability: structured spans (JSONL
+//!   sink), a global counter/gauge/histogram registry, and Prometheus-style
+//!   exposition; off by default at one relaxed atomic load per site.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@ pub use ft_graph as graph;
 pub use ft_lp as lp;
 pub use ft_mcf as mcf;
 pub use ft_metrics as metrics;
+pub use ft_obs as obs;
 pub use ft_serve as serve;
 pub use ft_sim as sim;
 pub use ft_topo as topo;
