@@ -1,0 +1,47 @@
+// Fixture: the clean counterpart of the determinism/concurrency rules in
+// `../../../violating`. Same shapes, compliant constructs.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+/// Determinism: ordered iteration is reproducible.
+pub fn rule_unordered_iter(m: &BTreeMap<u32, u32>) -> u32 {
+    let mut s = 0;
+    for (_k, v) in m {
+        s += v;
+    }
+    s
+}
+
+/// Determinism: logical time instead of wall clocks.
+pub fn rule_wallclock(tick: u64) -> u64 {
+    tick + 1
+}
+
+/// Determinism: worker count is a parameter, not an ambient read.
+pub fn rule_thread_dependent(workers: usize) -> usize {
+    workers.max(1)
+}
+
+/// Concurrency: Acquire pairs with the writer's Release.
+pub fn rule_relaxed_sync(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}
+
+/// Concurrency: Relaxed is fine for a pure counter.
+pub fn rule_relaxed_counter(c: &AtomicU32) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Concurrency: copy the value out, drop the guard, then send.
+pub fn rule_lock_across_blocking(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock();
+    let v = *g;
+    drop(g);
+    tx.send(v);
+}
+
+/// Concurrency: an atomic instead of a mutable static.
+pub static RULE_ATOMIC: AtomicU32 = AtomicU32::new(0);

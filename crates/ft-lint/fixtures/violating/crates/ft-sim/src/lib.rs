@@ -1,0 +1,41 @@
+// Fixture: one violation of every determinism/concurrency-pack rule, in
+// a deterministic strict crate. Together with ../../ft-graph/src/lib.rs
+// the violating tree exercises all eleven rule ids.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+/// Determinism: iterating an unordered container.
+pub fn rule_unordered_iter(m: &HashMap<u32, u32>) -> u32 {
+    let mut s = 0;
+    for (_k, v) in m {
+        s += v;
+    }
+    s
+}
+
+/// Determinism: wall-clock read in a deterministic crate.
+pub fn rule_wallclock() {
+    let _ = std::time::Instant::now();
+}
+
+/// Determinism: thread-count dependence outside the worker pool.
+pub fn rule_thread_dependent() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Concurrency: Relaxed load used as a synchronization flag.
+pub fn rule_relaxed_sync(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}
+
+/// Concurrency: lock guard held across a blocking send.
+pub fn rule_lock_across_blocking(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock();
+    tx.send(*g);
+}
+
+/// Concurrency: mutable static.
+pub static mut RULE_STATIC_MUT: u32 = 0;

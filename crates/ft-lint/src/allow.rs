@@ -6,6 +6,11 @@
 //! mandatory human-readable `reason`. A minimal hand-rolled parser keeps
 //! the crate dependency-free; anything outside the accepted subset is a
 //! configuration error — suppression must stay auditable.
+//!
+//! v2 additions: every match is recorded with the index of the entry that
+//! produced it (suppression provenance in the JSON/SARIF reports), entries
+//! that suppress nothing are a hard error (stale suppressions hide future
+//! regressions), and [`rewrite`] renders a pruned file for `--fix-allow`.
 
 use crate::rules::Violation;
 
@@ -14,7 +19,7 @@ use crate::rules::Violation;
 pub struct AllowEntry {
     /// Workspace-relative path the suppression applies to.
     pub path: String,
-    /// Rule name (see the rule constants in [`crate::rules`]).
+    /// Rule name (see [`crate::rules::RULES`]).
     pub rule: String,
     /// Substring that must occur in the offending line.
     pub contains: String,
@@ -77,6 +82,12 @@ fn validate(e: AllowEntry, lineno: usize) -> Result<AllowEntry, String> {
             "lint-allow.toml:{lineno}: entry must set both `path` and `rule`"
         ));
     }
+    if crate::rules::rule_info(&e.rule).is_none() {
+        return Err(format!(
+            "lint-allow.toml:{lineno}: unknown rule {:?} (see the rule catalog in DESIGN.md §13)",
+            e.rule
+        ));
+    }
     if e.reason.trim().is_empty() {
         return Err(format!(
             "lint-allow.toml:{lineno}: entry for {} lacks a `reason` — every suppression must say why it is sound",
@@ -99,14 +110,52 @@ fn parse_kv(line: &str) -> Option<(&str, String)> {
     Some((key, inner.to_string()))
 }
 
-/// Whether `v` is covered by an entry. A match requires the same path and
-/// rule, and (when `contains` is set) the substring to occur in the line.
-pub fn is_allowed(entries: &[AllowEntry], v: &Violation) -> bool {
-    entries.iter().any(|e| {
+/// Which entry (by index) covers `v`, if any. A match requires the same
+/// path and rule, and (when `contains` is set) the substring to occur in
+/// the offending line.
+pub fn covering_entry(entries: &[AllowEntry], v: &Violation) -> Option<usize> {
+    entries.iter().position(|e| {
         e.path == v.path
             && e.rule == v.rule
             && (e.contains.is_empty() || v.excerpt.contains(&e.contains))
     })
+}
+
+/// Renders an allowlist keeping only the entries whose index satisfies
+/// `keep` — the `--fix-allow` rewriter. The file header comment (leading
+/// `#` lines before the first table) is preserved; per-entry comments are
+/// not (the `reason` field is the auditable text).
+pub fn rewrite(src: &str, entries: &[AllowEntry], keep: &dyn Fn(usize) -> bool) -> String {
+    let mut out = String::new();
+    for line in src.lines() {
+        let t = line.trim();
+        if t.starts_with('#') || t.is_empty() {
+            out.push_str(line);
+            out.push('\n');
+        } else {
+            break;
+        }
+    }
+    // drop trailing blank lines of the header so entries stay uniform
+    while out.ends_with("\n\n") {
+        out.pop();
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if !keep(i) {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("[[allow]]\n");
+        out.push_str(&format!("path = \"{}\"\n", e.path));
+        out.push_str(&format!("rule = \"{}\"\n", e.rule));
+        if !e.contains.is_empty() {
+            out.push_str(&format!("contains = \"{}\"\n", e.contains));
+        }
+        out.push_str(&format!("reason = \"{}\"\n", e.reason));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -121,6 +170,17 @@ rule = "truncating-cast"
 contains = "index as u32"
 reason = "checked by the assert on the preceding line"
 "#;
+
+    fn violation(path: &str, rule: &'static str, excerpt: &str) -> Violation {
+        Violation {
+            path: path.into(),
+            line: 18,
+            col: 1,
+            rule,
+            message: String::new(),
+            excerpt: excerpt.into(),
+        }
+    }
 
     #[test]
     fn parses_entries() {
@@ -144,6 +204,13 @@ reason = "checked by the assert on the preceding line"
     }
 
     #[test]
+    fn unknown_rule_rejected() {
+        let src = "[[allow]]\npath = \"a.rs\"\nrule = \"no-such-rule\"\nreason = \"x\"\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
     fn unknown_key_rejected() {
         let src =
             "[[allow]]\npath = \"a.rs\"\nrule = \"panic\"\nreason = \"x\"\nlinenumber = \"12\"\n";
@@ -159,18 +226,33 @@ reason = "checked by the assert on the preceding line"
     #[test]
     fn matching_respects_contains() {
         let entries = parse(GOOD).unwrap();
-        let mut v = Violation {
-            path: "crates/ft-graph/src/graph.rs".into(),
-            line: 18,
-            rule: "truncating-cast",
-            message: String::new(),
-            excerpt: "index as u32 // checked".into(),
-        };
-        assert!(is_allowed(&entries, &v));
-        v.excerpt = "other as u32".into();
-        assert!(!is_allowed(&entries, &v));
-        v.excerpt = "index as u32 // checked".into();
-        v.rule = "panic";
-        assert!(!is_allowed(&entries, &v));
+        let covered = violation(
+            "crates/ft-graph/src/graph.rs",
+            "truncating-cast",
+            "index as u32 // checked",
+        );
+        assert_eq!(covering_entry(&entries, &covered), Some(0));
+        let other_line = violation(
+            "crates/ft-graph/src/graph.rs",
+            "truncating-cast",
+            "other as u32",
+        );
+        assert_eq!(covering_entry(&entries, &other_line), None);
+        let other_rule = violation("crates/ft-graph/src/graph.rs", "panic", "index as u32");
+        assert_eq!(covering_entry(&entries, &other_rule), None);
+    }
+
+    #[test]
+    fn rewrite_prunes_and_keeps_header() {
+        let src = "# Lint allowlist.\n# Keep it short.\n\n[[allow]]\npath = \"a.rs\"\nrule = \"panic\"\nreason = \"one\"\n\n[[allow]]\npath = \"b.rs\"\nrule = \"wallclock\"\ncontains = \"now\"\nreason = \"two\"\n";
+        let entries = parse(src).unwrap();
+        let out = rewrite(src, &entries, &|i| i == 1);
+        assert!(out.starts_with("# Lint allowlist.\n# Keep it short.\n"));
+        assert!(!out.contains("a.rs"));
+        assert!(out.contains("path = \"b.rs\""));
+        assert!(out.contains("contains = \"now\""));
+        // a rewrite of a rewrite is a fixed point
+        let reparsed = parse(&out).unwrap();
+        assert_eq!(rewrite(&out, &reparsed, &|_| true), out);
     }
 }

@@ -1,0 +1,654 @@
+//! A zero-dependency Rust lexer producing a full token stream with byte
+//! spans, replacing the old `mask.rs` line-masking approximation.
+//!
+//! The lexer handles the constructs that defeat regex scanning natively:
+//! nested block comments, raw strings (`r"…"`, `r#"…"#`, `br#"…"#`), byte
+//! strings and byte chars, escape sequences, lifetimes vs char literals,
+//! raw identifiers (`r#match`), and multi-character operators. Comments
+//! stay in the stream (flagged as trivia) so doc-comment-sensitive rules
+//! can see them; every token records its byte span plus 1-based line and
+//! column, so violations point at real source locations.
+//!
+//! The lexer never fails: unterminated literals or comments extend to end
+//! of input, and any byte it cannot classify becomes a one-byte
+//! [`Kind::Punct`] token. Lexing arbitrary bytes is total — a property the
+//! mask-equivalence test (`tests/mask_equiv.rs`) leans on.
+
+/// Token classification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    /// Identifier or keyword (including raw identifiers `r#ident`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — the quote plus the identifier.
+    Lifetime,
+    /// Integer literal (any base, including suffixed forms like `1u32`).
+    Int,
+    /// Float literal (`1.0`, `1.`, `1e-9`, `2f64`).
+    Float,
+    /// String or byte-string literal (`"…"`, `b"…"`), escapes included.
+    Str,
+    /// Raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`).
+    RawStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// `//` comment; `doc` marks `///` and `//!` forms.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`, not `////…`).
+        doc: bool,
+    },
+    /// `/* … */` comment (nesting handled); `doc` marks `/**` and `/*!`.
+    BlockComment {
+        /// Whether this is a doc comment (`/**` or `/*!`).
+        doc: bool,
+    },
+    /// Operator or punctuation; multi-character operators (`==`, `::`,
+    /// `->`, `..=`, …) are single tokens.
+    Punct,
+}
+
+impl Kind {
+    /// Whether the token is trivia (comments) rather than code.
+    pub fn is_trivia(self) -> bool {
+        matches!(self, Kind::LineComment { .. } | Kind::BlockComment { .. })
+    }
+}
+
+/// One lexed token: kind plus source location.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: Kind,
+    /// Byte offset of the first byte (inclusive).
+    pub lo: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub hi: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based byte column of the first byte within its line.
+    pub col: usize,
+}
+
+/// A fully lexed source file.
+pub struct Lexed<'a> {
+    src: &'a str,
+    /// All tokens in source order, trivia included.
+    pub tokens: Vec<Token>,
+    /// Byte offset of the start of each line (line 1 first).
+    line_starts: Vec<usize>,
+}
+
+impl<'a> Lexed<'a> {
+    /// The source text of a token.
+    pub fn text(&self, t: &Token) -> &'a str {
+        self.src.get(t.lo..t.hi).unwrap_or("")
+    }
+
+    /// The full source this lex was produced from.
+    pub fn source(&self) -> &'a str {
+        self.src
+    }
+
+    /// Number of lines in the source (at least 1).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The trimmed text of a 1-based source line (empty if out of range).
+    pub fn line_text(&self, line: usize) -> &'a str {
+        let Some(&start) = self.line_starts.get(line.wrapping_sub(1)) else {
+            return "";
+        };
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.src.len(), |&next| next);
+        self.src.get(start..end).unwrap_or("").trim()
+    }
+}
+
+/// Multi-character operators, longest first so maximal-munch matching is a
+/// simple prefix scan.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Cursor state shared by the lexing helpers: the input plus the current
+/// byte offset and line bookkeeping.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl Cursor<'_> {
+    /// The byte at offset `i + ahead`, or 0 past the end (0 never occurs
+    /// in real source positions we dispatch on, so it acts as a sentinel).
+    fn peek(&self, ahead: usize) -> u8 {
+        self.bytes.get(self.i + ahead).copied().unwrap_or(0)
+    }
+
+    /// Whether the cursor is past the last byte.
+    fn done(&self) -> bool {
+        self.i >= self.bytes.len()
+    }
+}
+
+/// Whether a byte continues an identifier. Multi-byte UTF-8 continuation
+/// bytes count, so non-ASCII identifiers lex as single tokens.
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Whether a byte can start an identifier.
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Total: never fails on any input.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let bytes = src.as_bytes();
+    let mut line_starts = vec![0usize];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let mut c = Cursor { bytes, i: 0 };
+    let mut tokens = Vec::new();
+    // `line` tracks the 1-based line of the cursor; advanced on newlines.
+    let mut line = 1usize;
+    let mut line_start = 0usize;
+    while !c.done() {
+        let b = c.peek(0);
+        if b == b'\n' {
+            c.i += 1;
+            line += 1;
+            line_start = c.i;
+            continue;
+        }
+        if b == b' ' || b == b'\t' || b == b'\r' {
+            c.i += 1;
+            continue;
+        }
+        let lo = c.i;
+        let tok_line = line;
+        let tok_col = lo - line_start + 1;
+        let kind = scan_token(&mut c);
+        let hi = c.i.max(lo + 1);
+        // a scanner that failed to advance would loop forever; force one
+        // byte of progress (scan_token always advances, this is belt and
+        // braces for the total-function guarantee)
+        c.i = hi;
+        // multi-line tokens (block comments, strings) advance `line`
+        for j in lo..hi {
+            if c.bytes.get(j) == Some(&b'\n') {
+                line += 1;
+                line_start = j + 1;
+            }
+        }
+        tokens.push(Token {
+            kind,
+            lo,
+            hi,
+            line: tok_line,
+            col: tok_col,
+        });
+    }
+    Lexed {
+        src,
+        tokens,
+        line_starts,
+    }
+}
+
+/// Scans one token starting at the cursor, advancing it past the token.
+fn scan_token(c: &mut Cursor<'_>) -> Kind {
+    let b = c.peek(0);
+    // comments
+    if b == b'/' && c.peek(1) == b'/' {
+        return scan_line_comment(c);
+    }
+    if b == b'/' && c.peek(1) == b'*' {
+        return scan_block_comment(c);
+    }
+    // raw strings & raw identifiers: r" r#" r#ident
+    if b == b'r' || b == b'b' {
+        if let Some(kind) = scan_prefixed_literal(c) {
+            return kind;
+        }
+    }
+    if b == b'"' {
+        scan_string(c);
+        return Kind::Str;
+    }
+    if b == b'\'' {
+        return scan_quote(c);
+    }
+    if b.is_ascii_digit() {
+        return scan_number(c);
+    }
+    if is_ident_start(b) {
+        while is_ident_byte(c.peek(0)) {
+            c.i += 1;
+        }
+        return Kind::Ident;
+    }
+    // operators: maximal munch over the multi-char table
+    for op in MULTI_PUNCT {
+        let ob = op.as_bytes();
+        if (0..ob.len()).all(|j| c.peek(j) == ob[j]) {
+            c.i += ob.len();
+            return Kind::Punct;
+        }
+    }
+    c.i += 1;
+    Kind::Punct
+}
+
+/// Scans `//…` to end of line (newline excluded from the token).
+fn scan_line_comment(c: &mut Cursor<'_>) -> Kind {
+    // `///` and `//!` are docs; `////…` dividers are plain comments
+    let doc = (c.peek(2) == b'/' && c.peek(3) != b'/') || c.peek(2) == b'!';
+    while !c.done() && c.peek(0) != b'\n' {
+        c.i += 1;
+    }
+    Kind::LineComment { doc }
+}
+
+/// Scans `/* … */` with nesting; unterminated comments run to the end.
+fn scan_block_comment(c: &mut Cursor<'_>) -> Kind {
+    // `/**` is a doc comment, but `/**/` is an empty plain comment
+    let doc = (c.peek(2) == b'*' && c.peek(3) != b'/') || c.peek(2) == b'!';
+    c.i += 2;
+    let mut depth = 1usize;
+    while !c.done() && depth > 0 {
+        if c.peek(0) == b'*' && c.peek(1) == b'/' {
+            depth -= 1;
+            c.i += 2;
+        } else if c.peek(0) == b'/' && c.peek(1) == b'*' {
+            depth += 1;
+            c.i += 2;
+        } else {
+            c.i += 1;
+        }
+    }
+    Kind::BlockComment { doc }
+}
+
+/// Handles `r`/`b`-prefixed literals and raw identifiers: `r"…"`,
+/// `r#"…"#`, `b"…"`, `br"…"`, `b'…'`, `r#ident`. Returns `None` when the
+/// prefix is just the start of an ordinary identifier.
+fn scan_prefixed_literal(c: &mut Cursor<'_>) -> Option<Kind> {
+    let b0 = c.peek(0);
+    // b" byte string
+    if b0 == b'b' && c.peek(1) == b'"' {
+        c.i += 1;
+        scan_string(c);
+        return Some(Kind::Str);
+    }
+    // b' byte char
+    if b0 == b'b' && c.peek(1) == b'\'' {
+        c.i += 1;
+        scan_char(c);
+        return Some(Kind::Char);
+    }
+    // r…" / br…" raw (byte) strings; r#ident raw identifiers
+    let raw_at = if b0 == b'r' {
+        0
+    } else if b0 == b'b' && c.peek(1) == b'r' {
+        1
+    } else {
+        return None;
+    };
+    let mut hashes = 0usize;
+    while c.peek(raw_at + 1 + hashes) == b'#' {
+        hashes += 1;
+    }
+    let after = c.peek(raw_at + 1 + hashes);
+    if after == b'"' {
+        c.i += raw_at + 2 + hashes; // past prefix, hashes, opening quote
+        loop {
+            if c.done() {
+                break;
+            }
+            if c.peek(0) == b'"' && (1..=hashes).all(|j| c.peek(j) == b'#') {
+                c.i += 1 + hashes;
+                break;
+            }
+            c.i += 1;
+        }
+        return Some(Kind::RawStr);
+    }
+    if raw_at == 0 && hashes == 1 && is_ident_start(after) {
+        // raw identifier r#match
+        c.i += 2;
+        while is_ident_byte(c.peek(0)) {
+            c.i += 1;
+        }
+        return Some(Kind::Ident);
+    }
+    None
+}
+
+/// Scans a `"…"` string body starting at the opening quote, honouring
+/// escapes; unterminated strings run to the end of input.
+fn scan_string(c: &mut Cursor<'_>) {
+    c.i += 1; // opening quote
+    while !c.done() {
+        match c.peek(0) {
+            b'\\' if c.i + 1 < c.bytes.len() => c.i += 2,
+            b'"' => {
+                c.i += 1;
+                return;
+            }
+            _ => c.i += 1,
+        }
+    }
+}
+
+/// Scans a `'` token: either a char literal or a lifetime.
+fn scan_quote(c: &mut Cursor<'_>) -> Kind {
+    let next = c.peek(1);
+    // 'a followed by anything but a closing quote is a lifetime; this also
+    // covers '_ and 'static
+    if is_ident_start(next) && c.peek(2) != b'\'' {
+        c.i += 2;
+        while is_ident_byte(c.peek(0)) {
+            c.i += 1;
+        }
+        return Kind::Lifetime;
+    }
+    scan_char(c);
+    Kind::Char
+}
+
+/// Scans a char literal starting at the opening quote. Bounded: gives up
+/// (emitting what it has) if no closing quote appears within a short
+/// window, so a stray `'` cannot swallow the rest of the file.
+fn scan_char(c: &mut Cursor<'_>) {
+    let start = c.i;
+    c.i += 1; // opening quote
+    while !c.done() && c.i - start < 12 {
+        match c.peek(0) {
+            b'\\' if c.i + 1 < c.bytes.len() => c.i += 2,
+            b'\'' => {
+                c.i += 1;
+                return;
+            }
+            _ => c.i += 1,
+        }
+    }
+    // no closing quote nearby: treat the lone quote as a one-byte token
+    c.i = start + 1;
+}
+
+/// Scans a numeric literal, classifying it as [`Kind::Int`] or
+/// [`Kind::Float`].
+fn scan_number(c: &mut Cursor<'_>) -> Kind {
+    // hex/octal/binary stay integers regardless of suffix letters
+    if c.peek(0) == b'0' && matches!(c.peek(1), b'x' | b'o' | b'b') {
+        c.i += 2;
+        while c.peek(0).is_ascii_alphanumeric() || c.peek(0) == b'_' {
+            c.i += 1;
+        }
+        return Kind::Int;
+    }
+    let mut float = false;
+    while c.peek(0).is_ascii_digit() || c.peek(0) == b'_' {
+        c.i += 1;
+    }
+    // fractional part: a dot followed by a digit, or a trailing dot that
+    // does not start a range/method call (`1..2`, `1.max(2)`)
+    if c.peek(0) == b'.' {
+        if c.peek(1).is_ascii_digit() {
+            float = true;
+            c.i += 1;
+            while c.peek(0).is_ascii_digit() || c.peek(0) == b'_' {
+                c.i += 1;
+            }
+        } else if c.peek(1) != b'.' && !is_ident_start(c.peek(1)) {
+            float = true;
+            c.i += 1;
+        }
+    }
+    // exponent
+    if matches!(c.peek(0), b'e' | b'E')
+        && (c.peek(1).is_ascii_digit()
+            || (matches!(c.peek(1), b'+' | b'-') && c.peek(2).is_ascii_digit()))
+    {
+        float = true;
+        c.i += 1;
+        if matches!(c.peek(0), b'+' | b'-') {
+            c.i += 1;
+        }
+        while c.peek(0).is_ascii_digit() || c.peek(0) == b'_' {
+            c.i += 1;
+        }
+    }
+    // type suffix (u32, f64, …): f-suffixes force float
+    if is_ident_start(c.peek(0)) {
+        let suffix_start = c.i;
+        while is_ident_byte(c.peek(0)) {
+            c.i += 1;
+        }
+        let suffix = c.bytes.get(suffix_start..c.i).unwrap_or(&[]);
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+    }
+    if float {
+        Kind::Float
+    } else {
+        Kind::Int
+    }
+}
+
+/// Reproduces the comment/string-stripping view the old `mask.rs` pass
+/// produced, but derived from the token stream: comments and literal
+/// interiors become spaces, string/char delimiters and newlines are kept,
+/// raw strings are blanked entirely. Retained for the mask-equivalence
+/// property test and as a debugging aid.
+pub fn mask_text(src: &str) -> String {
+    let lexed = lex(src);
+    let mut out: Vec<u8> = src.as_bytes().to_vec();
+    let blank = |out: &mut Vec<u8>, lo: usize, hi: usize| {
+        for slot in out.iter_mut().take(hi).skip(lo) {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    };
+    for t in &lexed.tokens {
+        match t.kind {
+            Kind::LineComment { .. } | Kind::BlockComment { .. } | Kind::RawStr => {
+                blank(&mut out, t.lo, t.hi);
+            }
+            Kind::Str => {
+                // keep the quote delimiters, blank everything else
+                // (including a `b` prefix, matching the old mask)
+                let bytes = src.as_bytes();
+                let first_quote = (t.lo..t.hi).find(|&j| bytes.get(j) == Some(&b'"'));
+                let last = t.hi.saturating_sub(1);
+                let closed = t.hi - t.lo >= 2
+                    && bytes.get(last) == Some(&b'"')
+                    && first_quote.is_some_and(|q| q < last);
+                blank(&mut out, t.lo, t.hi);
+                if let Some(slot) = first_quote.and_then(|q| out.get_mut(q)) {
+                    *slot = b'"';
+                }
+                if closed {
+                    if let Some(slot) = out.get_mut(last) {
+                        *slot = b'"';
+                    }
+                }
+            }
+            Kind::Char => {
+                // keep any prefix (`b`) and the quote delimiters
+                let bytes = src.as_bytes();
+                let first_quote = (t.lo..t.hi).find(|&j| bytes.get(j) == Some(&b'\''));
+                let last = t.hi.saturating_sub(1);
+                let closed = bytes.get(last) == Some(&b'\'');
+                let interior_from = first_quote.map_or(t.lo, |q| q + 1);
+                blank(&mut out, interior_from, t.hi);
+                if closed && first_quote.is_some_and(|q| q < last) {
+                    if let Some(slot) = out.get_mut(last) {
+                        *slot = b'\'';
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        let l = lex(src);
+        l.tokens
+            .iter()
+            .map(|t| (t.kind, l.text(t).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ks = kinds("let x = a.unwrap();");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn multi_char_ops_are_single_tokens() {
+        let ks = kinds("a == b != c ..= d :: e -> f");
+        let ops: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, ["==", "!=", "..=", "::", "->"]);
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let ks = kinds(r####"let s = "a\"b"; let r = r#"x"y"#; let b = b"z";"####);
+        let lits: Vec<(Kind, &str)> = ks
+            .iter()
+            .filter(|(k, _)| matches!(k, Kind::Str | Kind::RawStr))
+            .map(|(k, t)| (*k, t.as_str()))
+            .collect();
+        assert_eq!(
+            lits,
+            vec![
+                (Kind::Str, r#""a\"b""#),
+                (Kind::RawStr, r####"r#"x"y"#"####),
+                (Kind::Str, r#"b"z""#),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, ["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ks = kinds("/* a /* b */ c */ x");
+        assert!(matches!(ks[0].0, Kind::BlockComment { doc: false }));
+        assert_eq!(ks[1].1, "x");
+    }
+
+    #[test]
+    fn doc_comment_flags() {
+        let ks = kinds("/// doc\n//! inner\n//// divider\n// plain\n/** block */\n");
+        let docs: Vec<bool> = ks
+            .iter()
+            .map(|(k, _)| match k {
+                Kind::LineComment { doc } | Kind::BlockComment { doc } => *doc,
+                _ => false,
+            })
+            .collect();
+        assert_eq!(docs, [true, true, false, false, true]);
+    }
+
+    #[test]
+    fn numbers_classified() {
+        let ks = kinds("1 1.0 1. 1e-9 2f64 0xff 1u32 1..2 1.max(2)");
+        let nums: Vec<(Kind, &str)> = ks
+            .iter()
+            .filter(|(k, _)| matches!(k, Kind::Int | Kind::Float))
+            .map(|(k, t)| (*k, t.as_str()))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                (Kind::Int, "1"),
+                (Kind::Float, "1.0"),
+                (Kind::Float, "1."),
+                (Kind::Float, "1e-9"),
+                (Kind::Float, "2f64"),
+                (Kind::Int, "0xff"),
+                (Kind::Int, "1u32"),
+                (Kind::Int, "1"),
+                (Kind::Int, "2"),
+                (Kind::Int, "1"),
+                (Kind::Int, "2"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ks = kinds("let r#match = 1;");
+        assert_eq!(ks[1].1, "r#match");
+        assert_eq!(ks[1].0, Kind::Ident);
+    }
+
+    #[test]
+    fn lines_and_columns() {
+        let l = lex("a\n  b\n");
+        assert_eq!(l.tokens[0].line, 1);
+        assert_eq!(l.tokens[0].col, 1);
+        assert_eq!(l.tokens[1].line, 2);
+        assert_eq!(l.tokens[1].col, 3);
+    }
+
+    #[test]
+    fn mask_text_strips_strings_and_comments() {
+        let m = mask_text("let s = \"panic!\"; // unwrap()\n/* x */ let t = r#\"y\"#;\n");
+        assert!(!m.contains("panic"));
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains('y'));
+        assert!(m.contains("let s = \""));
+        assert!(m.contains("let t ="));
+        assert_eq!(
+            m.len(),
+            "let s = \"panic!\"; // unwrap()\n/* x */ let t = r#\"y\"#;\n".len()
+        );
+    }
+
+    #[test]
+    fn total_on_garbage() {
+        // arbitrary bytes never panic and never lose line structure
+        let src = "∞ §§ \" unterminated\n'x /* nope\n";
+        let l = lex(src);
+        assert!(!l.tokens.is_empty());
+        assert_eq!(mask_text(src).split('\n').count(), src.split('\n').count());
+    }
+}

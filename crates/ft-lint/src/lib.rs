@@ -1,63 +1,110 @@
 //! `ft-lint` — the workspace static-analysis gate.
 //!
-//! A dependency-free linter enforcing the project's error-handling and
-//! numeric-hygiene policy over every `.rs` file under `crates/` and `src/`:
+//! A dependency-free analyzer enforcing the project's hygiene,
+//! determinism, and concurrency policy over every `.rs` file under
+//! `crates/` and `src/`. v2 replaces the masked-regex line scanner with a
+//! real token pipeline:
 //!
-//! 1. **panic** — no `panic!` / `.unwrap()` / `.expect(` / `unreachable!`
-//!    in library code of the strict crates (`ft-graph`, `ft-lp`, `ft-mcf`,
-//!    `ft-core`, `ft-metrics`, `ft-serve`); return the crate's error enums
-//!    instead.
-//! 2. **index-bounds** — arithmetic index expressions (`v[i + 1]`) in
-//!    strict library code need a bounds comment on the same or previous
-//!    line.
-//! 3. **float-eq** — no `==`/`!=` against float literals anywhere in
-//!    library code; compare integers or use an epsilon.
-//! 4. **truncating-cast** — no `as u32`-style narrowing casts on node
-//!    indices in strict library code; use `try_into()` or
-//!    `ft_graph::id32`.
-//! 5. **missing-doc** — every `pub fn` in strict library code carries a
-//!    doc comment.
-//!
-//! Suppression happens only through `lint-allow.toml` (see
-//! [`allow`]); entries without a reason are a configuration error.
+//! * [`lexer`] — a total, zero-dependency Rust lexer producing the full
+//!   token stream with byte spans and line/column info; raw strings,
+//!   lifetimes, and nested block comments are handled natively.
+//! * [`scope`] — path classification (strict/lib/exempt, deterministic
+//!   and wallclock crate sets) and a per-file [`scope::FileModel`]
+//!   resolving code tokens, brace depth, `#[cfg(test)]` regions, and
+//!   which local names are unordered containers.
+//! * [`rules`] — the three rule packs (hygiene, determinism, concurrency)
+//!   with the catalog in [`rules::RULES`]; see DESIGN.md §13.
+//! * [`allow`] — `lint-allow.toml` suppression with mandatory reasons,
+//!   provenance tracking, and a hard error for entries that suppress
+//!   nothing.
+//! * [`report`] — human, JSON (`ft-lint/2`), and SARIF 2.1.0 renderers.
 //!
 //! Tests, benches, examples, binaries, and fixture files are exempt — the
 //! policy targets the library surface that the paper-reproduction results
 //! depend on.
 
 pub mod allow;
-pub mod mask;
+pub mod lexer;
+pub mod report;
 pub mod rules;
+pub mod scope;
 
 use rules::Violation;
 use std::path::{Path, PathBuf};
 
+/// A violation that was suppressed by a `lint-allow.toml` entry, with the
+/// provenance needed to audit the suppression.
+#[derive(Debug)]
+pub struct Suppression {
+    /// The suppressed violation.
+    pub violation: Violation,
+    /// Index of the covering entry in `lint-allow.toml` (0-based, in file
+    /// order).
+    pub entry_index: usize,
+    /// The entry's `reason` string.
+    pub reason: String,
+}
+
 /// Outcome of a lint run.
 #[derive(Debug)]
 pub struct Report {
-    /// Violations not covered by the allowlist.
+    /// Violations not covered by the allowlist, ordered by path, line,
+    /// column, rule.
     pub violations: Vec<Violation>,
     /// Files scanned.
     pub files_scanned: usize,
-    /// Violations suppressed by `lint-allow.toml`.
-    pub suppressed: usize,
+    /// Violations suppressed by `lint-allow.toml`, with provenance.
+    pub suppressed: Vec<Suppression>,
+    /// Allowlist entries (index, entry) that suppressed nothing — these
+    /// make the run dirty: stale suppressions hide future regressions.
+    pub unused_allow: Vec<(usize, allow::AllowEntry)>,
 }
 
-/// Lints the workspace rooted at `root`. Reads `lint-allow.toml` at the
-/// root if present.
+impl Report {
+    /// A run is clean when nothing is flagged and no allow entry is
+    /// stale.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.unused_allow.is_empty()
+    }
+}
+
+/// Knobs of [`run_with`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Options {
+    /// Rewrite `lint-allow.toml` in place, dropping unused entries,
+    /// instead of reporting them as dirty.
+    pub fix_allow: bool,
+}
+
+/// Lints the workspace rooted at `root` with default options.
 ///
 /// # Errors
 /// Returns a message for unreadable files/directories, a root containing
 /// no `.rs` files at all (a mistyped path must not read as a clean run),
 /// or a malformed allowlist (including entries without a reason).
 pub fn run(root: &Path) -> Result<Report, String> {
+    run_with(root, &Options::default())
+}
+
+/// Lints the workspace rooted at `root`. Reads `lint-allow.toml` at the
+/// root if present; with [`Options::fix_allow`] set, unused entries are
+/// deleted from the file instead of dirtying the report.
+///
+/// # Errors
+/// See [`run`].
+pub fn run_with(root: &Path, opts: &Options) -> Result<Report, String> {
     let allow_path = root.join("lint-allow.toml");
-    let entries = if allow_path.exists() {
-        let src = std::fs::read_to_string(&allow_path)
-            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
-        allow::parse(&src)?
+    let allow_src = if allow_path.exists() {
+        Some(
+            std::fs::read_to_string(&allow_path)
+                .map_err(|e| format!("reading {}: {e}", allow_path.display()))?,
+        )
     } else {
-        Vec::new()
+        None
+    };
+    let entries = match &allow_src {
+        Some(src) => allow::parse(src)?,
+        None => Vec::new(),
     };
     let mut files = Vec::new();
     for top in ["crates", "src"] {
@@ -75,7 +122,8 @@ pub fn run(root: &Path) -> Result<Report, String> {
     }
     files.sort();
     let mut violations = Vec::new();
-    let mut suppressed = 0usize;
+    let mut suppressed: Vec<Suppression> = Vec::new();
+    let mut used = vec![false; entries.len()];
     for f in &files {
         let rel = f
             .strip_prefix(root)
@@ -85,28 +133,56 @@ pub fn run(root: &Path) -> Result<Report, String> {
         let src =
             std::fs::read_to_string(f).map_err(|e| format!("reading {}: {e}", f.display()))?;
         for v in rules::check_file(&rel, &src) {
-            if allow::is_allowed(&entries, &v) {
-                suppressed += 1;
-            } else {
-                violations.push(v);
+            match allow::covering_entry(&entries, &v) {
+                Some(i) => {
+                    if let Some(slot) = used.get_mut(i) {
+                        *slot = true;
+                    }
+                    let reason = entries.get(i).map(|e| e.reason.clone()).unwrap_or_default();
+                    suppressed.push(Suppression {
+                        violation: v,
+                        entry_index: i,
+                        reason,
+                    });
+                }
+                None => violations.push(v),
             }
+        }
+    }
+    let mut unused_allow: Vec<(usize, allow::AllowEntry)> = entries
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !used.get(*i).copied().unwrap_or(false))
+        .map(|(i, e)| (i, e.clone()))
+        .collect();
+    if opts.fix_allow && !unused_allow.is_empty() {
+        if let Some(src) = &allow_src {
+            let fixed = allow::rewrite(src, &entries, &|i| used.get(i).copied().unwrap_or(false));
+            std::fs::write(&allow_path, fixed)
+                .map_err(|e| format!("writing {}: {e}", allow_path.display()))?;
+            unused_allow.clear();
         }
     }
     Ok(Report {
         violations,
         files_scanned: files.len(),
         suppressed,
+        unused_allow,
     })
 }
 
-/// Recursively collects `.rs` files, skipping `target/`.
+/// Recursively collects `.rs` files, skipping `target/` and the lint
+/// fixture corpora (they contain violations on purpose).
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     let rd = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
     for entry in rd {
         let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
         let path = entry.path();
         if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
+            if path
+                .file_name()
+                .is_some_and(|n| n == "target" || n == "fixtures")
+            {
                 continue;
             }
             collect_rs(&path, out)?;

@@ -1,32 +1,86 @@
-//! CLI entry point: `cargo run -p ft-lint [-- <root>]`.
+//! CLI entry point: `cargo run -p ft-lint [-- [flags] [<root>]]`.
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 configuration error
-//! (unreadable tree or malformed `lint-allow.toml`).
+//! Flags:
+//! * `--json <file|->` — write the `ft-lint/2` JSON report.
+//! * `--sarif <file|->` — write a SARIF 2.1.0 log.
+//! * `--fix-allow` — rewrite `lint-allow.toml`, deleting unused entries.
+//!
+//! Exit codes: 0 clean, 1 violations or unused allow entries, 2
+//! configuration error (unreadable tree, malformed `lint-allow.toml`, or
+//! bad usage).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+fn usage() -> ExitCode {
+    eprintln!("usage: ft-lint [--json <file|->] [--sarif <file|->] [--fix-allow] [<root>]");
+    ExitCode::from(2)
+}
+
+fn emit(target: &str, content: &str) -> Result<(), String> {
+    if target == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(target, content).map_err(|e| format!("writing {target}: {e}"))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() > 1 {
-        eprintln!("ft-lint: configuration error: expected at most one argument (the workspace root), got {}", args.len());
-        eprintln!("usage: ft-lint [<root>]");
-        return ExitCode::from(2);
-    }
-    let root = args
-        .first()
-        .map_or_else(|| PathBuf::from("."), PathBuf::from);
-    match ft_lint::run(&root) {
-        Ok(report) => {
-            for v in &report.violations {
-                println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+    let mut json: Option<String> = None;
+    let mut sarif: Option<String> = None;
+    let mut opts = ft_lint::Options::default();
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(v) => json = Some(v.clone()),
+                None => return usage(),
+            },
+            "--sarif" => match it.next() {
+                Some(v) => sarif = Some(v.clone()),
+                None => return usage(),
+            },
+            "--fix-allow" => opts.fix_allow = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: ft-lint [--json <file|->] [--sarif <file|->] [--fix-allow] [<root>]"
+                );
+                return ExitCode::SUCCESS;
             }
-            let n = report.violations.len();
-            println!(
-                "ft-lint: {} file(s) scanned, {} violation(s), {} suppressed via lint-allow.toml",
-                report.files_scanned, n, report.suppressed
-            );
-            if n == 0 {
+            flag if flag.starts_with('-') => {
+                eprintln!("ft-lint: unknown flag {flag:?}");
+                return usage();
+            }
+            positional => {
+                if root.is_some() {
+                    eprintln!("ft-lint: configuration error: more than one root given");
+                    return usage();
+                }
+                root = Some(PathBuf::from(positional));
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    match ft_lint::run_with(&root, &opts) {
+        Ok(report) => {
+            let root_str = root.to_string_lossy().replace('\\', "/");
+            if let Some(t) = &json {
+                if let Err(e) = emit(t, &ft_lint::report::to_json(&report, &root_str)) {
+                    eprintln!("ft-lint: configuration error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            if let Some(t) = &sarif {
+                if let Err(e) = emit(t, &ft_lint::report::to_sarif(&report)) {
+                    eprintln!("ft-lint: configuration error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            print!("{}", ft_lint::report::to_text(&report));
+            if report.is_clean() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(1)

@@ -1,0 +1,287 @@
+//! Report rendering: human-readable text, machine-readable JSON
+//! (`ft-lint/2` schema), and SARIF 2.1.0 for code-scanning UIs.
+//!
+//! All renderers are dependency-free; JSON strings go through
+//! [`json_escape`], and every list is emitted in the deterministic order
+//! the analyzer produced (path, line, column, rule).
+
+use crate::allow::AllowEntry;
+use crate::rules::{Violation, RULES};
+use crate::{Report, Suppression};
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn violation_json(v: &Violation, indent: &str) -> String {
+    format!(
+        "{indent}{{\"path\": \"{}\", \"line\": {}, \"column\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"excerpt\": \"{}\"}}",
+        json_escape(&v.path),
+        v.line,
+        v.col,
+        v.rule,
+        json_escape(&v.message),
+        json_escape(&v.excerpt)
+    )
+}
+
+fn entry_json(e: &AllowEntry, index: usize, indent: &str) -> String {
+    format!(
+        "{indent}{{\"index\": {index}, \"path\": \"{}\", \"rule\": \"{}\", \"contains\": \"{}\", \"reason\": \"{}\"}}",
+        json_escape(&e.path),
+        json_escape(&e.rule),
+        json_escape(&e.contains),
+        json_escape(&e.reason)
+    )
+}
+
+fn suppression_json(s: &Suppression, indent: &str) -> String {
+    format!(
+        "{indent}{{\"path\": \"{}\", \"line\": {}, \"column\": {}, \"rule\": \"{}\", \"allow_index\": {}, \"reason\": \"{}\"}}",
+        json_escape(&s.violation.path),
+        s.violation.line,
+        s.violation.col,
+        s.violation.rule,
+        s.entry_index,
+        json_escape(&s.reason)
+    )
+}
+
+/// Renders the `ft-lint/2` JSON report.
+pub fn to_json(report: &Report, root: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ft-lint/2\",\n");
+    out.push_str(&format!("  \"root\": \"{}\",\n", json_escape(root)));
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"clean\": {},\n", report.is_clean()));
+    let violations: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| violation_json(v, "    "))
+        .collect();
+    out.push_str(&format!(
+        "  \"violations\": [\n{}\n  ],\n",
+        violations.join(",\n")
+    ));
+    if report.violations.is_empty() {
+        out = out.replace("  \"violations\": [\n\n  ],\n", "  \"violations\": [],\n");
+    }
+    let suppressed: Vec<String> = report
+        .suppressed
+        .iter()
+        .map(|s| suppression_json(s, "    "))
+        .collect();
+    if suppressed.is_empty() {
+        out.push_str("  \"suppressed\": [],\n");
+    } else {
+        out.push_str(&format!(
+            "  \"suppressed\": [\n{}\n  ],\n",
+            suppressed.join(",\n")
+        ));
+    }
+    let unused: Vec<String> = report
+        .unused_allow
+        .iter()
+        .map(|(i, e)| entry_json(e, *i, "    "))
+        .collect();
+    if unused.is_empty() {
+        out.push_str("  \"unused_allow\": []\n");
+    } else {
+        out.push_str(&format!(
+            "  \"unused_allow\": [\n{}\n  ]\n",
+            unused.join(",\n")
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a SARIF 2.1.0 log with the rule catalog and one result per
+/// unsuppressed violation.
+pub fn to_sarif(report: &Report) -> String {
+    let rules: Vec<String> = RULES
+        .iter()
+        .map(|r| {
+            format!(
+                "          {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \"properties\": {{\"pack\": \"{}\"}}}}",
+                r.id,
+                json_escape(r.summary),
+                r.pack
+            )
+        })
+        .collect();
+    let results: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| {
+            format!(
+                concat!(
+                    "      {{\"ruleId\": \"{}\", \"level\": \"error\", ",
+                    "\"message\": {{\"text\": \"{}\"}}, ",
+                    "\"locations\": [{{\"physicalLocation\": {{",
+                    "\"artifactLocation\": {{\"uri\": \"{}\"}}, ",
+                    "\"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}"
+                ),
+                v.rule,
+                json_escape(&v.message),
+                json_escape(&v.path),
+                v.line,
+                v.col
+            )
+        })
+        .collect();
+    let results_block = if results.is_empty() {
+        "      ".to_string()
+    } else {
+        results.join(",\n")
+    };
+    format!(
+        concat!(
+            "{{\n",
+            "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n",
+            "  \"version\": \"2.1.0\",\n",
+            "  \"runs\": [{{\n",
+            "    \"tool\": {{\n",
+            "      \"driver\": {{\n",
+            "        \"name\": \"ft-lint\",\n",
+            "        \"version\": \"2.0.0\",\n",
+            "        \"rules\": [\n{}\n        ]\n",
+            "      }}\n",
+            "    }},\n",
+            "    \"results\": [\n{}\n    ]\n",
+            "  }}]\n",
+            "}}\n"
+        ),
+        rules.join(",\n"),
+        results_block
+    )
+}
+
+/// Renders the human-readable report printed by the CLI.
+pub fn to_text(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n",
+            v.path, v.line, v.col, v.rule, v.message
+        ));
+    }
+    for (i, e) in &report.unused_allow {
+        out.push_str(&format!(
+            "lint-allow.toml: entry #{i} ({} / {}) suppresses nothing — delete it or run --fix-allow\n",
+            e.path, e.rule
+        ));
+    }
+    out.push_str(&format!(
+        "ft-lint: {} file(s) scanned, {} violation(s), {} suppressed via lint-allow.toml, {} unused allow entr{}\n",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len(),
+        report.unused_allow.len(),
+        if report.unused_allow.len() == 1 { "y" } else { "ies" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            violations: vec![Violation {
+                path: "crates/ft-x/src/lib.rs".into(),
+                line: 3,
+                col: 9,
+                rule: "panic",
+                message: "`.unwrap()` in library code; return a Result instead".into(),
+                excerpt: "a.unwrap();".into(),
+            }],
+            files_scanned: 2,
+            suppressed: vec![Suppression {
+                violation: Violation {
+                    path: "crates/ft-y/src/lib.rs".into(),
+                    line: 7,
+                    col: 1,
+                    rule: "wallclock",
+                    message: "m".into(),
+                    excerpt: "Instant::now()".into(),
+                },
+                entry_index: 0,
+                reason: "latency metrics only".into(),
+            }],
+            unused_allow: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("tab\tok"), "tab\\tok");
+    }
+
+    #[test]
+    fn json_report_has_schema_and_provenance() {
+        let j = to_json(&sample(), ".");
+        assert!(j.contains("\"schema\": \"ft-lint/2\""));
+        assert!(j.contains("\"rule\": \"panic\""));
+        assert!(j.contains("\"allow_index\": 0"));
+        assert!(j.contains("\"reason\": \"latency metrics only\""));
+        assert!(j.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn json_clean_report_has_empty_arrays() {
+        let r = Report {
+            violations: Vec::new(),
+            files_scanned: 1,
+            suppressed: Vec::new(),
+            unused_allow: Vec::new(),
+        };
+        let j = to_json(&r, "/w");
+        assert!(j.contains("\"violations\": []"));
+        assert!(j.contains("\"unused_allow\": []"));
+        assert!(j.contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn sarif_lists_all_rules() {
+        let s = to_sarif(&sample());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        for r in RULES {
+            assert!(s.contains(&format!("\"id\": \"{}\"", r.id)), "{}", r.id);
+        }
+        assert!(s.contains("\"startLine\": 3"));
+    }
+
+    #[test]
+    fn text_mentions_unused_entries() {
+        let mut r = sample();
+        r.unused_allow.push((
+            2,
+            crate::allow::AllowEntry {
+                path: "gone.rs".into(),
+                rule: "panic".into(),
+                contains: String::new(),
+                reason: "obsolete".into(),
+            },
+        ));
+        let t = to_text(&r);
+        assert!(t.contains("entry #2"));
+        assert!(t.contains("suppresses nothing"));
+    }
+}

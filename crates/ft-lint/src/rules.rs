@@ -1,43 +1,26 @@
-//! The project rule checks, applied to masked source (see [`crate::mask`]).
+//! The rule packs, applied to the token stream of [`crate::lexer`] via
+//! the resolved [`crate::scope::FileModel`].
 //!
-//! Scope model: a file is classified by path into
+//! Three packs:
 //!
-//! * **Strict** — library code of the numeric/core crates (`ft-graph`,
-//!   `ft-lp`, `ft-mcf`, `ft-core`, `ft-metrics`, `ft-serve`, `ft-obs`):
-//!   all five rules apply.
-//! * **Lib** — any other library code under `crates/*/src` or `src/`:
-//!   only the float-equality rule applies.
-//! * **Exempt** — tests, benches, examples, binaries, fixtures: no rules.
+//! * **hygiene** — the v1 rules, now scope-aware: `panic`,
+//!   `index-bounds`, `float-eq`, `truncating-cast`, `missing-doc`.
+//! * **determinism** — constructs that make output depend on hash seeds,
+//!   wall clocks, or thread schedules: `unordered-iter`, `wallclock`,
+//!   `thread-dependent`. These guard the repo's core invariant:
+//!   bit-identical results across `FT_THREADS` (DESIGN.md §10).
+//! * **concurrency** — synchronization hazards: `relaxed-sync`,
+//!   `lock-across-blocking`, `static-mut`.
 //!
-//! `#[cfg(test)]` modules inside strict/lib files are skipped by brace
-//! matching, so unit tests may use `unwrap()` freely.
+//! Every rule has a stable id (used by `lint-allow.toml` and the JSON/
+//! SARIF reports) and an entry in [`RULES`]; the fixture corpus under
+//! `tests/fixtures/` holds one positive and one negative case per id.
 
-use crate::mask::{mask, Masked};
-
-/// How strictly a file is checked.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Scope {
-    /// All rules.
-    Strict,
-    /// Float-equality only.
-    Lib,
-    /// No rules.
-    Exempt,
-}
-
-/// Crates whose library code is held to the full rule set.
-pub const STRICT_CRATES: &[&str] = &[
-    "ft-graph",
-    "ft-lp",
-    "ft-mcf",
-    "ft-core",
-    "ft-metrics",
-    "ft-serve",
-    "ft-obs",
-];
-
-/// Path components that exempt a file wholesale.
-const EXEMPT_DIRS: &[&str] = &["tests", "benches", "examples", "bin", "fixtures", "target"];
+use crate::lexer::Kind;
+use crate::scope::{
+    classify, crate_of, FileModel, Scope, DETERMINISTIC_CRATES, THREAD_SOURCE_FILE,
+    WALLCLOCK_CRATES,
+};
 
 /// One rule violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,7 +29,9 @@ pub struct Violation {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
-    /// Stable rule name (used by `lint-allow.toml`).
+    /// 1-based byte column of the offending token.
+    pub col: usize,
+    /// Stable rule id (used by `lint-allow.toml`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -54,34 +39,113 @@ pub struct Violation {
     pub excerpt: String,
 }
 
-/// Classifies a workspace-relative path (`/`-separated).
-pub fn classify(path: &str) -> Scope {
-    let parts: Vec<&str> = path.split('/').collect();
-    if parts.iter().any(|p| EXEMPT_DIRS.contains(p)) {
-        return Scope::Exempt;
-    }
-    if !path.ends_with(".rs") {
-        return Scope::Exempt;
-    }
-    if parts.first() == Some(&"crates") && parts.get(2) == Some(&"src") {
-        let krate = parts.get(1).copied().unwrap_or("");
-        if STRICT_CRATES.contains(&krate) {
-            return Scope::Strict;
-        }
-        // a crate's `src/main.rs` is binary code, exempt like other bins
-        if parts.last() == Some(&"main.rs") {
-            return Scope::Exempt;
-        }
-        return Scope::Lib;
-    }
-    if parts.first() == Some(&"src") {
-        if parts.last() == Some(&"main.rs") {
-            return Scope::Exempt;
-        }
-        return Scope::Lib;
-    }
-    Scope::Exempt
+/// Catalog entry describing one rule (drives the SARIF rule table and the
+/// DESIGN.md catalog).
+pub struct RuleInfo {
+    /// Stable rule id.
+    pub id: &'static str,
+    /// Which pack the rule ships in.
+    pub pack: &'static str,
+    /// One-line rationale.
+    pub summary: &'static str,
 }
+
+/// The full rule catalog. Every id here has a positive and a negative
+/// fixture under `tests/fixtures/` (enforced by the golden test).
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "panic",
+        pack: "hygiene",
+        summary: "no panic!/unreachable!/.unwrap()/.expect() in strict library code",
+    },
+    RuleInfo {
+        id: "index-bounds",
+        pack: "hygiene",
+        summary: "arithmetic index expressions need a bounds comment",
+    },
+    RuleInfo {
+        id: "float-eq",
+        pack: "hygiene",
+        summary: "no ==/!= against float literals",
+    },
+    RuleInfo {
+        id: "truncating-cast",
+        pack: "hygiene",
+        summary: "no narrowing `as` casts on indices; use try_into or id32",
+    },
+    RuleInfo {
+        id: "missing-doc",
+        pack: "hygiene",
+        summary: "every pub fn in strict library code carries a doc comment",
+    },
+    RuleInfo {
+        id: "unordered-iter",
+        pack: "determinism",
+        summary: "no iteration over HashMap/HashSet in deterministic crates",
+    },
+    RuleInfo {
+        id: "wallclock",
+        pack: "determinism",
+        summary: "no Instant::now/SystemTime outside ft-obs/ft-bench",
+    },
+    RuleInfo {
+        id: "thread-dependent",
+        pack: "determinism",
+        summary: "no thread-count/thread-id dependence outside ft_graph::par",
+    },
+    RuleInfo {
+        id: "relaxed-sync",
+        pack: "concurrency",
+        summary: "no Ordering::Relaxed loads/stores as synchronization outside ft-obs",
+    },
+    RuleInfo {
+        id: "lock-across-blocking",
+        pack: "concurrency",
+        summary: "no lock guard held across send/recv/join/sleep",
+    },
+    RuleInfo {
+        id: "static-mut",
+        pack: "concurrency",
+        summary: "no static mut; use atomics or locks",
+    },
+];
+
+/// Looks up a rule's catalog entry.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Narrowing integer target types of the `truncating-cast` rule.
+const NARROW_CASTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Iteration methods that observe a container's (unordered) order.
+const ORDER_OBSERVING: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Atomic methods where `Ordering::Relaxed` implies the atomic is being
+/// used for synchronization rather than counting; `fetch_add`/`fetch_sub`
+/// counters are exempt (the ft-obs metrics idiom).
+const SYNC_ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+];
+
+/// Blocking calls a lock guard must not be held across.
+const BLOCKING_METHODS: &[&str] = &["send", "recv", "join"];
 
 /// Checks one file, returning its violations (before allowlisting).
 pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
@@ -89,39 +153,137 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
     if scope == Scope::Exempt {
         return Vec::new();
     }
-    let m = mask(src);
-    let skip = test_region_lines(&m);
-    let raw_lines: Vec<&str> = src.lines().collect();
-    let mut out = Vec::new();
-    for (idx, line) in m.text.lines().enumerate() {
-        if skip.get(idx).copied().unwrap_or(false) {
-            continue;
-        }
-        let report = |out: &mut Vec<Violation>, rule: &'static str, message: String| {
-            out.push(Violation {
-                path: path.to_string(),
-                line: idx + 1,
-                rule,
-                message,
-                excerpt: raw_lines.get(idx).map_or("", |l| l.trim()).to_string(),
-            });
-        };
-        if scope == Scope::Strict {
-            for pat in ["panic!", "unreachable!", ".unwrap()", ".expect("] {
-                if find_token(line, pat) {
-                    report(
-                        &mut out,
-                        "panic",
-                        format!("`{pat}` in library code; return a Result instead"),
-                    );
-                }
+    let m = FileModel::build(src);
+    let krate = crate_of(path);
+    let mut ctx = Ctx {
+        path,
+        m: &m,
+        out: Vec::new(),
+    };
+    if scope == Scope::Strict {
+        ctx.panic_rule();
+        ctx.index_bounds();
+        ctx.truncating_cast();
+        ctx.missing_doc();
+    }
+    ctx.float_eq();
+    if krate.is_some_and(|k| DETERMINISTIC_CRATES.contains(&k)) {
+        ctx.unordered_iter();
+    }
+    if !krate.is_some_and(|k| WALLCLOCK_CRATES.contains(&k)) {
+        ctx.wallclock();
+    }
+    if path != THREAD_SOURCE_FILE {
+        ctx.thread_dependent();
+    }
+    if krate != Some("ft-obs") {
+        ctx.relaxed_sync();
+    }
+    ctx.lock_across_blocking();
+    ctx.static_mut();
+    let mut out = ctx.out;
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// Shared state of the per-file rule passes.
+struct Ctx<'a, 'b> {
+    path: &'a str,
+    m: &'a FileModel<'b>,
+    out: Vec<Violation>,
+}
+
+impl Ctx<'_, '_> {
+    /// Records a violation anchored at code token `j`.
+    fn report(&mut self, j: usize, rule: &'static str, message: String) {
+        let (line, col) = self.m.tok(j).map_or((1, 1), |t| (t.line, t.col));
+        self.out.push(Violation {
+            path: self.path.to_string(),
+            line,
+            col,
+            rule,
+            message,
+            excerpt: self.m.lexed.line_text(line).to_string(),
+        });
+    }
+
+    /// Whether token `j` is inside a `#[cfg(test)]` region.
+    fn skipped(&self, j: usize) -> bool {
+        self.m.in_test.get(j).copied().unwrap_or(false)
+    }
+
+    /// `panic` — panicking constructs in strict library code.
+    fn panic_rule(&mut self) {
+        let m = self.m;
+        for j in 0..m.len() {
+            if self.skipped(j) {
+                continue;
             }
-            if let Some(expr) = arithmetic_index(line) {
-                let commented = m.has_comment.get(idx).copied().unwrap_or(false)
-                    || (idx > 0 && m.has_comment.get(idx - 1).copied().unwrap_or(false));
-                if !commented {
-                    report(
-                        &mut out,
+            let t = m.text(j);
+            if matches!(t, "panic" | "unreachable" | "todo" | "unimplemented") && m.is(j + 1, "!") {
+                self.report(
+                    j,
+                    "panic",
+                    format!("`{t}!` in library code; return a Result instead"),
+                );
+            }
+            if m.is(j, ".") && matches!(m.text(j + 1), "unwrap" | "expect") && m.is(j + 2, "(") {
+                let name = m.text(j + 1);
+                self.report(
+                    j + 1,
+                    "panic",
+                    format!("`.{name}()` in library code; return a Result instead"),
+                );
+            }
+        }
+    }
+
+    /// `index-bounds` — `v[i + 1]`-style arithmetic indexing without a
+    /// bounds comment on the same or previous line.
+    fn index_bounds(&mut self) {
+        let m = self.m;
+        for j in 1..m.len() {
+            if self.skipped(j) || !m.is(j, "[") {
+                continue;
+            }
+            // an index expression follows a value token; `[` after `(`,
+            // `=`, `,`, … opens a slice/array literal instead
+            let prev = m.text(j - 1);
+            let prev_is_value =
+                matches!(m.kind(j - 1), Kind::Ident) && prev != "mut" || prev == "]" || prev == ")";
+            if !prev_is_value {
+                continue;
+            }
+            let mut depth = 1usize;
+            let mut k = j + 1;
+            let mut arithmetic: Option<usize> = None;
+            while k < m.len() && depth > 0 {
+                match m.text(k) {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "+" | "*" | "%" | "-" => {
+                        // only binary uses count: `v[i + 1]` yes,
+                        // `v[*cursor]` (deref) and `v[-x]` (negation) no
+                        let binary = matches!(m.kind(k - 1), Kind::Ident | Kind::Int | Kind::Float)
+                            || m.is(k - 1, ")")
+                            || m.is(k - 1, "]");
+                        if binary {
+                            arithmetic = arithmetic.or(Some(k));
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(op) = arithmetic {
+                if !m.commented_nearby(j) {
+                    let expr: String = (j + 1..k.saturating_sub(1))
+                        .map(|i| m.text(i))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    let _ = op;
+                    self.report(
+                        j,
                         "index-bounds",
                         format!(
                             "arithmetic index `[{expr}]` without a bounds comment on this or the previous line"
@@ -129,320 +291,398 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
                     );
                 }
             }
-            if let Some(ty) = truncating_cast(line) {
-                report(
-                    &mut out,
-                    "truncating-cast",
-                    format!("truncating `as {ty}` cast; use try_into() or a checked helper (ft_graph::id32)"),
+        }
+    }
+
+    /// `float-eq` — `==`/`!=` where either operand is a float literal.
+    fn float_eq(&mut self) {
+        let m = self.m;
+        for j in 0..m.len() {
+            if self.skipped(j) || !(m.is(j, "==") || m.is(j, "!=")) {
+                continue;
+            }
+            let left = j.checked_sub(1).map_or(Kind::Punct, |p| m.kind(p));
+            let right = m.kind(j + 1);
+            // a unary minus before the literal still compares a float
+            let right_neg = m.is(j + 1, "-") && m.kind(j + 2) == Kind::Float;
+            if left == Kind::Float || right == Kind::Float || right_neg {
+                self.report(
+                    j,
+                    "float-eq",
+                    "`==`/`!=` against a float literal; compare with an epsilon or integers"
+                        .to_string(),
                 );
             }
         }
-        if float_eq(line) {
-            report(
-                &mut out,
-                "float-eq",
-                "`==`/`!=` against a float literal; compare with an epsilon or integers"
-                    .to_string(),
-            );
-        }
     }
-    if scope == Scope::Strict {
-        out.extend(missing_docs(path, &m, &skip));
-    }
-    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
-    out
-}
 
-/// Lines covered by `#[cfg(test)]` items (usually the `mod tests` block),
-/// found by brace matching on the masked text.
-fn test_region_lines(m: &Masked) -> Vec<bool> {
-    let lines: Vec<&str> = m.text.lines().collect();
-    let mut skip = vec![false; lines.len()];
-    let mut i = 0;
-    while i < lines.len() {
-        if lines[i].contains("#[cfg(test)]") {
-            // skip from the attribute through the end of the item's braces
-            let mut depth = 0usize;
-            let mut opened = false;
-            let mut j = i;
-            while j < lines.len() {
-                skip[j] = true;
-                for c in lines[j].chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth = depth.saturating_sub(1),
-                        _ => {}
-                    }
-                }
-                if opened && depth == 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    skip
-}
-
-/// Token-boundary search: `pat` must not be preceded/followed by an
-/// identifier character (so `unwrap_or()` does not match `.unwrap()`).
-fn find_token(line: &str, pat: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(pat) {
-        let at = from + pos;
-        // method patterns (`.unwrap()`) are naturally preceded by an
-        // identifier; bare macros (`panic!`) must not be a name suffix
-        let before_ok = pat.starts_with('.') || at == 0 || !is_ident(line.as_bytes()[at - 1]);
-        let after = at + pat.len();
-        let after_ok = after >= line.len() || !is_ident(line.as_bytes()[after]);
-        // for patterns ending in `(` / `!` the following char is free-form
-        if before_ok && (pat.ends_with('(') || pat.ends_with('!') || pat.ends_with(')') || after_ok)
-        {
-            return true;
-        }
-        from = at + 1;
-    }
-    false
-}
-
-fn is_ident(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Finds an index expression `ident[ ... ]` whose interior contains
-/// arithmetic (`+ - * %`) — the off-by-one habitat. Plain `v[i]` passes.
-fn arithmetic_index(line: &str) -> Option<String> {
-    let bytes = line.as_bytes();
-    for (i, &b) in bytes.iter().enumerate() {
-        if b != b'[' || i == 0 || !is_ident(bytes[i - 1]) {
-            continue;
-        }
-        // find the matching close bracket on this line
-        let mut depth = 1;
-        let mut j = i + 1;
-        while j < bytes.len() && depth > 0 {
-            match bytes[j] {
-                b'[' => depth += 1,
-                b']' => depth -= 1,
-                _ => {}
-            }
-            j += 1;
-        }
-        if depth != 0 {
-            continue; // spans lines; out of lexical reach
-        }
-        let inner = &line[i + 1..j - 1];
-        let has_arith = inner.bytes().enumerate().any(|(k, c)| {
-            matches!(c, b'+' | b'*' | b'%')
-                || (c == b'-'
-                    // `-` as arithmetic, not `->` or a negative-literal range
-                    && inner.as_bytes().get(k + 1) != Some(&b'>')
-                    && k > 0)
-        });
-        if has_arith {
-            return Some(inner.trim().to_string());
-        }
-    }
-    None
-}
-
-/// Detects `as u8|u16|u32|i8|i16|i32` — casts that can silently truncate a
-/// node index. Widening (`as u64`/`as f64`) and `as usize` are allowed.
-fn truncating_cast(line: &str) -> Option<&'static str> {
-    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
-    let bytes = line.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(" as ") {
-        let at = from + pos + 4;
-        let rest = &line[at..];
-        for ty in NARROW {
-            if rest.starts_with(ty) {
-                let after = at + ty.len();
-                if after >= line.len() || !is_ident(bytes[after]) {
-                    return Some(ty);
-                }
-            }
-        }
-        from = at;
-    }
-    None
-}
-
-/// Detects `==` / `!=` with a float literal on either side.
-fn float_eq(line: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i + 1 < bytes.len() {
-        let op = matches!((bytes[i], bytes[i + 1]), (b'=', b'=') | (b'!', b'='));
-        // skip <= >= === (pattern ..=) and != inside generics is impossible
-        if op
-            && (i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!'))
-            && bytes.get(i + 2) != Some(&b'=')
-        {
-            let left = token_left(line, i);
-            let right = token_right(line, i + 2);
-            if is_float_literal(left) || is_float_literal(right) {
-                return true;
-            }
-            i += 2;
-            continue;
-        }
-        i += 1;
-    }
-    false
-}
-
-/// The token immediately left of byte `pos` (identifier/number chars).
-fn token_left(line: &str, pos: usize) -> &str {
-    let bytes = line.as_bytes();
-    let mut end = pos;
-    while end > 0 && bytes[end - 1] == b' ' {
-        end -= 1;
-    }
-    let mut start = end;
-    while start > 0 && (is_ident(bytes[start - 1]) || bytes[start - 1] == b'.') {
-        start -= 1;
-    }
-    &line[start..end]
-}
-
-/// The token immediately right of byte `pos`.
-fn token_right(line: &str, pos: usize) -> &str {
-    let bytes = line.as_bytes();
-    let mut start = pos;
-    while start < bytes.len() && bytes[start] == b' ' {
-        start += 1;
-    }
-    let mut end = start;
-    while end < bytes.len() && (is_ident(bytes[end]) || bytes[end] == b'.') {
-        end += 1;
-    }
-    &line[start..end]
-}
-
-/// Whether `tok` is a floating-point literal (`0.0`, `1.`, `1e-9`, `2f64`).
-fn is_float_literal(tok: &str) -> bool {
-    let t = tok.trim_end_matches("f64").trim_end_matches("f32");
-    if t.is_empty() || !t.as_bytes()[0].is_ascii_digit() {
-        return false;
-    }
-    let has_dot = t.contains('.');
-    let has_exp = t.bytes().any(|b| b == b'e' || b == b'E');
-    let valid = t
-        .bytes()
-        .all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'_' | b'+' | b'-'));
-    valid && (has_dot || has_exp || tok.ends_with("f64") || tok.ends_with("f32"))
-}
-
-/// Rule 4: every `pub fn` in strict library code carries a doc comment.
-fn missing_docs(path: &str, m: &Masked, skip: &[bool]) -> Vec<Violation> {
-    let lines: Vec<&str> = m.text.lines().collect();
-    let mut out = Vec::new();
-    for (idx, line) in lines.iter().enumerate() {
-        if skip.get(idx).copied().unwrap_or(false) {
-            continue;
-        }
-        let Some(name) = pub_fn_name(line) else {
-            continue;
-        };
-        // walk upward over attributes and blank lines to the nearest doc
-        // (doc lines are blanked in the masked text, so consult is_doc
-        // before the emptiness test)
-        let mut j = idx;
-        let documented = loop {
-            if j == 0 {
-                break false;
-            }
-            j -= 1;
-            if m.is_doc.get(j).copied().unwrap_or(false) {
-                break true;
-            }
-            if m.is_attr.get(j).copied().unwrap_or(false) {
+    /// `truncating-cast` — `as u32`-style narrowing casts.
+    fn truncating_cast(&mut self) {
+        let m = self.m;
+        for j in 0..m.len() {
+            if self.skipped(j) || !m.is(j, "as") {
                 continue;
             }
-            break false;
-        };
-        if !documented {
-            out.push(Violation {
-                path: path.to_string(),
-                line: idx + 1,
-                rule: "missing-doc",
-                message: format!("public function `{name}` has no doc comment"),
-                excerpt: line.trim().to_string(),
-            });
+            let ty = m.text(j + 1);
+            if NARROW_CASTS.contains(&ty) {
+                self.report(
+                    j,
+                    "truncating-cast",
+                    format!(
+                        "truncating `as {ty}` cast; use try_into() or a checked helper (ft_graph::id32)"
+                    ),
+                );
+            }
         }
     }
-    out
-}
 
-/// If the line declares a `pub fn` (not `pub(crate) fn`), its name.
-fn pub_fn_name(line: &str) -> Option<&str> {
-    let t = line.trim_start();
-    let rest = t.strip_prefix("pub ")?;
-    let rest = rest.trim_start();
-    let rest = rest.strip_prefix("const ").unwrap_or(rest);
-    let rest = rest.strip_prefix("unsafe ").unwrap_or(rest);
-    let rest = rest.strip_prefix("fn ")?;
-    let end = rest
-        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-        .unwrap_or(rest.len());
-    (end > 0).then(|| &rest[..end])
+    /// `missing-doc` — `pub fn` without a doc comment.
+    fn missing_doc(&mut self) {
+        let m = self.m;
+        for j in 0..m.len() {
+            if self.skipped(j) || !m.is(j, "pub") {
+                continue;
+            }
+            // pub(crate)/pub(super) are internal API, no doc required
+            if m.is(j + 1, "(") {
+                continue;
+            }
+            let mut k = j + 1;
+            while matches!(m.text(k), "const" | "unsafe" | "async" | "extern") {
+                k += 1;
+            }
+            if !m.is(k, "fn") || m.kind(k + 1) != Kind::Ident {
+                continue;
+            }
+            let name = m.text(k + 1);
+            if !self.documented(j) {
+                self.report(
+                    k + 1,
+                    "missing-doc",
+                    format!("public function `{name}` has no doc comment"),
+                );
+            }
+        }
+    }
+
+    /// Whether the item whose first code token is `j` has a doc comment,
+    /// walking back over attributes in the *full* token stream.
+    fn documented(&self, j: usize) -> bool {
+        let m = self.m;
+        let Some(&start) = m.code.get(j) else {
+            return false;
+        };
+        let mut i = start;
+        loop {
+            if i == 0 {
+                return false;
+            }
+            i -= 1;
+            let Some(t) = m.lexed.tokens.get(i) else {
+                return false;
+            };
+            match t.kind {
+                Kind::LineComment { doc } | Kind::BlockComment { doc } => {
+                    if doc {
+                        return true;
+                    }
+                    // plain comments between doc and item are fine; keep
+                    // walking
+                }
+                _ => {
+                    // walk back over one attribute `#[…]`: from its `]`
+                    // to the `#`, then continue above it
+                    if m.lexed.text(t) == "]" {
+                        let mut brackets = 1usize;
+                        while i > 0 && brackets > 0 {
+                            i -= 1;
+                            match m.lexed.tokens.get(i).map(|t| m.lexed.text(t)) {
+                                Some("]") => brackets += 1,
+                                Some("[") => brackets -= 1,
+                                _ => {}
+                            }
+                        }
+                        // the `#` before the `[`
+                        i = i.saturating_sub(1);
+                        // i now sits on `#` (or as far back as we got);
+                        // the loop continues above the attribute
+                        continue;
+                    }
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// `unordered-iter` — iteration over a HashMap/HashSet in the
+    /// deterministic crates.
+    fn unordered_iter(&mut self) {
+        let m = self.m;
+        for j in 0..m.len() {
+            if self.skipped(j) || m.kind(j) != Kind::Ident {
+                continue;
+            }
+            let name = m.text(j);
+            if !m.unordered_vars.contains(name) {
+                continue;
+            }
+            // v.iter() / v.keys() / … — order-observing method call
+            if m.is(j + 1, ".") && ORDER_OBSERVING.contains(&m.text(j + 2)) && m.is(j + 3, "(") {
+                let method = m.text(j + 2);
+                self.report(
+                    j,
+                    "unordered-iter",
+                    format!(
+                        "`{name}.{method}()` iterates an unordered container in a deterministic crate; \
+                         use BTreeMap/BTreeSet or sort the keys first"
+                    ),
+                );
+                continue;
+            }
+            // for x in [&[mut]] v — direct loop over the container
+            let mut p = j;
+            while p > 0 && (m.is(p - 1, "&") || m.is(p - 1, "mut")) {
+                p -= 1;
+            }
+            if p > 0 && m.is(p - 1, "in") {
+                self.report(
+                    j,
+                    "unordered-iter",
+                    format!(
+                        "`for … in {name}` iterates an unordered container in a deterministic crate; \
+                         use BTreeMap/BTreeSet or sort the keys first"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// `wallclock` — wall-clock reads outside the observability and bench
+    /// crates.
+    fn wallclock(&mut self) {
+        let m = self.m;
+        for j in 0..m.len() {
+            if self.skipped(j) {
+                continue;
+            }
+            if m.is(j, "Instant") && m.is(j + 1, "::") && m.is(j + 2, "now") {
+                self.report(
+                    j,
+                    "wallclock",
+                    "`Instant::now()` outside ft-obs/ft-bench; deterministic code must not read wall clocks"
+                        .to_string(),
+                );
+            }
+            if m.is(j, "SystemTime") {
+                self.report(
+                    j,
+                    "wallclock",
+                    "`SystemTime` outside ft-obs/ft-bench; deterministic code must not read wall clocks"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    /// `thread-dependent` — thread-count or thread-identity dependence
+    /// outside the worker pool.
+    fn thread_dependent(&mut self) {
+        let m = self.m;
+        for j in 0..m.len() {
+            if self.skipped(j) {
+                continue;
+            }
+            if m.is(j, "available_parallelism") {
+                self.report(
+                    j,
+                    "thread-dependent",
+                    "`available_parallelism` outside ft_graph::par; take the worker count from the pool"
+                        .to_string(),
+                );
+            }
+            if m.kind(j) == Kind::Str && m.text(j).contains("FT_THREADS") {
+                self.report(
+                    j,
+                    "thread-dependent",
+                    "`FT_THREADS` read outside ft_graph::par; take the worker count from the pool"
+                        .to_string(),
+                );
+            }
+            if m.is(j, "current")
+                && m.is(j + 1, "(")
+                && m.is(j + 2, ")")
+                && m.is(j + 3, ".")
+                && m.is(j + 4, "id")
+            {
+                self.report(
+                    j,
+                    "thread-dependent",
+                    "thread-id inspection outside ft_graph::par makes behaviour schedule-dependent"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    /// `relaxed-sync` — `Ordering::Relaxed` on load/store/swap/CAS used as
+    /// a synchronization flag.
+    fn relaxed_sync(&mut self) {
+        let m = self.m;
+        for j in 0..m.len() {
+            if self.skipped(j) || !SYNC_ATOMIC_METHODS.contains(&m.text(j)) || !m.is(j + 1, "(") {
+                continue;
+            }
+            // only method-call positions: `.load(…)`, not a free fn
+            if j == 0 || !m.is(j - 1, ".") {
+                continue;
+            }
+            let mut parens = 1usize;
+            let mut k = j + 2;
+            while k < m.len() && parens > 0 {
+                match m.text(k) {
+                    "(" => parens += 1,
+                    ")" => parens -= 1,
+                    "Relaxed" => {
+                        let method = m.text(j);
+                        self.report(
+                            j,
+                            "relaxed-sync",
+                            format!(
+                                "`{method}` with `Ordering::Relaxed` used for synchronization; \
+                                 use Acquire/Release/SeqCst (Relaxed is for ft-obs counters)"
+                            ),
+                        );
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+    }
+
+    /// `lock-across-blocking` — a `let`-bound lock guard alive across a
+    /// blocking call (send/recv/join/sleep), detected per token window
+    /// from the binding to the end of its block or an explicit `drop`.
+    fn lock_across_blocking(&mut self) {
+        let m = self.m;
+        for j in 0..m.len() {
+            if self.skipped(j) || !m.is(j, "let") {
+                continue;
+            }
+            let mut k = j + 1;
+            if m.is(k, "mut") {
+                k += 1;
+            }
+            if m.kind(k) != Kind::Ident || !m.is(k + 1, "=") {
+                continue;
+            }
+            let guard = m.text(k);
+            // `let v = *m.lock();` copies the value out — no guard lives on
+            if m.is(k + 2, "*") {
+                continue;
+            }
+            // find the end of the statement and check the initializer
+            // ends in `.lock()` / `.read()` / `.write()`
+            let stmt_depth = m.depth.get(j).copied().unwrap_or(0);
+            let mut e = k + 2;
+            while e < m.len() {
+                if m.is(e, ";") && m.depth.get(e).copied().unwrap_or(0) == stmt_depth {
+                    break;
+                }
+                e += 1;
+            }
+            let is_guard = e >= 4
+                && m.is(e - 1, ")")
+                && m.is(e - 2, "(")
+                && matches!(m.text(e - 3), "lock" | "read" | "write")
+                && m.is(e - 4, ".");
+            if !is_guard {
+                continue;
+            }
+            // window: from the statement end to the end of the enclosing
+            // block or an explicit drop(guard)
+            let mut w = e + 1;
+            while w < m.len() {
+                let d = m.depth.get(w).copied().unwrap_or(0);
+                if m.is(w, "}") && d <= stmt_depth {
+                    break;
+                }
+                if m.is(w, "drop") && m.is(w + 1, "(") && m.is(w + 2, guard) && m.is(w + 3, ")") {
+                    break;
+                }
+                let blocking =
+                    (m.is(w, ".") && BLOCKING_METHODS.contains(&m.text(w + 1)) && m.is(w + 2, "("))
+                        .then(|| m.text(w + 1))
+                        .or_else(|| (m.is(w, "sleep") && m.is(w + 1, "(")).then_some("sleep"));
+                if let Some(call) = blocking {
+                    self.report(
+                        w,
+                        "lock-across-blocking",
+                        format!(
+                            "guard `{guard}` (bound at line {}) is still held across `{call}`; \
+                             drop it first or narrow the critical section",
+                            m.tok(j).map_or(0, |t| t.line)
+                        ),
+                    );
+                    break;
+                }
+                w += 1;
+            }
+        }
+    }
+
+    /// `static-mut` — mutable statics.
+    fn static_mut(&mut self) {
+        let m = self.m;
+        for j in 0..m.len() {
+            if self.skipped(j) {
+                continue;
+            }
+            if m.is(j, "static") && m.is(j + 1, "mut") {
+                self.report(
+                    j,
+                    "static-mut",
+                    "`static mut` is unsynchronized shared state; use an atomic or a lock"
+                        .to_string(),
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn classify_scopes() {
-        assert_eq!(classify("crates/ft-lp/src/simplex.rs"), Scope::Strict);
-        assert_eq!(classify("crates/ft-serve/src/service.rs"), Scope::Strict);
-        assert_eq!(classify("crates/ft-control/src/advisor.rs"), Scope::Lib);
-        assert_eq!(classify("src/cli.rs"), Scope::Lib);
-        assert_eq!(classify("src/main.rs"), Scope::Exempt);
-        assert_eq!(classify("crates/ft-lp/tests/x.rs"), Scope::Exempt);
-        assert_eq!(classify("crates/ft-bench/benches/b.rs"), Scope::Exempt);
-        assert_eq!(
-            classify("crates/ft-experiments/src/bin/fig7.rs"),
-            Scope::Exempt
-        );
-        assert_eq!(
-            classify("crates/ft-lint/fixtures/violating/panics.rs"),
-            Scope::Exempt
-        );
+    fn rules_of(path: &str, src: &str) -> Vec<&'static str> {
+        check_file(path, src).into_iter().map(|v| v.rule).collect()
     }
 
     #[test]
     fn unwrap_in_strict_lib_flagged() {
-        let v = check_file("crates/ft-lp/src/x.rs", "fn f() { let _ = a.unwrap(); }\n");
-        assert!(v.iter().any(|v| v.rule == "panic"), "{v:?}");
+        let v = rules_of("crates/ft-lp/src/x.rs", "fn f() { let _ = a.unwrap(); }\n");
+        assert!(v.contains(&"panic"), "{v:?}");
     }
 
     #[test]
     fn unwrap_or_not_flagged() {
-        let v = check_file(
+        let v = rules_of(
             "crates/ft-lp/src/x.rs",
             "fn f() { let _ = a.unwrap_or(0); }\n",
         );
-        assert!(v.iter().all(|v| v.rule != "panic"), "{v:?}");
+        assert!(!v.contains(&"panic"), "{v:?}");
     }
 
     #[test]
     fn test_module_exempt() {
         let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { a.unwrap(); }\n}\n";
-        let v = check_file("crates/ft-lp/src/x.rs", src);
-        assert!(v.is_empty(), "{v:?}");
+        assert!(rules_of("crates/ft-lp/src/x.rs", src).is_empty());
     }
 
     #[test]
     fn string_contents_ignored() {
-        let v = check_file(
+        let v = rules_of(
             "crates/ft-lp/src/x.rs",
             "fn f() { let s = \"don't .unwrap() me\"; }\n",
         );
@@ -451,26 +691,25 @@ mod tests {
 
     #[test]
     fn float_eq_flagged_in_any_lib() {
-        let v = check_file(
+        let v = rules_of(
             "crates/ft-control/src/x.rs",
             "fn f(x: f64) -> bool { x == 0.0 }\n",
         );
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "float-eq");
+        assert_eq!(v, vec!["float-eq"]);
     }
 
     #[test]
     fn integer_eq_not_flagged() {
-        let v = check_file(
+        assert!(rules_of(
             "crates/ft-control/src/x.rs",
-            "fn f(x: u32) -> bool { x == 0 }\n",
-        );
-        assert!(v.is_empty(), "{v:?}");
+            "fn f(x: u32) -> bool { x == 0 }\n"
+        )
+        .is_empty());
     }
 
     #[test]
     fn range_pattern_not_float_eq() {
-        let v = check_file(
+        let v = rules_of(
             "crates/ft-control/src/x.rs",
             "fn f(x: u32) -> bool { matches!(x, 0..=4) }\n",
         );
@@ -478,56 +717,123 @@ mod tests {
     }
 
     #[test]
-    fn truncating_cast_flagged() {
-        let v = check_file(
+    fn truncating_cast_flagged_widening_ok() {
+        assert!(rules_of(
             "crates/ft-graph/src/x.rs",
-            "fn f(i: usize) -> u32 { i as u32 }\n",
-        );
-        assert!(v.iter().any(|v| v.rule == "truncating-cast"), "{v:?}");
-    }
-
-    #[test]
-    fn widening_cast_ok() {
-        let v = check_file(
+            "fn f(i: usize) -> u32 { i as u32 }\n"
+        )
+        .contains(&"truncating-cast"));
+        assert!(rules_of(
             "crates/ft-graph/src/x.rs",
-            "fn f(i: u32) -> f64 { i as f64 }\n",
-        );
-        assert!(v.is_empty(), "{v:?}");
+            "fn f(i: u32) -> f64 { i as f64 }\n"
+        )
+        .is_empty());
     }
 
     #[test]
     fn arithmetic_index_needs_comment() {
         let bad = "fn f(v: &[u32], i: usize) -> u32 { v[i + 1] }\n";
         let good = "fn f(v: &[u32], i: usize) -> u32 {\n    // bounds: i + 1 < v.len() by caller contract\n    v[i + 1]\n}\n";
-        assert!(check_file("crates/ft-graph/src/x.rs", bad)
-            .iter()
-            .any(|v| v.rule == "index-bounds"));
-        assert!(check_file("crates/ft-graph/src/x.rs", good).is_empty());
+        assert!(rules_of("crates/ft-graph/src/x.rs", bad).contains(&"index-bounds"));
+        assert!(rules_of("crates/ft-graph/src/x.rs", good).is_empty());
     }
 
     #[test]
-    fn plain_index_ok() {
-        let v = check_file(
+    fn plain_index_and_array_literal_ok() {
+        assert!(rules_of(
             "crates/ft-graph/src/x.rs",
-            "fn f(v: &[u32], i: usize) -> u32 { v[i] }\n",
+            "fn f(v: &[u32], i: usize) -> u32 { v[i] }\n"
+        )
+        .is_empty());
+        assert!(rules_of(
+            "crates/ft-graph/src/x.rs",
+            "fn f() -> [u32; 2] { [1 + 1, 2] }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn pub_fn_doc_rules() {
+        assert!(rules_of("crates/ft-lp/src/x.rs", "pub fn naked() {}\n").contains(&"missing-doc"));
+        assert!(rules_of(
+            "crates/ft-lp/src/x.rs",
+            "/// Documented.\npub fn clothed() {}\n"
+        )
+        .is_empty());
+        assert!(rules_of(
+            "crates/ft-lp/src/x.rs",
+            "/// Documented.\n#[inline]\npub fn with_attr() {}\n"
+        )
+        .is_empty());
+        assert!(rules_of("crates/ft-lp/src/x.rs", "pub(crate) fn internal() {}\n").is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_flagged_in_det_crates_only() {
+        let src = "use std::collections::HashMap;\nfn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in &m { let _ = (k, v); }\n}\n";
+        assert!(rules_of("crates/ft-sim/src/x.rs", src).contains(&"unordered-iter"));
+        assert!(!rules_of("crates/ft-control/src/x.rs", src).contains(&"unordered-iter"));
+    }
+
+    #[test]
+    fn unordered_lookup_not_flagged() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> Option<&u32> { m.get(&1) }\n";
+        assert!(!rules_of("crates/ft-mcf/src/x.rs", src).contains(&"unordered-iter"));
+    }
+
+    #[test]
+    fn wallclock_scoping() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        assert!(rules_of("crates/ft-mcf/src/x.rs", src).contains(&"wallclock"));
+        assert!(!rules_of("crates/ft-obs/src/x.rs", src).contains(&"wallclock"));
+        assert!(!rules_of("crates/ft-bench/src/x.rs", src).contains(&"wallclock"));
+    }
+
+    #[test]
+    fn thread_dependence_scoping() {
+        let src = "fn n() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }\n";
+        assert!(rules_of("crates/ft-mcf/src/x.rs", src).contains(&"thread-dependent"));
+        assert!(!rules_of("crates/ft-graph/src/par.rs", src).contains(&"thread-dependent"));
+        let env = "fn n() { let _ = std::env::var(\"FT_THREADS\"); }\n";
+        assert!(rules_of("crates/ft-serve/src/x.rs", env).contains(&"thread-dependent"));
+    }
+
+    #[test]
+    fn relaxed_sync_scoping() {
+        let flag = "fn f(b: &std::sync::atomic::AtomicBool) -> bool { b.load(std::sync::atomic::Ordering::Relaxed) }\n";
+        assert!(rules_of("crates/ft-serve/src/x.rs", flag).contains(&"relaxed-sync"));
+        assert!(!rules_of("crates/ft-obs/src/x.rs", flag).contains(&"relaxed-sync"));
+        let counter = "fn f(c: &std::sync::atomic::AtomicU64) { c.fetch_add(1, std::sync::atomic::Ordering::Relaxed); }\n";
+        assert!(!rules_of("crates/ft-serve/src/x.rs", counter).contains(&"relaxed-sync"));
+    }
+
+    #[test]
+    fn lock_across_blocking_detected() {
+        let bad = "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n    let g = m.lock();\n    tx.send(*g);\n}\n";
+        assert!(rules_of("crates/ft-serve/src/x.rs", bad).contains(&"lock-across-blocking"));
+        let dropped = "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n    let g = m.lock();\n    let v = *g;\n    drop(g);\n    tx.send(v);\n}\n";
+        assert!(!rules_of("crates/ft-serve/src/x.rs", dropped).contains(&"lock-across-blocking"));
+        let temporary = "fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n    let v = *m.lock();\n    tx.send(v);\n}\n";
+        assert!(!rules_of("crates/ft-serve/src/x.rs", temporary).contains(&"lock-across-blocking"));
+    }
+
+    #[test]
+    fn static_mut_flagged() {
+        assert!(
+            rules_of("crates/ft-core/src/x.rs", "static mut X: u32 = 0;\n").contains(&"static-mut")
         );
-        assert!(v.is_empty(), "{v:?}");
+        assert!(rules_of(
+            "crates/ft-core/src/x.rs",
+            "static X: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);\n"
+        )
+        .is_empty());
     }
 
     #[test]
-    fn pub_fn_without_doc_flagged() {
-        let src = "pub fn naked() {}\n";
-        let v = check_file("crates/ft-lp/src/x.rs", src);
-        assert!(v.iter().any(|v| v.rule == "missing-doc"), "{v:?}");
-        let ok = "/// Documented.\npub fn clothed() {}\n";
-        assert!(check_file("crates/ft-lp/src/x.rs", ok).is_empty());
-        let attr = "/// Documented.\n#[inline]\npub fn with_attr() {}\n";
-        assert!(check_file("crates/ft-lp/src/x.rs", attr).is_empty());
-    }
-
-    #[test]
-    fn pub_crate_fn_needs_no_doc() {
-        let v = check_file("crates/ft-lp/src/x.rs", "pub(crate) fn internal() {}\n");
-        assert!(v.is_empty(), "{v:?}");
+    fn catalog_is_complete() {
+        for v in ["panic", "unordered-iter", "lock-across-blocking"] {
+            assert!(rule_info(v).is_some());
+        }
+        assert_eq!(RULES.len(), 11);
     }
 }

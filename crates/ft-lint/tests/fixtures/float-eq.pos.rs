@@ -1,0 +1,4 @@
+//@path: crates/ft-control/src/fixture.rs
+fn f(x: f64) -> bool {
+    x == 0.25
+}

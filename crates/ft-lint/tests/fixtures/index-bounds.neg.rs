@@ -1,0 +1,5 @@
+//@path: crates/ft-graph/src/fixture.rs
+fn f(v: &[u32], i: usize) -> u32 {
+    // bounds: caller guarantees i + 1 < v.len()
+    v[i + 1]
+}

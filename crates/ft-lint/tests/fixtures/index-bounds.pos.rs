@@ -1,0 +1,4 @@
+//@path: crates/ft-graph/src/fixture.rs
+fn f(v: &[u32], i: usize) -> u32 {
+    v[i + 1]
+}

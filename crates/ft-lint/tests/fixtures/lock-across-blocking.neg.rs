@@ -1,0 +1,9 @@
+//@path: crates/ft-serve/src/fixture.rs
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+fn forward(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock();
+    let v = *g;
+    drop(g);
+    tx.send(v);
+}

@@ -1,0 +1,3 @@
+//@path: crates/ft-graph/src/fixture.rs
+/// Documented, as every public function must be.
+pub fn clothed() {}

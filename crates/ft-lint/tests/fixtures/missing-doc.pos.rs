@@ -1,0 +1,2 @@
+//@path: crates/ft-graph/src/fixture.rs
+pub fn naked() {}

@@ -1,0 +1,4 @@
+//@path: crates/ft-graph/src/fixture.rs
+fn f(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

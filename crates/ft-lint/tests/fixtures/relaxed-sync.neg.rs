@@ -1,0 +1,8 @@
+//@path: crates/ft-serve/src/fixture.rs
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+fn ready(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}
+fn count(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,5 @@
+//@path: crates/ft-serve/src/fixture.rs
+use std::sync::atomic::{AtomicBool, Ordering};
+fn ready(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}

@@ -1,0 +1,3 @@
+//@path: crates/ft-core/src/fixture.rs
+use std::sync::atomic::AtomicU32;
+static COUNTER: AtomicU32 = AtomicU32::new(0);

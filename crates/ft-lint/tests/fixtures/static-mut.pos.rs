@@ -1,0 +1,2 @@
+//@path: crates/ft-core/src/fixture.rs
+static mut COUNTER: u32 = 0;

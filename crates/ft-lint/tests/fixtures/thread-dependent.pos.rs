@@ -1,0 +1,4 @@
+//@path: crates/ft-serve/src/fixture.rs
+fn workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

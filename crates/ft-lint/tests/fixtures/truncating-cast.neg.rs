@@ -1,0 +1,4 @@
+//@path: crates/ft-graph/src/fixture.rs
+fn f(i: usize) -> Option<u32> {
+    u32::try_from(i).ok()
+}

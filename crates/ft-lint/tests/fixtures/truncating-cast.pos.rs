@@ -1,0 +1,4 @@
+//@path: crates/ft-graph/src/fixture.rs
+fn f(i: usize) -> u32 {
+    i as u32
+}

@@ -1,0 +1,9 @@
+//@path: crates/ft-sim/src/fixture.rs
+use std::collections::BTreeMap;
+fn total(m: &BTreeMap<u32, u32>) -> u32 {
+    let mut s = 0;
+    for (_k, v) in m {
+        s += v;
+    }
+    s
+}

@@ -1,0 +1,9 @@
+//@path: crates/ft-sim/src/fixture.rs
+use std::collections::HashMap;
+fn total(m: &HashMap<u32, u32>) -> u32 {
+    let mut s = 0;
+    for (_k, v) in m {
+        s += v;
+    }
+    s
+}

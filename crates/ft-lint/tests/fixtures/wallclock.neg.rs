@@ -1,0 +1,4 @@
+//@path: crates/ft-obs/src/fixture.rs
+fn stamp() {
+    let _ = std::time::Instant::now();
+}

@@ -13,14 +13,8 @@ fn violating_tree_reports_every_rule() {
     let report = ft_lint::run(&fixture("violating")).unwrap();
     let rules: std::collections::BTreeSet<&str> =
         report.violations.iter().map(|v| v.rule).collect();
-    for rule in [
-        "panic",
-        "float-eq",
-        "truncating-cast",
-        "index-bounds",
-        "missing-doc",
-    ] {
-        assert!(rules.contains(rule), "missing {rule}: {rules:?}");
+    for info in ft_lint::rules::RULES {
+        assert!(rules.contains(info.id), "missing {}: {rules:?}", info.id);
     }
     assert!(!report.violations.is_empty());
 }
@@ -28,11 +22,7 @@ fn violating_tree_reports_every_rule() {
 #[test]
 fn clean_tree_is_clean() {
     let report = ft_lint::run(&fixture("clean")).unwrap();
-    assert!(
-        report.violations.is_empty(),
-        "unexpected: {:?}",
-        report.violations
-    );
+    assert!(report.is_clean(), "unexpected: {:?}", report.violations);
     assert!(report.files_scanned >= 1);
 }
 
@@ -71,4 +61,13 @@ fn repo_gate_is_green() {
         "workspace lint violations: {:#?}",
         report.violations
     );
+    assert!(
+        report.unused_allow.is_empty(),
+        "stale lint-allow.toml entries: {:#?}",
+        report.unused_allow
+    );
+    // every suppression carries provenance back to a concrete entry
+    for s in &report.suppressed {
+        assert!(!s.reason.is_empty(), "suppression without reason: {s:?}");
+    }
 }

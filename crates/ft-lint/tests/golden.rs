@@ -1,0 +1,117 @@
+//! Golden-file rule tests.
+//!
+//! Every rule id in [`ft_lint::rules::RULES`] has exactly one positive
+//! and one negative fixture under `tests/fixtures/`:
+//!
+//! * `<rule>.pos.rs` — minimal source triggering the rule; its findings
+//!   are snapshot-compared (`line:rule` per line) against
+//!   `<rule>.pos.expect`.
+//! * `<rule>.neg.rs` — the compliant counterpart; it must produce zero
+//!   violations of any rule.
+//!
+//! The first line of each fixture is a `//@path: <virtual path>`
+//! directive selecting the workspace-relative path the analyzer is told
+//! it is looking at (rule scoping is path-driven). The directive line is
+//! part of the linted source, so snapshot line numbers match the file
+//! as seen in an editor.
+
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// Reads a fixture, returning its virtual path directive and full text.
+fn load(path: &Path) -> (String, String) {
+    let src =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let first = src.lines().next().unwrap_or("");
+    let vpath = first
+        .strip_prefix("//@path: ")
+        .unwrap_or_else(|| panic!("{}: first line must be `//@path: <path>`", path.display()))
+        .trim()
+        .to_string();
+    (vpath, src)
+}
+
+/// Formats findings in the snapshot form `line:rule`.
+fn snapshot(violations: &[ft_lint::rules::Violation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("{}:{}\n", v.line, v.rule))
+        .collect()
+}
+
+#[test]
+fn every_rule_has_positive_and_negative_fixture() {
+    let dir = fixtures_dir();
+    for info in ft_lint::rules::RULES {
+        for suffix in ["pos.rs", "pos.expect", "neg.rs"] {
+            let p = dir.join(format!("{}.{suffix}", info.id));
+            assert!(p.is_file(), "missing fixture {}", p.display());
+        }
+    }
+}
+
+#[test]
+fn positive_fixtures_match_snapshots() {
+    let dir = fixtures_dir();
+    for info in ft_lint::rules::RULES {
+        let rs = dir.join(format!("{}.pos.rs", info.id));
+        let (vpath, src) = load(&rs);
+        let violations = ft_lint::rules::check_file(&vpath, &src);
+        let got = snapshot(&violations);
+        let expect_path = dir.join(format!("{}.pos.expect", info.id));
+        let want = std::fs::read_to_string(&expect_path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", expect_path.display()));
+        assert_eq!(
+            got,
+            want,
+            "{}: snapshot mismatch (got vs {})",
+            rs.display(),
+            expect_path.display()
+        );
+        // a positive fixture must flag its own rule, not a bystander
+        assert!(
+            violations.iter().any(|v| v.rule == info.id),
+            "{}: does not trigger rule {}",
+            rs.display(),
+            info.id
+        );
+    }
+}
+
+#[test]
+fn negative_fixtures_are_silent() {
+    let dir = fixtures_dir();
+    for info in ft_lint::rules::RULES {
+        let rs = dir.join(format!("{}.neg.rs", info.id));
+        let (vpath, src) = load(&rs);
+        let violations = ft_lint::rules::check_file(&vpath, &src);
+        assert!(
+            violations.is_empty(),
+            "{}: expected no findings, got {violations:#?}",
+            rs.display()
+        );
+    }
+}
+
+#[test]
+fn no_orphan_fixtures() {
+    // every fixture file belongs to a cataloged rule — catches typos in
+    // fixture names and rules removed without their corpus
+    let dir = fixtures_dir();
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        let stem = name
+            .trim_end_matches(".pos.rs")
+            .trim_end_matches(".pos.expect")
+            .trim_end_matches(".neg.rs");
+        assert!(
+            ft_lint::rules::rule_info(stem).is_some(),
+            "fixture {name} does not match any cataloged rule id"
+        );
+    }
+}

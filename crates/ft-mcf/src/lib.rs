@@ -154,20 +154,19 @@ pub struct Commodity {
 pub fn aggregate_commodities(
     triples: impl IntoIterator<Item = (usize, usize, f64)>,
 ) -> Vec<Commodity> {
-    use std::collections::HashMap;
-    let mut acc: HashMap<(usize, usize), f64> = HashMap::new();
+    use std::collections::BTreeMap;
+    // BTreeMap: per-pair sums still accumulate in input order, and the
+    // (src, dst)-sorted iteration below gives the deterministic commodity
+    // order the solver needs — no post-sort, no hash-seed dependence
+    let mut acc: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     for (s, t, d) in triples {
         if s != t && d > 0.0 {
             *acc.entry((s, t)).or_insert(0.0) += d;
         }
     }
-    let mut out: Vec<Commodity> = acc
-        .into_iter()
+    acc.into_iter()
         .map(|((src, dst), demand)| Commodity { src, dst, demand })
-        .collect();
-    // deterministic order for reproducible solver behaviour
-    out.sort_by_key(|c| (c.src, c.dst));
-    out
+        .collect()
 }
 
 #[cfg(test)]

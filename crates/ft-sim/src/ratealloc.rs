@@ -8,11 +8,16 @@
 //! allocation that per-flow-fair transport (TCP-ish) approximates.
 
 use ft_graph::EdgeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A directed traversal of an undirected link: the edge id plus the
 /// direction (`forward` = from the lower node id to the higher).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// Ordered so link maps can be `BTreeMap`s: the progressive-filling loop
+/// breaks fair-share ties by iteration order, and that order must not
+/// depend on a hash seed (bit-identical rates across runs and
+/// `FT_THREADS`, DESIGN.md §10).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct DirectedLink {
     /// Underlying undirected edge.
     pub edge: EdgeId,
@@ -30,17 +35,18 @@ pub fn max_min_rates(paths: &[Vec<DirectedLink>], capacity: f64) -> Vec<f64> {
     let n = paths.len();
     let mut rate = vec![f64::INFINITY; n];
 
-    // Link occupancy: flows crossing each directed link.
-    let mut link_flows: HashMap<DirectedLink, Vec<usize>> = HashMap::new();
+    // Link occupancy: flows crossing each directed link. BTreeMaps keep
+    // the bottleneck scan's tie-break independent of any hash seed.
+    let mut link_flows: BTreeMap<DirectedLink, Vec<usize>> = BTreeMap::new();
     for (f, path) in paths.iter().enumerate() {
         for &dl in path {
             link_flows.entry(dl).or_default().push(f);
         }
     }
-    let mut remaining_cap: HashMap<DirectedLink, f64> =
+    let mut remaining_cap: BTreeMap<DirectedLink, f64> =
         link_flows.keys().map(|&l| (l, capacity)).collect();
     let mut frozen = vec![false; n];
-    let mut active_on_link: HashMap<DirectedLink, usize> =
+    let mut active_on_link: BTreeMap<DirectedLink, usize> =
         link_flows.iter().map(|(&l, fs)| (l, fs.len())).collect();
 
     loop {
@@ -85,6 +91,7 @@ pub fn max_min_rates(paths: &[Vec<DirectedLink>], capacity: f64) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn dl(e: u32, forward: bool) -> DirectedLink {
         DirectedLink {

@@ -72,6 +72,8 @@ USAGE:
                 [--trace <file.jsonl>]
   ftctl bench   [--json <file>] [--quick] [--check <baseline.json>]
                 [--trace <file.jsonl>]
+  ftctl lint    [--json <file|->] [--sarif <file|->] [--fix-allow]
+                [--root <dir, default .>]
 
 Topology kinds build from the same equipment as fat-tree(k). flat-tree
 requires --mode; other kinds ignore it.
@@ -93,10 +95,16 @@ a JSON report (--quick restricts to k = 8 with a shorter FPTAS step cap).
 --check compares the run against a previously written report: determinism
 fields (checksums, distance sums, λ at matching step budgets) must match
 exactly and any kernel slower than 1.25× baseline + 5 ms fails the run.
-The worker count honours the FT_THREADS environment override.";
+The worker count honours the FT_THREADS environment override.
+
+lint runs the ft-lint analyzer (hygiene, determinism, and concurrency rule
+packs — see DESIGN.md §13) over the workspace. --json writes the ft-lint/2
+machine-readable report, --sarif a SARIF 2.1.0 log (`-` = stdout);
+--fix-allow rewrites lint-allow.toml, deleting entries that no longer
+suppress anything. Violations and stale allow entries exit non-zero.";
 
 /// Flags that take no value; `parse` records them as `\"true\"`.
-const BOOL_FLAGS: &[&str] = &["quick"];
+const BOOL_FLAGS: &[&str] = &["quick", "fix-allow"];
 
 /// Splits raw arguments into an [`Invocation`].
 pub fn parse(args: &[String]) -> Result<Invocation, CliError> {
@@ -206,6 +214,7 @@ pub fn run(inv: &Invocation) -> Result<String, CliError> {
         "serve" => cmd_serve(inv),
         "query" => cmd_query(inv),
         "bench" => cmd_bench(inv),
+        "lint" => cmd_lint(inv),
         other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
     }
 }
@@ -786,6 +795,48 @@ fn cmd_bench(inv: &Invocation) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `ftctl lint` — runs the ft-lint analyzer over the workspace and emits
+/// machine-readable reports. A dirty result (violations or stale allow
+/// entries) is a [`CliError`] so the process exits non-zero for CI.
+fn cmd_lint(inv: &Invocation) -> Result<String, CliError> {
+    let root = std::path::PathBuf::from(inv.options.get("root").map_or(".", String::as_str));
+    let opts = ft_lint::Options {
+        fix_allow: inv.options.contains_key("fix-allow"),
+    };
+    let report = ft_lint::run_with(&root, &opts)
+        .map_err(|e| CliError(format!("lint configuration error: {e}")))?;
+    let root_str = root.to_string_lossy().replace('\\', "/");
+    let mut out = String::new();
+    if let Some(target) = inv.options.get("json") {
+        let doc = ft_lint::report::to_json(&report, &root_str);
+        if target == "-" {
+            out.push_str(&doc);
+        } else {
+            std::fs::write(target, doc)
+                .map_err(|e| CliError(format!("cannot write {target}: {e}")))?;
+            let _ = writeln!(out, "lint json written to {target}");
+        }
+    }
+    if let Some(target) = inv.options.get("sarif") {
+        let doc = ft_lint::report::to_sarif(&report);
+        if target == "-" {
+            out.push_str(&doc);
+        } else {
+            std::fs::write(target, doc)
+                .map_err(|e| CliError(format!("cannot write {target}: {e}")))?;
+            let _ = writeln!(out, "lint sarif written to {target}");
+        }
+    }
+    out.push_str(&ft_lint::report::to_text(&report));
+    if report.is_clean() {
+        Ok(out)
+    } else {
+        // reports above are already written; the error text carries the
+        // summary so CI logs show why the gate went red
+        Err(CliError(out))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1089,5 +1140,34 @@ mod tests {
             .contains("\"nodes\""));
         let _ = std::fs::remove_file(dot);
         let _ = std::fs::remove_file(json);
+    }
+
+    #[test]
+    fn lint_parses_fix_allow_as_bool_flag() {
+        // --fix-allow takes no value; it must not swallow the next flag
+        let i = inv(&["lint", "--fix-allow", "--json", "-"]);
+        assert_eq!(i.command, "lint");
+        assert!(i.options.contains_key("fix-allow"));
+        assert_eq!(i.options["json"], "-");
+    }
+
+    #[test]
+    fn lint_bad_root_is_cli_error() {
+        let err = run(&inv(&[
+            "lint",
+            "--root",
+            "/nonexistent/ftctl-lint-test-root",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("lint configuration error"), "{err}");
+    }
+
+    #[test]
+    fn lint_clean_fixture_tree_emits_json() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/crates/ft-lint/fixtures/clean");
+        let out = run(&inv(&["lint", "--root", root, "--json", "-"])).unwrap();
+        assert!(out.contains("\"schema\": \"ft-lint/2\""), "{out}");
+        assert!(out.contains("\"clean\": true"), "{out}");
+        assert!(out.contains("0 violation(s)"), "{out}");
     }
 }
