@@ -32,7 +32,7 @@ pub mod zones;
 
 pub use advisor::{recommend_mode, TrafficSummary};
 pub use controller::Controller;
-pub use plan::{plan_transition, ReconfigPlan};
+pub use plan::{plan_transition, plan_zone_transition, ReconfigPlan, ZonePlanError};
 pub use routing::{EcmpRoutes, KspRoutes, ServerPath};
 pub use rules::{compile_rules, RuleTable};
 pub use zones::{zones_to_mode, Zone, ZoneError};

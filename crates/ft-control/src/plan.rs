@@ -8,8 +8,10 @@
 //! which the controller uses to pre-compute routes for the target topology
 //! before cutting over.
 
+use crate::zones::{zones_to_mode, Zone, ZoneError};
 use ft_core::{ConverterStates, FlatTree, FlatTreeError, FourPortConfig, SixPortConfig};
 use std::collections::HashMap;
+use std::fmt;
 
 /// A planned topology conversion.
 #[derive(Clone, Debug, Default)]
@@ -87,10 +89,60 @@ pub fn plan_transition(
     Ok(plan)
 }
 
+/// Errors from [`plan_zone_transition`]: either zone layout is invalid, or
+/// a resolved mode fails to materialize.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ZonePlanError {
+    /// A zone layout failed validation.
+    Zone(ZoneError),
+    /// Mode resolution/materialization failed.
+    FlatTree(FlatTreeError),
+}
+
+impl fmt::Display for ZonePlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZonePlanError::Zone(e) => write!(f, "zone layout: {e}"),
+            ZonePlanError::FlatTree(e) => write!(f, "flat-tree: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ZonePlanError {}
+
+impl From<ZoneError> for ZonePlanError {
+    fn from(e: ZoneError) -> Self {
+        ZonePlanError::Zone(e)
+    }
+}
+
+impl From<FlatTreeError> for ZonePlanError {
+    fn from(e: FlatTreeError) -> Self {
+        ZonePlanError::FlatTree(e)
+    }
+}
+
+/// Plans the transition between two **zone layouts** of the same
+/// flat-tree: each layout is converted to a hybrid [`ft_core::Mode`]
+/// (unclaimed Pods stay Clos), resolved to converter states, and diffed
+/// with [`plan_transition`]. This is the controller-facing entry the DES
+/// simulator uses to source conversion edge-deltas from zone definitions
+/// (§3.4 hybrid operation).
+pub fn plan_zone_transition(
+    ft: &FlatTree,
+    from_zones: &[Zone],
+    to_zones: &[Zone],
+) -> Result<ReconfigPlan, ZonePlanError> {
+    let pods = ft.geometry().pods;
+    let from = ft.resolve(&zones_to_mode(from_zones, pods)?)?;
+    let to = ft.resolve(&zones_to_mode(to_zones, pods)?)?;
+    Ok(plan_transition(ft, &from, &to)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ft_core::{FlatTreeConfig, Mode};
+    use ft_core::{FlatTreeConfig, Mode, PodMode};
 
     fn ft() -> FlatTree {
         FlatTree::new(FlatTreeConfig::for_fat_tree_k(8).unwrap()).unwrap()
@@ -139,6 +191,52 @@ mod tests {
         // local → global keeps 4-ports (both local): only 6-ports flip
         assert!(p.four_changes.is_empty());
         assert_eq!(p.six_changes.len(), f.geometry().six_count());
+    }
+
+    #[test]
+    fn zone_plan_matches_mode_plan() {
+        // whole-fabric zone layouts reduce to the plain mode transition
+        let f = ft();
+        let pods = f.geometry().pods;
+        let from_zones = []; // unclaimed = all-Clos
+        let to_zones = [Zone::new("all", 0..pods, PodMode::GlobalRandom)];
+        let p = plan_zone_transition(&f, &from_zones, &to_zones).unwrap();
+        let expect = plan_transition(
+            &f,
+            &f.resolve(&Mode::Clos).unwrap(),
+            &f.resolve(&Mode::Hybrid(vec![PodMode::GlobalRandom; pods]))
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(p.links_removed, expect.links_removed);
+        assert_eq!(p.links_added, expect.links_added);
+        assert_eq!(p.converter_ops(), expect.converter_ops());
+        assert!(!p.is_noop());
+    }
+
+    #[test]
+    fn zone_plan_partial_layout() {
+        // converting only half the pods flips fewer converters than the
+        // full conversion and still balances link churn
+        let f = ft();
+        let pods = f.geometry().pods;
+        let to_zones = [Zone::new("half", 0..pods / 2, PodMode::LocalRandom)];
+        let p = plan_zone_transition(&f, &[], &to_zones).unwrap();
+        let full =
+            plan_zone_transition(&f, &[], &[Zone::new("all", 0..pods, PodMode::LocalRandom)])
+                .unwrap();
+        assert!(p.converter_ops() > 0);
+        assert!(p.converter_ops() < full.converter_ops());
+        assert_eq!(p.links_added.len(), p.links_removed.len());
+    }
+
+    #[test]
+    fn zone_plan_rejects_bad_layout() {
+        let f = ft();
+        let bad = [Zone::new("broken", 0..999, PodMode::Clos)];
+        let err = plan_zone_transition(&f, &[], &bad).unwrap_err();
+        assert!(matches!(err, ZonePlanError::Zone(_)));
+        assert!(err.to_string().contains("zone layout"));
     }
 
     #[test]

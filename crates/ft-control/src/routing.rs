@@ -205,6 +205,19 @@ impl KspRoutes {
         }
     }
 
+    /// Creates a router over an explicit switch graph — e.g. the
+    /// id-preserving `Network::switch_view()` used by the DES simulator,
+    /// where path edge ids must name the network's own edges.
+    pub fn new_on(sg: Graph, k: usize) -> Self {
+        let lengths = vec![1.0; sg.edge_id_bound()];
+        KspRoutes {
+            sg,
+            k,
+            lengths,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
     /// Number of paths kept per pair.
     pub fn k(&self) -> usize {
         self.k

@@ -1,0 +1,193 @@
+//! Conversion disruption (the paper's §3.3 "network convertibility" made
+//! operational): how much do running flows suffer when a flat-tree
+//! converts from Clos to the approximated global random graph *live*?
+//!
+//! The harness replays the same seeded all-to-all workload on the ft-des
+//! engine four times: once with no conversion (baseline), then with a
+//! mid-run Clos → global-RG conversion at three converter drain latencies.
+//! During the drain window the plan's removed links are already gone but
+//! the new links have not yet appeared, so the fabric runs degraded;
+//! affected flows are re-routed (counted as conversion re-routes) and
+//! everyone's max-min rates shift. Per-flow disruption is the throughput
+//! loss `1 − base_fct/conv_fct` against the baseline run of the *same*
+//! flow — bounded in [0, 1] even for pairs that were co-located on one
+//! edge switch under Clos (FCT 0) and get re-homed apart by the
+//! converters (loss 1).
+//!
+//! Shapes: the conversion must actually touch traffic (re-routes > 0,
+//! some flows slow down), nobody may be stranded (the plan keeps the
+//! fabric connected), and the run must be bit-identical on repeat.
+
+use ft_control::plan_transition;
+use ft_core::{FlatTree, FlatTreeConfig, Mode};
+use ft_experiments::{print_figure, ShapeChecks, SweepOpts};
+use ft_metrics::Table;
+use ft_sim::{
+    flows_with_arrivals, ConversionEvent, DesReport, DesSimulator, FlowSpec, RouterPolicy,
+    TopoEvent,
+};
+use ft_topo::Network;
+use ft_workload::{generate, Locality, TrafficPattern, WorkloadSpec};
+
+const CONVERT_AT: f64 = 1.0;
+
+fn run(net: &Network, flows: &[FlowSpec], topo: &[TopoEvent]) -> DesReport {
+    DesSimulator::new(net, RouterPolicy::Ecmp)
+        .run(flows, topo, 1e9)
+        .expect("seeded schedule must be valid")
+}
+
+/// Flow completion time, `None` when the flow never finished.
+fn fct(rep: &DesReport, flows: &[FlowSpec], idx: usize) -> Option<f64> {
+    rep.flows[idx]
+        .completion
+        .map(|c| c - flows[rep.flows[idx].flow].start)
+}
+
+fn main() {
+    let opts = SweepOpts::from_args(4);
+    let k = *opts.k_values.last().unwrap();
+    let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap()).unwrap();
+    let net = ft.materialize(&Mode::Clos).unwrap();
+    let from = ft.resolve(&Mode::Clos).unwrap();
+    let to = ft.resolve(&Mode::GlobalRandom).unwrap();
+    let plan = plan_transition(&ft, &from, &to).unwrap();
+    let mut checks = ShapeChecks::new();
+
+    let spec = WorkloadSpec {
+        pattern: TrafficPattern::AllToAll,
+        cluster_size: 8,
+        locality: Locality::None,
+    };
+    let tm = generate(&net, &spec, opts.seed);
+    let flows = flows_with_arrivals(&tm, 8.0, 0.5, 2, opts.seed);
+
+    let baseline = run(&net, &flows, &[]);
+
+    let mut table = Table::new(&[
+        "drain latency",
+        "mean FCT",
+        "makespan",
+        "re-routes",
+        "conv re-routes",
+        "disrupted flows",
+        "mean tput loss",
+        "max tput loss",
+    ]);
+    table.push_row(vec![
+        "(no conversion)".into(),
+        format!("{:.4}", baseline.mean_fct(&flows)),
+        format!("{:.4}", baseline.makespan),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        "0.0%".into(),
+        "0.0%".into(),
+    ]);
+
+    let mut per_latency: Vec<(f64, DesReport, usize, f64)> = Vec::new();
+    for latency in [0.0, 0.5, 2.0] {
+        let topo = vec![TopoEvent::Convert(ConversionEvent::from_plan(
+            CONVERT_AT,
+            latency,
+            &plan,
+            Some(RouterPolicy::Ksp(8)),
+        ))];
+        let rep = run(&net, &flows, &topo);
+
+        // per-flow disruption vs the baseline run of the same flow
+        let mut disrupted = 0usize;
+        let mut loss_sum = 0.0;
+        let mut loss_max: f64 = 0.0;
+        for i in 0..flows.len() {
+            if let (Some(b), Some(c)) = (fct(&baseline, &flows, i), fct(&rep, &flows, i)) {
+                if c <= b + 1e-9 {
+                    continue; // unchanged or sped up
+                }
+                let loss = 1.0 - b / c;
+                disrupted += 1;
+                loss_sum += loss;
+                loss_max = loss_max.max(loss);
+            }
+        }
+        let loss_mean = if disrupted > 0 {
+            loss_sum / disrupted as f64
+        } else {
+            0.0
+        };
+        let reroutes: usize = rep.flows.iter().map(|f| f.reroutes).sum();
+        table.push_row(vec![
+            format!("{latency:.1}"),
+            format!("{:.4}", rep.mean_fct(&flows)),
+            format!("{:.4}", rep.makespan),
+            reroutes.to_string(),
+            rep.conversion_reroutes.to_string(),
+            disrupted.to_string(),
+            format!("{:.1}%", loss_mean * 100.0),
+            format!("{:.1}%", loss_max * 100.0),
+        ]);
+        per_latency.push((latency, rep, disrupted, loss_mean));
+    }
+
+    print_figure(
+        &format!(
+            "Conversion disruption: live Clos → global-RG at t = {CONVERT_AT} (k = {k}, \
+             {} flows, ECMP → 8-way KSP)",
+            flows.len()
+        ),
+        "drained links vanish at conversion start, new links appear after the drain latency",
+        &table,
+        opts.csv_path.as_deref(),
+    );
+
+    for (latency, rep, disrupted, _) in &per_latency {
+        checks.check(
+            &format!("latency {latency}: conversion re-routes running flows"),
+            rep.conversions == 1 && rep.conversion_reroutes > 0,
+            format!(
+                "{} conversion re-routes, {} links -, {} links +",
+                rep.conversion_reroutes, rep.links_removed, rep.links_added
+            ),
+        );
+        checks.check(
+            &format!("latency {latency}: no flow stranded by the transition"),
+            rep.unfinished() == 0 && rep.missing_links == 0,
+            format!(
+                "{} unfinished, {} plan links missing",
+                rep.unfinished(),
+                rep.missing_links
+            ),
+        );
+        checks.check(
+            &format!("latency {latency}: disruption is visible per flow"),
+            *disrupted > 0,
+            format!("{disrupted} of {} flows slowed down", flows.len()),
+        );
+    }
+    // longer drains keep the fabric degraded longer: mean per-flow
+    // throughput loss must not *shrink* as the drain window grows
+    let losses: Vec<f64> = per_latency.iter().map(|&(_, _, _, m)| m).collect();
+    checks.check(
+        "mean throughput loss weakly grows with drain latency",
+        losses.windows(2).all(|w| w[1] >= w[0] * 0.95),
+        format!("{losses:?}"),
+    );
+    // determinism: an identical invocation reproduces the exact schedule
+    let (latency0, rep0, _, _) = &per_latency[0];
+    let again = run(
+        &net,
+        &flows,
+        &[TopoEvent::Convert(ConversionEvent::from_plan(
+            CONVERT_AT,
+            *latency0,
+            &plan,
+            Some(RouterPolicy::Ksp(8)),
+        ))],
+    );
+    checks.check(
+        "repeat run is bit-identical",
+        again.completion_checksum() == rep0.completion_checksum() && again.events == rep0.events,
+        format!("checksum {:#018x}", again.completion_checksum()),
+    );
+    checks.finish();
+}

@@ -201,9 +201,17 @@ impl Graph {
 
     /// Restores a previously removed edge. Returns `true` if it was dead.
     ///
-    /// Used by failure-injection scenarios that repair links.
+    /// Used by failure-injection scenarios that repair links. Edges whose
+    /// endpoints lie outside the node set — possible only in a
+    /// [`Graph::prefix_subgraph`] view, where clipped edges are permanent
+    /// tombstones — are refused (`false`): reviving one would push
+    /// out-of-range neighbors into adjacency iteration.
     pub fn restore_edge(&mut self, e: EdgeId) -> bool {
         if e.index() < self.alive.len() && !self.alive[e.index()] {
+            let (a, b) = self.edges[e.index()];
+            if a.index() >= self.adj.len() || b.index() >= self.adj.len() {
+                return false;
+            }
             self.alive[e.index()] = true;
             self.live_edges += 1;
             true
@@ -295,6 +303,41 @@ impl Graph {
     /// Iterates over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..id32(self.adj.len())).map(NodeId)
+    }
+
+    /// Returns the **id-preserving** restriction of the graph to nodes
+    /// `0..n`: same edge-id space (`edge_id_bound` unchanged), with every
+    /// edge touching a node `>= n` turned into a permanent tombstone.
+    ///
+    /// This is how the DES simulator derives a switch-only routing view
+    /// from a network whose layout is switches-first: node ids `0..n` and
+    /// the surviving edge ids mean *the same thing* in the view and in the
+    /// parent graph, so paths computed on the view can be applied to the
+    /// parent without any id translation — unlike
+    /// `Network::switch_graph()`, which renumbers edges. Clipped edges
+    /// cannot be restored in the view (see [`Graph::restore_edge`]);
+    /// live-edge mutations on nodes `0..n` (remove/restore/add) keep the
+    /// two id spaces aligned.
+    pub fn prefix_subgraph(&self, n: usize) -> Graph {
+        let n = n.min(self.adj.len());
+        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = self.adj[..n].to_vec();
+        for list in &mut adj {
+            list.retain(|&(u, _)| u.index() < n);
+        }
+        let mut alive = self.alive.clone();
+        let mut live_edges = self.live_edges;
+        for (i, &(a, b)) in self.edges.iter().enumerate() {
+            if (a.index() >= n || b.index() >= n) && alive[i] {
+                alive[i] = false;
+                live_edges -= 1;
+            }
+        }
+        Graph {
+            adj,
+            edges: self.edges.clone(),
+            alive,
+            live_edges,
+        }
     }
 
     /// Returns the live edge set as a sorted list of normalized endpoint
@@ -451,6 +494,50 @@ mod tests {
             }
         );
         assert_eq!(g.edge_count(), 1, "failed add must not mutate the graph");
+    }
+
+    #[test]
+    fn prefix_subgraph_preserves_ids() {
+        // 0-1-2 switches, 3-4 "servers": edges e0 (0,1), e1 (1,2),
+        // e2 (2,3) clipped, e3 (3,4) clipped.
+        let mut g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        g.remove_edge(EdgeId(0));
+        let view = g.prefix_subgraph(3);
+        assert_eq!(view.node_count(), 3);
+        assert_eq!(view.edge_id_bound(), g.edge_id_bound(), "same id space");
+        assert_eq!(view.edge_count(), 1);
+        assert!(!view.edge_alive(EdgeId(0)), "removed edge stays removed");
+        assert!(view.edge_alive(EdgeId(1)));
+        assert!(!view.edge_alive(EdgeId(2)), "clipped edge is dead");
+        // endpoints and adjacency keep parent ids
+        assert_eq!(view.endpoints(EdgeId(1)), (NodeId(1), NodeId(2)));
+        let nbrs: Vec<_> = view.neighbors(NodeId(2)).collect();
+        assert_eq!(nbrs, vec![(NodeId(1), EdgeId(1))]);
+        // restoring the tombstoned in-range edge works and matches parent id
+        let mut view = view;
+        assert!(view.restore_edge(EdgeId(0)));
+        assert!(view.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn prefix_subgraph_refuses_clipped_restore() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut view = g.prefix_subgraph(2);
+        assert!(!view.edge_alive(EdgeId(1)));
+        assert!(!view.restore_edge(EdgeId(1)), "clipped edge is permanent");
+        assert_eq!(view.edge_count(), 1);
+        // mutating the view keeps id alignment: a fresh edge in the view
+        // gets the next id of the shared space
+        let e = view.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(e, EdgeId(2));
+    }
+
+    #[test]
+    fn prefix_subgraph_clamps_n() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let view = g.prefix_subgraph(10);
+        assert_eq!(view.node_count(), 2);
+        assert_eq!(view.edge_count(), 1);
     }
 
     #[test]

@@ -40,6 +40,14 @@ fn obs() -> &'static ParCounters {
     })
 }
 
+/// Minimum total cell count (`rows * row_len`) for [`fill_rows_with`] to
+/// fan out. Below this, thread spawn + join overhead exceeds the win: the
+/// k=32 APSP fill (1280² ≈ 1.6M cells) measured *slower* parallel than
+/// sequential (BENCH_hotpaths.json, 46.9 ms vs 45.0 ms), so fills under
+/// ~2M cells run on the calling thread. Results are identical either way
+/// (the fill contract is deterministic); only the wall time changes.
+pub const PAR_FILL_MIN_CELLS: usize = 1 << 21;
+
 /// Number of worker threads to use: `FT_THREADS` if set to a positive
 /// integer, otherwise [`std::thread::available_parallelism`] (falling back
 /// to 1 when even that is unavailable).
@@ -153,7 +161,11 @@ where
     }
     debug_assert_eq!(out.len() % row_len, 0);
     let rows = out.len() / row_len;
-    let workers = threads.min(rows).max(1);
+    let workers = if out.len() < PAR_FILL_MIN_CELLS {
+        1 // small fill: fan-out overhead dominates, stay on this thread
+    } else {
+        threads.min(rows).max(1)
+    };
     let pc = obs();
     pc.fills.incr();
     pc.rows.add(rows as u64);
@@ -248,6 +260,23 @@ mod tests {
             fill_rows_with(threads, &mut par, row_len, || 0u64, fill);
             assert_eq!(par, seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn fill_rows_above_cutoff_matches_sequential() {
+        // exactly PAR_FILL_MIN_CELLS cells so the parallel branch runs
+        let row_len = 1 << 11;
+        let rows = PAR_FILL_MIN_CELLS / row_len;
+        let fill = |i: usize, row: &mut [u8], _: &mut ()| {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (i.wrapping_mul(31) ^ j) as u8;
+            }
+        };
+        let mut seq = vec![0u8; rows * row_len];
+        fill_rows_with(1, &mut seq, row_len, || (), fill);
+        let mut par = vec![0u8; rows * row_len];
+        fill_rows_with(4, &mut par, row_len, || (), fill);
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub const STRICT_CRATES: &[&str] = &[
     "ft-mcf",
     "ft-core",
     "ft-metrics",
+    "ft-des",
     "ft-serve",
     "ft-obs",
     "ft-lint",
@@ -37,7 +38,7 @@ pub const STRICT_CRATES: &[&str] = &[
 
 /// Crates whose outputs must be bit-identical across thread counts and
 /// runs — the determinism pack's `unordered-iter` rule applies here.
-pub const DETERMINISTIC_CRATES: &[&str] = &["ft-graph", "ft-mcf", "ft-sim", "ft-metrics"];
+pub const DETERMINISTIC_CRATES: &[&str] = &["ft-graph", "ft-mcf", "ft-des", "ft-sim", "ft-metrics"];
 
 /// Crates allowed to read wall clocks (`wallclock` rule exemption):
 /// observability and benchmarking are *about* real time.

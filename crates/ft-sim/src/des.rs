@@ -1,0 +1,1117 @@
+//! The event-driven simulator: ft-sim rebuilt as a client of the
+//! [`ft_des`] engine.
+//!
+//! The legacy [`crate::simulator::Simulator`] advances time with an
+//! inline next-transition loop; this module expresses the same flow
+//! dynamics as three [`ft_des::Component`]s — a flow source, a topology
+//! driver, and a rate allocator — exchanging events through the
+//! deterministic queue. On top of the legacy link failures/repairs it
+//! models **live zone conversion** (the paper's Clos↔random-graph
+//! transitions): a [`ConversionEvent`] drains the links the
+//! [`ft_control::ReconfigPlan`] removes, re-routes the flows riding
+//! them, and after the modeled converter reconfiguration latency brings
+//! the new links up and re-derives routing under the new policy.
+//!
+//! Determinism contract (DESIGN.md §14): seeding order is topology
+//! events then flow arrivals, so at equal timestamps the queue replays
+//! the legacy engine's apply-events-before-admission rule; all
+//! follow-up events carry strictly larger sequence numbers, and no
+//! handler consults wall-clock time or unordered containers. A fixed
+//! scenario therefore produces bit-identical reports and traces
+//! regardless of `FT_THREADS`.
+
+use crate::ratealloc::{max_min_rates, DirectedLink};
+use crate::simulator::{FlowSpec, RouterPolicy};
+use ft_control::routing::{EcmpRoutes, KspRoutes, ServerPath};
+use ft_control::ReconfigPlan;
+use ft_des::{Component, ComponentId, Context, Engine, ScheduleError};
+use ft_graph::{EdgeId, Graph, NodeId};
+use ft_topo::Network;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A scheduled topology event for the event-driven simulator.
+///
+/// `LinkDown`/`LinkUp` mirror [`crate::simulator::NetworkEvent`];
+/// `Convert` is new: a whole reconfiguration plan applied live.
+#[derive(Clone, Debug)]
+pub enum TopoEvent {
+    /// Link goes down at the given time.
+    LinkDown(f64, EdgeId),
+    /// Link comes back at the given time.
+    LinkUp(f64, EdgeId),
+    /// A zone conversion starts at [`ConversionEvent::at`].
+    Convert(ConversionEvent),
+}
+
+impl TopoEvent {
+    /// When the event fires.
+    pub fn time(&self) -> f64 {
+        match self {
+            TopoEvent::LinkDown(t, _) | TopoEvent::LinkUp(t, _) => *t,
+            TopoEvent::Convert(c) => c.at,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            TopoEvent::LinkDown(..) => "link_down",
+            TopoEvent::LinkUp(..) => "link_up",
+            TopoEvent::Convert(_) => "conversion_start",
+        }
+    }
+}
+
+/// A live Clos↔random-graph conversion: the link delta of a
+/// [`ReconfigPlan`] plus the modeled converter reconfiguration latency.
+///
+/// At `at` the removed links are drained (taken down, flows re-routed
+/// away); at `at + latency` the added links come up, the routing policy
+/// optionally switches, and affected flows re-route again. This is the
+/// paper's claim made executable: conversion is a *traffic-visible*
+/// transient, not an instantaneous graph swap.
+#[derive(Clone, Debug)]
+pub struct ConversionEvent {
+    /// Conversion start time (drain begins).
+    pub at: f64,
+    /// Converter reconfiguration latency: delay between drain and the
+    /// new links carrying traffic. Must be ≥ 0 and finite.
+    pub latency: f64,
+    /// Endpoint pairs (normalized, with multiplicity) whose links are
+    /// removed, as produced by [`ReconfigPlan::links_removed`].
+    pub removed: Vec<(u32, u32)>,
+    /// Endpoint pairs whose links are added when the conversion
+    /// finishes, as produced by [`ReconfigPlan::links_added`].
+    pub added: Vec<(u32, u32)>,
+    /// Routing policy to switch to at conversion finish (e.g. ECMP →
+    /// KSP when leaving Clos mode); `None` keeps the current policy.
+    pub new_policy: Option<RouterPolicy>,
+}
+
+impl ConversionEvent {
+    /// Builds a conversion event from a reconfiguration plan.
+    pub fn from_plan(
+        at: f64,
+        latency: f64,
+        plan: &ReconfigPlan,
+        new_policy: Option<RouterPolicy>,
+    ) -> Self {
+        assert!(
+            latency >= 0.0 && latency.is_finite(),
+            "latency must be finite and >= 0"
+        );
+        ConversionEvent {
+            at,
+            latency,
+            removed: plan.links_removed.clone(),
+            added: plan.links_added.clone(),
+            new_policy,
+        }
+    }
+}
+
+/// Per-flow outcome from the event-driven simulator.
+#[derive(Clone, Debug)]
+pub struct DesFlowRecord {
+    /// Index into the submitted flow list.
+    pub flow: usize,
+    /// Completion time (absolute), or `None` if unfinished at the
+    /// horizon.
+    pub completion: Option<f64>,
+    /// Times the flow was re-routed, for any reason.
+    pub reroutes: usize,
+    /// Subset of `reroutes` caused by zone conversions (drain or
+    /// finish).
+    pub conversion_reroutes: usize,
+    /// Total time the flow spent unroutable (parked at rate 0).
+    pub parked_time: f64,
+}
+
+/// Why a simulation run failed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DesError {
+    /// A seeded flow arrival or topology event had an invalid
+    /// timestamp.
+    Seed(ScheduleError),
+    /// A handler scheduled an invalid follow-up event mid-run
+    /// (indicates a simulator bug; surfaced rather than swallowed).
+    Schedule(ScheduleError),
+}
+
+impl fmt::Display for DesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesError::Seed(e) => write!(f, "invalid seeded event: {e}"),
+            DesError::Schedule(e) => write!(f, "invalid follow-up event: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesError {}
+
+/// Simulation output of the event-driven engine.
+#[derive(Clone, Debug)]
+pub struct DesReport {
+    /// Per-flow outcomes, index-aligned with the submitted flows.
+    pub flows: Vec<DesFlowRecord>,
+    /// Horizon if truncated, else the time of the last event processed.
+    pub makespan: f64,
+    /// Rate re-allocations performed.
+    pub reallocations: usize,
+    /// Events dispatched by the engine.
+    pub events: u64,
+    /// Follow-up events scheduled by handlers.
+    pub scheduled: u64,
+    /// True when the run stopped at the horizon with events pending.
+    pub truncated: bool,
+    /// Total re-routes across all flows.
+    pub reroutes: usize,
+    /// Total conversion-caused re-routes across all flows.
+    pub conversion_reroutes: usize,
+    /// Conversions completed.
+    pub conversions: usize,
+    /// Physical links taken down (failures plus conversion drains).
+    pub links_removed: usize,
+    /// Physical links added by conversion finishes.
+    pub links_added: usize,
+    /// Conversion-plan link removals that matched no live link (plan
+    /// drift; should be 0 in a consistent scenario).
+    pub missing_links: usize,
+    /// JSONL trace lines (one per dispatched event) when the run was
+    /// traced, else `None`.
+    pub trace: Option<Vec<String>>,
+}
+
+impl DesReport {
+    /// Mean flow completion time over finished flows; `NaN` when
+    /// nothing finished.
+    pub fn mean_fct(&self, specs: &[FlowSpec]) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in &self.flows {
+            if let Some(c) = r.completion {
+                sum += c - specs[r.flow].start;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            f64::NAN
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Number of unfinished flows.
+    pub fn unfinished(&self) -> usize {
+        self.flows.iter().filter(|r| r.completion.is_none()).count()
+    }
+
+    /// FNV-style digest of every flow's completion bits and re-route
+    /// counters. Two runs of the same scenario must agree bit-for-bit;
+    /// used by the determinism tests and the `ftctl bench` gate.
+    pub fn completion_checksum(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mix = |h: &mut u64, v: u64| {
+            *h ^= v;
+            *h = h.wrapping_mul(PRIME);
+        };
+        for r in &self.flows {
+            mix(&mut h, r.flow as u64);
+            mix(&mut h, r.completion.map_or(u64::MAX, f64::to_bits));
+            mix(&mut h, r.reroutes as u64);
+            mix(&mut h, r.conversion_reroutes as u64);
+        }
+        h
+    }
+}
+
+/// Event payload dispatched through the ft-des queue. Indices refer to
+/// the run's spec/topology slices, kept in [`World`].
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Flow `specs[i]` arrives.
+    Arrival(usize),
+    /// Recompute the max-min allocation (coalesced via `World::dirty`).
+    Reallocate,
+    /// Check for completions under the allocation of the given epoch.
+    Harvest(u64),
+    /// Apply topology event `topo[i]` (failure, repair, or conversion
+    /// drain).
+    Topo(usize),
+    /// Conversion `topo[i]` finishes: new links up, policy switch.
+    TopoFinish(usize),
+}
+
+struct Active {
+    idx: usize,
+    remaining: f64,
+    path: Option<Vec<DirectedLink>>, // None = currently unroutable
+    hash: u64,
+    ends: Option<(NodeId, NodeId)>, // attachment switches when routable
+}
+
+enum DesRouter {
+    Ecmp(EcmpRoutes),
+    Ksp(KspRoutes),
+}
+
+impl DesRouter {
+    /// Builds routing state over the switch view (id-preserving, so
+    /// path edge ids index the full graph's liveness table directly).
+    fn build(view: &Graph, policy: RouterPolicy) -> DesRouter {
+        match policy {
+            RouterPolicy::Ecmp => DesRouter::Ecmp(EcmpRoutes::compute_on(view)),
+            RouterPolicy::Ksp(k) => DesRouter::Ksp(KspRoutes::new_on(view.clone(), k)),
+        }
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId, hash: u64) -> Option<ServerPath> {
+        match self {
+            DesRouter::Ecmp(r) => r.path(src, dst, hash),
+            DesRouter::Ksp(r) => r.path(src, dst, hash),
+        }
+    }
+}
+
+/// Shared simulation state mutated by the three components.
+struct World {
+    net: Network,
+    view: Graph,
+    policy: RouterPolicy,
+    capacity: f64,
+    router: DesRouter,
+    specs: Vec<FlowSpec>,
+    topo: Vec<TopoEvent>,
+    active: Vec<Active>,
+    rates: Vec<f64>, // index-aligned with `active`
+    records: Vec<DesFlowRecord>,
+    /// Time up to which flow progress has been applied.
+    last: f64,
+    /// A `Reallocate` is pending for the current timestamp.
+    dirty: bool,
+    /// Bumped per allocation; stale `Harvest` events carry old epochs.
+    epoch: u64,
+    reallocations: usize,
+    conversions: usize,
+    links_removed: usize,
+    links_added: usize,
+    missing_links: usize,
+    topo_id: ComponentId,
+    alloc_id: ComponentId,
+    error: Option<ScheduleError>,
+}
+
+impl World {
+    /// Schedules a follow-up event, recording (not panicking on) the
+    /// first failure; the run surfaces it as [`DesError::Schedule`].
+    fn sched(&mut self, ctx: &mut Context<'_, Ev>, at: f64, target: ComponentId, ev: Ev) {
+        if self.error.is_none() {
+            if let Err(e) = ctx.schedule(at, target, ev) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    /// Applies flow progress (and parked-time accounting) from `last`
+    /// up to `now`. Every handler calls this first, so rates in effect
+    /// over `[last, now)` are the ones that were current then.
+    fn advance_to(&mut self, now: f64) {
+        let dt = now - self.last;
+        if dt <= 0.0 {
+            self.last = now;
+            return;
+        }
+        for (f, &r) in self.active.iter_mut().zip(&self.rates) {
+            if f.path.is_none() {
+                self.records[f.idx].parked_time += dt;
+            } else if r > 0.0 && r.is_finite() {
+                f.remaining -= r * dt;
+            }
+        }
+        self.last = now;
+    }
+
+    fn resolve_ends(&self, idx: usize) -> Option<(NodeId, NodeId)> {
+        let s = self.specs[idx];
+        match (
+            self.net.try_attachment(s.src),
+            self.net.try_attachment(s.dst),
+        ) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    fn admit(&mut self, idx: usize, ctx: &mut Context<'_, Ev>) {
+        self.advance_to(ctx.now());
+        let hash = flow_hash(idx);
+        let ends = self.resolve_ends(idx);
+        let path = ends.and_then(|(a, b)| route_links(&self.router, a, b, hash));
+        if path.as_deref().is_some_and(|p| p.is_empty()) {
+            // same-switch flow: finishes instantly, never contends
+            self.records[idx].completion = Some(ctx.now());
+            return;
+        }
+        self.active.push(Active {
+            idx,
+            remaining: self.specs[idx].size,
+            path,
+            hash,
+            ends,
+        });
+        self.rates.push(0.0);
+        self.request_realloc(ctx);
+    }
+
+    /// Coalesces re-allocation requests: at most one `Reallocate` is
+    /// pending per timestamp, scheduled behind every already-queued
+    /// event at `now` (larger seq), so it sees all of them applied.
+    fn request_realloc(&mut self, ctx: &mut Context<'_, Ev>) {
+        if !self.dirty {
+            self.dirty = true;
+            let at = ctx.now();
+            self.sched(ctx, at, self.alloc_id, Ev::Reallocate);
+        }
+    }
+
+    fn finish_flow(&mut self, i: usize, now: f64) {
+        let f = self.active.swap_remove(i);
+        self.rates.swap_remove(i);
+        self.records[f.idx].completion = Some(now);
+    }
+
+    fn reallocate(&mut self, ctx: &mut Context<'_, Ev>) {
+        self.advance_to(ctx.now());
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        self.reallocations += 1;
+        // Re-routes can land a flow on an empty (same-switch) path;
+        // those finish instantly, like at admission.
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].path.as_deref().is_some_and(|p| p.is_empty()) {
+                self.finish_flow(i, ctx.now());
+            } else {
+                i += 1;
+            }
+        }
+        let paths: Vec<Vec<DirectedLink>> = self
+            .active
+            .iter()
+            .map(|f| f.path.clone().unwrap_or_default())
+            .collect();
+        self.rates = max_min_rates(&paths, self.capacity);
+        for (f, r) in self.active.iter().zip(self.rates.iter_mut()) {
+            if f.path.is_none() {
+                *r = 0.0; // unroutable, parked
+            }
+        }
+        self.epoch += 1;
+        self.arm_harvest(ctx);
+    }
+
+    /// Schedules the next completion check under the current rates.
+    fn arm_harvest(&mut self, ctx: &mut Context<'_, Ev>) {
+        let mut dt = f64::INFINITY;
+        for (f, &r) in self.active.iter().zip(&self.rates) {
+            if r > 0.0 && r.is_finite() {
+                let t = f.remaining / r;
+                if t < dt {
+                    dt = t;
+                }
+            }
+        }
+        if dt.is_finite() {
+            let at = ctx.now() + dt.max(0.0);
+            let ep = self.epoch;
+            self.sched(ctx, at, self.alloc_id, Ev::Harvest(ep));
+        }
+    }
+
+    fn harvest(&mut self, ep: u64, ctx: &mut Context<'_, Ev>) {
+        if ep != self.epoch {
+            return; // superseded by a later allocation
+        }
+        self.advance_to(ctx.now());
+        let mut finished = false;
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].remaining <= 1e-9 {
+                self.finish_flow(i, ctx.now());
+                finished = true;
+            } else {
+                i += 1;
+            }
+        }
+        if finished {
+            self.request_realloc(ctx);
+        } else {
+            // float drift: the predicted completion fell short; re-arm
+            self.arm_harvest(ctx);
+        }
+    }
+
+    fn topo_event(&mut self, i: usize, ctx: &mut Context<'_, Ev>) {
+        self.advance_to(ctx.now());
+        match self.topo[i].clone() {
+            TopoEvent::LinkDown(_, e) => {
+                if self.net.graph_mut().remove_edge(e) {
+                    self.links_removed += 1;
+                }
+                if self.view.remove_edge(e) {
+                    self.refresh_router_removed(&[e]);
+                }
+                self.reroute_stale(false);
+                self.request_realloc(ctx);
+            }
+            TopoEvent::LinkUp(_, e) => {
+                self.net.graph_mut().restore_edge(e);
+                if self.view.restore_edge(e) {
+                    self.router = DesRouter::build(&self.view, self.policy);
+                }
+                self.reroute_stale(false);
+                self.request_realloc(ctx);
+            }
+            TopoEvent::Convert(ev) => {
+                // Drain: take down every link the plan removes. Pairs
+                // may be server uplinks (4-port conversions rewire
+                // attachments); those don't exist in the switch view.
+                let mut view_removed = Vec::new();
+                for &(a, b) in &ev.removed {
+                    let (a, b) = (NodeId(a), NodeId(b));
+                    let e = self
+                        .net
+                        .graph()
+                        .neighbors(a)
+                        .filter(|&(n, _)| n == b)
+                        .map(|(_, e)| e)
+                        .min();
+                    let Some(e) = e else {
+                        self.missing_links += 1;
+                        continue;
+                    };
+                    self.net.graph_mut().remove_edge(e);
+                    self.links_removed += 1;
+                    if self.view.remove_edge(e) {
+                        view_removed.push(e);
+                    }
+                }
+                if !view_removed.is_empty() {
+                    self.refresh_router_removed(&view_removed);
+                }
+                self.reroute_stale(true);
+                self.request_realloc(ctx);
+                let at = ctx.now() + ev.latency;
+                self.sched(ctx, at, self.topo_id, Ev::TopoFinish(i));
+            }
+        }
+    }
+
+    fn topo_finish(&mut self, i: usize, ctx: &mut Context<'_, Ev>) {
+        self.advance_to(ctx.now());
+        let TopoEvent::Convert(ev) = self.topo[i].clone() else {
+            return; // only conversions schedule a finish
+        };
+        for &(a, b) in &ev.added {
+            self.net.graph_mut().add_edge(NodeId(a), NodeId(b));
+            self.links_added += 1;
+        }
+        if let Some(p) = ev.new_policy {
+            self.policy = p;
+        }
+        // New edge ids extend the shared id space; rebuild the view so
+        // the router sees them.
+        self.view = self.net.switch_view();
+        self.router = DesRouter::build(&self.view, self.policy);
+        self.conversions += 1;
+        self.reroute_stale(true);
+        self.request_realloc(ctx);
+    }
+
+    /// Incremental ECMP repair after pure removals; everything else
+    /// rebuilds from scratch.
+    fn refresh_router_removed(&mut self, removed: &[EdgeId]) {
+        if let DesRouter::Ecmp(r) = &mut self.router {
+            r.repair(&self.view, removed);
+        } else {
+            self.router = DesRouter::build(&self.view, self.policy);
+        }
+    }
+
+    /// Re-resolves every active flow whose attachment drifted or whose
+    /// path crosses a dead link, counting the re-route (even when the
+    /// flow stays unroutable, matching the legacy simulator).
+    fn reroute_stale(&mut self, conversion: bool) {
+        for fi in 0..self.active.len() {
+            let (idx, hash, old_ends) = {
+                let f = &self.active[fi];
+                (f.idx, f.hash, f.ends)
+            };
+            let ends = self.resolve_ends(idx);
+            let path_ok = ends.is_some()
+                && old_ends == ends
+                && self.active[fi]
+                    .path
+                    .as_ref()
+                    .is_some_and(|p| p.iter().all(|dl| self.view.edge_alive(dl.edge)));
+            if path_ok {
+                continue;
+            }
+            let new_path = ends.and_then(|(a, b)| route_links(&self.router, a, b, hash));
+            let f = &mut self.active[fi];
+            f.ends = ends;
+            f.path = new_path;
+            let rec = &mut self.records[idx];
+            rec.reroutes += 1;
+            if conversion {
+                rec.conversion_reroutes += 1;
+            }
+        }
+    }
+}
+
+struct FlowSource;
+
+impl Component<World, Ev> for FlowSource {
+    fn name(&self) -> &'static str {
+        "flows"
+    }
+
+    fn on_event(&mut self, event: &Ev, w: &mut World, ctx: &mut Context<'_, Ev>) {
+        if let Ev::Arrival(idx) = *event {
+            w.admit(idx, ctx);
+        }
+    }
+}
+
+struct TopologyDriver;
+
+impl Component<World, Ev> for TopologyDriver {
+    fn name(&self) -> &'static str {
+        "topology"
+    }
+
+    fn on_event(&mut self, event: &Ev, w: &mut World, ctx: &mut Context<'_, Ev>) {
+        match *event {
+            Ev::Topo(i) => w.topo_event(i, ctx),
+            Ev::TopoFinish(i) => w.topo_finish(i, ctx),
+            _ => {}
+        }
+    }
+}
+
+struct RateAllocator;
+
+impl Component<World, Ev> for RateAllocator {
+    fn name(&self) -> &'static str {
+        "ratealloc"
+    }
+
+    fn on_event(&mut self, event: &Ev, w: &mut World, ctx: &mut Context<'_, Ev>) {
+        match *event {
+            Ev::Reallocate => w.reallocate(ctx),
+            Ev::Harvest(ep) => w.harvest(ep, ctx),
+            _ => {}
+        }
+    }
+}
+
+/// The event-driven simulator. Owns a pristine copy of the network;
+/// each run clones it, so one simulator can replay many scenarios.
+pub struct DesSimulator {
+    net: Network,
+    policy: RouterPolicy,
+    capacity: f64,
+}
+
+impl DesSimulator {
+    /// Creates a simulator over (a clone of) the network with unit
+    /// capacity per link direction.
+    pub fn new(net: &Network, policy: RouterPolicy) -> Self {
+        DesSimulator {
+            net: net.clone(),
+            policy,
+            capacity: 1.0,
+        }
+    }
+
+    /// Overrides the per-direction link capacity.
+    pub fn with_capacity(mut self, capacity: f64) -> Self {
+        assert!(capacity > 0.0);
+        self.capacity = capacity;
+        self
+    }
+
+    /// Runs the scenario to completion or `horizon`, whichever comes
+    /// first.
+    pub fn run(
+        &self,
+        specs: &[FlowSpec],
+        topo: &[TopoEvent],
+        horizon: f64,
+    ) -> Result<DesReport, DesError> {
+        self.run_inner(specs, topo, horizon, false)
+    }
+
+    /// [`DesSimulator::run`] with a JSONL trace: one line per
+    /// dispatched event, in dispatch order, in
+    /// [`DesReport::trace`].
+    pub fn run_traced(
+        &self,
+        specs: &[FlowSpec],
+        topo: &[TopoEvent],
+        horizon: f64,
+    ) -> Result<DesReport, DesError> {
+        self.run_inner(specs, topo, horizon, true)
+    }
+
+    fn run_inner(
+        &self,
+        specs: &[FlowSpec],
+        topo: &[TopoEvent],
+        horizon: f64,
+        traced: bool,
+    ) -> Result<DesReport, DesError> {
+        let mut span = ft_obs::span!("sim.des", flows = specs.len(), topo = topo.len());
+        let net = self.net.clone();
+        let view = net.switch_view();
+        let router = DesRouter::build(&view, self.policy);
+
+        let mut engine: Engine<World, Ev> = Engine::new();
+        let flow_id = engine.register(Box::new(FlowSource));
+        let topo_id = engine.register(Box::new(TopologyDriver));
+        let alloc_id = engine.register(Box::new(RateAllocator));
+
+        // Seeding order is part of the determinism contract: topology
+        // events first, then arrivals, so at equal timestamps the
+        // queue replays the legacy apply-events-before-admission rule.
+        for (i, ev) in topo.iter().enumerate() {
+            engine
+                .schedule(ev.time(), topo_id, Ev::Topo(i))
+                .map_err(DesError::Seed)?;
+        }
+        for (i, s) in specs.iter().enumerate() {
+            engine
+                .schedule(s.start, flow_id, Ev::Arrival(i))
+                .map_err(DesError::Seed)?;
+        }
+
+        let mut world = World {
+            net,
+            view,
+            policy: self.policy,
+            capacity: self.capacity,
+            router,
+            specs: specs.to_vec(),
+            topo: topo.to_vec(),
+            active: Vec::new(),
+            rates: Vec::new(),
+            records: (0..specs.len())
+                .map(|flow| DesFlowRecord {
+                    flow,
+                    completion: None,
+                    reroutes: 0,
+                    conversion_reroutes: 0,
+                    parked_time: 0.0,
+                })
+                .collect(),
+            last: 0.0,
+            dirty: false,
+            epoch: 0,
+            reallocations: 0,
+            conversions: 0,
+            links_removed: 0,
+            links_added: 0,
+            missing_links: 0,
+            topo_id,
+            alloc_id,
+            error: None,
+        };
+
+        let mut trace: Option<Vec<String>> = if traced { Some(Vec::new()) } else { None };
+        let stats = match trace.as_mut() {
+            Some(lines) => {
+                let kinds: Vec<&'static str> = topo.iter().map(TopoEvent::kind).collect();
+                engine.run_observed(&mut world, horizon, |key, component, ev| {
+                    lines.push(trace_line(&key, component, ev, &kinds));
+                })
+            }
+            None => engine.run(&mut world, horizon),
+        };
+        if let Some(e) = world.error {
+            return Err(DesError::Schedule(e));
+        }
+
+        let mut makespan = engine.now();
+        if stats.truncated && horizon.is_finite() {
+            // account parked time / partial progress up to the cut
+            world.advance_to(horizon);
+            makespan = horizon;
+        }
+
+        let report = DesReport {
+            reroutes: world.records.iter().map(|r| r.reroutes).sum(),
+            conversion_reroutes: world.records.iter().map(|r| r.conversion_reroutes).sum(),
+            flows: world.records,
+            makespan,
+            reallocations: world.reallocations,
+            events: stats.processed,
+            scheduled: stats.scheduled,
+            truncated: stats.truncated,
+            conversions: world.conversions,
+            links_removed: world.links_removed,
+            links_added: world.links_added,
+            missing_links: world.missing_links,
+            trace,
+        };
+        if let Some(s) = span.as_mut() {
+            s.field("events", report.events);
+            s.field("reroutes", report.reroutes as u64);
+            s.field("conversions", report.conversions as u64);
+        }
+        Ok(report)
+    }
+}
+
+fn flow_hash(idx: usize) -> u64 {
+    // same mixing as the legacy simulator: path choice is identical
+    (idx as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03
+}
+
+/// Routes and converts a switch-level path into directed links.
+fn route_links(
+    router: &DesRouter,
+    src: NodeId,
+    dst: NodeId,
+    hash: u64,
+) -> Option<Vec<DirectedLink>> {
+    if src == dst {
+        return Some(Vec::new());
+    }
+    let path = router.route(src, dst, hash)?;
+    let mut out = Vec::with_capacity(path.edges.len());
+    for (i, &e) in path.edges.iter().enumerate() {
+        let (a, b) = (path.switches[i], path.switches[i + 1]);
+        out.push(DirectedLink {
+            edge: e,
+            forward: a.0 < b.0,
+        });
+    }
+    Some(out)
+}
+
+/// One JSONL trace line. `f64` `Display` never prints exponent
+/// notation, so `t` is always a valid JSON number.
+fn trace_line(
+    key: &ft_des::EventKey,
+    component: &'static str,
+    ev: &Ev,
+    kinds: &[&'static str],
+) -> String {
+    let t = key.time.value();
+    let seq = key.seq;
+    let mut line = String::with_capacity(96);
+    let _ = write!(
+        line,
+        "{{\"t\":{t},\"seq\":{seq},\"component\":\"{component}\","
+    );
+    match *ev {
+        Ev::Arrival(i) => {
+            let _ = write!(line, "\"kind\":\"arrival\",\"flow\":{i}}}");
+        }
+        Ev::Reallocate => line.push_str("\"kind\":\"reallocate\"}"),
+        Ev::Harvest(ep) => {
+            let _ = write!(line, "\"kind\":\"harvest\",\"epoch\":{ep}}}");
+        }
+        Ev::Topo(i) => {
+            let kind = kinds.get(i).copied().unwrap_or("topo");
+            let _ = write!(line, "\"kind\":\"{kind}\",\"event\":{i}}}");
+        }
+        Ev::TopoFinish(i) => {
+            let _ = write!(line, "\"kind\":\"conversion_finish\",\"event\":{i}}}");
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{NetworkEvent, Simulator};
+    use ft_core::{FlatTree, FlatTreeConfig, Mode};
+    use ft_topo::fat_tree;
+
+    fn k4() -> Network {
+        fat_tree(4).unwrap()
+    }
+
+    fn server(net: &Network, i: usize) -> NodeId {
+        net.servers().nth(i).unwrap()
+    }
+
+    #[test]
+    fn single_flow_fct_matches_legacy() {
+        let net = k4();
+        let specs = [FlowSpec {
+            src: server(&net, 0),
+            dst: server(&net, 8),
+            size: 2.0,
+            start: 0.0,
+        }];
+        let rep = DesSimulator::new(&net, RouterPolicy::Ecmp)
+            .run(&specs, &[], 1e9)
+            .unwrap();
+        assert_eq!(rep.flows[0].completion, Some(2.0));
+        assert_eq!(rep.unfinished(), 0);
+        assert!((rep.mean_fct(&specs) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_switch_flow_instant() {
+        let net = k4();
+        let specs = [FlowSpec {
+            src: server(&net, 0),
+            dst: server(&net, 1),
+            size: 5.0,
+            start: 3.0,
+        }];
+        let rep = DesSimulator::new(&net, RouterPolicy::Ecmp)
+            .run(&specs, &[], 1e9)
+            .unwrap();
+        assert_eq!(rep.flows[0].completion, Some(3.0));
+        assert_eq!(rep.events, 1); // one arrival, no realloc needed
+    }
+
+    #[test]
+    fn matches_legacy_on_event_free_workload() {
+        let net = k4();
+        let servers: Vec<NodeId> = net.servers().collect();
+        let specs: Vec<FlowSpec> = (0..12)
+            .map(|i| FlowSpec {
+                src: servers[i],
+                dst: servers[(i + 5) % servers.len()],
+                size: 1.0 + i as f64 * 0.5,
+                start: (i % 3) as f64 * 0.25,
+            })
+            .collect();
+        let legacy = Simulator::new(&net, RouterPolicy::Ecmp).run(&specs, &[], 1e9);
+        let des = DesSimulator::new(&net, RouterPolicy::Ecmp)
+            .run(&specs, &[], 1e9)
+            .unwrap();
+        for (a, b) in legacy.flows.iter().zip(&des.flows) {
+            let (ca, cb) = (a.completion.unwrap(), b.completion.unwrap());
+            assert!((ca - cb).abs() < 1e-9, "flow {}: {ca} vs {cb}", a.flow);
+        }
+        assert!((legacy.makespan - des.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_legacy_on_link_failures() {
+        let net = k4();
+        let agg_core: Vec<EdgeId> = net
+            .graph()
+            .edges()
+            .filter(|&(_, a, b)| {
+                use ft_topo::DeviceKind::*;
+                matches!(
+                    (net.kind(a), net.kind(b)),
+                    (Core, Aggregation) | (Aggregation, Core)
+                )
+            })
+            .map(|(e, _, _)| e)
+            .collect();
+        let specs = [FlowSpec {
+            src: server(&net, 0),
+            dst: server(&net, 8),
+            size: 10.0,
+            start: 0.0,
+        }];
+        let events = [
+            NetworkEvent::LinkDown(2.0, agg_core[0]),
+            NetworkEvent::LinkDown(2.0, agg_core[1]),
+            NetworkEvent::LinkUp(4.0, agg_core[0]),
+        ];
+        let topo = [
+            TopoEvent::LinkDown(2.0, agg_core[0]),
+            TopoEvent::LinkDown(2.0, agg_core[1]),
+            TopoEvent::LinkUp(4.0, agg_core[0]),
+        ];
+        let legacy = Simulator::new(&net, RouterPolicy::Ecmp).run(&specs, &events, 1e9);
+        let des = DesSimulator::new(&net, RouterPolicy::Ecmp)
+            .run(&specs, &topo, 1e9)
+            .unwrap();
+        let (ca, cb) = (
+            legacy.flows[0].completion.unwrap(),
+            des.flows[0].completion.unwrap(),
+        );
+        assert!((ca - cb).abs() < 1e-9, "{ca} vs {cb}");
+    }
+
+    #[test]
+    fn uplink_failure_parks_flow() {
+        let net = k4();
+        let src = server(&net, 0);
+        // the server's single uplink
+        let uplink = net.graph().neighbors(src).next().unwrap().1;
+        let specs = [FlowSpec {
+            src,
+            dst: server(&net, 8),
+            size: 10.0,
+            start: 0.0,
+        }];
+        let topo = [
+            TopoEvent::LinkDown(2.0, uplink),
+            TopoEvent::LinkUp(5.0, uplink),
+        ];
+        let rep = DesSimulator::new(&net, RouterPolicy::Ecmp)
+            .run(&specs, &topo, 1e9)
+            .unwrap();
+        let r = &rep.flows[0];
+        assert_eq!(rep.unfinished(), 0);
+        // 2s of transfer, 3s parked, 8 more seconds of transfer
+        assert!((r.completion.unwrap() - 13.0).abs() < 1e-9, "{r:?}");
+        assert!((r.parked_time - 3.0).abs() < 1e-9, "{r:?}");
+        assert!(r.reroutes >= 1);
+    }
+
+    /// Builds a k=4 flat-tree, plans Clos → global random graph, and
+    /// returns (network, conversion event).
+    fn conversion_fixture(latency: f64) -> (Network, ConversionEvent) {
+        let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(4).unwrap()).unwrap();
+        let net = ft.materialize(&Mode::Clos).unwrap();
+        let from = ft.resolve(&Mode::Clos).unwrap();
+        let to = ft.resolve(&Mode::GlobalRandom).unwrap();
+        let plan = ft_control::plan_transition(&ft, &from, &to).unwrap();
+        let ev = ConversionEvent::from_plan(3.0, latency, &plan, Some(RouterPolicy::Ksp(4)));
+        (net, ev)
+    }
+
+    #[test]
+    fn conversion_reroutes_flows_and_completes() {
+        let (net, ev) = conversion_fixture(0.5);
+        let servers: Vec<NodeId> = net.servers().collect();
+        let specs: Vec<FlowSpec> = (0..8)
+            .map(|i| FlowSpec {
+                src: servers[i],
+                dst: servers[(i + servers.len() / 2) % servers.len()],
+                size: 8.0,
+                start: 0.0,
+            })
+            .collect();
+        let rep = DesSimulator::new(&net, RouterPolicy::Ecmp)
+            .run(&specs, &[TopoEvent::Convert(ev)], 1e9)
+            .unwrap();
+        assert_eq!(rep.conversions, 1);
+        assert!(rep.links_removed > 0, "{rep:?}");
+        assert!(rep.links_added > 0, "{rep:?}");
+        assert_eq!(rep.missing_links, 0);
+        assert!(rep.conversion_reroutes > 0, "conversion must touch flows");
+        assert_eq!(rep.unfinished(), 0, "flows must survive the conversion");
+    }
+
+    #[test]
+    fn conversion_latency_delays_completion() {
+        let (net, fast) = conversion_fixture(0.1);
+        let (_, slow) = conversion_fixture(10.0);
+        let servers: Vec<NodeId> = net.servers().collect();
+        let specs: Vec<FlowSpec> = (0..8)
+            .map(|i| FlowSpec {
+                src: servers[i],
+                dst: servers[(i + servers.len() / 2) % servers.len()],
+                size: 8.0,
+                start: 0.0,
+            })
+            .collect();
+        let sim = DesSimulator::new(&net, RouterPolicy::Ecmp);
+        let rep_fast = sim.run(&specs, &[TopoEvent::Convert(fast)], 1e9).unwrap();
+        let rep_slow = sim.run(&specs, &[TopoEvent::Convert(slow)], 1e9).unwrap();
+        assert!(
+            rep_slow.makespan >= rep_fast.makespan,
+            "slower converters cannot finish earlier: {} vs {}",
+            rep_slow.makespan,
+            rep_fast.makespan
+        );
+    }
+
+    #[test]
+    fn deterministic_repeat_with_conversion() {
+        let (net, ev) = conversion_fixture(0.5);
+        let servers: Vec<NodeId> = net.servers().collect();
+        let specs: Vec<FlowSpec> = (0..10)
+            .map(|i| FlowSpec {
+                src: servers[i],
+                dst: servers[(i + 7) % servers.len()],
+                size: 2.0 + i as f64,
+                start: 0.5 * i as f64,
+            })
+            .collect();
+        let sim = DesSimulator::new(&net, RouterPolicy::Ecmp);
+        let topo = [TopoEvent::Convert(ev)];
+        let r1 = sim.run_traced(&specs, &topo, 1e9).unwrap();
+        let r2 = sim.run_traced(&specs, &topo, 1e9).unwrap();
+        assert_eq!(r1.completion_checksum(), r2.completion_checksum());
+        assert_eq!(r1.trace, r2.trace);
+        for (a, b) in r1.flows.iter().zip(&r2.flows) {
+            assert_eq!(
+                a.completion.map(f64::to_bits),
+                b.completion.map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn trace_lines_are_json_objects() {
+        let net = k4();
+        let specs = [FlowSpec {
+            src: server(&net, 0),
+            dst: server(&net, 8),
+            size: 1.0,
+            start: 0.0,
+        }];
+        let rep = DesSimulator::new(&net, RouterPolicy::Ecmp)
+            .run_traced(&specs, &[], 1e9)
+            .unwrap();
+        let trace = rep.trace.unwrap();
+        assert!(!trace.is_empty());
+        for line in &trace {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"kind\":"), "{line}");
+        }
+    }
+
+    #[test]
+    fn horizon_truncates() {
+        let net = k4();
+        let specs = [FlowSpec {
+            src: server(&net, 0),
+            dst: server(&net, 8),
+            size: 100.0,
+            start: 0.0,
+        }];
+        let rep = DesSimulator::new(&net, RouterPolicy::Ecmp)
+            .run(&specs, &[], 5.0)
+            .unwrap();
+        assert_eq!(rep.unfinished(), 1);
+        assert!(rep.truncated);
+        assert_eq!(rep.makespan, 5.0);
+    }
+
+    #[test]
+    fn nan_seed_rejected() {
+        let net = k4();
+        let specs = [FlowSpec {
+            src: server(&net, 0),
+            dst: server(&net, 8),
+            size: 1.0,
+            start: f64::NAN,
+        }];
+        let err = DesSimulator::new(&net, RouterPolicy::Ecmp)
+            .run(&specs, &[], 1e9)
+            .unwrap_err();
+        assert_eq!(err, DesError::Seed(ScheduleError::NotANumber));
+    }
+}

@@ -28,6 +28,11 @@ pub fn flows_from_matrix(tm: &TrafficMatrix, size_per_unit: f64, start: f64) -> 
 /// Poisson-ish arrival schedule: each demand entry spawns `rounds` flows
 /// whose inter-arrival gaps are exponential with mean `1/rate` (per flow),
 /// deterministic for a given seed. Used by load sweeps.
+///
+/// Sampling is delegated to `ft_workload::arrivals::exponential_starts`
+/// so the legacy simulator and the ft-des engine replay identical
+/// schedules; one `StdRng` is shared across demands in matrix order, so
+/// the output is bit-identical to the pre-refactor inline loop.
 pub fn flows_with_arrivals(
     tm: &TrafficMatrix,
     size_per_unit: f64,
@@ -39,11 +44,7 @@ pub fn flows_with_arrivals(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut flows = Vec::with_capacity(tm.demands.len() * rounds);
     for &(src, dst, d) in &tm.demands {
-        let mut t = 0.0;
-        for _ in 0..rounds {
-            // inverse-transform exponential sample
-            let u: f64 = rng.random::<f64>().max(1e-12);
-            t += -u.ln() / rate;
+        for t in ft_workload::arrivals::exponential_starts(&mut rng, rate, rounds) {
             flows.push(FlowSpec {
                 src,
                 dst,

@@ -16,7 +16,11 @@
 //!   recording flow completion times;
 //! * scheduled link failures/repairs re-route affected flows mid-run —
 //!   modeling the paper's §5 "self-recovery of the topology from failures"
-//!   direction.
+//!   direction;
+//! * the [`des`] module rebuilds the simulator on the `ft-des`
+//!   discrete-event engine and adds **live zone conversion**: a
+//!   `ft-control` reconfiguration plan applied mid-run with modeled
+//!   converter latency (drained links, re-routed and re-rated flows).
 //!
 //! Determinism: identical inputs (network, flows, events) produce identical
 //! schedules; there is no hidden RNG.
@@ -24,10 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod des;
 pub mod flows;
 pub mod ratealloc;
 pub mod simulator;
 
+pub use des::{ConversionEvent, DesError, DesFlowRecord, DesReport, DesSimulator, TopoEvent};
 pub use flows::{flows_from_matrix, flows_with_arrivals};
 pub use ratealloc::{max_min_rates, DirectedLink};
 pub use simulator::{FlowRecord, FlowSpec, NetworkEvent, RouterPolicy, SimReport, Simulator};

@@ -178,12 +178,14 @@ impl Simulator {
     /// Runs the simulation until all flows finish, all events are
     /// processed and no progress is possible, or `horizon` is reached.
     pub fn run(&mut self, specs: &[FlowSpec], events: &[NetworkEvent], horizon: f64) -> SimReport {
+        // total_cmp keeps the sort total (and panic-free) even if a NaN
+        // timestamp sneaks in; the ft-des frontend rejects NaN outright.
         let mut events: Vec<NetworkEvent> = events.to_vec();
-        events.sort_by(|a, b| a.time().partial_cmp(&b.time()).unwrap());
+        events.sort_by(|a, b| a.time().total_cmp(&b.time()));
         let mut next_event = 0usize;
 
         let mut arrivals: Vec<usize> = (0..specs.len()).collect();
-        arrivals.sort_by(|&a, &b| specs[a].start.partial_cmp(&specs[b].start).unwrap());
+        arrivals.sort_by(|&a, &b| specs[a].start.total_cmp(&specs[b].start));
         let mut next_arrival = 0usize;
 
         let mut router = Router::build(&self.net, self.policy);

@@ -360,6 +360,20 @@ impl Network {
         g
     }
 
+    /// An **id-preserving** switch-only view: node and edge ids mean the
+    /// same thing as in the full network graph (the layout is
+    /// switches-first, so switch ids survive [`Graph::prefix_subgraph`]
+    /// unchanged), with server uplinks tombstoned.
+    ///
+    /// Unlike [`Network::switch_graph`] — which renumbers edges and is
+    /// therefore only safe on a never-mutated network — paths computed on
+    /// this view name the network's own edges, which is what lets the DES
+    /// simulator remove/restore/add links on both in lockstep during
+    /// failures and zone conversions.
+    pub fn switch_view(&self) -> Graph {
+        self.graph.prefix_subgraph(self.num_switches)
+    }
+
     /// Equipment inventory, for cross-topology equivalence assertions.
     pub fn equipment(&self) -> Equipment {
         Equipment {
@@ -433,6 +447,23 @@ mod tests {
         b.add_link(h0, s0).unwrap();
         b.add_link(h1, s1).unwrap();
         b.build().unwrap()
+    }
+
+    #[test]
+    fn switch_view_preserves_network_ids() {
+        let mut n = tiny();
+        let view = n.switch_view();
+        assert_eq!(view.node_count(), 2);
+        assert_eq!(view.edge_id_bound(), n.graph().edge_id_bound());
+        // exactly the switch-switch link survives, under its network id
+        let live: Vec<_> = view.edges().collect();
+        assert_eq!(live.len(), 1);
+        let (e, a, b) = live[0];
+        assert!(n.graph().edge_alive(e));
+        assert_eq!(n.graph().endpoints(e), (a, b));
+        // a removal in the network is visible in a fresh view, same id
+        n.graph_mut().remove_edge(e);
+        assert_eq!(n.switch_view().edge_count(), 0);
     }
 
     #[test]

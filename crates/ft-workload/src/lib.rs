@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
+
 use ft_graph::NodeId;
 use ft_topo::Network;
 use rand::prelude::*;

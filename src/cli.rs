@@ -15,6 +15,8 @@
 //! ftctl query   -k 8 --req "paths mode=global-rg; stats"
 //! ```
 
+use crate::control::{plan_transition, plan_zone_transition, Zone};
+use crate::core::PodMode;
 use crate::core::{profile_mn, FlatTree, FlatTreeConfig, Mode};
 use crate::graph::bridges::bridges;
 use crate::graph::stats::{diameter, mean_degree};
@@ -25,11 +27,13 @@ use crate::mcf::{
 use crate::metrics::bisection::random_bisection_bandwidth;
 use crate::metrics::path_length::{average_intra_pod_path_length, average_server_path_length};
 use crate::serve::{serve_listener, ServeConfig, Service};
+use crate::sim::{flows_with_arrivals, ConversionEvent, DesSimulator, RouterPolicy, TopoEvent};
 use crate::topo::export::{to_dot, to_json};
 use crate::topo::{
     fat_tree, jellyfish_matching_fat_tree, two_stage_random_graph, Network, TwoStageParams,
 };
-use crate::workload::{generate, Locality, WorkloadSpec};
+use crate::workload::{generate, generate_on, Locality, TrafficPattern, WorkloadSpec};
+use ft_graph::NodeId;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -70,6 +74,8 @@ USAGE:
                 [--trace <file.jsonl>]
   ftctl query   -k <even> [--req \"<ftq line>[; <ftq line>…]\"] [--workers <n>]
                 [--trace <file.jsonl>]
+  ftctl sim     --scenario <file> [--quick] [--json <file|->]
+                [--events <file.jsonl>] [--trace <file.jsonl>]
   ftctl bench   [--json <file>] [--quick] [--check <baseline.json>]
                 [--trace <file.jsonl>]
   ftctl lint    [--json <file|->] [--sarif <file|->] [--fix-allow]
@@ -88,9 +94,22 @@ topo | paths | throughput | plan | convert | stats | metrics | shutdown;
 structured spans (one JSON object per line) to the given file; without it
 all instrumentation stays off at a single atomic-load cost per site.
 
+sim runs a seeded scenario on the ft-des discrete-event engine: a workload
+replayed as Poisson flow arrivals over a flat-tree, optionally with one
+live zone conversion (drained links, converter latency, re-routed flows).
+The scenario file is `key = value` lines (# comments): k, policy
+(ecmp | ksp:<n>), from (initial mode), to (target mode) or to-zones
+(name:lo..hi:mode,…), convert-at, latency, new-policy, workload
+(hotspot | all-to-all | permutation), cluster-size, locality
+(strong | weak | none), seed, size, rate, rounds, capacity, horizon.
+--json writes the ft-des-sim/1 summary (no wall-clock fields, so two runs
+of one scenario compare bit-for-bit); --events streams the per-event JSONL
+trace; --quick caps the arrival rounds at 1. See scenarios/*.scn.
+
 bench times the hot-path kernels (CSR BFS-APSP sequential vs parallel,
 Dijkstra with fresh vs reused scratch buffers, the source-batched FPTAS
-throughput solve) on fixed seeds at k ∈ {8, 16, 32} and optionally writes
+throughput solve, and a ft-des event storm reporting events/s) on fixed
+seeds at k ∈ {8, 16, 32} and optionally writes
 a JSON report (--quick restricts to k = 8 with a shorter FPTAS step cap).
 --check compares the run against a previously written report: determinism
 fields (checksums, distance sums, λ at matching step budgets) must match
@@ -213,6 +232,7 @@ pub fn run(inv: &Invocation) -> Result<String, CliError> {
         "profile" => cmd_profile(inv),
         "serve" => cmd_serve(inv),
         "query" => cmd_query(inv),
+        "sim" => cmd_sim(inv),
         "bench" => cmd_bench(inv),
         "lint" => cmd_lint(inv),
         other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
@@ -442,6 +462,339 @@ fn cmd_query(inv: &Invocation) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// One parsed `key = value` simulation scenario (see `scenarios/*.scn`).
+struct Scenario {
+    k: usize,
+    policy: RouterPolicy,
+    from: Mode,
+    to: Option<ScenarioTarget>,
+    convert_at: f64,
+    latency: f64,
+    new_policy: Option<RouterPolicy>,
+    workload: WorkloadSpec,
+    seed: u64,
+    size: f64,
+    rate: f64,
+    rounds: usize,
+    capacity: f64,
+    horizon: f64,
+}
+
+/// What the scenario converts to: a uniform mode or a zone layout.
+enum ScenarioTarget {
+    Mode(Mode),
+    Zones(Vec<Zone>),
+}
+
+fn parse_policy(s: &str) -> Result<RouterPolicy, CliError> {
+    if s == "ecmp" {
+        return Ok(RouterPolicy::Ecmp);
+    }
+    if s == "ksp" {
+        return Ok(RouterPolicy::Ksp(8));
+    }
+    if let Some(n) = s.strip_prefix("ksp:") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| CliError(format!("bad ksp path count {n:?}")))?;
+        if n == 0 {
+            return Err(CliError("ksp path count must be ≥ 1".into()));
+        }
+        return Ok(RouterPolicy::Ksp(n));
+    }
+    Err(CliError(format!(
+        "unknown policy {s:?} (use ecmp | ksp:<n>)"
+    )))
+}
+
+fn parse_pod_mode(s: &str) -> Result<PodMode, CliError> {
+    match s {
+        "clos" => Ok(PodMode::Clos),
+        "local-rg" | "local" => Ok(PodMode::LocalRandom),
+        "global-rg" | "global" => Ok(PodMode::GlobalRandom),
+        other => Err(CliError(format!(
+            "unknown zone mode {other:?} (use clos | local-rg | global-rg)"
+        ))),
+    }
+}
+
+/// Parses `name:lo..hi:mode[,name:lo..hi:mode…]` into a zone layout.
+fn parse_zones(s: &str) -> Result<Vec<Zone>, CliError> {
+    let mut zones = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        let mut it = part.splitn(3, ':');
+        let (Some(name), Some(range), Some(mode)) = (it.next(), it.next(), it.next()) else {
+            return Err(CliError(format!(
+                "bad zone {part:?} (expected name:lo..hi:mode)"
+            )));
+        };
+        let (lo, hi) = range
+            .split_once("..")
+            .ok_or_else(|| CliError(format!("bad pod range {range:?} (expected lo..hi)")))?;
+        let lo: usize = lo
+            .parse()
+            .map_err(|_| CliError(format!("bad pod index {lo:?}")))?;
+        let hi: usize = hi
+            .parse()
+            .map_err(|_| CliError(format!("bad pod index {hi:?}")))?;
+        zones.push(Zone::new(name, lo..hi, parse_pod_mode(mode)?));
+    }
+    Ok(zones)
+}
+
+fn parse_scenario(text: &str) -> Result<Scenario, CliError> {
+    let mut sc = Scenario {
+        k: 4,
+        policy: RouterPolicy::Ecmp,
+        from: Mode::Clos,
+        to: None,
+        convert_at: 5.0,
+        latency: 0.5,
+        new_policy: None,
+        workload: WorkloadSpec {
+            pattern: TrafficPattern::AllToAll,
+            cluster_size: 8,
+            locality: Locality::None,
+        },
+        seed: 1,
+        size: 1.0,
+        rate: 0.5,
+        rounds: 4,
+        capacity: 1.0,
+        horizon: 1e9,
+    };
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| CliError(format!("scenario line {}: expected key = value", ln + 1)))?;
+        let (key, value) = (key.trim(), value.trim());
+        let bad_num = |k: &str, v: &str| CliError(format!("scenario key {k}: bad number {v:?}"));
+        match key {
+            "k" => sc.k = value.parse().map_err(|_| bad_num(key, value))?,
+            "policy" => sc.policy = parse_policy(value)?,
+            "new-policy" => sc.new_policy = Some(parse_policy(value)?),
+            "from" => sc.from = parse_mode(value)?,
+            "to" => sc.to = Some(ScenarioTarget::Mode(parse_mode(value)?)),
+            "to-zones" => sc.to = Some(ScenarioTarget::Zones(parse_zones(value)?)),
+            "convert-at" => sc.convert_at = value.parse().map_err(|_| bad_num(key, value))?,
+            "latency" => sc.latency = value.parse().map_err(|_| bad_num(key, value))?,
+            "seed" => sc.seed = value.parse().map_err(|_| bad_num(key, value))?,
+            "size" => sc.size = value.parse().map_err(|_| bad_num(key, value))?,
+            "rate" => sc.rate = value.parse().map_err(|_| bad_num(key, value))?,
+            "rounds" => sc.rounds = value.parse().map_err(|_| bad_num(key, value))?,
+            "capacity" => sc.capacity = value.parse().map_err(|_| bad_num(key, value))?,
+            "horizon" => sc.horizon = value.parse().map_err(|_| bad_num(key, value))?,
+            "cluster-size" => {
+                sc.workload.cluster_size = value.parse().map_err(|_| bad_num(key, value))?
+            }
+            "workload" => {
+                sc.workload.pattern = match value {
+                    "hotspot" | "hot-spot" => TrafficPattern::HotSpot,
+                    "all-to-all" => TrafficPattern::AllToAll,
+                    "permutation" => TrafficPattern::Permutation,
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown workload {other:?} (use hotspot | all-to-all | permutation)"
+                        )))
+                    }
+                }
+            }
+            "locality" => {
+                sc.workload.locality = match value {
+                    "strong" => Locality::Strong,
+                    "weak" => Locality::Weak,
+                    "none" => Locality::None,
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown locality {other:?} (use strong | weak | none)"
+                        )))
+                    }
+                }
+            }
+            other => {
+                return Err(CliError(format!(
+                    "scenario line {}: unknown key {other:?}",
+                    ln + 1
+                )))
+            }
+        }
+    }
+    Ok(sc)
+}
+
+/// Expresses a uniform starting mode as a zone layout: Clos is the empty
+/// layout (unclaimed Pods default to Clos), anything else is one
+/// all-Pods zone.
+fn baseline_zones(from: &Mode, pods: usize) -> Vec<Zone> {
+    let pod_mode = match from {
+        Mode::Clos => return Vec::new(),
+        Mode::LocalRandom => PodMode::LocalRandom,
+        Mode::GlobalRandom => PodMode::GlobalRandom,
+        Mode::Hybrid(_) => return Vec::new(), // scenario modes are never hybrid
+    };
+    vec![Zone::new("all", 0..pods, pod_mode)]
+}
+
+/// Renders the deterministic `ft-des-sim/1` summary. Deliberately free of
+/// wall-clock fields so summaries from different thread counts (or
+/// machines) can be byte-compared — the CI determinism gate does exactly
+/// that.
+fn sim_summary_json(
+    sc: &Scenario,
+    flows: &[crate::sim::FlowSpec],
+    rep: &crate::sim::DesReport,
+) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"schema\": \"ft-des-sim/1\",");
+    let _ = writeln!(s, "  \"k\": {},", sc.k);
+    let _ = writeln!(s, "  \"seed\": {},", sc.seed);
+    let _ = writeln!(s, "  \"flows\": {},", flows.len());
+    let _ = writeln!(s, "  \"finished\": {},", flows.len() - rep.unfinished());
+    let _ = writeln!(s, "  \"unfinished\": {},", rep.unfinished());
+    let mean = rep.mean_fct(flows);
+    let _ = if mean.is_finite() {
+        writeln!(s, "  \"mean_fct\": {mean:.9},")
+    } else {
+        writeln!(s, "  \"mean_fct\": null,")
+    };
+    let _ = writeln!(s, "  \"makespan\": {:.9},", rep.makespan);
+    let _ = writeln!(s, "  \"events\": {},", rep.events);
+    let _ = writeln!(s, "  \"scheduled\": {},", rep.scheduled);
+    let _ = writeln!(s, "  \"reallocations\": {},", rep.reallocations);
+    let _ = writeln!(s, "  \"reroutes\": {},", rep.reroutes);
+    let _ = writeln!(s, "  \"conversion_reroutes\": {},", rep.conversion_reroutes);
+    let _ = writeln!(s, "  \"conversions\": {},", rep.conversions);
+    let _ = writeln!(s, "  \"links_removed\": {},", rep.links_removed);
+    let _ = writeln!(s, "  \"links_added\": {},", rep.links_added);
+    let _ = writeln!(s, "  \"missing_links\": {},", rep.missing_links);
+    let _ = writeln!(s, "  \"truncated\": {},", rep.truncated);
+    let _ = writeln!(s, "  \"checksum\": {}", rep.completion_checksum());
+    s.push_str("}\n");
+    s
+}
+
+/// `ftctl sim` — runs a scenario file on the ft-des engine: seeded
+/// workload arrivals, optionally one live zone conversion sourced from the
+/// ft-control reconfiguration plan.
+fn cmd_sim(inv: &Invocation) -> Result<String, CliError> {
+    let _trace = TraceGuard::from_inv(inv)?;
+    let path = inv
+        .options
+        .get("scenario")
+        .ok_or_else(|| CliError("missing --scenario <file>".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read scenario {path}: {e}")))?;
+    let mut sc = parse_scenario(&text)?;
+    if inv.options.contains_key("quick") {
+        sc.rounds = sc.rounds.min(1);
+    }
+
+    let cfg = FlatTreeConfig::for_fat_tree_k(sc.k).map_err(|e| CliError(e.to_string()))?;
+    let ft = FlatTree::new(cfg).map_err(|e| CliError(e.to_string()))?;
+    let net = ft
+        .materialize(&sc.from)
+        .map_err(|e| CliError(e.to_string()))?;
+
+    let mut topo: Vec<TopoEvent> = Vec::new();
+    let mut conversion_desc = String::from("none");
+    if let Some(target) = &sc.to {
+        let plan = match target {
+            ScenarioTarget::Mode(to) => {
+                let from = ft.resolve(&sc.from).map_err(|e| CliError(e.to_string()))?;
+                let to = ft.resolve(to).map_err(|e| CliError(e.to_string()))?;
+                plan_transition(&ft, &from, &to).map_err(|e| CliError(e.to_string()))?
+            }
+            ScenarioTarget::Zones(zones) => {
+                let from_zones = baseline_zones(&sc.from, ft.geometry().pods);
+                plan_zone_transition(&ft, &from_zones, zones)
+                    .map_err(|e| CliError(e.to_string()))?
+            }
+        };
+        conversion_desc = format!(
+            "at t={} (latency {}): -{} links, +{} links, {} converter ops",
+            sc.convert_at,
+            sc.latency,
+            plan.links_removed.len(),
+            plan.links_added.len(),
+            plan.converter_ops()
+        );
+        topo.push(TopoEvent::Convert(ConversionEvent::from_plan(
+            sc.convert_at,
+            sc.latency,
+            &plan,
+            sc.new_policy,
+        )));
+    }
+
+    let tm = generate(&net, &sc.workload, sc.seed);
+    let flows = flows_with_arrivals(&tm, sc.size, sc.rate, sc.rounds, sc.seed);
+    let sim = DesSimulator::new(&net, sc.policy).with_capacity(sc.capacity);
+    let events_path = inv.options.get("events");
+    let rep = if events_path.is_some() {
+        sim.run_traced(&flows, &topo, sc.horizon)
+    } else {
+        sim.run(&flows, &topo, sc.horizon)
+    }
+    .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "ft-des simulation: {path}");
+    let _ = writeln!(
+        out,
+        "  k={} policy={:?} from={:?} seed={}",
+        sc.k, sc.policy, sc.from, sc.seed
+    );
+    let _ = writeln!(out, "  conversion: {conversion_desc}");
+    let _ = writeln!(
+        out,
+        "  flows: {} ({} finished, {} unfinished)",
+        flows.len(),
+        flows.len() - rep.unfinished(),
+        rep.unfinished()
+    );
+    let _ = writeln!(
+        out,
+        "  mean fct: {:.6}   makespan: {:.6}{}",
+        rep.mean_fct(&flows),
+        rep.makespan,
+        if rep.truncated { " (truncated)" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "  events: {}   reallocations: {}   reroutes: {} ({} from conversion)",
+        rep.events, rep.reallocations, rep.reroutes, rep.conversion_reroutes
+    );
+    if rep.missing_links > 0 {
+        let _ = writeln!(
+            out,
+            "  warning: {} planned link removals matched no live link",
+            rep.missing_links
+        );
+    }
+    if let Some(target) = inv.options.get("json") {
+        let doc = sim_summary_json(&sc, &flows, &rep);
+        if target == "-" {
+            out.push_str(&doc);
+        } else {
+            std::fs::write(target, doc)
+                .map_err(|e| CliError(format!("cannot write {target}: {e}")))?;
+            let _ = writeln!(out, "  json written to {target}");
+        }
+    }
+    if let Some(target) = events_path {
+        let mut doc = rep.trace.as_deref().unwrap_or_default().join("\n");
+        doc.push('\n');
+        std::fs::write(target, doc).map_err(|e| CliError(format!("cannot write {target}: {e}")))?;
+        let _ = writeln!(out, "  events written to {target}");
+    }
+    Ok(out)
+}
+
 /// Fixed RNG seed for every bench topology and workload: the report must be
 /// reproducible run to run (timings vary, checksums and λ must not).
 const BENCH_SEED: u64 = 1;
@@ -660,6 +1013,48 @@ fn bench_fptas(
     Ok(())
 }
 
+/// Event storm through the ft-des engine: a fixed 32-server all-to-all
+/// workload replayed as Poisson arrivals on the fat-tree(k) fabric, no
+/// topology events. Records the event-loop throughput (events/s, timing-
+/// dependent, not gate-compared) and the completion checksum (gate-
+/// compared exactly: the schedule is deterministic for the fixed seed).
+fn bench_des(k: usize, entries: &mut Vec<BenchEntry>) -> Result<(), CliError> {
+    let net = fat_tree(k).map_err(|e| CliError(e.to_string()))?;
+    let servers: Vec<NodeId> = net.servers().take(32).collect();
+    let spec = WorkloadSpec {
+        pattern: TrafficPattern::AllToAll,
+        cluster_size: 8,
+        locality: Locality::None,
+    };
+    let tm = generate_on(&net, &servers, &spec, BENCH_SEED);
+    // same workload in --quick and full runs (the k = 8 storm is fast), so
+    // the completion checksum stays exactly comparable to the checked-in
+    // baseline — bench --check gates des determinism in CI
+    let rounds = 6;
+    let flows = flows_with_arrivals(&tm, 1.0, 0.5, rounds, BENCH_SEED);
+    let sim = DesSimulator::new(&net, RouterPolicy::Ecmp);
+    let (rep, ms) = time_ms(|| sim.run(&flows, &[], f64::INFINITY));
+    let rep = rep.map_err(|e| CliError(format!("bench des k={k}: {e}")))?;
+    let events_per_sec = if ms > 0.0 {
+        rep.events as f64 / (ms / 1e3)
+    } else {
+        0.0
+    };
+    entries.push(BenchEntry {
+        k,
+        kernel: "des",
+        variant: "storm",
+        ms,
+        extras: vec![
+            ("events", rep.events.to_string()),
+            ("events_per_sec", format!("{events_per_sec:.0}")),
+            ("flows", flows.len().to_string()),
+            ("checksum", rep.completion_checksum().to_string()),
+        ],
+    });
+    Ok(())
+}
+
 /// Extracts the value of `"key":` from a single-line JSON object of the
 /// bench schema, quotes stripped. Values never contain `,` or `}` (numbers,
 /// booleans, and plain identifiers only), so no real parser is needed.
@@ -765,6 +1160,7 @@ fn cmd_bench(inv: &Invocation) -> Result<String, CliError> {
         bench_apsp(k, threads, &mut entries)?;
         bench_dijkstra(k, &mut entries)?;
         bench_fptas(k, quick, &mut entries, &mut warnings)?;
+        bench_des(k, &mut entries)?;
     }
     let mut out = String::new();
     let _ = writeln!(
@@ -1015,7 +1411,7 @@ mod tests {
         ]))
         .unwrap();
         for token in [
-            "apsp", "dijkstra", "fptas", "seq", "par", "scratch", "batched",
+            "apsp", "dijkstra", "fptas", "des", "seq", "par", "scratch", "batched", "storm",
         ] {
             assert!(out.contains(token), "missing {token} in: {out}");
         }
@@ -1140,6 +1536,67 @@ mod tests {
             .contains("\"nodes\""));
         let _ = std::fs::remove_file(dot);
         let _ = std::fs::remove_file(json);
+    }
+
+    #[test]
+    fn sim_runs_checked_in_conversion_scenario() {
+        let scn = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/clos_to_global.scn");
+        let out = run(&inv(&["sim", "--scenario", scn, "--quick", "--json", "-"])).unwrap();
+        assert!(out.contains("\"schema\": \"ft-des-sim/1\""), "{out}");
+        assert!(out.contains("\"conversions\": 1"), "{out}");
+        assert!(out.contains("\"missing_links\": 0"), "{out}");
+        assert!(out.contains("\"unfinished\": 0"), "{out}");
+        assert!(
+            !out.contains("\"conversion_reroutes\": 0,"),
+            "conversion must re-route flows: {out}"
+        );
+    }
+
+    #[test]
+    fn sim_repeat_runs_are_byte_identical() {
+        let scn = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/clos_to_global.scn");
+        let args = ["sim", "--scenario", scn, "--quick", "--json", "-"];
+        assert_eq!(run(&inv(&args)).unwrap(), run(&inv(&args)).unwrap());
+    }
+
+    #[test]
+    fn sim_scenario_parser_rejects_garbage() {
+        assert!(parse_scenario("k = 4\nnot a kv line\n").is_err());
+        assert!(parse_scenario("frobnicate = 7\n").is_err());
+        assert!(parse_scenario("to-zones = all:0..4\n").is_err()); // missing mode
+        assert!(parse_scenario("policy = ksp:0\n").is_err());
+        // comments and blank lines are fine
+        let sc = parse_scenario("# hello\n\nk = 8 # trailing\npolicy = ksp:4\n").unwrap();
+        assert_eq!(sc.k, 8);
+        assert_eq!(sc.policy, RouterPolicy::Ksp(4));
+    }
+
+    #[test]
+    fn sim_events_trace_is_jsonl() {
+        let scn = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/clos_to_global.scn");
+        let trace = std::env::temp_dir().join("ftctl_sim_events_test.jsonl");
+        let out = run(&inv(&[
+            "sim",
+            "--scenario",
+            scn,
+            "--quick",
+            "--events",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("events written to"), "{out}");
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(!body.trim().is_empty());
+        for line in body.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not a JSON object line: {line:?}"
+            );
+        }
+        assert!(body.contains("\"kind\":\"conversion_start\""), "{body}");
+        assert!(body.contains("\"kind\":\"conversion_finish\""), "{body}");
+        assert!(body.contains("\"kind\":\"arrival\""), "{body}");
+        let _ = std::fs::remove_file(trace);
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //!   ECMP/KSP routing.
 //! * [`workload`] — data-center traffic patterns and placement localities.
 //! * [`metrics`] — average path length and throughput evaluation.
-//! * [`sim`] — flow-level max-min fairness simulator (extension).
+//! * [`des`] — deterministic discrete-event engine: total-order event
+//!   keys, pending-event queue, component handler registry (extension).
+//! * [`sim`] — flow-level max-min fairness simulator (extension); its
+//!   `des` module runs flows, failures, and live zone conversions on the
+//!   [`des`] engine.
 //! * [`serve`] — resident FTQ/1 query service: worker pool, materialization
 //!   cache, request metrics (in-process + localhost TCP transports).
 //! * [`obs`] — zero-dependency observability: structured spans (JSONL
@@ -53,6 +57,7 @@ pub mod cli;
 
 pub use ft_control as control;
 pub use ft_core as core;
+pub use ft_des as des;
 pub use ft_graph as graph;
 pub use ft_lp as lp;
 pub use ft_mcf as mcf;

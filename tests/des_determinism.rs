@@ -1,0 +1,166 @@
+//! End-to-end determinism of the ft-des simulation engine (DESIGN.md §14)
+//! and its equivalence to the legacy next-transition simulator.
+//!
+//! The conversion scenario must be bit-identical — per-flow completion
+//! bits, re-route counters, and the full JSONL trace — across
+//! `FT_THREADS` settings (single test function: the env var is
+//! process-global, so the two settings run sequentially inside it). On a
+//! failure-free, conversion-free trace the DES engine must reproduce the
+//! legacy simulator's completion times within 1e-9.
+
+use flat_tree::control::plan_transition;
+use flat_tree::core::{FlatTree, FlatTreeConfig, Mode};
+use flat_tree::sim::{
+    flows_with_arrivals, ConversionEvent, DesReport, DesSimulator, FlowSpec, RouterPolicy,
+    Simulator, TopoEvent,
+};
+use flat_tree::topo::Network;
+use flat_tree::workload::{generate, Locality, TrafficPattern, WorkloadSpec};
+
+fn fixture() -> (Network, Vec<FlowSpec>, Vec<TopoEvent>) {
+    let ft = FlatTree::new(FlatTreeConfig::for_fat_tree_k(4).unwrap()).unwrap();
+    let net = ft.materialize(&Mode::Clos).unwrap();
+    let from = ft.resolve(&Mode::Clos).unwrap();
+    let to = ft.resolve(&Mode::GlobalRandom).unwrap();
+    let plan = plan_transition(&ft, &from, &to).unwrap();
+    let topo = vec![TopoEvent::Convert(ConversionEvent::from_plan(
+        1.0,
+        0.5,
+        &plan,
+        Some(RouterPolicy::Ksp(8)),
+    ))];
+    let spec = WorkloadSpec {
+        pattern: TrafficPattern::AllToAll,
+        cluster_size: 8,
+        locality: Locality::None,
+    };
+    let tm = generate(&net, &spec, 1);
+    let flows = flows_with_arrivals(&tm, 8.0, 0.5, 2, 1);
+    (net, flows, topo)
+}
+
+fn run_conversion() -> DesReport {
+    let (net, flows, topo) = fixture();
+    DesSimulator::new(&net, RouterPolicy::Ecmp)
+        .run_traced(&flows, &topo, 1e9)
+        .unwrap()
+}
+
+#[test]
+fn conversion_scenario_bit_identical_across_thread_counts() {
+    std::env::set_var("FT_THREADS", "1");
+    let r1 = run_conversion();
+    std::env::set_var("FT_THREADS", "4");
+    let r4 = run_conversion();
+    std::env::remove_var("FT_THREADS");
+
+    assert!(r1.conversions == 1 && r1.conversion_reroutes > 0, "{r1:?}");
+    assert_eq!(
+        r1.completion_checksum(),
+        r4.completion_checksum(),
+        "completion digest diverged across thread counts"
+    );
+    for (a, b) in r1.flows.iter().zip(&r4.flows) {
+        assert_eq!(
+            a.completion.map(f64::to_bits),
+            b.completion.map(f64::to_bits),
+            "flow {} completion diverged",
+            a.flow
+        );
+        assert_eq!(a.reroutes, b.reroutes, "flow {} reroutes diverged", a.flow);
+        assert_eq!(a.parked_time.to_bits(), b.parked_time.to_bits());
+    }
+    assert_eq!(r1.makespan.to_bits(), r4.makespan.to_bits());
+    assert_eq!(
+        r1.trace, r4.trace,
+        "JSONL trace diverged across thread counts"
+    );
+}
+
+#[test]
+fn des_reproduces_legacy_on_event_free_trace() {
+    let (net, flows, _) = fixture();
+    let legacy = Simulator::new(&net, RouterPolicy::Ecmp).run(&flows, &[], 1e9);
+    let des = DesSimulator::new(&net, RouterPolicy::Ecmp)
+        .run(&flows, &[], 1e9)
+        .unwrap();
+    assert_eq!(legacy.flows.len(), des.flows.len());
+    for (a, b) in legacy.flows.iter().zip(&des.flows) {
+        match (a.completion, b.completion) {
+            (Some(ca), Some(cb)) => assert!(
+                (ca - cb).abs() < 1e-9,
+                "flow {}: legacy {ca} vs des {cb}",
+                a.flow
+            ),
+            (None, None) => {}
+            other => panic!("flow {}: finished-state mismatch {other:?}", a.flow),
+        }
+    }
+    assert!(
+        (legacy.makespan - des.makespan).abs() < 1e-9,
+        "makespan: {} vs {}",
+        legacy.makespan,
+        des.makespan
+    );
+    assert_eq!(des.unfinished(), 0);
+}
+
+/// Under mid-run failures the two engines are *not* expected to agree on
+/// per-flow times: the legacy simulator repairs ECMP tables against a
+/// freshly built `Network::switch_graph()`, which renumbers edge ids once
+/// any link is dead, while the `removed` list (and later liveness checks)
+/// stay in network edge-id space. The DES engine routes on the
+/// id-preserving `Network::switch_view()` instead, so its repairs are
+/// consistent by construction. This test therefore pins the robust
+/// invariants both engines must satisfy — every flow still completes, the
+/// failures actually force re-routes, and restoring a link never strands a
+/// flow — rather than bitwise parity (which DESIGN.md §14 only requires on
+/// failure-free, conversion-free traces).
+#[test]
+fn des_survives_link_failures_like_legacy() {
+    let (net, flows, _) = fixture();
+    // fail and restore two core-aggregation links mid-run
+    let agg_core: Vec<_> = net
+        .graph()
+        .edges()
+        .filter(|&(_, a, b)| {
+            use flat_tree::topo::DeviceKind::*;
+            matches!(
+                (net.kind(a), net.kind(b)),
+                (Core, Aggregation) | (Aggregation, Core)
+            )
+        })
+        .map(|(e, _, _)| e)
+        .take(2)
+        .collect();
+    let legacy_events: Vec<_> = vec![
+        flat_tree::sim::NetworkEvent::LinkDown(2.0, agg_core[0]),
+        flat_tree::sim::NetworkEvent::LinkDown(3.0, agg_core[1]),
+        flat_tree::sim::NetworkEvent::LinkUp(6.0, agg_core[0]),
+    ];
+    let des_events: Vec<_> = vec![
+        TopoEvent::LinkDown(2.0, agg_core[0]),
+        TopoEvent::LinkDown(3.0, agg_core[1]),
+        TopoEvent::LinkUp(6.0, agg_core[0]),
+    ];
+    let legacy = Simulator::new(&net, RouterPolicy::Ecmp).run(&flows, &legacy_events, 1e9);
+    let des = DesSimulator::new(&net, RouterPolicy::Ecmp)
+        .run(&flows, &des_events, 1e9)
+        .unwrap();
+    assert_eq!(legacy.flows.len(), des.flows.len());
+    assert!(legacy.flows.iter().all(|f| f.completion.is_some()));
+    assert_eq!(des.unfinished(), 0, "a failure stranded a DES flow");
+    let des_reroutes: usize = des.flows.iter().map(|f| f.reroutes).sum();
+    assert!(des_reroutes > 0, "failures should have forced re-routes");
+    assert!(des.makespan.is_finite() && des.makespan > 6.0);
+}
+
+#[test]
+fn conversion_repeat_runs_identical() {
+    let a = run_conversion();
+    let b = run_conversion();
+    assert_eq!(a.completion_checksum(), b.completion_checksum());
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.scheduled, b.scheduled);
+}
