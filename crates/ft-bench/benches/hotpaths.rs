@@ -1,15 +1,17 @@
 //! Hot-path kernel benchmarks: the CSR BFS-APSP (sequential vs parallel
-//! worker pool), Dijkstra scratch reuse, and the CSR-ported filtered
-//! Dijkstra that Yen's algorithm drives.
+//! worker pool), the compact distance stack (scalar u16 BFS vs the
+//! multi-source bitset kernel vs symmetry-deduped APSP, DESIGN.md §15),
+//! Dijkstra scratch reuse, and the CSR-ported filtered Dijkstra that
+//! Yen's algorithm drives.
 //!
 //! These are the micro counterparts of `ftctl bench --json` (which produces
 //! the checked-in `BENCH_hotpaths.json` baseline); run them for
 //! statistically solid per-kernel numbers on a quiet machine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ft_graph::{dijkstra_csr, AllPairs, Csr};
+use ft_graph::{dijkstra_csr, AllPairs, Csr, DistMatrix};
 use ft_mcf::{CapGraph, DijkstraScratch};
-use ft_topo::fat_tree;
+use ft_topo::{fat_tree, DedupedApsp};
 use std::hint::black_box;
 
 fn bench_apsp(c: &mut Criterion) {
@@ -25,6 +27,29 @@ fn bench_apsp(c: &mut Criterion) {
         let workers = ft_graph::par::thread_count();
         g.bench_with_input(BenchmarkId::new("par", k), &csr, |b, csr| {
             b.iter(|| black_box(AllPairs::compute_csr_with_threads(csr, workers)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dist_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist-matrix");
+    g.sample_size(10);
+    for k in [8usize, 16] {
+        let net = fat_tree(k).unwrap();
+        let sg = net.switch_graph();
+        let csr = Csr::from_graph(&sg);
+        // scalar reference: one u16 BFS row per source
+        g.bench_with_input(BenchmarkId::new("scalar", k), &csr, |b, csr| {
+            b.iter(|| black_box(DistMatrix::compute_scalar_csr(csr)))
+        });
+        // the multi-source bitset kernel (DESIGN.md §15.2)
+        g.bench_with_input(BenchmarkId::new("bitset", k), &csr, |b, csr| {
+            b.iter(|| black_box(DistMatrix::compute_csr_with_threads(csr, 1)))
+        });
+        // symmetry-deduped: k + 1 representative rows instead of 5k²/4
+        g.bench_with_input(BenchmarkId::new("dedup", k), &net, |b, net| {
+            b.iter(|| black_box(DedupedApsp::compute(net)))
         });
     }
     g.finish();
@@ -68,5 +93,10 @@ fn bench_dijkstra_scratch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_apsp, bench_dijkstra_scratch);
+criterion_group!(
+    benches,
+    bench_apsp,
+    bench_dist_matrix,
+    bench_dijkstra_scratch
+);
 criterion_main!(benches);

@@ -146,6 +146,35 @@ impl Csr {
         }
     }
 
+    /// [`Csr::bfs_into`] with compact `u16` hop counts: the scalar
+    /// reference kernel for [`crate::DistMatrix`].
+    ///
+    /// Distances saturate at [`crate::UNREACHABLE16`]; callers must ensure
+    /// `node_count() < u16::MAX` (the `DistMatrix` constructors check this
+    /// once per table) so every finite distance — at most `n − 1` hops —
+    /// fits. Unreachable nodes hold [`crate::UNREACHABLE16`].
+    pub fn bfs_into_u16(&self, src: NodeId, dist: &mut [u16], queue: &mut Vec<u32>) {
+        debug_assert_eq!(dist.len(), self.node_count());
+        debug_assert!(self.node_count() < u16::MAX as usize);
+        dist.fill(crate::UNREACHABLE16);
+        queue.clear();
+        dist[src.index()] = 0;
+        queue.push(src.0);
+        let mut head = 0usize;
+        while head < queue.len() {
+            let v = queue[head] as usize;
+            head += 1;
+            let dv = dist[v].saturating_add(1);
+            for &t in self.targets(v) {
+                let u = t as usize;
+                if dist[u] == crate::UNREACHABLE16 {
+                    dist[u] = dv;
+                    queue.push(t);
+                }
+            }
+        }
+    }
+
     /// Single-source BFS distances as a fresh vector (the CSR counterpart
     /// of [`crate::bfs_distances`]).
     pub fn bfs_distances(&self, src: NodeId) -> Vec<u32> {

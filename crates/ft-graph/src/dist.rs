@@ -1,0 +1,405 @@
+//! Compact all-pairs distance tables: `u16` storage and a multi-source
+//! bitset BFS kernel.
+//!
+//! [`AllPairs`](crate::AllPairs) stores `u32` hop counts — at k = 64 a full
+//! fat-tree table is 5,120² × 4 B ≈ 100 MB, and k = 128 (20,480 switches)
+//! is 1.6 GB, simply infeasible. Every topology in this workspace has a
+//! diameter of a few hops, so [`DistMatrix`] stores the same table as flat
+//! `u16` hop counts (k = 64 → 50 MB) and fills it with a kernel that
+//! advances **64 sources per `u64` word** over the frozen [`Csr`]: one
+//! level-synchronous sweep propagates each frontier word to its neighbors
+//! with a single OR, and `new = next & !seen` (the classic frontier-AND
+//! trick) extracts exactly the (source, node) pairs discovered this level.
+//! Compared with 64 independent queue-based BFS runs, each adjacency edge
+//! is walked once per *batch* instead of once per *source* — the win that
+//! makes k = 64 full tables routine (DESIGN.md §15).
+//!
+//! Totality: a finite distance never exceeds `n − 1`, so the constructors
+//! reject graphs with `n ≥ u16::MAX` nodes up front
+//! ([`GraphError::DistanceOverflow`]) and every stored level fits below the
+//! [`UNREACHABLE16`] sentinel.
+
+use crate::csr::Csr;
+use crate::error::GraphError;
+use crate::graph::{id32, Graph, NodeId};
+use crate::UNREACHABLE16;
+
+/// Sources advanced per `u64` word by the bitset kernel.
+const BATCH: usize = 64;
+
+/// Reusable per-worker state for the multi-source bitset BFS: one `u64`
+/// word per node for the seen/frontier/next masks, plus the sparse lists of
+/// nodes currently carrying a nonzero word (so a sweep touches only the
+/// active part of the graph, not all `n` nodes per level).
+#[derive(Default)]
+pub struct MsBfsScratch {
+    seen: Vec<u64>,
+    frontier: Vec<u64>,
+    next: Vec<u64>,
+    frontier_nodes: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+/// One batched BFS: distances from up to [`BATCH`] `sources` into `rows`
+/// (row `b` = distances from `sources[b]`, row-major, `n` columns each).
+///
+/// The caller guarantees `csr.node_count() < u16::MAX` (checked once by the
+/// [`DistMatrix`] constructors).
+fn ms_bfs_batch(csr: &Csr, sources: &[NodeId], rows: &mut [u16], scratch: &mut MsBfsScratch) {
+    let n = csr.node_count();
+    debug_assert!(sources.len() <= BATCH);
+    debug_assert_eq!(rows.len(), sources.len() * n);
+    rows.fill(UNREACHABLE16);
+    scratch.seen.clear();
+    scratch.seen.resize(n, 0);
+    scratch.frontier.clear();
+    scratch.frontier.resize(n, 0);
+    scratch.next.clear();
+    scratch.next.resize(n, 0);
+    scratch.frontier_nodes.clear();
+    scratch.touched.clear();
+
+    for (b, s) in sources.iter().enumerate() {
+        let v = s.index();
+        let bit = 1u64 << b;
+        // bounds: constructors validated every source id against n
+        if scratch.frontier[v] == 0 {
+            scratch.frontier_nodes.push(s.0);
+        }
+        scratch.frontier[v] |= bit;
+        scratch.seen[v] |= bit;
+        // bounds: b < sources.len() and v < n, so b·n + v < rows.len()
+        rows[b * n + v] = 0;
+    }
+
+    let mut level: u16 = 0;
+    while !scratch.frontier_nodes.is_empty() {
+        // Never saturates: levels are bounded by n − 1 < u16::MAX − 1.
+        level = level.saturating_add(1);
+
+        // Propagate every active frontier word to its neighbors with one OR
+        // per adjacency entry; `touched` records nodes whose next-word went
+        // nonzero so the harvest below stays sparse.
+        for &v in &scratch.frontier_nodes {
+            // bounds: frontier_nodes only ever holds valid node ids < n
+            let fv = scratch.frontier[v as usize];
+            for &t in csr.targets(v as usize) {
+                let tu = t as usize;
+                // bounds: CSR targets are valid node ids < n
+                if scratch.next[tu] == 0 {
+                    scratch.touched.push(t);
+                }
+                scratch.next[tu] |= fv;
+            }
+        }
+        for &v in &scratch.frontier_nodes {
+            // bounds: same node ids as the propagate loop
+            scratch.frontier[v as usize] = 0;
+        }
+        scratch.frontier_nodes.clear();
+
+        // Harvest: the sources that reach `t` for the first time this level
+        // are exactly next & !seen — record the level for each set bit and
+        // promote the word to the next frontier.
+        for &t in &scratch.touched {
+            let tu = t as usize;
+            // bounds: touched holds valid node ids < n
+            let new = scratch.next[tu] & !scratch.seen[tu];
+            scratch.next[tu] = 0;
+            if new != 0 {
+                scratch.seen[tu] |= new;
+                scratch.frontier[tu] = new;
+                scratch.frontier_nodes.push(t);
+                let mut bits = new;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    // bounds: bit b was seeded from sources[b], so b is a
+                    // valid row and b·n + tu < rows.len()
+                    rows[b * n + tu] = level;
+                    bits &= bits - 1;
+                }
+            }
+        }
+        scratch.touched.clear();
+    }
+}
+
+/// All-pairs (or many-source) unweighted distances in compact `u16`
+/// hop counts.
+///
+/// The drop-in successor to [`AllPairs`](crate::AllPairs) for the hot
+/// paths: same row-major layout and indexing contract, half the memory
+/// traffic, and filled by the multi-source bitset BFS kernel (see the
+/// module docs) instead of one queue-based BFS per row. Batches of 64
+/// sources are distributed over [`crate::par`] workers, and each batch's
+/// content depends only on its batch index — the table is bit-identical
+/// for every thread count.
+///
+/// Unreachable pairs hold [`UNREACHABLE16`]; construction fails with
+/// [`GraphError::DistanceOverflow`] when the graph has too many nodes for
+/// finite distances to stay below the sentinel.
+#[derive(Clone)]
+pub struct DistMatrix {
+    n: usize,
+    dist: Vec<u16>,
+}
+
+impl DistMatrix {
+    /// Rejects graphs whose finite distances could collide with
+    /// [`UNREACHABLE16`].
+    fn check_width(n: usize) -> Result<(), GraphError> {
+        if n >= u16::MAX as usize {
+            return Err(GraphError::DistanceOverflow { node_count: n });
+        }
+        Ok(())
+    }
+
+    /// Validates that every source id is a node of the graph.
+    fn check_sources(n: usize, sources: &[NodeId]) -> Result<(), GraphError> {
+        for s in sources {
+            if s.index() >= n {
+                return Err(GraphError::NodeOutOfBounds {
+                    index: s.index(),
+                    node_count: n,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Full all-pairs table via the bitset kernel,
+    /// [`crate::par::thread_count`] workers.
+    pub fn compute(g: &Graph) -> Result<Self, GraphError> {
+        Self::compute_csr(&Csr::from_graph(g))
+    }
+
+    /// [`DistMatrix::compute`] over a pre-built CSR view.
+    pub fn compute_csr(csr: &Csr) -> Result<Self, GraphError> {
+        Self::compute_csr_with_threads(csr, crate::par::thread_count())
+    }
+
+    /// [`DistMatrix::compute_csr`] with an explicit worker count.
+    pub fn compute_csr_with_threads(csr: &Csr, threads: usize) -> Result<Self, GraphError> {
+        let sources: Vec<NodeId> = (0..csr.node_count()).map(|i| NodeId(id32(i))).collect();
+        Self::compute_from_csr_with_threads(csr, &sources, threads)
+    }
+
+    /// Distances from the given sources only (a partial table): row `i`
+    /// holds the distances from `sources[i]`, so index rows by *position in
+    /// `sources`*, not by node id. This is the entry point of the
+    /// symmetry-deduplicated APSP in `ft-topo`, which passes one
+    /// representative source per equivalence class.
+    pub fn compute_from_csr(csr: &Csr, sources: &[NodeId]) -> Result<Self, GraphError> {
+        Self::compute_from_csr_with_threads(csr, sources, crate::par::thread_count())
+    }
+
+    /// [`DistMatrix::compute_from_csr`] with an explicit worker count.
+    pub fn compute_from_csr_with_threads(
+        csr: &Csr,
+        sources: &[NodeId],
+        threads: usize,
+    ) -> Result<Self, GraphError> {
+        let n = csr.node_count();
+        Self::check_width(n)?;
+        Self::check_sources(n, sources)?;
+        let mut dist = vec![0u16; sources.len() * n];
+        crate::par::fill_chunks_with(
+            threads,
+            &mut dist,
+            BATCH * n,
+            MsBfsScratch::default,
+            |batch, chunk, scratch| {
+                let first = batch * BATCH;
+                // bounds: fill_chunks_with hands out BATCH·n-sized chunks of
+                // a sources.len()·n buffer, so the batch covers sources
+                // [first, first + chunk.len()/n) and n divides chunk.len()
+                let batch_sources = &sources[first..first + chunk.len() / n];
+                ms_bfs_batch(csr, batch_sources, chunk, scratch);
+            },
+        );
+        Ok(DistMatrix { n, dist })
+    }
+
+    /// Sequential scalar reference: one `u16` queue-based BFS per source
+    /// ([`Csr::bfs_into_u16`]). Kept as the benchmark baseline and the
+    /// correctness oracle for the bitset kernel.
+    pub fn compute_scalar_csr(csr: &Csr) -> Result<Self, GraphError> {
+        let n = csr.node_count();
+        Self::check_width(n)?;
+        let mut dist = vec![0u16; n * n];
+        let mut queue: Vec<u32> = Vec::with_capacity(n);
+        for (i, row) in dist.chunks_mut(n.max(1)).enumerate() {
+            csr.bfs_into_u16(NodeId(id32(i)), row, &mut queue);
+        }
+        Ok(DistMatrix { n, dist })
+    }
+
+    /// Builds a matrix directly from rows already laid out row-major
+    /// (`rows.len()` must be a multiple of `width`); used by the symmetry
+    /// expansion in `ft-topo`.
+    pub fn from_rows(width: usize, rows: Vec<u16>) -> Result<Self, GraphError> {
+        Self::check_width(width)?;
+        if width == 0 || !rows.len().is_multiple_of(width) {
+            return Err(GraphError::NodeOutOfBounds {
+                index: rows.len(),
+                node_count: width,
+            });
+        }
+        Ok(DistMatrix {
+            n: width,
+            dist: rows,
+        })
+    }
+
+    /// Distance between row `i` and node `j` (row-major indexing).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u16 {
+        // bounds: dist has rows·n entries; i < rows and j < n per the ctor
+        self.dist[i * self.n + j]
+    }
+
+    /// The full distance row for row index `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u16] {
+        // bounds: dist has rows·n entries, so row i ends at (i + 1)·n
+        &self.dist[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Number of columns (nodes of the underlying graph).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.n
+    }
+
+    /// Number of rows (sources).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.dist.len().checked_div(self.n).unwrap_or(0)
+    }
+
+    /// Wrapping sum of every entry — the regression-gate checksum used by
+    /// `ftctl bench`. On connected graphs this equals the `u32`
+    /// [`AllPairs`](crate::AllPairs) sum bit-for-bit (all entries finite);
+    /// tables with unreachable pairs differ only by the sentinel width.
+    pub fn checksum(&self) -> u64 {
+        self.dist
+            .iter()
+            .fold(0u64, |acc, &d| acc.wrapping_add(u64::from(d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::AllPairs;
+    use crate::UNREACHABLE;
+
+    fn assert_matches_allpairs(g: &Graph) {
+        let csr = Csr::from_graph(g);
+        let ap = AllPairs::compute_csr_with_threads(&csr, 1);
+        let dm = DistMatrix::compute_csr_with_threads(&csr, 1).unwrap();
+        let scalar = DistMatrix::compute_scalar_csr(&csr).unwrap();
+        assert_eq!(dm.width(), ap.width());
+        assert_eq!(dm.rows(), ap.rows());
+        for i in 0..dm.rows() {
+            for j in 0..dm.width() {
+                let a = ap.get(i, j);
+                let d = dm.get(i, j);
+                if a == UNREACHABLE {
+                    assert_eq!(d, UNREACHABLE16, "({i},{j}) unreachable");
+                } else {
+                    assert_eq!(u32::from(d), a, "({i},{j})");
+                }
+                assert_eq!(scalar.get(i, j), d, "scalar vs bitset at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_allpairs_on_small_graphs() {
+        assert_matches_allpairs(&Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]));
+        assert_matches_allpairs(&Graph::from_edges(1, &[]));
+        assert_matches_allpairs(&Graph::from_edges(5, &[(0, 1), (3, 4)])); // disconnected
+        let mut ring: Vec<(u32, u32)> = (0..9).map(|i| (i, (i + 1) % 9)).collect();
+        ring.push((0, 4));
+        assert_matches_allpairs(&Graph::from_edges(9, &ring));
+    }
+
+    #[test]
+    fn matches_allpairs_past_one_batch() {
+        // 70 nodes > one 64-source word: ring + chords exercises the
+        // second batch and nontrivial levels.
+        let mut edges: Vec<(u32, u32)> = (0..70).map(|i| (i, (i + 1) % 70)).collect();
+        edges.extend([(0, 35), (10, 50), (20, 60)]);
+        assert_matches_allpairs(&Graph::from_edges(70, &edges));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut edges: Vec<(u32, u32)> = (0..130).map(|i| (i, (i + 1) % 130)).collect();
+        edges.extend([(0, 65), (30, 100)]);
+        let g = Graph::from_edges(130, &edges);
+        let csr = Csr::from_graph(&g);
+        let seq = DistMatrix::compute_csr_with_threads(&csr, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let par = DistMatrix::compute_csr_with_threads(&csr, threads).unwrap();
+            assert_eq!(par.dist, seq.dist, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn partial_rows_follow_source_order() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let csr = Csr::from_graph(&g);
+        let dm =
+            DistMatrix::compute_from_csr_with_threads(&csr, &[NodeId(2), NodeId(0)], 1).unwrap();
+        assert_eq!(dm.rows(), 2);
+        assert_eq!(dm.row(0), &[2, 1, 0, 1]);
+        assert_eq!(dm.row(1), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_sources_are_allowed() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let csr = Csr::from_graph(&g);
+        let dm =
+            DistMatrix::compute_from_csr_with_threads(&csr, &[NodeId(1), NodeId(1)], 1).unwrap();
+        assert_eq!(dm.row(0), dm.row(1));
+        assert_eq!(dm.row(0), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_source() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let csr = Csr::from_graph(&g);
+        assert!(matches!(
+            DistMatrix::compute_from_csr_with_threads(&csr, &[NodeId(5)], 1),
+            Err(GraphError::NodeOutOfBounds { index: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_matches_u32_sum_on_connected_graph() {
+        let mut edges: Vec<(u32, u32)> = (0..20).map(|i| (i, (i + 1) % 20)).collect();
+        edges.push((3, 12));
+        let g = Graph::from_edges(20, &edges);
+        let csr = Csr::from_graph(&g);
+        let ap = AllPairs::compute_csr_with_threads(&csr, 1);
+        let mut u32_sum = 0u64;
+        for i in 0..ap.rows() {
+            for &d in ap.row(i) {
+                u32_sum = u32_sum.wrapping_add(u64::from(d));
+            }
+        }
+        let dm = DistMatrix::compute_csr(&csr).unwrap();
+        assert_eq!(dm.checksum(), u32_sum);
+    }
+
+    #[test]
+    fn from_rows_validates_shape() {
+        assert!(DistMatrix::from_rows(3, vec![0, 1, 2, 3, 4, 5]).is_ok());
+        assert!(DistMatrix::from_rows(3, vec![0, 1]).is_err());
+        assert!(DistMatrix::from_rows(0, vec![]).is_err());
+        assert!(DistMatrix::from_rows(usize::from(u16::MAX), vec![]).is_err());
+    }
+}

@@ -21,6 +21,13 @@ pub enum GraphError {
         /// The index that overflowed `u32`.
         index: usize,
     },
+    /// A graph is too large for the compact `u16` distance matrix: with
+    /// `node_count ≥ u16::MAX` a finite hop count could collide with the
+    /// [`UNREACHABLE16`](crate::UNREACHABLE16) sentinel.
+    DistanceOverflow {
+        /// Number of nodes in the offending graph.
+        node_count: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -34,6 +41,14 @@ impl fmt::Display for GraphError {
             }
             GraphError::IdSpaceExhausted { index } => {
                 write!(f, "index {index} exceeds the u32 id space")
+            }
+            GraphError::DistanceOverflow { node_count } => {
+                write!(
+                    f,
+                    "graph with {node_count} nodes exceeds the u16 distance range \
+                     (max {} nodes)",
+                    u16::MAX - 1
+                )
             }
         }
     }

@@ -48,6 +48,7 @@ pub mod bfs;
 pub mod bridges;
 pub mod csr;
 pub mod dijkstra;
+pub mod dist;
 pub mod error;
 pub mod graph;
 pub mod maxflow;
@@ -59,6 +60,7 @@ pub use bfs::{bfs_distances, bfs_tree, AllPairs};
 pub use bridges::bridges;
 pub use csr::Csr;
 pub use dijkstra::{dijkstra, dijkstra_csr, DijkstraResult};
+pub use dist::DistMatrix;
 pub use error::GraphError;
 pub use graph::{id32, try_id32, EdgeId, Graph, NodeId};
 pub use maxflow::FlowNetwork;
@@ -67,3 +69,6 @@ pub use yen::{k_shortest_paths, Path};
 
 /// Distance value used by unweighted searches for unreachable nodes.
 pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Unreachable sentinel of the compact `u16` tables ([`DistMatrix`]).
+pub const UNREACHABLE16: u16 = u16::MAX;

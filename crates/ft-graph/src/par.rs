@@ -8,6 +8,12 @@
 //! index, so `map(items, f)` returns exactly `items.iter().map(f).collect()`
 //! regardless of worker count (DESIGN.md §10 spells out the contract).
 //!
+//! Scheduling is dynamic everywhere: workers claim the next item (or chunk
+//! of rows) through a relaxed atomic cursor, so a slow tail item cannot
+//! serialize the fill the way a static one-contiguous-chunk-per-worker
+//! split can. Dynamic *claiming* with deterministic *placement* keeps both
+//! properties at once.
+//!
 //! Worker count comes from the `FT_THREADS` environment variable when set to
 //! a positive integer, otherwise from
 //! [`std::thread::available_parallelism`]. `FT_THREADS=1` forces sequential
@@ -40,13 +46,25 @@ fn obs() -> &'static ParCounters {
     })
 }
 
-/// Minimum total cell count (`rows * row_len`) for [`fill_rows_with`] to
-/// fan out. Below this, thread spawn + join overhead exceeds the win: the
-/// k=32 APSP fill (1280² ≈ 1.6M cells) measured *slower* parallel than
-/// sequential (BENCH_hotpaths.json, 46.9 ms vs 45.0 ms), so fills under
-/// ~2M cells run on the calling thread. Results are identical either way
-/// (the fill contract is deterministic); only the wall time changes.
+/// Minimum total cell count for [`fill_rows_with`] / [`fill_chunks_with`]
+/// to fan out. Below this, thread spawn + join overhead exceeds the win:
+/// with the row-parallel `u32` BFS fill, the k=32 APSP (1280² ≈ 1.6M cells)
+/// measured roughly even (BENCH_hotpaths.json before this kernel: 30.5 ms
+/// parallel vs 32.2 ms sequential), so fills under ~2M cells run on the
+/// calling thread. Re-derived against the multi-source bitset kernel
+/// (DESIGN.md §15): its batches are ~64× coarser than rows, so spawn
+/// overhead is amortized even earlier and the same 2M-cell floor remains
+/// comfortably conservative — k=32 (1.6M cells) stays sequential, k=64
+/// (26M cells) fans out. Results are identical either way (the fill
+/// contract is deterministic); only the wall time changes.
 pub const PAR_FILL_MIN_CELLS: usize = 1 << 21;
+
+/// How many chunks each worker should get on average in
+/// [`fill_rows_with`]: oversubscription lets the dynamic cursor absorb
+/// per-row cost variance (BFS from a core switch touches more of the graph
+/// than BFS from an edge switch) without the tail imbalance of the old
+/// one-contiguous-chunk-per-worker split.
+const CHUNKS_PER_WORKER: usize = 8;
 
 /// Number of worker threads to use: `FT_THREADS` if set to a positive
 /// integer, otherwise [`std::thread::available_parallelism`] (falling back
@@ -80,6 +98,13 @@ where
 
 /// [`map`] with an explicit worker count (used by benchmarks and the
 /// determinism tests to pin sequential vs parallel runs).
+///
+/// Workers claim items dynamically through a relaxed cursor and accumulate
+/// `(input_index, result)` pairs in a worker-local buffer; the calling
+/// thread merges the buffers into input-order slots after the scope joins.
+/// No per-item locking — the old per-item `Mutex<Option<R>>` slot vector
+/// paid one lock+unlock per item, pure overhead on fan-outs with thousands
+/// of cheap items.
 pub fn map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -97,43 +122,56 @@ where
         return items.iter().map(f).collect();
     }
 
-    // One slot per input index; workers claim items dynamically through the
-    // cursor but always deposit into the item's own slot, so the collected
-    // output order is independent of scheduling.
-    let slots: Vec<parking_lot::Mutex<Option<R>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     let f = &f;
-    let slots_ref = &slots;
     let cursor_ref = &cursor;
     // The crossbeam shim's scope propagates worker panics by panicking at
-    // join (std::thread::scope semantics), so it never returns `Err` and an
-    // unfilled slot below is unreachable in practice.
-    let _ = crossbeam::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(move |_| {
-                loop {
-                    let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+    // join (std::thread::scope semantics), so it never returns `Err`.
+    let locals: Vec<Vec<(usize, R)>> = match crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move |_| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
                     }
-                    let r = f(&items[i]);
-                    *slots_ref[i].lock() = Some(r);
-                }
-                if ft_obs::enabled() {
-                    // Drain this worker's span buffer before the scope
-                    // joins: the TLS destructor only runs at actual thread
-                    // exit, which can land after the caller's sink is
-                    // flushed or removed.
-                    ft_obs::flush();
-                }
-            });
-        }
-    });
-    let out: Vec<R> = slots
-        .into_iter()
-        .filter_map(|slot| slot.into_inner())
-        .collect();
+                    if ft_obs::enabled() {
+                        // Drain this worker's span buffer before the scope
+                        // joins: the TLS destructor only runs at actual
+                        // thread exit, which can land after the caller's
+                        // sink is flushed or removed.
+                        ft_obs::flush();
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    }) {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+
+    // Merge worker-local buffers into one slot per input index; placement
+    // depends only on the recorded index, so the collected output order is
+    // independent of which worker claimed what.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, r) in locals.into_iter().flatten() {
+        // bounds: every recorded index came from a cursor claim < n
+        slots[i] = Some(r);
+    }
+    let out: Vec<R> = slots.into_iter().flatten().collect();
     debug_assert_eq!(out.len(), n);
     out
 }
@@ -142,12 +180,12 @@ where
 /// parallel: `fill(row_index, row_slice, scratch)` is called exactly once
 /// per row, with a per-worker `scratch` created by `init`.
 ///
-/// Rows are distributed as contiguous chunks (worker `w` owns rows
-/// `[w * rows_per_worker, …)`), so writes are disjoint and no
-/// synchronization is needed beyond the scope join. The per-worker scratch
-/// lets row kernels (e.g. a BFS frontier queue) stay allocation-free after
-/// warm-up. Deterministic for the same reason as [`map`]: each row's
-/// content depends only on its row index.
+/// Rows are grouped into ~[`CHUNKS_PER_WORKER`]× more chunks than workers
+/// and claimed dynamically through a relaxed cursor (see
+/// [`fill_chunks_with`]), so a run of expensive rows cannot leave the other
+/// workers idle. Writes stay disjoint — each chunk is a distinct `&mut`
+/// split of `out` — and each row's content depends only on its row index,
+/// so the fill is deterministic for the same reason as [`map`].
 ///
 /// `out.len()` must be a multiple of `row_len`; `row_len == 0` is a no-op.
 pub fn fill_rows_with<T, S, G, F>(threads: usize, out: &mut [T], row_len: usize, init: G, fill: F)
@@ -179,18 +217,108 @@ where
         return;
     }
 
-    // ceil(rows / workers) rows per chunk; the last chunk may be shorter.
-    let rows_per_chunk = rows.div_ceil(workers);
-    let init = &init;
-    let fill = &fill;
+    let chunk_rows = rows.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    fill_chunks_inner(
+        workers,
+        out,
+        chunk_rows * row_len,
+        &init,
+        &|chunk_index, chunk: &mut [T], scratch: &mut S| {
+            let first_row = chunk_index * chunk_rows;
+            for (j, row) in chunk.chunks_mut(row_len).enumerate() {
+                fill(first_row + j, row, scratch);
+            }
+        },
+    );
+}
+
+/// Fills `out`, viewed as consecutive chunks of `chunk_len` elements (the
+/// last chunk may be shorter), in parallel: `fill(chunk_index, chunk_slice,
+/// scratch)` is called exactly once per chunk with a per-worker `scratch`.
+///
+/// This is the primitive under [`fill_rows_with`], exposed for kernels
+/// whose natural work unit is coarser than one row — the multi-source
+/// bitset BFS writes 64 rows per batch, so its chunk is `64 × row_len`
+/// cells. Chunks are claimed dynamically (relaxed cursor) but each chunk's
+/// content depends only on its chunk index, so the output is bit-identical
+/// for every worker count. Fills under [`PAR_FILL_MIN_CELLS`] cells run on
+/// the calling thread; `chunk_len == 0` is a no-op.
+pub fn fill_chunks_with<T, S, G, F>(
+    threads: usize,
+    out: &mut [T],
+    chunk_len: usize,
+    init: G,
+    fill: F,
+) where
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
+    if chunk_len == 0 || out.is_empty() {
+        return;
+    }
+    let chunks = out.len().div_ceil(chunk_len);
+    let workers = if out.len() < PAR_FILL_MIN_CELLS {
+        1 // same small-fill rule as fill_rows_with
+    } else {
+        threads.min(chunks).max(1)
+    };
+    let pc = obs();
+    pc.fills.incr();
+    pc.rows.add(chunks as u64);
+    pc.workers.set(workers as u64);
+    let _span = ft_obs::span!("par.fill_chunks", chunks = chunks, workers = workers);
+    if workers <= 1 {
+        let mut scratch = init();
+        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            fill(i, chunk, &mut scratch);
+        }
+        return;
+    }
+    fill_chunks_inner(workers, out, chunk_len, &init, &fill);
+}
+
+/// Shared parallel body of [`fill_rows_with`] and [`fill_chunks_with`]:
+/// splits `out` into `chunk_len`-sized `&mut` chunks, parks each behind a
+/// `Mutex<Option<…>>` take-slot, and lets `workers` threads claim chunk
+/// indices through a relaxed cursor. One uncontended lock per *chunk* (not
+/// per item) transfers the `&mut` split to whichever worker claimed it.
+fn fill_chunks_inner<T, S, G, F>(
+    workers: usize,
+    out: &mut [T],
+    chunk_len: usize,
+    init: &G,
+    fill: &F,
+) where
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
+    type ChunkSlot<'a, T> = parking_lot::Mutex<Option<(usize, &'a mut [T])>>;
+    let slots: Vec<ChunkSlot<'_, T>> = out
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(i, chunk)| parking_lot::Mutex::new(Some((i, chunk))))
+        .collect();
+    let num = slots.len();
+    let cursor = AtomicUsize::new(0);
+    let slots_ref = &slots;
+    let cursor_ref = &cursor;
     // See `map_with` for why the scope result can be ignored.
     let _ = crossbeam::scope(|s| {
-        for (c, chunk) in out.chunks_mut(rows_per_chunk * row_len).enumerate() {
+        for _ in 0..workers {
             s.spawn(move |_| {
                 let mut scratch = init();
-                let first_row = c * rows_per_chunk;
-                for (j, row) in chunk.chunks_mut(row_len).enumerate() {
-                    fill(first_row + j, row, &mut scratch);
+                loop {
+                    let c = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                    if c >= num {
+                        break;
+                    }
+                    // bounds: c < num == slots.len() checked above
+                    let taken = slots_ref[c].lock().take();
+                    if let Some((chunk_index, chunk)) = taken {
+                        fill(chunk_index, chunk, &mut scratch);
+                    }
                 }
                 if ft_obs::enabled() {
                     // See map_with: drain before the scope joins.
@@ -221,26 +349,23 @@ mod tests {
         assert_eq!(map_with(4, &[41u32], |x| x + 1), vec![42]);
     }
 
+    // One test owns every FT_THREADS mutation: the variable is
+    // process-global and the default test runner is parallel, so two tests
+    // mutating it (the old map_uses_env_thread_count +
+    // thread_count_rejects_garbage pair) raced each other.
     #[test]
-    fn map_uses_env_thread_count() {
-        // Not asserting actual concurrency (1-core CI), just that the env
-        // path parses and the result stays correct.
+    fn thread_count_env_parsing() {
         std::env::set_var("FT_THREADS", "3");
         assert_eq!(thread_count(), 3);
+        // Not asserting actual concurrency (1-core CI), just that the env
+        // path parses and the result stays correct.
         let got = map(&[1u32, 2, 3, 4, 5], |x| x * 2);
-        std::env::remove_var("FT_THREADS");
         assert_eq!(got, vec![2, 4, 6, 8, 10]);
-    }
-
-    #[test]
-    fn thread_count_rejects_garbage() {
         std::env::set_var("FT_THREADS", "zero");
-        let n = thread_count();
+        assert!(thread_count() >= 1);
         std::env::set_var("FT_THREADS", "0");
-        let m = thread_count();
+        assert!(thread_count() >= 1);
         std::env::remove_var("FT_THREADS");
-        assert!(n >= 1);
-        assert!(m >= 1);
     }
 
     #[test]
@@ -284,6 +409,45 @@ mod tests {
         let mut out: Vec<u8> = Vec::new();
         fill_rows_with(4, &mut out, 0, || (), |_, _, _| {});
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fill_chunks_matches_sequential_including_short_tail() {
+        // 11 cells in chunks of 4: chunk indices 0,1 full, 2 is a 3-cell
+        // tail — the fill must see the same (index, slice) pairs at any
+        // worker count.
+        let total = 11;
+        let chunk_len = 4;
+        let fill = |c: usize, chunk: &mut [u32], calls: &mut u32| {
+            *calls += 1;
+            for (j, cell) in chunk.iter_mut().enumerate() {
+                *cell = (c * 100 + j) as u32;
+            }
+        };
+        let mut seq = vec![0u32; total];
+        fill_chunks_with(1, &mut seq, chunk_len, || 0u32, fill);
+        for threads in [2, 3, 8] {
+            let mut par = vec![0u32; total];
+            fill_chunks_with(threads, &mut par, chunk_len, || 0u32, fill);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        assert_eq!(&seq[8..], &[200, 201, 202], "tail chunk sees index 2");
+    }
+
+    #[test]
+    fn fill_chunks_above_cutoff_matches_sequential() {
+        let chunk_len = 1 << 12;
+        let total = PAR_FILL_MIN_CELLS + 17; // force a short tail chunk too
+        let fill = |c: usize, chunk: &mut [u8], _: &mut ()| {
+            for (j, cell) in chunk.iter_mut().enumerate() {
+                *cell = (c.wrapping_mul(37) ^ j) as u8;
+            }
+        };
+        let mut seq = vec![0u8; total];
+        fill_chunks_with(1, &mut seq, chunk_len, || (), fill);
+        let mut par = vec![0u8; total];
+        fill_chunks_with(4, &mut par, chunk_len, || (), fill);
+        assert_eq!(par, seq);
     }
 
     #[test]

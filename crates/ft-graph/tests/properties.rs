@@ -2,8 +2,8 @@
 //! random graphs.
 
 use ft_graph::{
-    bfs_distances, bfs_tree, dijkstra, k_shortest_paths, AllPairs, Csr, FlowNetwork, Graph, NodeId,
-    UNREACHABLE,
+    bfs_distances, bfs_tree, dijkstra, k_shortest_paths, AllPairs, Csr, DistMatrix, FlowNetwork,
+    Graph, NodeId, UNREACHABLE, UNREACHABLE16,
 };
 use proptest::prelude::*;
 
@@ -147,6 +147,34 @@ proptest! {
             // and each row agrees with the Graph-based BFS it replaced
             prop_assert_eq!(seq.row(v), &bfs_distances(&g, NodeId(v as u32))[..]);
         }
+    }
+
+    /// The compact `u16` matrix from the bitset kernel agrees entry for
+    /// entry with the `u32` table (sentinel widths aside) on random graphs
+    /// for every worker count, and its checksum is the plain wrapping sum
+    /// of the finite entries on connected inputs.
+    #[test]
+    fn dist_matrix_equals_all_pairs(g in arb_connected_graph(), workers in 1usize..9) {
+        let csr = Csr::from_graph(&g);
+        let wide = AllPairs::compute_csr(&csr);
+        let compact = match DistMatrix::compute_csr_with_threads(&csr, workers) {
+            Ok(m) => m,
+            // arb graphs have < 20 nodes, far inside the u16 range
+            Err(e) => return Err(TestCaseError::Fail(format!("unexpected overflow: {e}"))),
+        };
+        let mut sum = 0u64;
+        for v in 0..g.node_count() {
+            for (w, &wide_d) in wide.row(v).iter().enumerate() {
+                let got = compact.get(v, w);
+                if wide_d == UNREACHABLE {
+                    prop_assert_eq!(got, UNREACHABLE16, "sentinel lost at ({}, {})", v, w);
+                } else {
+                    prop_assert_eq!(u32::from(got), wide_d, "pair ({}, {})", v, w);
+                    sum = sum.wrapping_add(u64::from(got));
+                }
+            }
+        }
+        prop_assert_eq!(compact.checksum(), sum);
     }
 
     /// Removing an edge never shortens any distance; restoring it returns

@@ -36,7 +36,8 @@ pub mod throughput;
 
 pub use bisection::{pod_bisection_bandwidth, random_bisection_bandwidth};
 pub use path_length::{
-    average_intra_pod_path_length, average_server_path_length, path_length_histogram,
+    average_intra_pod_path_length, average_intra_pod_path_length_with, average_server_path_length,
+    average_server_path_length_with, path_length_histogram, SwitchDistances,
 };
 pub use report::{budget_warning, Series, Table};
 pub use throughput::{throughput, ThroughputOptions, ThroughputResult};

@@ -12,14 +12,25 @@
 //! distance, `+2` the two server–switch hops, and the subtracted term
 //! removes self-pairs (a server to itself). Distinct servers on the same
 //! switch are correctly counted at distance 2.
+//!
+//! Distances come from the compact `u16` [`DistMatrix`] filled by the
+//! multi-source bitset BFS kernel (DESIGN.md §15); graphs too large for
+//! `u16` hop counts fall back to the `u32` [`AllPairs`] fill transparently.
+//! One table serves every metric: [`SwitchDistances`] holds the rows for
+//! all server-hosting switches, and the `*_with` variants
+//! ([`average_server_path_length_with`],
+//! [`average_intra_pod_path_length_with`]) reuse it — `ft-serve` computes
+//! the table once per materialized network instead of once per query
+//! metric. The float accumulation order is unchanged from the original
+//! per-call fills, so every reported average is bit-identical.
 
-use ft_graph::{id32, AllPairs, Csr, Graph, NodeId, UNREACHABLE};
+use ft_graph::{id32, AllPairs, Csr, DistMatrix, Graph, NodeId, UNREACHABLE, UNREACHABLE16};
 use ft_topo::Network;
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// Cached registry handles: APSP computations and BFS rows filled.
-/// Recorded once per [`source_distances`] call, never per row.
+/// Recorded once per table build, never per row.
 struct ApspCounters {
     computations: &'static ft_obs::Counter,
     rows: &'static ft_obs::Counter,
@@ -33,11 +44,38 @@ fn obs() -> &'static ApspCounters {
     })
 }
 
-/// Builds the partial APSP table for the server-hosting switches, one
-/// parallel BFS row per source over a frozen CSR view. Row `i` belongs to
+/// The partial distance table behind [`SwitchDistances`]: compact `u16`
+/// rows whenever the graph fits (`n < u16::MAX`, always true for the
+/// topologies this workspace builds), `u32` rows otherwise.
+enum Table {
+    Compact(DistMatrix),
+    Wide(AllPairs),
+}
+
+impl Table {
+    /// Distance for row `i`, column `j`, widened to the `u32` domain
+    /// ([`UNREACHABLE`] for unreachable pairs under either storage).
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> u32 {
+        match self {
+            Table::Compact(m) => {
+                let d = m.get(i, j);
+                if d == UNREACHABLE16 {
+                    UNREACHABLE
+                } else {
+                    u32::from(d)
+                }
+            }
+            Table::Wide(ap) => ap.get(i, j),
+        }
+    }
+}
+
+/// Builds the partial APSP table for the given source switches, batched
+/// multi-source BFS over a frozen CSR view. Row `i` belongs to
 /// `sources[i]`. Rows are bit-identical for every `FT_THREADS` value, so
 /// every float accumulation downstream is too.
-fn source_distances(sg: &Graph, sources: &[usize]) -> AllPairs {
+fn source_table(sg: &Graph, sources: &[usize]) -> Table {
     let c = obs();
     c.computations.incr();
     c.rows.add(sources.len() as u64);
@@ -47,7 +85,60 @@ fn source_distances(sg: &Graph, sources: &[usize]) -> AllPairs {
         nodes = sg.node_count()
     );
     let nodes: Vec<NodeId> = sources.iter().map(|&i| NodeId(id32(i))).collect();
-    AllPairs::compute_from_csr(&Csr::from_graph(sg), &nodes)
+    let csr = Csr::from_graph(sg);
+    match DistMatrix::compute_from_csr(&csr, &nodes) {
+        Ok(m) => Table::Compact(m),
+        // DistanceOverflow (graph ≥ u16::MAX nodes): the u32 fill has no
+        // such limit. NodeOutOfBounds cannot happen — sources come from
+        // enumerating the graph's own switches.
+        Err(_) => Table::Wide(AllPairs::compute_from_csr(&csr, &nodes)),
+    }
+}
+
+/// Switch-graph distances from every server-hosting switch, computed once
+/// and shared across the path-length metrics.
+///
+/// `ft-serve` materializes one of these per cached network; the `*_with`
+/// metric variants then reuse it instead of re-running APSP per metric.
+pub struct SwitchDistances {
+    /// Per switch id: row index into `table`, or `u32::MAX` when the
+    /// switch hosts no servers (no row needed).
+    row_index: Vec<u32>,
+    table: Table,
+}
+
+impl SwitchDistances {
+    /// Runs the batched BFS fill for all switches of `net` that host at
+    /// least one server.
+    pub fn compute(net: &Network) -> SwitchDistances {
+        let counts = net.server_counts();
+        let sg = net.switch_graph();
+        let sources: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] > 0).collect();
+        let mut row_index = vec![u32::MAX; counts.len()];
+        for (r, &s) in sources.iter().enumerate() {
+            // bounds: sources enumerate indices of counts
+            row_index[s] = id32(r);
+        }
+        let table = source_table(&sg, &sources);
+        SwitchDistances { row_index, table }
+    }
+
+    /// Number of rows (server-hosting switches).
+    pub fn rows(&self) -> usize {
+        self.row_index.iter().filter(|&&r| r != u32::MAX).count()
+    }
+
+    /// Distance in hops between switches `a` and `b`, or `None` when `a`
+    /// hosts no servers (no row was computed for it).
+    #[inline]
+    pub fn switch_distance(&self, a: usize, b: usize) -> Option<u32> {
+        // bounds: callers pass valid switch ids (≤ row_index length)
+        let r = self.row_index[a];
+        if r == u32::MAX {
+            return None;
+        }
+        Some(self.table.get(r as usize, b))
+    }
 }
 
 /// Average path length in hops over all ordered pairs of distinct servers.
@@ -55,9 +146,14 @@ fn source_distances(sg: &Graph, sources: &[usize]) -> AllPairs {
 /// Returns `NaN` for networks with fewer than two servers, and `∞` if any
 /// server pair is disconnected.
 pub fn average_server_path_length(net: &Network) -> f64 {
+    average_server_path_length_with(net, &SwitchDistances::compute(net))
+}
+
+/// [`average_server_path_length`] over a precomputed (shared) distance
+/// table — bit-identical to the plain variant.
+pub fn average_server_path_length_with(net: &Network, dist: &SwitchDistances) -> f64 {
     let counts = net.server_counts();
-    let sg = net.switch_graph();
-    let (sum, pairs) = weighted_sum(&sg, &counts);
+    let (sum, pairs) = weighted_sum_with(dist, &counts);
     if pairs == 0 {
         return f64::NAN;
     }
@@ -73,6 +169,17 @@ pub fn average_server_path_length(net: &Network) -> f64 {
 /// consecutive servers — the paper's implicit treatment when it reports
 /// intra-Pod numbers for the random graph.
 pub fn average_intra_pod_path_length(net: &Network, fallback_pod_size: usize) -> f64 {
+    average_intra_pod_path_length_with(net, fallback_pod_size, &SwitchDistances::compute(net))
+}
+
+/// [`average_intra_pod_path_length`] over a precomputed (shared) distance
+/// table — bit-identical to the plain variant, and the reason the table
+/// exists: every Pod group reads the same rows instead of re-running APSP.
+pub fn average_intra_pod_path_length_with(
+    net: &Network,
+    fallback_pod_size: usize,
+    dist: &SwitchDistances,
+) -> f64 {
     // Group servers by pod (or pseudo-pod).
     let mut groups: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
     let annotated = net.servers().any(|s| net.pod(s).is_some());
@@ -84,7 +191,6 @@ pub fn average_intra_pod_path_length(net: &Network, fallback_pod_size: usize) ->
         };
         groups.entry(pod).or_default().push(s);
     }
-    let sg = net.switch_graph();
     let mut total = 0.0;
     let mut pairs = 0u64;
     for servers in groups.values() {
@@ -92,7 +198,7 @@ pub fn average_intra_pod_path_length(net: &Network, fallback_pod_size: usize) ->
         for &s in servers {
             counts[net.attachment(s).index()] += 1;
         }
-        let (sum, p) = weighted_sum(&sg, &counts);
+        let (sum, p) = weighted_sum_with(dist, &counts);
         total += sum;
         pairs += p;
     }
@@ -107,9 +213,8 @@ pub fn average_intra_pod_path_length(net: &Network, fallback_pod_size: usize) ->
 /// the paper's averages.
 pub fn path_length_histogram(net: &Network) -> Vec<u64> {
     let counts = net.server_counts();
-    let sg = net.switch_graph();
+    let dist = SwitchDistances::compute(net);
     let sources: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] > 0).collect();
-    let ap = source_distances(&sg, &sources);
     let mut hist: Vec<u64> = Vec::new();
     let mut bump = |h: usize, n: u64| {
         if h >= hist.len() {
@@ -117,13 +222,12 @@ pub fn path_length_histogram(net: &Network) -> Vec<u64> {
         }
         hist[h] += n;
     };
-    for (ai, &a) in sources.iter().enumerate() {
-        let dist = ap.row(ai);
+    for &a in &sources {
         for &b in &sources {
-            if dist[b] == UNREACHABLE {
-                continue;
-            }
-            let d = dist[b] as usize + 2;
+            let d = match dist.switch_distance(a, b) {
+                Some(d) if d != UNREACHABLE => d as usize + 2,
+                _ => continue,
+            };
             let n = if a == b {
                 (counts[a] as u64) * (counts[a] as u64 - 1)
             } else {
@@ -141,26 +245,27 @@ pub fn path_length_histogram(net: &Network) -> Vec<u64> {
 /// over ordered pairs of distinct servers; the pair count is an exact
 /// integer so callers can test emptiness without comparing floats.
 /// Disconnected pairs contribute `∞` (reported with a pair count of 1).
-fn weighted_sum(sg: &Graph, counts: &[u32]) -> (f64, u64) {
+///
+/// The source/target iteration order is exactly the old per-call fill's
+/// order (sources ascending, then targets ascending), so the float sum is
+/// unchanged bit for bit no matter which call site shares the table.
+fn weighted_sum_with(dist: &SwitchDistances, counts: &[u32]) -> (f64, u64) {
     let total_servers: u64 = counts.iter().map(|&c| c as u64).sum();
     if total_servers < 2 {
         return (0.0, 0);
     }
     let sources: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] > 0).collect();
-    // parallel BFS up front; the accumulation below keeps the exact
-    // source/target order of the old sequential loop, so the float sum is
-    // unchanged bit for bit
-    let ap = source_distances(sg, &sources);
     let mut sum = 0.0f64;
-    for (ai, &a) in sources.iter().enumerate() {
-        let dist = ap.row(ai);
+    for &a in &sources {
         let na = counts[a] as f64;
         for &b in &sources {
             let w = na * counts[b] as f64;
-            if dist[b] == UNREACHABLE {
-                return (f64::INFINITY, 1);
+            match dist.switch_distance(a, b) {
+                Some(d) if d != UNREACHABLE => sum += w * (d as f64 + 2.0),
+                // no row (foreign table) or disconnected: the pair cannot
+                // be completed
+                _ => return (f64::INFINITY, 1),
             }
-            sum += w * (dist[b] as f64 + 2.0);
         }
         // remove self-pairs on switch a (they were counted at d+2 = 2 with
         // weight n_a·n_a; the true same-switch distinct pairs are
@@ -235,6 +340,44 @@ mod tests {
         let spp = 16.0;
         let expected = (2.0 * (spe - 1.0) + 4.0 * (spp - spe)) / (spp - 1.0);
         assert!((intra - expected).abs() < 1e-9, "{intra} vs {expected}");
+    }
+
+    #[test]
+    fn shared_table_matches_per_call_fills() {
+        for k in [4, 6, 8] {
+            let net = fat_tree(k).unwrap();
+            let shared = SwitchDistances::compute(&net);
+            let apl = average_server_path_length(&net);
+            let intra = average_intra_pod_path_length(&net, 16);
+            // bit-identical, not approximately equal: same accumulation
+            // order over the same distances
+            assert_eq!(
+                apl.to_bits(),
+                average_server_path_length_with(&net, &shared).to_bits(),
+                "k={k} apl"
+            );
+            assert_eq!(
+                intra.to_bits(),
+                average_intra_pod_path_length_with(&net, 16, &shared).to_bits(),
+                "k={k} intra"
+            );
+        }
+    }
+
+    #[test]
+    fn switch_distance_rows_cover_hosting_switches() {
+        let net = fat_tree(4).unwrap();
+        let dist = SwitchDistances::compute(&net);
+        // fat-tree k=4: 8 edge switches host servers, cores/aggs do not
+        assert_eq!(dist.rows(), 8);
+        let counts = net.server_counts();
+        for (sw, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                assert_eq!(dist.switch_distance(sw, sw), Some(0));
+            } else {
+                assert_eq!(dist.switch_distance(sw, sw), None);
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@ use crate::proto::{self, layout_letters, ModeSpec, Request};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use ft_control::Controller;
 use ft_core::{FlatTreeConfig, Mode};
-use ft_metrics::path_length::{average_intra_pod_path_length, average_server_path_length};
+use ft_metrics::path_length::{
+    average_intra_pod_path_length_with, average_server_path_length_with,
+};
 use ft_metrics::throughput::{throughput, ThroughputOptions};
 use ft_workload::{generate, WorkloadSpec};
 use parking_lot::{Mutex, RwLock};
@@ -353,13 +355,19 @@ fn exec_paths(shared: &Shared, spec: Option<&ModeSpec>) -> Result<String, ServeE
         match *slot {
             Some(a) => (a, true),
             None => {
-                // the fill runs the parallel BFS-APSP kernel twice (global
-                // + intra-pod); time it for the fill-latency histogram
+                // one multi-source BFS table per materialization; both
+                // metrics read it through the *_with variants — time the
+                // whole fill for the fill-latency histogram
                 let t0 = std::time::Instant::now();
                 let _span = ft_obs::span!("serve.path_fill", k = shared.cfg.k);
+                let dist = entry.switch_distances();
                 let a = PathsAnswer {
-                    apl: average_server_path_length(&entry.network),
-                    intra: average_intra_pod_path_length(&entry.network, shared.servers_per_pod),
+                    apl: average_server_path_length_with(&entry.network, &dist),
+                    intra: average_intra_pod_path_length_with(
+                        &entry.network,
+                        shared.servers_per_pod,
+                        &dist,
+                    ),
                 };
                 shared.metrics.record_path_computation(t0.elapsed());
                 *slot = Some(a);

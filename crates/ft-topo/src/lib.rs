@@ -16,6 +16,9 @@
 //!   Figures 6 and 8: per-Pod random graphs plus a second random graph over
 //!   Pod super-nodes and core switches.
 //! * [`export`] — Graphviz DOT and JSON export of any [`Network`].
+//! * [`symmetry`] — verified automorphism classes over a [`Network`]'s
+//!   switch graph and the symmetry-deduplicated APSP built on them
+//!   (one BFS row per class; fat-trees collapse to k + 1 classes).
 //!
 //! All random constructions take explicit seeds and are fully deterministic.
 
@@ -26,9 +29,11 @@ pub mod export;
 pub mod fattree;
 pub mod jellyfish;
 pub mod network;
+pub mod symmetry;
 pub mod twostage;
 
 pub use fattree::{clos, fat_tree, ClosParams, FatTreeLayout};
 pub use jellyfish::{jellyfish, jellyfish_matching_fat_tree, JellyfishParams};
 pub use network::{DeviceKind, Equipment, Network, NetworkBuilder, TopologyError};
+pub use symmetry::{ColMap, DedupedApsp, SymmetryClasses};
 pub use twostage::{two_stage_random_graph, TwoStageParams};

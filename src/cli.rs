@@ -20,7 +20,7 @@ use crate::core::PodMode;
 use crate::core::{profile_mn, FlatTree, FlatTreeConfig, Mode};
 use crate::graph::bridges::bridges;
 use crate::graph::stats::{diameter, mean_degree};
-use crate::graph::{par, AllPairs, Csr};
+use crate::graph::{par, Csr, DistMatrix};
 use crate::mcf::{
     aggregate_commodities, max_concurrent_flow, CapGraph, DijkstraScratch, FptasOptions,
 };
@@ -30,7 +30,8 @@ use crate::serve::{serve_listener, ServeConfig, Service};
 use crate::sim::{flows_with_arrivals, ConversionEvent, DesSimulator, RouterPolicy, TopoEvent};
 use crate::topo::export::{to_dot, to_json};
 use crate::topo::{
-    fat_tree, jellyfish_matching_fat_tree, two_stage_random_graph, Network, TwoStageParams,
+    fat_tree, jellyfish_matching_fat_tree, two_stage_random_graph, DedupedApsp, Network,
+    TwoStageParams,
 };
 use crate::workload::{generate, generate_on, Locality, TrafficPattern, WorkloadSpec};
 use ft_graph::NodeId;
@@ -854,29 +855,30 @@ fn bench_json(threads: usize, quick: bool, entries: &[BenchEntry]) -> String {
     s
 }
 
-/// BFS-APSP over the fat-tree(k) switch fabric: one thread vs the session's
-/// worker count, on the same frozen CSR. The tables must agree row for row
-/// (the determinism contract of DESIGN.md §10); the shared checksum lands
-/// in both JSON entries so regressions show up in diffs.
+/// Full BFS-APSP over the fat-tree(k) switch fabric into the compact `u16`
+/// [`DistMatrix`]: the scalar one-queue-per-source reference (`seq`) vs the
+/// multi-source bitset kernel advancing 64 sources per word (`par`, batches
+/// distributed over the session's worker count). The tables must agree row
+/// for row, and the checksum — identical to the old `u32` table's sum on
+/// these connected fabrics — lands in both JSON entries so regressions
+/// show up in diffs.
 fn bench_apsp(k: usize, threads: usize, entries: &mut Vec<BenchEntry>) -> Result<(), CliError> {
     let net = fat_tree(k).map_err(|e| CliError(e.to_string()))?;
     let sg = net.switch_graph();
     let csr = Csr::from_graph(&sg);
-    let (seq, seq_ms) = time_ms(|| AllPairs::compute_csr_with_threads(&csr, 1));
-    let (par_ap, par_ms) = time_ms(|| AllPairs::compute_csr_with_threads(&csr, threads));
+    let (seq, seq_ms) = time_ms(|| DistMatrix::compute_scalar_csr(&csr));
+    let seq = seq.map_err(|e| CliError(format!("bench apsp k={k}: {e}")))?;
+    let (par_dm, par_ms) = time_ms(|| DistMatrix::compute_csr_with_threads(&csr, threads));
+    let par_dm = par_dm.map_err(|e| CliError(format!("bench apsp k={k}: {e}")))?;
     let n = csr.node_count();
-    let mut checksum = 0u64;
     for i in 0..n {
-        if seq.row(i) != par_ap.row(i) {
+        if seq.row(i) != par_dm.row(i) {
             return Err(CliError(format!(
-                "bench: parallel APSP diverged from sequential at k = {k}, row {i}"
+                "bench: bitset APSP diverged from the scalar reference at k = {k}, row {i}"
             )));
         }
-        checksum = seq
-            .row(i)
-            .iter()
-            .fold(checksum, |a, &d| a.wrapping_add(d as u64));
     }
+    let checksum = seq.checksum();
     let extras = vec![("nodes", n.to_string()), ("checksum", checksum.to_string())];
     entries.push(BenchEntry {
         k,
@@ -891,6 +893,53 @@ fn bench_apsp(k: usize, threads: usize, entries: &mut Vec<BenchEntry>) -> Result
         variant: "par",
         ms: par_ms,
         extras,
+    });
+    Ok(())
+}
+
+/// Symmetry-deduplicated APSP at scales where the full table is infeasible
+/// (k = 128 → 20,480 switches; a full `u16` table is 0.8 GB). Times class
+/// computation + one representative BFS row per class, then spot-checks a
+/// few expanded rows against fresh scalar BFS runs and records the
+/// expanded-table checksum (exactly what a full table would sum to) for
+/// the `--check` gate. The full-vs-deduped equality gate on small k lives
+/// in `tests/apsp_scale.rs`.
+fn bench_apsp_dedup(
+    k: usize,
+    threads: usize,
+    entries: &mut Vec<BenchEntry>,
+) -> Result<(), CliError> {
+    let net = fat_tree(k).map_err(|e| CliError(e.to_string()))?;
+    let (dd, ms) = time_ms(|| DedupedApsp::compute_with_threads(&net, threads));
+    let dd = dd.map_err(|e| CliError(format!("bench apsp-dedup k={k}: {e}")))?;
+    let n = net.num_switches();
+    // Correctness spot-check: a handful of expanded rows against direct
+    // scalar BFS (cores, aggregation, and edge switches all covered by the
+    // stride).
+    let csr = Csr::from_graph(&net.switch_graph());
+    let mut row = vec![0u16; n];
+    let mut queue: Vec<u32> = Vec::with_capacity(n);
+    for v in (0..n).step_by((n / 7).max(1)) {
+        csr.bfs_into_u16(NodeId(ft_graph::id32(v)), &mut row, &mut queue);
+        for (w, &expect) in row.iter().enumerate() {
+            if dd.get(v, w) != expect {
+                return Err(CliError(format!(
+                    "bench: deduped APSP diverged from scalar BFS at k = {k}, \
+                     pair ({v}, {w})"
+                )));
+            }
+        }
+    }
+    entries.push(BenchEntry {
+        k,
+        kernel: "apsp",
+        variant: "dedup",
+        ms,
+        extras: vec![
+            ("nodes", n.to_string()),
+            ("classes", dd.classes().class_count().to_string()),
+            ("checksum", dd.expanded_checksum().to_string()),
+        ],
     });
     Ok(())
 }
@@ -1161,6 +1210,19 @@ fn cmd_bench(inv: &Invocation) -> Result<String, CliError> {
         bench_dijkstra(k, &mut entries)?;
         bench_fptas(k, quick, &mut entries, &mut warnings)?;
         bench_des(k, &mut entries)?;
+    }
+    // Distance-stack scaling tiers (APSP only — the other kernels stay at
+    // the classic sizes): k = 64 full table so CI's quick run gates the
+    // bitset kernel, k = 128 deduplicated in full runs only. The k = 64
+    // tier needs an optimized build — at opt-level 0 (unit tests drive
+    // quick mode in-process) the scalar reference alone takes tens of
+    // seconds, and `bench_check` skips baseline entries with no
+    // counterpart, so debug quick runs still check cleanly.
+    if !quick || !cfg!(debug_assertions) {
+        bench_apsp(64, threads, &mut entries)?;
+    }
+    if !quick {
+        bench_apsp_dedup(128, threads, &mut entries)?;
     }
     let mut out = String::new();
     let _ = writeln!(

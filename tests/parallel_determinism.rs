@@ -1,18 +1,20 @@
 //! End-to-end determinism of the parallel hot paths (DESIGN.md §10): the
-//! results of the BFS-APSP table and the FPTAS throughput solve must be
+//! results of the BFS-APSP tables (both the `u32` table and the compact
+//! `u16` bitset-kernel matrix) and the FPTAS throughput solve must be
 //! bit-identical for every `FT_THREADS` value. One test function, because
 //! `FT_THREADS` is process-global state: running the two thread counts
 //! sequentially inside a single test keeps the env mutation race-free
 //! under the default parallel test runner.
 
 use flat_tree::core::{FlatTree, FlatTreeConfig, Mode};
-use flat_tree::graph::{AllPairs, Csr};
+use flat_tree::graph::{AllPairs, Csr, DistMatrix};
 use flat_tree::mcf::{aggregate_commodities, max_concurrent_flow, CapGraph, FptasOptions};
 use flat_tree::workload::{generate, Locality, WorkloadSpec};
 
-/// λ and the APSP distance table for the k = 8 flat-tree in global
-/// random-graph mode under the current `FT_THREADS` setting.
-fn solve_k8() -> (f64, Vec<u32>) {
+/// λ, the `u32` APSP table, and the compact `u16` matrix (plus checksum)
+/// for the k = 8 flat-tree in global random-graph mode under the current
+/// `FT_THREADS` setting.
+fn solve_k8() -> (f64, Vec<u32>, Vec<u16>, u64) {
     let net = FlatTree::new(FlatTreeConfig::for_fat_tree_k(8).unwrap())
         .unwrap()
         .materialize(&Mode::GlobalRandom)
@@ -24,6 +26,12 @@ fn solve_k8() -> (f64, Vec<u32>) {
     for v in 0..csr.node_count() {
         table.extend_from_slice(ap.row(v));
     }
+    let dm = DistMatrix::compute_csr(&csr).unwrap();
+    let mut compact = Vec::new();
+    for v in 0..csr.node_count() {
+        compact.extend_from_slice(dm.row(v));
+    }
+    let checksum = dm.checksum();
 
     let tm = generate(&net, &WorkloadSpec::hotspot(Locality::None), 1);
     let commodities = aggregate_commodities(tm.switch_triples(&net));
@@ -41,15 +49,15 @@ fn solve_k8() -> (f64, Vec<u32>) {
         !sol.budget_exhausted,
         "k=8 must converge inside the generous test budget"
     );
-    (sol.lambda, table)
+    (sol.lambda, table, compact, checksum)
 }
 
 #[test]
 fn lambda_and_apsp_identical_across_thread_counts() {
     std::env::set_var("FT_THREADS", "1");
-    let (lambda_1, table_1) = solve_k8();
+    let (lambda_1, table_1, compact_1, sum_1) = solve_k8();
     std::env::set_var("FT_THREADS", "4");
-    let (lambda_4, table_4) = solve_k8();
+    let (lambda_4, table_4, compact_4, sum_4) = solve_k8();
     std::env::remove_var("FT_THREADS");
 
     assert_eq!(
@@ -59,4 +67,12 @@ fn lambda_and_apsp_identical_across_thread_counts() {
     );
     assert!(lambda_1.is_finite() && lambda_1 > 0.0, "λ = {lambda_1}");
     assert_eq!(table_1, table_4, "APSP table diverged across thread counts");
+    assert_eq!(
+        compact_1, compact_4,
+        "bitset-kernel matrix diverged across thread counts"
+    );
+    assert_eq!(sum_1, sum_4, "checksum diverged across thread counts");
+    // the compact matrix must also agree with the wide table it shadows
+    let widened: Vec<u32> = compact_1.iter().map(|&d| u32::from(d)).collect();
+    assert_eq!(table_1, widened, "u16 matrix disagrees with the u32 table");
 }
