@@ -7,9 +7,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ft_core::{FlatTree, FlatTreeConfig, Mode};
 use ft_mcf::{
-    aggregate_commodities, max_concurrent_flow, max_concurrent_flow_exact, CapGraph, Commodity,
-    FptasOptions,
+    aggregate_commodities, max_concurrent_flow, max_concurrent_flow_exact,
+    max_concurrent_flow_sharded, CapGraph, Commodity, FptasOptions, ShardConfig,
 };
+use ft_metrics::path_length::SwitchDistances;
+use ft_metrics::throughput::{throughput_all_to_all, SolverKind, ThroughputOptions};
 use ft_topo::{fat_tree, Network};
 use ft_workload::{generate, Locality, TrafficPattern, WorkloadSpec};
 use std::hint::black_box;
@@ -72,5 +74,62 @@ fn bench_fptas(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_exact_lp, bench_fptas);
+/// The fig7 hot-spot point through the three FPTAS engines: the batched
+/// baseline, the round-sharded engine (cold and warm-started from the
+/// switch distance table), and — on the symmetric Clos layout — the
+/// orbit-aggregated all-to-all solve whose cost is dominated by the
+/// distance/symmetry preprocessing, not the quotient FPTAS itself.
+fn bench_fptas_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fptas-engines");
+    g.sample_size(10);
+    let k = 8usize;
+    let flat = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap())
+        .unwrap()
+        .materialize(&Mode::GlobalRandom)
+        .unwrap();
+    let cg = CapGraph::from_graph(&flat.switch_graph(), 1.0);
+    let cs = commodities(&flat, TrafficPattern::HotSpot, 1000);
+    let opts = FptasOptions::with_epsilon(0.2);
+    g.bench_with_input(BenchmarkId::new("batched", k), &(), |b, ()| {
+        b.iter(|| black_box(max_concurrent_flow(&cg, &cs, opts)))
+    });
+    g.bench_with_input(BenchmarkId::new("sharded-cold", k), &(), |b, ()| {
+        b.iter(|| {
+            black_box(max_concurrent_flow_sharded(
+                &cg,
+                &cs,
+                opts,
+                &ShardConfig::default(),
+            ))
+        })
+    });
+    let dist = SwitchDistances::compute(&flat);
+    let oracle = move |a: usize, b: usize| dist.switch_distance(a, b);
+    let cfg = ShardConfig {
+        threads: 0,
+        warm: Some(&oracle),
+    };
+    g.bench_with_input(BenchmarkId::new("sharded-warm", k), &(), |b, ()| {
+        b.iter(|| black_box(max_concurrent_flow_sharded(&cg, &cs, opts, &cfg)))
+    });
+    let clos = FlatTree::new(FlatTreeConfig::for_fat_tree_k(k).unwrap())
+        .unwrap()
+        .materialize(&Mode::Clos)
+        .unwrap();
+    g.bench_with_input(
+        BenchmarkId::new("aggregated-all-to-all", k),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                black_box(throughput_all_to_all(
+                    &clos,
+                    ThroughputOptions::fptas_with(0.2, SolverKind::Aggregated),
+                ))
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_exact_lp, bench_fptas, bench_fptas_engines);
 criterion_main!(benches);

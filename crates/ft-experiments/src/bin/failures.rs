@@ -77,6 +77,7 @@ fn main() {
         epsilon: opts.epsilon,
         exact_threshold: 0,
         max_steps: opts.max_steps,
+        ..Default::default()
     };
     let mut t1 = Table::new(&["failed links %", "mode", "APL", "all-to-all λ", "stranded"]);
     let mut degradation: Vec<(f64, String, f64)> = Vec::new();

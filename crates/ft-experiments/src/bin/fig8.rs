@@ -84,6 +84,7 @@ fn main() {
                 epsilon: opts.epsilon,
                 exact_threshold: 0,
                 max_steps: opts.max_steps,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -66,6 +66,7 @@ fn main() {
         epsilon: opts.epsilon,
         exact_threshold: 0,
         max_steps: opts.max_steps,
+        ..Default::default()
     };
 
     let proportions: Vec<usize> = (1..=9).map(|p| p * 10).collect();

@@ -99,6 +99,22 @@ impl CapGraph {
         self.arcs.iter().filter(|a| a.to == v).map(|a| a.cap).sum()
     }
 
+    /// The single capacity shared by every arc, or `None` when arcs
+    /// differ (or the graph is empty). The symmetry-aggregated solver
+    /// requires uniform capacity within each arc class; a graph-wide
+    /// uniform capacity — the unit-capacity switch graphs every
+    /// throughput evaluation builds — certifies that in O(arcs) without
+    /// per-class bookkeeping.
+    pub fn uniform_cap(&self) -> Option<f64> {
+        let first = self.arcs.first()?.cap;
+        // Bitwise comparison, not an epsilon: capacities come from one
+        // constructor constant, and any drift must disable aggregation.
+        self.arcs
+            .iter()
+            .all(|a| a.cap.to_bits() == first.to_bits())
+            .then_some(first)
+    }
+
     /// Dijkstra from `src` under per-arc `lengths`, stopping as soon as
     /// `dst` is settled. Returns the arc path `src → dst` and its length,
     /// or `None` if unreachable.

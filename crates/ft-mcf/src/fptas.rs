@@ -83,17 +83,17 @@ use std::sync::OnceLock;
 /// into plain `u64` fields of [`RunState`] (zero atomic traffic inside a
 /// phase); totals are flushed here once per [`run_once`] call, so the
 /// solver's exposition lines cost O(1) atomics per run.
-struct McfCounters {
-    runs: &'static ft_obs::Counter,
-    phases: &'static ft_obs::Counter,
-    trees: &'static ft_obs::Counter,
-    pushes: &'static ft_obs::Counter,
-    deferrals: &'static ft_obs::Counter,
-    rescue_armed: &'static ft_obs::Counter,
-    budget_exhausted: &'static ft_obs::Counter,
+pub(crate) struct McfCounters {
+    pub(crate) runs: &'static ft_obs::Counter,
+    pub(crate) phases: &'static ft_obs::Counter,
+    pub(crate) trees: &'static ft_obs::Counter,
+    pub(crate) pushes: &'static ft_obs::Counter,
+    pub(crate) deferrals: &'static ft_obs::Counter,
+    pub(crate) rescue_armed: &'static ft_obs::Counter,
+    pub(crate) budget_exhausted: &'static ft_obs::Counter,
 }
 
-fn obs() -> &'static McfCounters {
+pub(crate) fn obs() -> &'static McfCounters {
     static CELL: OnceLock<McfCounters> = OnceLock::new();
     CELL.get_or_init(|| McfCounters {
         runs: ft_obs::registry::counter("ft_mcf_runs_total"),
@@ -201,15 +201,15 @@ pub fn max_concurrent_flow_reference(
 /// *source* tree rooted at a shared `src` (`reversed == false`) or a
 /// *sink* tree rooted at a shared `dst` (`reversed == true`).
 #[derive(Clone, Debug, PartialEq, Eq)]
-struct Group {
+pub(crate) struct Group {
     /// Tree root: the shared source, or the shared destination when
     /// `reversed`.
-    root: usize,
+    pub(crate) root: usize,
     /// Whether the tree is sink-rooted
     /// ([`CapGraph::shortest_path_tree_to_with`]).
-    reversed: bool,
+    pub(crate) reversed: bool,
     /// Commodity indices, in input order.
-    members: Vec<usize>,
+    pub(crate) members: Vec<usize>,
 }
 
 /// Partitions commodity indices into tree batches, each commodity joining
@@ -221,7 +221,7 @@ struct Group {
 /// members stay in input order — the fixed ordering is part of the
 /// determinism contract (DESIGN.md §10): the routing schedule, and with it
 /// every float accumulation, depends only on the input commodity order.
-fn group_commodities(commodities: &[Commodity]) -> Vec<Group> {
+pub(crate) fn group_commodities(commodities: &[Commodity]) -> Vec<Group> {
     use std::collections::HashMap;
     let mut src_count: HashMap<usize, usize> = HashMap::new();
     let mut dst_count: HashMap<usize, usize> = HashMap::new();

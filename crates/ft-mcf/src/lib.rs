@@ -55,12 +55,17 @@ pub mod digraph;
 pub mod exact;
 pub mod fptas;
 pub mod paths;
+pub mod shard;
 
 pub use bounds::node_cut_upper_bound;
 pub use digraph::{CapGraph, DijkstraScratch};
 pub use exact::max_concurrent_flow_exact;
 pub use fptas::{max_concurrent_flow, max_concurrent_flow_reference, FptasOptions, McfSolution};
 pub use paths::{k_shortest_arc_paths, max_concurrent_flow_on_paths, ArcPath};
+pub use shard::{
+    max_concurrent_flow_aggregated, max_concurrent_flow_sharded, AggregatedInstance,
+    DistanceOracle, ShardConfig,
+};
 
 /// Errors reported by the concurrent-flow solvers.
 ///

@@ -40,4 +40,7 @@ pub use path_length::{
     average_server_path_length_with, path_length_histogram, SwitchDistances,
 };
 pub use report::{budget_warning, Series, Table};
-pub use throughput::{throughput, ThroughputOptions, ThroughputResult};
+pub use throughput::{
+    throughput, throughput_all_to_all, throughput_on_commodities_with, SolverKind,
+    ThroughputOptions, ThroughputResult,
+};

@@ -12,11 +12,34 @@
 //! of Figures 7 and 8.
 
 use ft_mcf::{
-    aggregate_commodities, max_concurrent_flow, max_concurrent_flow_exact, CapGraph, Commodity,
-    FptasOptions, McfError,
+    aggregate_commodities, max_concurrent_flow, max_concurrent_flow_aggregated,
+    max_concurrent_flow_exact, max_concurrent_flow_sharded, AggregatedInstance, CapGraph,
+    Commodity, FptasOptions, McfError, ShardConfig,
 };
-use ft_topo::Network;
+use ft_topo::{Network, SymmetryClasses};
 use ft_workload::TrafficMatrix;
+
+use crate::path_length::SwitchDistances;
+
+/// Which FPTAS routing engine solves instances above the exact-LP
+/// threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SolverKind {
+    /// The sequential source-batched Fleischer loop
+    /// ([`max_concurrent_flow`]) — the PR 4 baseline.
+    #[default]
+    Batched,
+    /// The round-sharded parallel loop
+    /// ([`max_concurrent_flow_sharded`]): same certification, trees built
+    /// on the `ft_graph::par` pool, λ bit-identical across `FT_THREADS`.
+    Sharded,
+    /// Symmetry-aggregated quotient solve
+    /// ([`max_concurrent_flow_aggregated`]) over
+    /// `ft_topo::SymmetryClasses` orbits; falls back to [`Self::Sharded`]
+    /// on the full instance when the commodity set does not aggregate
+    /// (asymmetric/converted topologies, incomplete distance data).
+    Aggregated,
+}
 
 /// Solver configuration for [`throughput`].
 #[derive(Clone, Copy, Debug)]
@@ -28,6 +51,11 @@ pub struct ThroughputOptions {
     pub exact_threshold: usize,
     /// Optional hard cap on FPTAS shortest-path computations.
     pub max_steps: Option<usize>,
+    /// FPTAS routing engine for instances above the threshold.
+    pub solver: SolverKind,
+    /// Worker threads for the sharded/aggregated engines (0 = the
+    /// `FT_THREADS` pool default). Never affects λ, only the wall clock.
+    pub threads: usize,
 }
 
 impl Default for ThroughputOptions {
@@ -36,17 +64,29 @@ impl Default for ThroughputOptions {
             epsilon: 0.1,
             exact_threshold: 2_000,
             max_steps: None,
+            solver: SolverKind::Batched,
+            threads: 0,
         }
     }
 }
 
 impl ThroughputOptions {
-    /// FPTAS-only options with the given ε.
+    /// FPTAS-only options with the given ε (batched engine).
     pub fn fptas(epsilon: f64) -> Self {
         ThroughputOptions {
             epsilon,
             exact_threshold: 0,
-            max_steps: None,
+            ..Default::default()
+        }
+    }
+
+    /// FPTAS-only options with the given ε and routing engine.
+    pub fn fptas_with(epsilon: f64, solver: SolverKind) -> Self {
+        ThroughputOptions {
+            epsilon,
+            exact_threshold: 0,
+            solver,
+            ..Default::default()
         }
     }
 }
@@ -69,6 +109,11 @@ pub struct ThroughputResult {
     /// Always `false` on the exact-LP path. Surface this to users (see
     /// [`crate::report::budget_warning`]) instead of presenting λ as final.
     pub budget_exhausted: bool,
+    /// When the symmetry aggregation engaged
+    /// ([`SolverKind::Aggregated`], non-identity): the number of
+    /// representative commodities actually solved. `None` when the solver
+    /// ran on the full commodity list.
+    pub aggregated: Option<usize>,
 }
 
 /// Evaluates λ for the network under the given server-level matrix.
@@ -96,6 +141,23 @@ pub fn throughput_on_commodities(
     commodities: &[Commodity],
     opts: ThroughputOptions,
 ) -> Result<ThroughputResult, McfError> {
+    throughput_on_commodities_with(net, commodities, opts, None)
+}
+
+/// [`throughput_on_commodities`] with an optional shared distance table.
+/// The table warm-starts the sharded engines (O(1) reachability, the
+/// distance-volume upper bound) and feeds the symmetry aggregation —
+/// `ft-serve` passes the table it already caches per network instead of
+/// recomputing APSP per query.
+///
+/// # Errors
+/// Propagates [`McfError`] from the underlying solver.
+pub fn throughput_on_commodities_with(
+    net: &Network,
+    commodities: &[Commodity],
+    opts: ThroughputOptions,
+    warm: Option<&SwitchDistances>,
+) -> Result<ThroughputResult, McfError> {
     let sg = net.switch_graph();
     let cg = CapGraph::from_graph(&sg, 1.0);
     if commodities.is_empty() {
@@ -105,34 +167,160 @@ pub fn throughput_on_commodities(
             commodities: 0,
             upper_bound: f64::INFINITY,
             budget_exhausted: false,
+            aggregated: None,
         });
     }
     let lp_vars = commodities.len() * cg.arc_count();
     if lp_vars <= opts.exact_threshold {
-        Ok(ThroughputResult {
+        return Ok(ThroughputResult {
             lambda: max_concurrent_flow_exact(&cg, commodities)?,
             exact: true,
             commodities: commodities.len(),
             upper_bound: f64::INFINITY,
             budget_exhausted: false,
-        })
-    } else {
-        let sol = max_concurrent_flow(
-            &cg,
-            commodities,
-            FptasOptions {
-                epsilon: opts.epsilon,
-                max_steps: opts.max_steps,
-            },
-        )?;
-        Ok(ThroughputResult {
-            lambda: sol.lambda,
-            exact: false,
-            commodities: commodities.len(),
-            upper_bound: sol.upper_bound,
-            budget_exhausted: sol.budget_exhausted,
-        })
+            aggregated: None,
+        });
     }
+    let fopts = FptasOptions {
+        epsilon: opts.epsilon,
+        max_steps: opts.max_steps,
+    };
+    let wrap = |sol: ft_mcf::McfSolution, aggregated: Option<usize>| ThroughputResult {
+        lambda: sol.lambda,
+        exact: false,
+        commodities: commodities.len(),
+        upper_bound: sol.upper_bound,
+        budget_exhausted: sol.budget_exhausted,
+        aggregated,
+    };
+    match opts.solver {
+        SolverKind::Batched => Ok(wrap(max_concurrent_flow(&cg, commodities, fopts)?, None)),
+        SolverKind::Sharded => {
+            // Only a caller-provided table warm-starts the plain sharded
+            // engine: computing APSP here would hide a whole-table build
+            // behind every solve.
+            let oracle = warm.map(|d| move |a: usize, b: usize| d.switch_distance(a, b));
+            let cfg = ShardConfig {
+                threads: opts.threads,
+                warm: oracle
+                    .as_ref()
+                    .map(|o| o as &(dyn Fn(usize, usize) -> Option<u32> + Sync)),
+            };
+            Ok(wrap(
+                max_concurrent_flow_sharded(&cg, commodities, fopts, &cfg)?,
+                None,
+            ))
+        }
+        SolverKind::Aggregated => {
+            // Aggregation needs a full distance table; compute one if the
+            // caller did not share theirs.
+            let owned;
+            let dist = match warm {
+                Some(d) => d,
+                None => {
+                    owned = SwitchDistances::compute(net);
+                    &owned
+                }
+            };
+            let oracle = move |a: usize, b: usize| dist.switch_distance(a, b);
+            let cfg = ShardConfig {
+                threads: opts.threads,
+                warm: Some(&oracle),
+            };
+            let classes = SymmetryClasses::compute(net);
+            match AggregatedInstance::from_commodities(
+                &cg,
+                classes.class_slice(),
+                commodities,
+                &oracle,
+            ) {
+                Some(inst) => {
+                    let aggregated = (!inst.is_identity()).then_some(inst.commodities().len());
+                    Ok(wrap(
+                        max_concurrent_flow_aggregated(&cg, &inst, fopts, &cfg)?,
+                        aggregated,
+                    ))
+                }
+                // non-aggregatable (asymmetric, mixed demands, missing
+                // distance rows): solve the instance as given
+                None => Ok(wrap(
+                    max_concurrent_flow_sharded(&cg, commodities, fopts, &cfg)?,
+                    None,
+                )),
+            }
+        }
+    }
+}
+
+/// Symbolic uniform all-to-all throughput: every ordered pair of distinct
+/// servers exchanges unit demand, expressed directly as per-switch weights
+/// (`n_s · n_t` between hosting switches) without materializing the
+/// quadratic commodity list. With [`SolverKind::Aggregated`] and a
+/// symmetric topology this is what makes k = 128 solvable at all; other
+/// engines (or failed aggregation) fall back to the materialized list.
+///
+/// # Errors
+/// Propagates [`McfError`] from the underlying solver.
+pub fn throughput_all_to_all(
+    net: &Network,
+    opts: ThroughputOptions,
+) -> Result<ThroughputResult, McfError> {
+    let counts = net.server_counts();
+    if opts.solver == SolverKind::Aggregated {
+        let sg = net.switch_graph();
+        let cg = CapGraph::from_graph(&sg, 1.0);
+        let dist = SwitchDistances::compute(net);
+        let oracle = move |a: usize, b: usize| dist.switch_distance(a, b);
+        let classes = SymmetryClasses::compute(net);
+        let weights: Vec<f64> = counts.iter().map(|&c| f64::from(c)).collect();
+        if let Some(inst) =
+            AggregatedInstance::all_to_all(&cg, classes.class_slice(), &weights, &oracle)
+        {
+            let cfg = ShardConfig {
+                threads: opts.threads,
+                warm: Some(&oracle),
+            };
+            let sol = max_concurrent_flow_aggregated(
+                &cg,
+                &inst,
+                FptasOptions {
+                    epsilon: opts.epsilon,
+                    max_steps: opts.max_steps,
+                },
+                &cfg,
+            )?;
+            let aggregated = (!inst.is_identity()).then_some(inst.commodities().len());
+            return Ok(ThroughputResult {
+                lambda: sol.lambda,
+                exact: false,
+                commodities: inst.original_commodities(),
+                upper_bound: sol.upper_bound,
+                budget_exhausted: sol.budget_exhausted,
+                aggregated,
+            });
+        }
+    }
+    // Materialized fallback: switch-level all-to-all with n_s·n_t demands.
+    let mut commodities = Vec::new();
+    for (s, &ns) in counts.iter().enumerate() {
+        if ns == 0 {
+            continue;
+        }
+        for (t, &nt) in counts.iter().enumerate() {
+            if t != s && nt > 0 {
+                commodities.push(Commodity {
+                    src: s,
+                    dst: t,
+                    demand: f64::from(ns) * f64::from(nt),
+                });
+            }
+        }
+    }
+    // The sharded engine gets the same warm table the aggregated path
+    // uses, so an identity-degraded aggregation and a direct sharded run
+    // produce bit-identical λ (the symmetry tests byte-compare them).
+    let warm = (opts.solver == SolverKind::Sharded).then(|| SwitchDistances::compute(net));
+    throughput_on_commodities_with(net, &commodities, opts, warm.as_ref())
 }
 
 #[cfg(test)]
@@ -205,6 +393,67 @@ mod tests {
         let lf = throughput(&ft, &tm_ft, o).unwrap().lambda;
         let lr = throughput(&rg, &tm_rg, o).unwrap().lambda;
         assert!(lr > lf, "random graph λ {lr} should beat fat-tree λ {lf}");
+    }
+
+    #[test]
+    fn solver_engines_agree_on_fat_tree_all_to_all() {
+        let net = fat_tree(4).unwrap();
+        let eps = 0.08;
+        let band = 1.0 - 3.0 * eps;
+        let b = throughput_all_to_all(&net, ThroughputOptions::fptas(eps)).unwrap();
+        let s = throughput_all_to_all(
+            &net,
+            ThroughputOptions::fptas_with(eps, SolverKind::Sharded),
+        )
+        .unwrap();
+        let a = throughput_all_to_all(
+            &net,
+            ThroughputOptions::fptas_with(eps, SolverKind::Aggregated),
+        )
+        .unwrap();
+        // the fat-tree is symmetric: the aggregation must engage and
+        // collapse the 56 edge-pair commodities to a handful of orbits
+        let collapsed = a
+            .aggregated
+            .expect("aggregation should engage on a fat-tree");
+        assert!(
+            collapsed < a.commodities,
+            "{collapsed} vs {}",
+            a.commodities
+        );
+        for (name, r) in [("sharded", &s), ("aggregated", &a)] {
+            assert!(
+                r.lambda >= band * b.lambda - 1e-9 && b.lambda >= band * r.lambda - 1e-9,
+                "{name} {} vs batched {} outside the ε band",
+                r.lambda,
+                b.lambda
+            );
+            assert!(!r.budget_exhausted);
+        }
+    }
+
+    #[test]
+    fn warm_table_keeps_lambda_in_band() {
+        let net = fat_tree(4).unwrap();
+        let spec = WorkloadSpec {
+            pattern: TrafficPattern::AllToAll,
+            cluster_size: 8,
+            locality: Locality::Strong,
+        };
+        let tm = generate(&net, &spec, 1);
+        let commodities: Vec<_> = ft_mcf::aggregate_commodities(tm.switch_triples(&net));
+        let eps = 0.08;
+        let band = 1.0 - 3.0 * eps;
+        let opts = ThroughputOptions::fptas_with(eps, SolverKind::Sharded);
+        let cold = throughput_on_commodities_with(&net, &commodities, opts, None).unwrap();
+        let table = crate::path_length::SwitchDistances::compute(&net);
+        let warm = throughput_on_commodities_with(&net, &commodities, opts, Some(&table)).unwrap();
+        assert!(
+            warm.lambda >= band * cold.lambda - 1e-9 && cold.lambda >= band * warm.lambda - 1e-9,
+            "warm {} vs cold {}",
+            warm.lambda,
+            cold.lambda
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use crate::error::ServeError;
 use ft_core::{Mode, PodMode};
+use ft_metrics::SolverKind;
 use ft_workload::{Locality, TrafficPattern};
 use std::collections::HashMap;
 
@@ -146,6 +147,8 @@ pub enum Request {
         locality: Locality,
         /// Workload placement seed.
         seed: u64,
+        /// FPTAS routing engine (batched | sharded | aggregated).
+        solver: SolverKind,
     },
     /// Converter-diff preview for a conversion (no state change).
     Plan {
@@ -275,7 +278,9 @@ pub fn parse(line: &str) -> Result<Request, ServeError> {
         "throughput" => {
             reject_unknown(
                 &args,
-                &["mode", "eps", "pattern", "cluster", "locality", "seed"],
+                &[
+                    "mode", "eps", "pattern", "cluster", "locality", "seed", "solver",
+                ],
             )?;
             let epsilon = parse_f64(&args, "eps", DEFAULT_EPSILON)?;
             if !(epsilon > 0.0 && epsilon < 0.5) {
@@ -303,6 +308,16 @@ pub fn parse(line: &str) -> Result<Request, ServeError> {
                     )))
                 }
             };
+            let solver = match args.get("solver").map(String::as_str) {
+                None | Some("batched") => SolverKind::Batched,
+                Some("sharded") => SolverKind::Sharded,
+                Some("aggregated") => SolverKind::Aggregated,
+                Some(other) => {
+                    return Err(ServeError::BadRequest(format!(
+                        "unknown solver {other:?} (use batched | sharded | aggregated)"
+                    )))
+                }
+            };
             let cluster_u64 = parse_u64(&args, "cluster", DEFAULT_CLUSTER as u64)?;
             if cluster_u64 < 2 {
                 return Err(ServeError::BadRequest(format!(
@@ -317,6 +332,7 @@ pub fn parse(line: &str) -> Result<Request, ServeError> {
                     .map_err(|_| ServeError::BadRequest("cluster= out of range".to_string()))?,
                 locality,
                 seed: parse_u64(&args, "seed", 1)?,
+                solver,
             })
         }
         "plan" | "convert" => {
@@ -380,6 +396,7 @@ mod tests {
             locality,
             seed,
             mode,
+            solver,
         } = parse("throughput").unwrap()
         else {
             panic!("wrong variant");
@@ -389,10 +406,12 @@ mod tests {
         assert_eq!(cluster, DEFAULT_CLUSTER);
         assert_eq!(locality, Locality::None);
         assert_eq!(seed, 1);
+        assert_eq!(solver, SolverKind::Batched);
         assert!(mode.is_none());
 
         let r = parse(
-            "throughput mode=global-rg eps=0.2 pattern=hotspot cluster=8 locality=weak seed=9",
+            "throughput mode=global-rg eps=0.2 pattern=hotspot cluster=8 locality=weak seed=9 \
+             solver=aggregated",
         )
         .unwrap();
         assert_eq!(
@@ -404,8 +423,13 @@ mod tests {
                 cluster: 8,
                 locality: Locality::Weak,
                 seed: 9,
+                solver: SolverKind::Aggregated,
             }
         );
+        assert!(matches!(
+            parse("throughput solver=simplex"),
+            Err(ServeError::BadRequest(_))
+        ));
     }
 
     #[test]

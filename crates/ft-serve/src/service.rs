@@ -23,10 +23,11 @@ use crate::proto::{self, layout_letters, ModeSpec, Request};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use ft_control::Controller;
 use ft_core::{FlatTreeConfig, Mode};
+use ft_mcf::aggregate_commodities;
 use ft_metrics::path_length::{
     average_intra_pod_path_length_with, average_server_path_length_with,
 };
-use ft_metrics::throughput::{throughput, ThroughputOptions};
+use ft_metrics::throughput::{throughput_on_commodities_with, SolverKind, ThroughputOptions};
 use ft_workload::{generate, WorkloadSpec};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -282,6 +283,7 @@ fn dispatch(
             cluster,
             locality,
             seed,
+            solver,
         } => exec_throughput(
             shared,
             mode.as_ref(),
@@ -290,6 +292,7 @@ fn dispatch(
             *cluster,
             *locality,
             *seed,
+            *solver,
         ),
         Request::Plan { to } => exec_plan(shared, to),
         Request::Convert { to } => exec_convert(shared, to),
@@ -393,6 +396,7 @@ fn exec_throughput(
     cluster: usize,
     locality: ft_workload::Locality,
     seed: u64,
+    solver: SolverKind,
 ) -> Result<String, ServeError> {
     let (_, layout, entry, hit) = entry_for(shared, spec)?;
     let wl = WorkloadSpec {
@@ -401,14 +405,33 @@ fn exec_throughput(
         locality,
     };
     let tm = generate(&entry.network, &wl, seed);
-    let r = throughput(&entry.network, &tm, ThroughputOptions::fptas(epsilon))?;
+    let commodities = aggregate_commodities(tm.switch_triples(&entry.network));
+    // The sharded/aggregated engines warm-start from the per-network
+    // distance table the cache already shares with the paths verb; the
+    // batched baseline has no warm path, so don't force its computation.
+    let warm = match solver {
+        SolverKind::Batched => None,
+        SolverKind::Sharded | SolverKind::Aggregated => Some(entry.switch_distances()),
+    };
+    let r = throughput_on_commodities_with(
+        &entry.network,
+        &commodities,
+        ThroughputOptions::fptas_with(epsilon, solver),
+        warm.as_deref(),
+    )?;
+    let solver_name = match solver {
+        SolverKind::Batched => "batched",
+        SolverKind::Sharded => "sharded",
+        SolverKind::Aggregated => "aggregated",
+    };
     // budget_exhausted is part of the reply contract: λ from a truncated
     // FPTAS run is a lower bound, and clients must be able to tell.
     Ok(format!(
-        "layout={layout} eps={epsilon} lambda={:.6} commodities={} exact={} \
-         budget_exhausted={} source={}",
+        "layout={layout} eps={epsilon} solver={solver_name} lambda={:.6} commodities={} \
+         aggregated={} exact={} budget_exhausted={} source={}",
         r.lambda,
         r.commodities,
+        r.aggregated.unwrap_or(0),
         r.exact,
         r.budget_exhausted,
         source(hit)
@@ -662,7 +685,46 @@ mod tests {
         assert!(reply.starts_with("OK throughput "), "{reply}");
         assert!(reply.contains("lambda="), "{reply}");
         assert!(reply.contains("eps=0.3"), "{reply}");
+        assert!(reply.contains("solver=batched"), "{reply}");
         // an unbounded FPTAS run converges, and the reply must say so
         assert!(reply.contains("budget_exhausted=false"), "{reply}");
+    }
+
+    #[test]
+    fn throughput_aggregated_solver_engages_and_exposes_gauge() {
+        let ((reply, metrics), _) = Service::run(cfg(), |h| {
+            // cluster=16 spans every server of the k = 4 network: the demand
+            // matrix is uniform all-to-all, so the orbit closure holds.
+            let reply = h.request("throughput eps=0.3 cluster=16 solver=aggregated seed=2");
+            (reply, h.request("metrics"))
+        })
+        .unwrap();
+        assert!(reply.starts_with("OK throughput "), "{reply}");
+        assert!(reply.contains("solver=aggregated"), "{reply}");
+        // k = 4 Clos is symmetric: the orbit count must be a real collapse,
+        // not the aggregated=0 identity fallback.
+        let collapsed: usize = reply
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("aggregated="))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let full: usize = reply
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("commodities="))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(collapsed > 0, "{reply}");
+        assert!(collapsed < full, "{reply}");
+        // The orbit-count gauge reaches the wire via the metrics verb.
+        assert!(
+            metrics.contains("ft_mcf_aggregated_commodities"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("ft_mcf_aggregated_runs_total"),
+            "{metrics}"
+        );
     }
 }

@@ -16,9 +16,12 @@
 //! events then flow arrivals, so at equal timestamps the queue replays
 //! the legacy engine's apply-events-before-admission rule; all
 //! follow-up events carry strictly larger sequence numbers, and no
-//! handler consults wall-clock time or unordered containers. A fixed
-//! scenario therefore produces bit-identical reports and traces
-//! regardless of `FT_THREADS`.
+//! handler lets wall-clock time or unordered containers influence the
+//! schedule. A fixed scenario therefore produces bit-identical reports
+//! and traces regardless of `FT_THREADS`. (The allocator keeps a
+//! measurement-only stopwatch around the max-min solve —
+//! [`DesReport::solver_ns`] — which never feeds back into events, the
+//! checksum, or the deterministic summary.)
 
 use crate::ratealloc::{max_min_rates, DirectedLink};
 use crate::simulator::{FlowSpec, RouterPolicy};
@@ -177,6 +180,13 @@ pub struct DesReport {
     /// Conversion-plan link removals that matched no live link (plan
     /// drift; should be 0 in a consistent scenario).
     pub missing_links: usize,
+    /// Wall-clock nanoseconds spent inside the max-min rate solver
+    /// across all re-allocations. Measurement only: timing-dependent,
+    /// excluded from [`DesReport::completion_checksum`] and from the
+    /// deterministic `ft-des-sim/1` summary, so byte-comparison gates
+    /// are unaffected. Lets benchmarks separate event-loop throughput
+    /// from solver cost (the solver dominates at large k).
+    pub solver_ns: u64,
     /// JSONL trace lines (one per dispatched event) when the run was
     /// traced, else `None`.
     pub trace: Option<Vec<String>>,
@@ -294,6 +304,12 @@ struct World {
     /// Bumped per allocation; stale `Harvest` events carry old epochs.
     epoch: u64,
     reallocations: usize,
+    /// Accumulated wall-clock time inside `max_min_rates` (measurement
+    /// only; see [`DesReport::solver_ns`]).
+    solver_ns: u64,
+    /// Reused per-reallocation path scratch: inner `Vec`s keep their
+    /// allocations across solves instead of being rebuilt each time.
+    path_buf: Vec<Vec<DirectedLink>>,
     conversions: usize,
     links_removed: usize,
     links_added: usize,
@@ -399,12 +415,19 @@ impl World {
                 i += 1;
             }
         }
-        let paths: Vec<Vec<DirectedLink>> = self
-            .active
-            .iter()
-            .map(|f| f.path.clone().unwrap_or_default())
-            .collect();
-        self.rates = max_min_rates(&paths, self.capacity);
+        self.path_buf.truncate(self.active.len());
+        self.path_buf.resize_with(self.active.len(), Vec::new);
+        for (buf, f) in self.path_buf.iter_mut().zip(&self.active) {
+            buf.clear();
+            if let Some(p) = f.path.as_deref() {
+                buf.extend_from_slice(p);
+            }
+        }
+        let t0 = std::time::Instant::now();
+        self.rates = max_min_rates(&self.path_buf, self.capacity);
+        self.solver_ns = self
+            .solver_ns
+            .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         for (f, r) in self.active.iter().zip(self.rates.iter_mut()) {
             if f.path.is_none() {
                 *r = 0.0; // unroutable, parked
@@ -723,6 +746,8 @@ impl DesSimulator {
             dirty: false,
             epoch: 0,
             reallocations: 0,
+            solver_ns: 0,
+            path_buf: Vec::new(),
             conversions: 0,
             links_removed: 0,
             links_added: 0,
@@ -766,6 +791,7 @@ impl DesSimulator {
             links_removed: world.links_removed,
             links_added: world.links_added,
             missing_links: world.missing_links,
+            solver_ns: world.solver_ns,
             trace,
         };
         if let Some(s) = span.as_mut() {

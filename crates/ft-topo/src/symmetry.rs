@@ -283,6 +283,28 @@ impl SymmetryClasses {
         // bounds: same as class_of
         self.col_maps[v]
     }
+
+    /// The per-switch class ids as one slice, index-aligned with switch
+    /// ids. This is the commodity-class bridge into crates that must not
+    /// depend on ft-topo: `ft_mcf`'s symmetry-aggregated solver consumes
+    /// exactly this slice (plus a hop-distance oracle) to collapse
+    /// equivalent (source-class, sink-class) commodity pairs, instead of
+    /// taking the whole [`SymmetryClasses`].
+    pub fn class_slice(&self) -> &[u32] {
+        &self.class_of
+    }
+
+    /// Member count of every class, indexed by class id. On a fat-tree
+    /// this is the orbit-size vector the commodity aggregation multiplies
+    /// demands by; on an asymmetric (converted) topology every entry is 1.
+    pub fn class_sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![0u32; self.reps.len()];
+        for &c in &self.class_of {
+            // bounds: class ids were assigned from positions in reps
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
 }
 
 /// All-pairs switch distances stored as one row per symmetry class.

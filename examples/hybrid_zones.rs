@@ -94,6 +94,7 @@ fn main() {
         epsilon: 0.1,
         exact_threshold: 0,
         max_steps: Some(2_000_000),
+        ..Default::default()
     };
     let flat = ctl.flat_tree();
     let dedicated_global = flat.materialize(&Mode::GlobalRandom).unwrap();

@@ -23,6 +23,7 @@ fn main() {
         epsilon: 0.1,
         exact_threshold: 0,
         max_steps: Some(2_000_000),
+        ..Default::default()
     };
 
     let workloads = [

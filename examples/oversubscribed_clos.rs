@@ -57,6 +57,7 @@ fn main() {
         epsilon: 0.1,
         exact_threshold: 0,
         max_steps: Some(2_000_000),
+        ..Default::default()
     };
     println!("{:<12} {:>8} {:>12}", "mode", "APL", "hot-spot λ");
     let mut rows = Vec::new();

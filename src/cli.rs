@@ -22,10 +22,14 @@ use crate::graph::bridges::bridges;
 use crate::graph::stats::{diameter, mean_degree};
 use crate::graph::{par, Csr, DistMatrix};
 use crate::mcf::{
-    aggregate_commodities, max_concurrent_flow, CapGraph, DijkstraScratch, FptasOptions,
+    aggregate_commodities, max_concurrent_flow, max_concurrent_flow_sharded, CapGraph,
+    DijkstraScratch, FptasOptions, ShardConfig,
 };
 use crate::metrics::bisection::random_bisection_bandwidth;
-use crate::metrics::path_length::{average_intra_pod_path_length, average_server_path_length};
+use crate::metrics::path_length::{
+    average_intra_pod_path_length, average_server_path_length, SwitchDistances,
+};
+use crate::metrics::throughput::{throughput_all_to_all, SolverKind, ThroughputOptions};
 use crate::serve::{serve_listener, ServeConfig, Service};
 use crate::sim::{flows_with_arrivals, ConversionEvent, DesSimulator, RouterPolicy, TopoEvent};
 use crate::topo::export::{to_dot, to_json};
@@ -108,10 +112,14 @@ of one scenario compare bit-for-bit); --events streams the per-event JSONL
 trace; --quick caps the arrival rounds at 1. See scenarios/*.scn.
 
 bench times the hot-path kernels (CSR BFS-APSP sequential vs parallel,
-Dijkstra with fresh vs reused scratch buffers, the source-batched FPTAS
-throughput solve, and a ft-des event storm reporting events/s) on fixed
-seeds at k ∈ {8, 16, 32} and optionally writes
-a JSON report (--quick restricts to k = 8 with a shorter FPTAS step cap).
+Dijkstra with fresh vs reused scratch buffers, the FPTAS throughput solve
+through both the source-batched and the round-sharded engines, and a
+ft-des event storm reporting engine-only events/s plus solver_ms) on
+fixed seeds at k ∈ {8, 16, 32}, plus scale tiers: the k = 64
+symmetry-aggregated all-to-all FPTAS (quick runs too, release builds
+only) and the k = 128 aggregated FPTAS and deduplicated APSP (full runs
+only). Optionally writes a JSON report (--quick restricts the classic
+sizes to k = 8 with a shorter FPTAS step cap).
 --check compares the run against a previously written report: determinism
 fields (checksums, distance sums, λ at matching step budgets) must match
 exactly and any kernel slower than 1.25× baseline + 5 ms fails the run.
@@ -1059,6 +1067,91 @@ fn bench_fptas(
             ("budget_exhausted", sol.budget_exhausted.to_string()),
         ],
     });
+
+    // Same instance through the round-sharded engine, warm-started from
+    // the switch distance table. λ and steps are deterministic and
+    // identical for every FT_THREADS value (the round-snapshot schedule),
+    // so CI byte-compares this entry across thread counts.
+    let dist = SwitchDistances::compute(&net);
+    let oracle = move |a: usize, b: usize| dist.switch_distance(a, b);
+    let cfg = ShardConfig {
+        threads: 0,
+        warm: Some(&oracle),
+    };
+    let rounds0 = crate::obs::registry::counter("ft_mcf_shard_rounds_total").get();
+    let (sol, ms) = time_ms(|| max_concurrent_flow_sharded(&g, &commodities, opts, &cfg));
+    let sol = sol.map_err(|e| CliError(e.to_string()))?;
+    let rounds = crate::obs::registry::counter("ft_mcf_shard_rounds_total").get() - rounds0;
+    if sol.budget_exhausted {
+        warnings.push(crate::metrics::budget_warning(
+            &format!("bench fptas/sharded k={k}"),
+            sol.lambda,
+            max_steps,
+        ));
+    }
+    entries.push(BenchEntry {
+        k,
+        kernel: "fptas",
+        variant: "sharded",
+        ms,
+        extras: vec![
+            ("lambda", format!("{:.6}", sol.lambda)),
+            ("steps", sol.steps.to_string()),
+            ("phases", sol.phases.to_string()),
+            ("rounds", rounds.to_string()),
+            ("workers", par::thread_count().to_string()),
+            ("commodities", commodities.len().to_string()),
+            ("budget_exhausted", sol.budget_exhausted.to_string()),
+        ],
+    });
+    Ok(())
+}
+
+/// Scale tier: the symmetry-aggregated FPTAS on the k = 64/128 **Clos**
+/// fabric under uniform all-to-all demand — the instance whose full
+/// commodity list (millions of switch pairs) no engine could touch, but
+/// whose orbit quotient is tiny. Records the end-to-end wall time
+/// (distance table + symmetry classes + quotient solve), the orbit
+/// collapse ratio, and λ. λ is deterministic and gate-compared exactly.
+fn bench_fptas_scale(
+    k: usize,
+    entries: &mut Vec<BenchEntry>,
+    warnings: &mut Vec<String>,
+) -> Result<(), CliError> {
+    let cfg = FlatTreeConfig::for_fat_tree_k(k).map_err(|e| CliError(e.to_string()))?;
+    let ft = FlatTree::new(cfg).map_err(|e| CliError(e.to_string()))?;
+    let net = ft
+        .materialize(&Mode::Clos)
+        .map_err(|e| CliError(e.to_string()))?;
+    let max_steps = 3_000;
+    let opts = ThroughputOptions {
+        epsilon: 0.15,
+        exact_threshold: 0,
+        max_steps: Some(max_steps),
+        solver: SolverKind::Aggregated,
+        threads: 0,
+    };
+    let (r, ms) = time_ms(|| throughput_all_to_all(&net, opts));
+    let r = r.map_err(|e| CliError(e.to_string()))?;
+    if r.budget_exhausted {
+        warnings.push(crate::metrics::budget_warning(
+            &format!("bench fptas/aggregated k={k}"),
+            r.lambda,
+            max_steps,
+        ));
+    }
+    entries.push(BenchEntry {
+        k,
+        kernel: "fptas",
+        variant: "aggregated",
+        ms,
+        extras: vec![
+            ("lambda", format!("{:.6}", r.lambda)),
+            ("commodities", r.commodities.to_string()),
+            ("aggregated", r.aggregated.map_or(0, |n| n).to_string()),
+            ("budget_exhausted", r.budget_exhausted.to_string()),
+        ],
+    });
     Ok(())
 }
 
@@ -1067,6 +1160,13 @@ fn bench_fptas(
 /// topology events. Records the event-loop throughput (events/s, timing-
 /// dependent, not gate-compared) and the completion checksum (gate-
 /// compared exactly: the schedule is deterministic for the fixed seed).
+///
+/// `events_per_sec` is **engine-only**: the max-min solver's wall time
+/// (`DesReport::solver_ns`, reported separately as `solver_ms`) is
+/// subtracted first. The solver is O(active-flows × path-length) per
+/// re-allocation and dominates at large k, which used to invert the
+/// metric — k = 32 looked 12× *slower* per event than k = 16 even
+/// though the event loop itself is size-independent.
 fn bench_des(k: usize, entries: &mut Vec<BenchEntry>) -> Result<(), CliError> {
     let net = fat_tree(k).map_err(|e| CliError(e.to_string()))?;
     let servers: Vec<NodeId> = net.servers().take(32).collect();
@@ -1084,8 +1184,10 @@ fn bench_des(k: usize, entries: &mut Vec<BenchEntry>) -> Result<(), CliError> {
     let sim = DesSimulator::new(&net, RouterPolicy::Ecmp);
     let (rep, ms) = time_ms(|| sim.run(&flows, &[], f64::INFINITY));
     let rep = rep.map_err(|e| CliError(format!("bench des k={k}: {e}")))?;
-    let events_per_sec = if ms > 0.0 {
-        rep.events as f64 / (ms / 1e3)
+    let solver_ms = rep.solver_ns as f64 / 1e6;
+    let engine_ms = (ms - solver_ms).max(0.0);
+    let events_per_sec = if engine_ms > 0.0 {
+        rep.events as f64 / (engine_ms / 1e3)
     } else {
         0.0
     };
@@ -1097,6 +1199,7 @@ fn bench_des(k: usize, entries: &mut Vec<BenchEntry>) -> Result<(), CliError> {
         extras: vec![
             ("events", rep.events.to_string()),
             ("events_per_sec", format!("{events_per_sec:.0}")),
+            ("solver_ms", format!("{solver_ms:.3}")),
             ("flows", flows.len().to_string()),
             ("checksum", rep.completion_checksum().to_string()),
         ],
@@ -1211,18 +1314,21 @@ fn cmd_bench(inv: &Invocation) -> Result<String, CliError> {
         bench_fptas(k, quick, &mut entries, &mut warnings)?;
         bench_des(k, &mut entries)?;
     }
-    // Distance-stack scaling tiers (APSP only — the other kernels stay at
-    // the classic sizes): k = 64 full table so CI's quick run gates the
-    // bitset kernel, k = 128 deduplicated in full runs only. The k = 64
-    // tier needs an optimized build — at opt-level 0 (unit tests drive
-    // quick mode in-process) the scalar reference alone takes tens of
-    // seconds, and `bench_check` skips baseline entries with no
-    // counterpart, so debug quick runs still check cleanly.
+    // Scaling tiers: k = 64 full APSP table and the k = 64 aggregated
+    // all-to-all FPTAS ride the quick run so CI gates both the bitset
+    // kernel and the symmetry quotient; k = 128 (deduplicated APSP,
+    // aggregated FPTAS) runs in full mode only. The k = 64 tier needs an
+    // optimized build — at opt-level 0 (unit tests drive quick mode
+    // in-process) the scalar reference alone takes tens of seconds, and
+    // `bench_check` skips baseline entries with no counterpart, so debug
+    // quick runs still check cleanly.
     if !quick || !cfg!(debug_assertions) {
         bench_apsp(64, threads, &mut entries)?;
+        bench_fptas_scale(64, &mut entries, &mut warnings)?;
     }
     if !quick {
         bench_apsp_dedup(128, threads, &mut entries)?;
+        bench_fptas_scale(128, &mut entries, &mut warnings)?;
     }
     let mut out = String::new();
     let _ = writeln!(
