@@ -96,6 +96,18 @@ impl<E> Context<'_, E> {
         self.now
     }
 
+    /// Number of events pending in the queue right now — the queue-depth
+    /// reading the ft-sim conversion timeline samples per epoch.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Events scheduled by handlers so far in this run (the seeded events
+    /// are not counted) — an event-rate proxy for per-epoch telemetry.
+    pub fn scheduled_so_far(&self) -> u64 {
+        *self.scheduled
+    }
+
     /// Schedules `event` for `target` at absolute time `at`. `at` may
     /// equal [`Context::now`] (the event runs later this same timestamp,
     /// after everything already queued there) but may not precede it.

@@ -13,6 +13,13 @@
 //!    drained as JSONL to a process-wide sink (a trace file or an in-memory
 //!    vector for tests).
 //!
+//! Two read-side layers complete the pipeline (DESIGN.md §17):
+//! sliding-window variants of the primitives ([`window`]) whose readings
+//! cover the last [`WINDOW_EPOCHS`] epochs instead of the process
+//! lifetime, and trace analytics ([`analyze`]) that parse span JSONL back
+//! into a forest for aggregates, critical paths, diffs and flamegraph /
+//! Chrome exports (`ftctl trace`).
+//!
 //! # Overhead contract
 //!
 //! Tracing is **off by default**. The [`span!`] macro's only cost while
@@ -26,15 +33,20 @@
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod window;
 
 pub use metrics::{
     bucket_lower_bound_us, bucket_of_us, quantile_lower_bound, Counter, Gauge, Histogram,
     HistogramSnapshot, BUCKETS,
 };
 pub use span::{flush, install_file_sink, install_memory_sink, take_sink, Span};
+pub use window::{
+    WindowClock, WindowedCounter, WindowedHistogram, MIN_WINDOW_SAMPLES, WINDOW_EPOCHS,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

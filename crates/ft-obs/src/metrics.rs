@@ -83,6 +83,12 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Reset to zero. Only the sliding-window ring recycles epoch slots
+    /// this way (see [`crate::window`]); cumulative counters never clear.
+    pub(crate) fn clear(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
 }
 
 /// A last-write-wins instantaneous value (worker counts, queue depths).
@@ -145,6 +151,17 @@ impl Histogram {
         self.record_us(duration_us(d));
     }
 
+    /// Reset every bucket, the count and the sum to zero. Only the
+    /// sliding-window ring recycles epoch slots this way (see
+    /// [`crate::window`]); cumulative histograms never clear.
+    pub(crate) fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_us.store(0, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the bucket array, count and sum.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -201,6 +218,16 @@ impl HistogramSnapshot {
     /// Mean sample in µs (0 when empty).
     pub fn mean_us(&self) -> u64 {
         self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Accumulate another snapshot into this one, bucket-wise and
+    /// saturating — how the sliding window merges its epoch slots.
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
     }
 }
 

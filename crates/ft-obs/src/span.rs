@@ -7,8 +7,11 @@
 //! event of the process) and its duration. Events are rendered at span
 //! drop into a bounded per-thread buffer ([`RING_CAP`] lines) that is
 //! flushed to the sink when full, on [`flush`], and on thread exit (TLS
-//! destructor). With no sink installed, full buffers are discarded and
-//! counted in `ft_obs_dropped_events_total`.
+//! destructor). Every line that fails to reach a sink — a full buffer
+//! draining with no sink installed, or a file-sink write error — is
+//! counted in [`DROPPED_LINES_COUNTER`] (`ft_obs_dropped_lines_total`),
+//! which both sink installers register eagerly so the exposition surface
+//! shows a zero even before the first loss.
 //!
 //! Nothing here runs unless [`crate::enabled`] is true at the [`span!`]
 //! site — the disabled cost is one relaxed atomic load.
@@ -27,6 +30,10 @@ use std::time::Instant;
 /// Per-thread buffer capacity, in events; a full buffer flushes to the
 /// sink (or is discarded and counted when no sink is installed).
 pub const RING_CAP: usize = 4096;
+
+/// Registry counter name for span lines that never reached a sink: a
+/// buffer drained with no sink installed, or a file-sink write failure.
+pub const DROPPED_LINES_COUNTER: &str = "ft_obs_dropped_lines_total";
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
@@ -57,6 +64,8 @@ fn lock_sink() -> MutexGuard<'static, Option<SinkTarget>> {
 /// Subsequent span events are appended there, one JSON object per line.
 pub fn install_file_sink<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<()> {
     let file = File::create(path)?;
+    // Register the loss counter up front so exposition shows it at zero.
+    registry::counter(DROPPED_LINES_COUNTER);
     *lock_sink() = Some(SinkTarget::File(BufWriter::new(file)));
     Ok(())
 }
@@ -64,6 +73,7 @@ pub fn install_file_sink<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<
 /// Install an in-memory sink (for tests) and return the shared vector the
 /// event lines land in.
 pub fn install_memory_sink() -> Arc<Mutex<Vec<String>>> {
+    registry::counter(DROPPED_LINES_COUNTER);
     let store = Arc::new(Mutex::new(Vec::new()));
     *lock_sink() = Some(SinkTarget::Memory(Arc::clone(&store)));
     store
@@ -99,21 +109,27 @@ fn drain(lines: Vec<String>) {
     if lines.is_empty() {
         return;
     }
-    let mut sink = lock_sink();
-    match sink.as_mut() {
-        Some(SinkTarget::File(w)) => {
-            for l in &lines {
-                let _ = writeln!(w, "{l}");
+    let total = lines.len() as u64;
+    let mut dropped = 0u64;
+    {
+        let mut sink = lock_sink();
+        match sink.as_mut() {
+            Some(SinkTarget::File(w)) => {
+                for l in &lines {
+                    if writeln!(w, "{l}").is_err() {
+                        dropped += 1;
+                    }
+                }
             }
+            Some(SinkTarget::Memory(store)) => {
+                let mut v = store.lock().unwrap_or_else(|p| p.into_inner());
+                v.extend(lines);
+            }
+            None => dropped = total,
         }
-        Some(SinkTarget::Memory(store)) => {
-            let mut v = store.lock().unwrap_or_else(|p| p.into_inner());
-            v.extend(lines);
-        }
-        None => {
-            drop(sink);
-            registry::counter("ft_obs_dropped_events_total").add(lines.len() as u64);
-        }
+    }
+    if dropped > 0 {
+        registry::counter(DROPPED_LINES_COUNTER).add(dropped);
     }
 }
 
@@ -151,7 +167,7 @@ thread_local! {
     });
 }
 
-fn json_escape_into(out: &mut String, s: &str) {
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -181,6 +181,35 @@ fn spans_on_separate_threads_are_roots_with_distinct_thread_ids() {
 }
 
 #[test]
+fn spans_without_a_sink_count_as_dropped_lines() {
+    let _guard = SINK_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    ft_obs::take_sink(); // make sure no sink is installed
+    let dropped = registry::counter(ft_obs::span::DROPPED_LINES_COUNTER);
+    let before = dropped.get();
+    ft_obs::set_enabled(true);
+    // A dedicated thread overflows its ring buffer (drains at RING_CAP)
+    // and flushes the remainder — all with nowhere to go.
+    let n = (ft_obs::span::RING_CAP + 10) as u64;
+    thread::spawn(move || {
+        for _ in 0..n {
+            let _s = ft_obs::span!("test.dropped");
+        }
+        ft_obs::flush();
+    })
+    .join()
+    .expect("emitter thread");
+    ft_obs::set_enabled(false);
+    assert_eq!(
+        dropped.get() - before,
+        n,
+        "every sink-less line must be counted as dropped"
+    );
+    // The loss is visible on the exposition surface.
+    let text = registry::expose();
+    assert!(text.contains("ft_obs_dropped_lines_total"), "{text}");
+}
+
+#[test]
 fn disabled_span_macro_returns_none() {
     // Takes the sink lock: flipping the global flag must not race the
     // enabled-window of the sink tests.

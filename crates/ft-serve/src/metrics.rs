@@ -10,8 +10,21 @@
 //! Quantiles (p50/p95/p99) are derived through the shared
 //! [`ft_obs::quantile_lower_bound`] helper — the same one the exposition
 //! format uses — and report the lower bound of the crossing bucket.
+//!
+//! Every latency histogram is recorded twice: into a cumulative
+//! [`ft_obs::Histogram`] (exposed as before) and into a sliding
+//! [`ft_obs::WindowedHistogram`] covering the last
+//! [`ft_obs::WINDOW_EPOCHS`] epochs. The `stats` line and the shutdown
+//! report quote the *windowed* quantiles — a p95 that recovers when the
+//! service does, which is what the roadmap's admission-control work needs
+//! — while the exposition keeps both (`…_us` cumulative, `…_us_window`
+//! windowed). Epochs advance via [`MetricsRegistry::maybe_tick`], driven
+//! by the request path; until the first tick the window holds everything
+//! ever recorded, so short-lived instances see windowed == cumulative.
 
-use ft_obs::{Counter, Histogram, HistogramSnapshot};
+use ft_obs::{
+    Counter, Histogram, HistogramSnapshot, WindowClock, WindowedHistogram, MIN_WINDOW_SAMPLES,
+};
 use std::time::Duration;
 
 /// Number of latency buckets (re-exported from ft-obs; bucket 21 tops out
@@ -39,6 +52,8 @@ struct KindStats {
     requests: Counter,
     errors: Counter,
     latency: Histogram,
+    /// Same samples as `latency`, over the sliding window only.
+    window: WindowedHistogram,
 }
 
 /// The service-wide metrics registry.
@@ -62,6 +77,11 @@ pub struct MetricsRegistry {
     /// parallel BFS-APSP kernel, so this is the service's direct view of
     /// the hot-path kernel's latency.
     path_fill: Histogram,
+    /// Same fill samples as `path_fill`, over the sliding window only.
+    path_fill_window: WindowedHistogram,
+    /// Elects which caller advances the window epochs (the relaxed
+    /// tick-election atomic lives in ft-obs by lint policy).
+    clock: WindowClock,
     /// Conversions applied by `convert` requests.
     conversions: Counter,
     /// Whole-cache invalidations triggered by conversions.
@@ -87,6 +107,23 @@ impl MetricsRegistry {
             k.errors.incr();
         }
         k.latency.record(latency);
+        k.window.record(latency);
+    }
+
+    /// Advances the sliding windows when at least one epoch of
+    /// `epoch_us` has elapsed at monotonic time `now_us`. The embedded
+    /// [`WindowClock`] elects exactly one caller per boundary, so the
+    /// request path can call this unconditionally; `epoch_us == 0`
+    /// disables ticking (the window then just mirrors the cumulative
+    /// histograms).
+    pub fn maybe_tick(&self, now_us: u64, epoch_us: u64) {
+        let due = self.clock.due_epochs(now_us, epoch_us);
+        for _ in 0..due {
+            for k in &self.kinds {
+                k.window.tick();
+            }
+            self.path_fill_window.tick();
+        }
     }
 
     /// Counts a request that failed to parse (no verb attributable).
@@ -123,6 +160,7 @@ impl MetricsRegistry {
     /// and the time the parallel APSP kernel took.
     pub fn record_path_computation(&self, latency: Duration) {
         self.path_fill.record(latency);
+        self.path_fill_window.record(latency);
     }
 
     /// Counts an applied conversion and the cache invalidation it forced.
@@ -142,6 +180,7 @@ impl MetricsRegistry {
                 requests: k.requests.get(),
                 errors: k.errors.get(),
                 latency: k.latency.snapshot(),
+                window: k.window.snapshot(),
             })
             .collect();
         let path_fill = self.path_fill.snapshot();
@@ -155,6 +194,7 @@ impl MetricsRegistry {
             materializations: self.materializations.get(),
             path_computations: path_fill.count,
             path_fill,
+            path_fill_window: self.path_fill_window.snapshot(),
             conversions: self.conversions.get(),
             invalidations: self.invalidations.get(),
         }
@@ -172,6 +212,9 @@ pub struct KindSnapshot {
     pub errors: u64,
     /// Latency histogram (power-of-two µs buckets, count and µs sum).
     pub latency: HistogramSnapshot,
+    /// The same latencies restricted to the sliding window; equal to
+    /// `latency` until the first epoch tick.
+    pub window: HistogramSnapshot,
 }
 
 impl KindSnapshot {
@@ -189,6 +232,13 @@ impl KindSnapshot {
     /// Approximate p99 latency in µs (same bucket-resolution caveat).
     pub fn p99_us(&self) -> u64 {
         self.latency.p99_us()
+    }
+
+    /// True when the sliding window holds at least one sample but fewer
+    /// than [`MIN_WINDOW_SAMPLES`] — its quantiles are then quoted with a
+    /// low-confidence marker.
+    pub fn window_low(&self) -> bool {
+        self.window.count > 0 && self.window.count < MIN_WINDOW_SAMPLES
     }
 }
 
@@ -213,6 +263,8 @@ pub struct Snapshot {
     pub path_computations: u64,
     /// Cache-fill latency histogram.
     pub path_fill: HistogramSnapshot,
+    /// Cache-fill latencies restricted to the sliding window.
+    pub path_fill_window: HistogramSnapshot,
     /// Conversions applied.
     pub conversions: u64,
     /// Cache invalidations.
@@ -265,24 +317,33 @@ impl Snapshot {
             self.conversions,
             self.invalidations,
         );
+        // Quantile tokens quote the sliding window (identical to the
+        // cumulative values until the first epoch tick); a `_window_low`
+        // marker flags windows too thin to trust.
         let _ = write!(
             out,
             " path_fill_p50_us={} path_fill_p95_us={} path_fill_p99_us={}",
-            self.path_fill_p50_us(),
-            self.path_fill_p95_us(),
-            self.path_fill_p99_us(),
+            self.path_fill_window.p50_us(),
+            self.path_fill_window.p95_us(),
+            self.path_fill_window.p99_us(),
         );
+        if self.path_fill_window.count > 0 && self.path_fill_window.count < MIN_WINDOW_SAMPLES {
+            let _ = write!(out, " path_fill_window_low=true");
+        }
         for k in &self.kinds {
             let _ = write!(
                 out,
                 " {v}={} {v}_errors={} {v}_p50_us={} {v}_p95_us={} {v}_p99_us={}",
                 k.requests,
                 k.errors,
-                k.p50_us(),
-                k.p95_us(),
-                k.p99_us(),
+                k.window.p50_us(),
+                k.window.p95_us(),
+                k.window.p99_us(),
                 v = k.verb
             );
+            if k.window_low() {
+                let _ = write!(out, " {v}_window_low=true", v = k.verb);
+            }
         }
         out
     }
@@ -329,6 +390,12 @@ impl Snapshot {
                 &labels,
                 &k.latency,
             );
+            hist(
+                &mut lines,
+                "ft_serve_request_latency_us_window",
+                &labels,
+                &k.window,
+            );
         }
         for (name, v) in [
             ("ft_serve_unparsed_errors_total", self.unparsed_errors),
@@ -344,6 +411,12 @@ impl Snapshot {
             lines.push(format!("{name} {v}"));
         }
         hist(&mut lines, "ft_serve_path_fill_us", "", &self.path_fill);
+        hist(
+            &mut lines,
+            "ft_serve_path_fill_us_window",
+            "",
+            &self.path_fill_window,
+        );
         lines.sort_unstable();
         let mut out = String::new();
         for l in &lines {
@@ -377,15 +450,23 @@ impl Snapshot {
         );
         let _ = writeln!(out, "  conversions applied: {}", self.conversions);
         if self.path_computations > 0 {
+            // mean is lifetime-cumulative; the quantiles quote the window
             let _ = writeln!(
                 out,
                 "  path fills: {} computed, mean {} µs, p50 {} µs, p95 {} µs, p99 {} µs",
                 self.path_computations,
                 self.path_fill.mean_us(),
-                self.path_fill_p50_us(),
-                self.path_fill_p95_us(),
-                self.path_fill_p99_us()
+                self.path_fill_window.p50_us(),
+                self.path_fill_window.p95_us(),
+                self.path_fill_window.p99_us()
             );
+            if self.path_fill_window.count > 0 && self.path_fill_window.count < MIN_WINDOW_SAMPLES {
+                let _ = writeln!(
+                    out,
+                    "    warning: only {} fill(s) in the window — quantiles are low-confidence",
+                    self.path_fill_window.count
+                );
+            }
         }
         for k in &self.kinds {
             if k.requests == 0 {
@@ -398,10 +479,17 @@ impl Snapshot {
                 k.requests,
                 k.errors,
                 k.latency.mean_us(),
-                k.p50_us(),
-                k.p95_us(),
-                k.p99_us()
+                k.window.p50_us(),
+                k.window.p95_us(),
+                k.window.p99_us()
             );
+            if k.window_low() {
+                let _ = writeln!(
+                    out,
+                    "    warning: only {} sample(s) in the window — quantiles are low-confidence",
+                    k.window.count
+                );
+            }
             let mut hist = String::new();
             for (i, &c) in k.latency.buckets.iter().enumerate() {
                 if c > 0 {
@@ -479,6 +567,63 @@ mod tests {
         let report = s.render_report(Duration::from_secs(1));
         assert!(report.contains("path fills: 3 computed"));
         assert!(report.contains("p95"));
+    }
+
+    #[test]
+    fn windowed_quantiles_age_out_and_flag_thin_windows() {
+        let m = MetricsRegistry::new();
+        for _ in 0..16 {
+            m.record("paths", Duration::from_millis(100), true);
+        }
+        // Advance one epoch at a time until the slow burst ages out.
+        for e in 1..=(ft_obs::WINDOW_EPOCHS as u64) {
+            m.maybe_tick(e * 1_000_000, 1_000_000);
+        }
+        m.record("paths", Duration::from_micros(10), true);
+        let s = m.snapshot();
+        let k = &s.kinds[1];
+        assert_eq!(k.verb, "paths");
+        assert_eq!(k.latency.count, 17, "cumulative keeps everything");
+        assert_eq!(k.window.count, 1, "window aged the burst out");
+        assert!(
+            k.p95_us() >= 65536,
+            "cumulative p95 stays slow: {}",
+            k.p95_us()
+        );
+        assert!(
+            k.window.p95_us() <= 16,
+            "windowed p95 recovered: {}",
+            k.window.p95_us()
+        );
+        assert!(k.window_low());
+        let line = s.stats_line();
+        assert!(line.contains("paths_p95_us=8"), "{line}");
+        assert!(line.contains("paths_window_low=true"), "{line}");
+        let report = s.render_report(Duration::from_secs(1));
+        assert!(report.contains("low-confidence"), "{report}");
+        let text = s.exposition();
+        assert!(
+            text.contains("ft_serve_request_latency_us_window{verb=\"paths\",q=\"0.95\"} 8"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ft_serve_request_latency_us_window_count{verb=\"paths\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ft_serve_request_latency_us_count{verb=\"paths\"} 17"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn maybe_tick_zero_epoch_is_disabled() {
+        let m = MetricsRegistry::new();
+        m.record("topo", Duration::from_micros(50), true);
+        m.maybe_tick(10_000_000, 0);
+        let s = m.snapshot();
+        assert_eq!(s.kinds[0].window.count, 1, "no tick may happen");
+        assert_eq!(s.kinds[0].window.count, s.kinds[0].latency.count);
     }
 
     #[test]

@@ -45,17 +45,24 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Bounded job-queue depth; requests beyond it get `ERR busy`.
     pub queue_depth: usize,
+    /// Length of one sliding-window epoch in milliseconds; the windowed
+    /// latency quantiles cover the last [`ft_obs::WINDOW_EPOCHS`] of
+    /// these. 0 disables ticking, freezing the window as a mirror of the
+    /// cumulative histograms.
+    pub window_epoch_ms: u64,
 }
 
 impl ServeConfig {
     /// Defaults for a given fat-tree parameter: 4 workers, 8 cache slots,
-    /// a 64-deep admission queue.
+    /// a 64-deep admission queue, 1 s window epochs (an 8 s sliding
+    /// window for the stats-line quantiles).
     pub fn for_k(k: usize) -> Self {
         ServeConfig {
             k,
             workers: 4,
             cache_capacity: 8,
             queue_depth: 64,
+            window_epoch_ms: 1000,
         }
     }
 
@@ -256,6 +263,12 @@ pub(crate) fn execute(shared: &Shared, rx: Option<&Receiver<Job>>, line: &str) -
         dispatch(shared, rx, &req)
     };
     let latency = start.elapsed();
+    // Advance the sliding windows off the request path's own clock reads;
+    // the registry's WindowClock elects one caller per epoch boundary.
+    let now_us = u64::try_from(shared.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared
+        .metrics
+        .maybe_tick(now_us, shared.cfg.window_epoch_ms.saturating_mul(1000));
     match result {
         Ok(payload) => {
             shared.metrics.record(verb, latency, true);

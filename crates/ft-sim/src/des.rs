@@ -262,6 +262,28 @@ struct Active {
     ends: Option<(NodeId, NodeId)>, // attachment switches when routable
 }
 
+/// Which part of a conversion's disruption window a timeline point
+/// belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConvPhase {
+    /// Removed links are down, the converter latency is running.
+    Drain,
+    /// New links are live and the post-finish re-route has happened.
+    Post,
+}
+
+/// Telemetry state for the conversion currently being profiled: while
+/// set, every reallocation emits one `des.timeline` span (tracing on)
+/// so `ftctl trace` can render the disruption profile per epoch.
+#[derive(Clone, Copy, Debug)]
+struct ConvObs {
+    phase: ConvPhase,
+    /// Links the plan removes in total (drain-progress denominator).
+    links_planned: u64,
+    /// Links this conversion has actually taken down.
+    links_removed: u64,
+}
+
 enum DesRouter {
     Ecmp(EcmpRoutes),
     Ksp(KspRoutes),
@@ -314,6 +336,8 @@ struct World {
     links_removed: usize,
     links_added: usize,
     missing_links: usize,
+    /// Set while a conversion's disruption window is being profiled.
+    conv_obs: Option<ConvObs>,
     topo_id: ComponentId,
     alloc_id: ComponentId,
     error: Option<ScheduleError>,
@@ -435,6 +459,44 @@ impl World {
         }
         self.epoch += 1;
         self.arm_harvest(ctx);
+        self.emit_timeline(ctx);
+    }
+
+    /// Emits one `des.timeline` span for the conversion window being
+    /// profiled: a point per re-allocation covering the drain (links
+    /// down, converter latency running) and one `post` point after the
+    /// finish, which closes the window. No-op outside a window; the
+    /// field sums are only computed while tracing is on. Telemetry
+    /// only — it reads state, never schedules or mutates flows, so the
+    /// deterministic summary and event trace are unaffected.
+    fn emit_timeline(&mut self, ctx: &Context<'_, Ev>) {
+        let Some(obs) = self.conv_obs else { return };
+        if obs.phase == ConvPhase::Post {
+            self.conv_obs = None; // the post-finish point is the last one
+        }
+        if !ft_obs::enabled() {
+            return;
+        }
+        let parked = self.active.iter().filter(|f| f.path.is_none()).count();
+        let reroutes: usize = self.records.iter().map(|r| r.reroutes).sum();
+        let conversion_reroutes: usize = self.records.iter().map(|r| r.conversion_reroutes).sum();
+        let _g = ft_obs::span!(
+            "des.timeline",
+            epoch = self.epoch,
+            t = ctx.now(),
+            phase = match obs.phase {
+                ConvPhase::Drain => "drain",
+                ConvPhase::Post => "post",
+            },
+            active = self.active.len(),
+            parked = parked,
+            queue = ctx.pending(),
+            scheduled = ctx.scheduled_so_far(),
+            reroutes = reroutes,
+            conversion_reroutes = conversion_reroutes,
+            links_removed = obs.links_removed,
+            links_planned = obs.links_planned,
+        );
     }
 
     /// Schedules the next completion check under the current rates.
@@ -503,6 +565,8 @@ impl World {
                 // Drain: take down every link the plan removes. Pairs
                 // may be server uplinks (4-port conversions rewire
                 // attachments); those don't exist in the switch view.
+                let mut obs_span = ft_obs::span!("des.conversion_drain", t = ctx.now());
+                let removed_before = self.links_removed;
                 let mut view_removed = Vec::new();
                 for &(a, b) in &ev.removed {
                     let (a, b) = (NodeId(a), NodeId(b));
@@ -526,6 +590,16 @@ impl World {
                 if !view_removed.is_empty() {
                     self.refresh_router_removed(&view_removed);
                 }
+                let drained = self.links_removed - removed_before;
+                self.conv_obs = Some(ConvObs {
+                    phase: ConvPhase::Drain,
+                    links_planned: ev.removed.len() as u64,
+                    links_removed: drained as u64,
+                });
+                if let Some(s) = obs_span.as_mut() {
+                    s.field("links_planned", ev.removed.len());
+                    s.field("links_removed", drained);
+                }
                 self.reroute_stale(true);
                 self.request_realloc(ctx);
                 let at = ctx.now() + ev.latency;
@@ -539,6 +613,11 @@ impl World {
         let TopoEvent::Convert(ev) = self.topo[i].clone() else {
             return; // only conversions schedule a finish
         };
+        let _obs_span = ft_obs::span!(
+            "des.conversion_finish",
+            t = ctx.now(),
+            links_added = ev.added.len(),
+        );
         for &(a, b) in &ev.added {
             self.net.graph_mut().add_edge(NodeId(a), NodeId(b));
             self.links_added += 1;
@@ -551,6 +630,9 @@ impl World {
         self.view = self.net.switch_view();
         self.router = DesRouter::build(&self.view, self.policy);
         self.conversions += 1;
+        if let Some(obs) = self.conv_obs.as_mut() {
+            obs.phase = ConvPhase::Post;
+        }
         self.reroute_stale(true);
         self.request_realloc(ctx);
     }
@@ -752,6 +834,7 @@ impl DesSimulator {
             links_removed: 0,
             links_added: 0,
             missing_links: 0,
+            conv_obs: None,
             topo_id,
             alloc_id,
             error: None,

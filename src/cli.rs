@@ -49,6 +49,10 @@ pub struct Invocation {
     pub command: String,
     /// Flag values, keys without the leading `--`.
     pub options: HashMap<String, String>,
+    /// Bare (non-flag) arguments, in order. Only commands listed in
+    /// [`POSITIONAL_COMMANDS`] accept them; elsewhere a bare token is
+    /// still a parse error.
+    pub positional: Vec<String>,
 }
 
 /// Errors surfaced to the user as friendly messages.
@@ -76,6 +80,7 @@ USAGE:
   ftctl profile -k <even>
   ftctl serve   -k <even> [--port <u16, default 0 = OS-picked>]
                 [--workers <n>] [--cache <n>] [--queue <n>]
+                [--window <epoch ms, default 1000; 0 disables>]
                 [--trace <file.jsonl>]
   ftctl query   -k <even> [--req \"<ftq line>[; <ftq line>…]\"] [--workers <n>]
                 [--trace <file.jsonl>]
@@ -85,6 +90,8 @@ USAGE:
                 [--trace <file.jsonl>]
   ftctl lint    [--json <file|->] [--sarif <file|->] [--fix-allow]
                 [--root <dir, default .>]
+  ftctl trace   <spans.jsonl> [--top <n, default 15>] [--diff <old.jsonl>]
+                [--chrome <file.json>] [--folded <file.folded>]
 
 Topology kinds build from the same equipment as fat-tree(k). flat-tree
 requires --mode; other kinds ignore it.
@@ -129,10 +136,23 @@ lint runs the ft-lint analyzer (hygiene, determinism, and concurrency rule
 packs — see DESIGN.md §13) over the workspace. --json writes the ft-lint/2
 machine-readable report, --sarif a SARIF 2.1.0 log (`-` = stdout);
 --fix-allow rewrites lint-allow.toml, deleting entries that no longer
-suppress anything. Violations and stale allow entries exit non-zero.";
+suppress anything. Violations and stale allow entries exit non-zero.
+
+trace analyzes a span JSONL file produced by --trace: per-name aggregates
+(count, total/self time, p50/p95), the critical path under each root span
+(which FPTAS phase, shard round or DES epoch dominated), and — when the
+run performed a live conversion — the per-epoch disruption timeline.
+--diff compares an older trace against this one and ranks span names by
+total-time delta (regression attribution); --chrome exports Chrome
+trace-event JSON (chrome://tracing, Perfetto); --folded writes collapsed
+stacks weighted by self time for flamegraph tools.";
 
 /// Flags that take no value; `parse` records them as `\"true\"`.
 const BOOL_FLAGS: &[&str] = &["quick", "fix-allow"];
+
+/// Commands whose bare arguments are collected as positionals instead of
+/// being rejected (`ftctl trace <file.jsonl>`).
+const POSITIONAL_COMMANDS: &[&str] = &["trace"];
 
 /// Splits raw arguments into an [`Invocation`].
 pub fn parse(args: &[String]) -> Result<Invocation, CliError> {
@@ -145,14 +165,25 @@ pub fn parse(args: &[String]) -> Result<Invocation, CliError> {
         return Ok(Invocation {
             command: "help".into(),
             options: HashMap::new(),
+            positional: Vec::new(),
         });
     }
+    let allow_positional = POSITIONAL_COMMANDS.contains(&command.as_str());
     let mut options = HashMap::new();
+    let mut positional = Vec::new();
     while let Some(flag) = it.next() {
-        let key = flag
-            .strip_prefix("--")
-            .or_else(|| flag.strip_prefix('-'))
-            .ok_or_else(|| CliError(format!("expected a flag, got {flag:?}\n\n{USAGE}")))?;
+        let key = match flag.strip_prefix("--").or_else(|| flag.strip_prefix('-')) {
+            Some(key) => key,
+            None if allow_positional => {
+                positional.push(flag.clone());
+                continue;
+            }
+            None => {
+                return Err(CliError(format!(
+                    "expected a flag, got {flag:?}\n\n{USAGE}"
+                )))
+            }
+        };
         if BOOL_FLAGS.contains(&key) {
             options.insert(key.to_string(), "true".to_string());
             continue;
@@ -162,7 +193,11 @@ pub fn parse(args: &[String]) -> Result<Invocation, CliError> {
             .ok_or_else(|| CliError(format!("flag --{key} needs a value")))?;
         options.insert(key.to_string(), value.clone());
     }
-    Ok(Invocation { command, options })
+    Ok(Invocation {
+        command,
+        options,
+        positional,
+    })
 }
 
 fn get_k(inv: &Invocation) -> Result<usize, CliError> {
@@ -244,6 +279,7 @@ pub fn run(inv: &Invocation) -> Result<String, CliError> {
         "sim" => cmd_sim(inv),
         "bench" => cmd_bench(inv),
         "lint" => cmd_lint(inv),
+        "trace" => cmd_trace(inv),
         other => Err(CliError(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
     }
 }
@@ -419,6 +455,11 @@ fn serve_config(inv: &Invocation) -> Result<ServeConfig, CliError> {
     }
     if let Some(q) = get_usize_opt(inv, "queue")? {
         cfg.queue_depth = q;
+    }
+    if let Some(w) = inv.options.get("window") {
+        cfg.window_epoch_ms = w
+            .parse()
+            .map_err(|_| CliError("--window must be an integer (epoch ms; 0 disables)".into()))?;
     }
     Ok(cfg)
 }
@@ -1401,6 +1442,192 @@ fn cmd_lint(inv: &Invocation) -> Result<String, CliError> {
     }
 }
 
+fn fmt_ms(us: u64) -> String {
+    format!("{:.3}", us as f64 / 1000.0)
+}
+
+/// Reads and parses a span JSONL file into an analyzable trace.
+fn load_trace(path: &str) -> Result<ft_obs::analyze::Trace, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read trace file {path}: {e}")))?;
+    let trace = ft_obs::analyze::Trace::parse(&text);
+    if trace.spans.is_empty() {
+        return Err(CliError(format!(
+            "{path}: no span events found ({} non-span line(s) skipped) — \
+             was the file produced by --trace?",
+            trace.skipped
+        )));
+    }
+    Ok(trace)
+}
+
+fn render_aggregates(out: &mut String, forest: &ft_obs::analyze::Forest<'_>, top: usize) {
+    let aggs = forest.aggregates();
+    let shown = top.min(aggs.len());
+    let _ = writeln!(
+        out,
+        "span aggregates (top {shown} of {} names, by total time):",
+        aggs.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<32} {:>7} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "name", "count", "total_ms", "self_ms", "p50_ms", "p95_ms", "max_ms"
+    );
+    for a in aggs.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>7} {:>12} {:>12} {:>10} {:>10} {:>10}",
+            a.name,
+            a.count,
+            fmt_ms(a.total_us),
+            fmt_ms(a.self_us),
+            fmt_ms(a.p50_us),
+            fmt_ms(a.p95_us),
+            fmt_ms(a.max_us)
+        );
+    }
+}
+
+fn render_critical_paths(out: &mut String, forest: &ft_obs::analyze::Forest<'_>) {
+    for &root in &forest.top_roots() {
+        let path = forest.critical_path(root);
+        let Some(head) = path.first() else { continue };
+        let root_us = head.dur_us.max(1);
+        let _ = writeln!(
+            out,
+            "critical path (root {}, {} ms):",
+            head.name,
+            fmt_ms(head.dur_us)
+        );
+        for (depth, step) in path.iter().enumerate() {
+            let pct = step.dur_us as f64 * 100.0 / root_us as f64;
+            let _ = writeln!(
+                out,
+                "  {:>5.1}%  {:>10} ms  {}{}  [self {} ms]",
+                pct,
+                fmt_ms(step.dur_us),
+                "  ".repeat(depth),
+                step.name,
+                fmt_ms(step.self_us)
+            );
+        }
+        out.push('\n');
+    }
+}
+
+fn render_timeline(out: &mut String, trace: &ft_obs::analyze::Trace) {
+    let points = ft_obs::analyze::conversion_timeline(trace);
+    if points.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "conversion timeline ({} points):", points.len());
+    let _ = writeln!(
+        out,
+        "  {:>10} {:>6} {:>6} {:>7} {:>7} {:>6} {:>9} {:>10} {:>11}",
+        "t", "phase", "epoch", "active", "parked", "queue", "reroutes", "conv_rr", "drain"
+    );
+    for p in &points {
+        let _ = writeln!(
+            out,
+            "  {:>10.4} {:>6} {:>6} {:>7} {:>7} {:>6} {:>9} {:>10} {:>7}/{}",
+            p.t,
+            p.phase,
+            p.epoch,
+            p.active,
+            p.parked,
+            p.queue,
+            p.reroutes,
+            p.conversion_reroutes,
+            p.links_removed,
+            p.links_planned
+        );
+    }
+    out.push('\n');
+}
+
+fn render_diff(
+    out: &mut String,
+    old_path: &str,
+    new_path: &str,
+    old: &ft_obs::analyze::Trace,
+    new: &ft_obs::analyze::Trace,
+    top: usize,
+) {
+    let rows = ft_obs::analyze::diff(old, new);
+    let _ = writeln!(out, "trace diff: {old_path} -> {new_path}");
+    let shown = top.min(rows.len());
+    let _ = writeln!(
+        out,
+        "  top {shown} of {} span names by |total-time delta|:",
+        rows.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<32} {:>7} {:>7} {:>12} {:>12} {:>12}",
+        "name", "n_old", "n_new", "old_ms", "new_ms", "delta_ms"
+    );
+    for r in rows.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>7} {:>7} {:>12} {:>12} {:>+12.3}",
+            r.name,
+            r.old_count,
+            r.new_count,
+            fmt_ms(r.old_total_us),
+            fmt_ms(r.new_total_us),
+            r.delta_us as f64 / 1000.0
+        );
+    }
+}
+
+fn cmd_trace(inv: &Invocation) -> Result<String, CliError> {
+    let file = inv.positional.first().ok_or_else(|| {
+        CliError("trace needs a span file: ftctl trace <spans.jsonl>".to_string())
+    })?;
+    if let Some(extra) = inv.positional.get(1) {
+        return Err(CliError(format!(
+            "trace takes one span file; unexpected argument {extra:?}"
+        )));
+    }
+    let top = get_usize_opt(inv, "top")?.unwrap_or(15).max(1);
+    let trace = load_trace(file)?;
+    let mut out = String::new();
+
+    if let Some(old_path) = inv.options.get("diff") {
+        let old = load_trace(old_path)?;
+        render_diff(&mut out, old_path, file, &old, &trace, top);
+        return Ok(out);
+    }
+
+    let forest = ft_obs::analyze::Forest::build(&trace);
+    let _ = writeln!(out, "trace report: {file}");
+    let _ = writeln!(
+        out,
+        "  spans: {}   threads: {}   skipped non-span lines: {}",
+        trace.spans.len(),
+        trace.thread_count(),
+        trace.skipped
+    );
+    out.push('\n');
+    render_aggregates(&mut out, &forest, top);
+    out.push('\n');
+    render_critical_paths(&mut out, &forest);
+    render_timeline(&mut out, &trace);
+
+    if let Some(path) = inv.options.get("chrome") {
+        std::fs::write(path, ft_obs::analyze::to_chrome(&trace))
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "chrome trace-event json written to {path}");
+    }
+    if let Some(path) = inv.options.get("folded") {
+        std::fs::write(path, ft_obs::analyze::to_folded(&trace))
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "folded stacks written to {path}");
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1765,6 +1992,96 @@ mod tests {
         assert!(body.contains("\"kind\":\"conversion_finish\""), "{body}");
         assert!(body.contains("\"kind\":\"arrival\""), "{body}");
         let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn parse_positionals_only_for_trace() {
+        let i = inv(&["trace", "spans.jsonl", "--top", "5"]);
+        assert_eq!(i.positional, vec!["spans.jsonl".to_string()]);
+        assert_eq!(i.options["top"], "5");
+        // other commands still reject bare tokens (see parse_errors)
+        assert!(parse(&["bench".into(), "spans.jsonl".into()]).is_err());
+    }
+
+    fn write_trace_fixture(name: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        let lines = [
+            r#"{"type":"span","name":"bench.run","id":1,"parent":0,"thread":0,"start_us":0,"dur_us":10000,"fields":{}}"#,
+            r#"{"type":"span","name":"fptas.run","id":2,"parent":1,"thread":0,"start_us":100,"dur_us":8000,"fields":{"k":8}}"#,
+            r#"{"type":"span","name":"fptas.phase","id":3,"parent":2,"thread":0,"start_us":200,"dur_us":6000,"fields":{}}"#,
+            r#"{"type":"span","name":"fptas.phase","id":4,"parent":2,"thread":0,"start_us":6300,"dur_us":1500,"fields":{}}"#,
+            r#"{"type":"span","name":"des.timeline","id":5,"parent":1,"thread":0,"start_us":9000,"dur_us":1,"fields":{"epoch":3,"t":0.5,"phase":"drain","active":4,"parked":1,"queue":2,"scheduled":9,"reroutes":6,"conversion_reroutes":5,"links_removed":8,"links_planned":16}}"#,
+            r#"{"kind":"arrival","t":0.1}"#,
+        ];
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        path
+    }
+
+    #[test]
+    fn trace_reports_aggregates_critical_path_and_timeline() {
+        let path = write_trace_fixture("ftctl_trace_report_test.jsonl");
+        let out = run(&inv(&["trace", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("spans: 5"), "{out}");
+        assert!(out.contains("skipped non-span lines: 1"), "{out}");
+        assert!(out.contains("span aggregates"), "{out}");
+        // fptas.phase: two instances totalling 7.5 ms
+        assert!(out.contains("fptas.phase"), "{out}");
+        assert!(out.contains("7.500"), "{out}");
+        assert!(
+            out.contains("critical path (root bench.run, 10.000 ms):"),
+            "{out}"
+        );
+        // the path descends into the longer fptas.phase instance
+        assert!(out.contains("6.000 ms"), "{out}");
+        assert!(out.contains("conversion timeline (1 points):"), "{out}");
+        assert!(out.contains("drain"), "{out}");
+        assert!(out.contains("8/16"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trace_diff_and_exports() {
+        let path = write_trace_fixture("ftctl_trace_diff_test.jsonl");
+        let p = path.to_str().unwrap();
+        let out = run(&inv(&["trace", p, "--diff", p])).unwrap();
+        assert!(out.contains("trace diff:"), "{out}");
+        assert!(out.contains("+0.000"), "self-diff must be all-zero: {out}");
+
+        let chrome = std::env::temp_dir().join("ftctl_trace_chrome_test.json");
+        let folded = std::env::temp_dir().join("ftctl_trace_folded_test.folded");
+        let out = run(&inv(&[
+            "trace",
+            p,
+            "--chrome",
+            chrome.to_str().unwrap(),
+            "--folded",
+            folded.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("chrome trace-event json written"), "{out}");
+        let body = std::fs::read_to_string(&chrome).unwrap();
+        assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+        assert!(body.contains("\"ph\":\"X\""), "{body}");
+        let stacks = std::fs::read_to_string(&folded).unwrap();
+        // root;child;grandchild weighted by self time
+        assert!(
+            stacks.contains("bench.run;fptas.run;fptas.phase 7500"),
+            "{stacks}"
+        );
+        for f in [path, chrome, folded] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn trace_bad_inputs_are_cli_errors() {
+        assert!(run(&inv(&["trace"])).is_err());
+        assert!(run(&inv(&["trace", "/nonexistent/ftctl-spans.jsonl"])).is_err());
+        let empty = std::env::temp_dir().join("ftctl_trace_empty_test.jsonl");
+        std::fs::write(&empty, "{\"kind\":\"arrival\"}\n").unwrap();
+        let err = run(&inv(&["trace", empty.to_str().unwrap()])).unwrap_err();
+        assert!(err.0.contains("no span events"), "{err}");
+        let _ = std::fs::remove_file(empty);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! End-to-end trace analytics: run the DES conversion scenario with
+//! `--trace`, then feed the span file back through `ftctl trace` and its
+//! exports. One test function — the span sink and the `enabled` flag are
+//! process-wide, so splitting this into parallel tests would race them.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use flat_tree::cli::{parse, run};
+
+fn inv(args: &[&str]) -> flat_tree::cli::Invocation {
+    parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+}
+
+#[test]
+fn traced_conversion_run_analyzes_end_to_end() {
+    let scn = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/clos_to_global.scn");
+    let dir = std::env::temp_dir();
+    let spans = dir.join("ft_trace_analytics_spans.jsonl");
+    let spans_path = spans.to_str().unwrap();
+
+    // 1. A traced sim run over the checked-in conversion scenario.
+    let out = run(&inv(&[
+        "sim",
+        "--scenario",
+        scn,
+        "--quick",
+        "--trace",
+        spans_path,
+    ]))
+    .unwrap();
+    assert!(out.contains("conversion"), "{out}");
+    let body = std::fs::read_to_string(&spans).unwrap();
+    assert!(body.contains("\"name\":\"sim.des\""), "{body}");
+    assert!(body.contains("\"name\":\"des.timeline\""), "{body}");
+    assert!(body.contains("\"name\":\"des.conversion_drain\""), "{body}");
+    assert!(
+        body.contains("\"name\":\"des.conversion_finish\""),
+        "{body}"
+    );
+    assert!(body.contains("\"phase\":\"drain\""), "{body}");
+    assert!(body.contains("\"phase\":\"post\""), "{body}");
+
+    // 2. The analyzer renders aggregates, a critical path and the
+    //    conversion disruption timeline from that file.
+    let report = run(&inv(&["trace", spans_path])).unwrap();
+    assert!(report.contains("trace report:"), "{report}");
+    assert!(report.contains("span aggregates"), "{report}");
+    assert!(report.contains("critical path (root sim.des"), "{report}");
+    assert!(report.contains("conversion timeline ("), "{report}");
+    assert!(report.contains("drain"), "{report}");
+    assert!(report.contains("post"), "{report}");
+
+    // 3. Exports: Chrome trace-event JSON and folded flamegraph stacks.
+    let chrome = dir.join("ft_trace_analytics_chrome.json");
+    let folded = dir.join("ft_trace_analytics.folded");
+    run(&inv(&[
+        "trace",
+        spans_path,
+        "--chrome",
+        chrome.to_str().unwrap(),
+        "--folded",
+        folded.to_str().unwrap(),
+    ]))
+    .unwrap();
+    let chrome_body = std::fs::read_to_string(&chrome).unwrap();
+    assert!(
+        chrome_body.starts_with("{\"traceEvents\":["),
+        "{chrome_body}"
+    );
+    assert!(chrome_body.contains("\"ph\":\"X\""), "{chrome_body}");
+    assert!(chrome_body.contains("sim.des"), "{chrome_body}");
+    let folded_body = std::fs::read_to_string(&folded).unwrap();
+    assert!(!folded_body.trim().is_empty());
+    for line in folded_body.lines() {
+        let (stack, weight) = line.rsplit_once(' ').unwrap();
+        assert!(!stack.is_empty(), "{line:?}");
+        assert!(weight.parse::<u64>().is_ok(), "bad weight in {line:?}");
+    }
+    assert!(folded_body.contains("sim.des"), "{folded_body}");
+
+    // 4. Self-diff: identical traces produce an all-zero delta table.
+    let diff = run(&inv(&["trace", spans_path, "--diff", spans_path])).unwrap();
+    assert!(diff.contains("trace diff:"), "{diff}");
+    assert!(diff.contains("+0.000"), "{diff}");
+    assert!(!diff.contains("+0.001"), "self-diff must be zero: {diff}");
+
+    for f in [spans, chrome, folded] {
+        let _ = std::fs::remove_file(f);
+    }
+}
